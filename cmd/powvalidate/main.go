@@ -1,0 +1,107 @@
+// Command powvalidate lints a released dataset directory: structural
+// validation, internal consistency between the job table and the
+// retained raw series, and schema sanity — the check a maintainer runs
+// before publishing a trace.
+//
+// Usage:
+//
+//	powvalidate traces/emmy
+//
+// Exit status 0 means the dataset is publishable; any finding is printed
+// and exits 1.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"hpcpower"
+	"hpcpower/internal/core"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: powvalidate <dataset-dir>")
+		os.Exit(2)
+	}
+	ds, err := hpcpower.Load(os.Args[1])
+	if err != nil {
+		fail("load: %v", err)
+	}
+	problems := 0
+	report := func(format string, args ...interface{}) {
+		problems++
+		fmt.Printf("FAIL: "+format+"\n", args...)
+	}
+
+	// 1. Structural validation.
+	if err := ds.Validate(); err != nil {
+		report("structure: %v", err)
+	}
+
+	// 2. Job-table internal consistency: the energy identity.
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		want := float64(j.AvgPowerPerNode) * float64(j.Nodes) * float64(j.RuntimeMinutes()) * 60
+		got := float64(j.Energy)
+		if want > 0 && math.Abs(got-want)/want > 0.001 {
+			report("job %d: energy %.0f J inconsistent with power×nodes×runtime (%.0f J)", j.ID, got, want)
+		}
+	}
+
+	// 3. Raw series agree with the job table.
+	for id, series := range ds.Series {
+		j := ds.Job(id)
+		if j == nil {
+			report("series for unknown job %d", id)
+			continue
+		}
+		spread, power, eSpread, err := core.VerifySpatialFromSeries(series)
+		if err != nil {
+			report("job %d series: %v", id, err)
+			continue
+		}
+		if rel(power, float64(j.AvgPowerPerNode)) > 1e-4 {
+			report("job %d: series power %.2f W vs table %.2f W", id, power, float64(j.AvgPowerPerNode))
+		}
+		if j.Nodes >= 2 {
+			if rel(spread, j.AvgSpatialSpreadW) > 1e-4 {
+				report("job %d: series spread %.2f W vs table %.2f W", id, spread, j.AvgSpatialSpreadW)
+			}
+			if rel(eSpread, j.NodeEnergySpreadPct) > 1e-4 {
+				report("job %d: series energy spread %.2f%% vs table %.2f%%", id, eSpread, j.NodeEnergySpreadPct)
+			}
+		}
+	}
+
+	// 4. System series bounds.
+	budget := float64(ds.Meta.TotalNodes) * ds.Meta.NodeTDPW
+	for i, s := range ds.System {
+		if s.ActiveNodes < 0 || s.ActiveNodes > ds.Meta.TotalNodes {
+			report("system sample %d: %d active of %d nodes", i, s.ActiveNodes, ds.Meta.TotalNodes)
+		}
+		if s.TotalPowerW < 0 || s.TotalPowerW > budget {
+			report("system sample %d: %.0f W outside [0, %.0f]", i, s.TotalPowerW, budget)
+		}
+	}
+
+	if problems > 0 {
+		fmt.Printf("%s: %d problem(s)\n", os.Args[1], problems)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: OK — %d jobs, %d system samples, %d raw series\n",
+		os.Args[1], len(ds.Jobs), len(ds.System), len(ds.Series))
+}
+
+func rel(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "powvalidate: "+format+"\n", args...)
+	os.Exit(1)
+}

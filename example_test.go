@@ -1,0 +1,75 @@
+package hpcpower_test
+
+import (
+	"fmt"
+	"log"
+
+	"hpcpower"
+)
+
+// ExampleGenerateEmmy synthesizes a small deterministic dataset and shows
+// the study's headline system-level finding.
+func ExampleGenerateEmmy() {
+	ds, err := hpcpower.GenerateEmmy(0.02, 42) // 2% of the 5-month window
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := hpcpower.Analyze(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system: %s (%d nodes at %.0f W TDP)\n",
+		ds.Meta.System, ds.Meta.TotalNodes, ds.Meta.NodeTDPW)
+	fmt.Printf("busy but not power-hungry: utilization > power utilization: %v\n",
+		rep.SystemLevel.MeanUtilizationPct > rep.SystemLevel.MeanPowerUtilPct)
+	fmt.Printf("stranded power above 15%%: %v\n", rep.SystemLevel.StrandedPowerPct > 15)
+	// Output:
+	// system: Emmy (560 nodes at 210 W TDP)
+	// busy but not power-hungry: utilization > power utilization: true
+	// stranded power above 15%: true
+}
+
+// ExampleNewBDT trains the paper's best predictor and predicts a job's
+// per-node power before execution.
+func ExampleNewBDT() {
+	ds, err := hpcpower.GenerateEmmy(0.02, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := hpcpower.NewBDT()
+	if err := model.Fit(hpcpower.TrainingSamples(ds)); err != nil {
+		log.Fatal(err)
+	}
+	j := ds.Jobs[0]
+	pred := model.Predict(hpcpower.PredictFeatures{
+		User: j.User, Nodes: j.Nodes, WallHours: j.ReqWall.Hours(),
+	})
+	fmt.Printf("prediction within the node's power envelope: %v\n",
+		pred > 0 && pred <= ds.Meta.NodeTDPW)
+	// Output:
+	// prediction within the node's power envelope: true
+}
+
+// ExampleCompare contrasts the two systems: the Fig. 4 ranking flip.
+func ExampleCompare() {
+	emmy, err := hpcpower.GenerateEmmy(0.02, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meggie, err := hpcpower.GenerateMeggie(0.02, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	re, err := hpcpower.Analyze(emmy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rm, err := hpcpower.Analyze(meggie)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp := hpcpower.Compare(re, rm)
+	fmt.Printf("application power rankings flip across systems: %v\n", len(cmp.Flips) > 0)
+	// Output:
+	// application power rankings flip across systems: true
+}

@@ -1,0 +1,63 @@
+// Capacity planning: use the §6 what-ifs to size a power cap and an
+// over-provisioned machine from an observed trace — the workflow the
+// paper proposes for operators of mid-scale clusters.
+//
+//	go run ./examples/capacity-planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpcpower"
+)
+
+func main() {
+	ds, err := hpcpower.GenerateMeggie(0.03, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budgetKW := float64(ds.Meta.TotalNodes) * ds.Meta.NodeTDPW / 1000
+	fmt.Printf("%s: %d nodes, provisioned for %.0f kW (TDP worst case)\n",
+		ds.Meta.System, ds.Meta.TotalNodes, budgetKW)
+
+	// 1. How low can a whole-system power cap go before it ever bites?
+	safe, err := hpcpower.SafeCap(ds, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsystem cap: %.0f%% of budget (%.0f kW) throttles zero minutes\n",
+		100*safe.CapFrac, safe.CapW/1000)
+	fmt.Printf("  -> %.0f kW of provisioned power can be harvested outright\n", safe.HarvestedW/1000)
+
+	// Allowing throttling during 1% of minutes buys a lower cap.
+	safe1, err := hpcpower.SafeCap(ds, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  allowing 1%% throttled minutes: cap %.0f%%, harvest %.0f kW\n",
+		100*safe1.CapFrac, safe1.HarvestedW/1000)
+
+	// 2. How many extra nodes fit under the original budget?
+	for _, pct := range []float64{0.90, 0.95, 0.99} {
+		over, err := hpcpower.EvaluateOverprovision(ds, pct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nover-provisioning at p%.0f per-node power (%.0f W/node):\n",
+			100*pct, over.PerNodeBudgetW)
+		fmt.Printf("  %d nodes supportable (+%d, +%.0f%% throughput) under the same %.0f kW\n",
+			over.SupportableNodes, over.ExtraNodes, over.ThroughputGainPct, budgetKW)
+	}
+
+	// 3. Sweep caps to see the throttling/harvest trade-off.
+	fmt.Printf("\ncap sweep (fraction of budget -> %% minutes throttled):\n")
+	for frac := 0.50; frac <= 0.90; frac += 0.10 {
+		r, err := hpcpower.EvaluateCap(ds, frac)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.0f%% cap: %5.1f%% minutes throttled, %6.1f kW harvested\n",
+			100*frac, r.ThrottledPct, r.HarvestedW/1000)
+	}
+}

@@ -1,0 +1,54 @@
+// Power prediction: reproduce the Fig. 14-15 study — train BDT, KNN and
+// FLDA on a synthesized trace, compare their error CDFs, and use the best
+// model the way a scheduler would: predict a job's power at submission
+// and derive a static power cap from it (§5/§6).
+//
+//	go run ./examples/power-prediction
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hpcpower"
+)
+
+func main() {
+	ds, err := hpcpower.GenerateEmmy(0.05, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d jobs — evaluating BDT, KNN, FLDA on ten 80/20 splits\n\n",
+		ds.Meta.System, len(ds.Jobs))
+
+	results, err := hpcpower.EvaluatePredictors(ds, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hpcpower.WritePrediction(os.Stdout, ds.Meta.System, results); err != nil {
+		log.Fatal(err)
+	}
+
+	// Scheduler integration: at submission time only (user, nodes,
+	// requested walltime) exist. Predict the power and cap the job 15%
+	// above it, as §5 suggests — safe because temporal variance is low.
+	model := hpcpower.NewBDT()
+	if err := model.Fit(hpcpower.TrainingSamples(ds)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("submission-time predictions with a 15% static cap:")
+	for _, j := range ds.Jobs[:8] {
+		pred := model.Predict(hpcpower.PredictFeatures{
+			User: j.User, Nodes: j.Nodes, WallHours: j.ReqWall.Hours(),
+		})
+		cap := 1.15 * pred
+		peak := float64(j.AvgPowerPerNode) * (1 + j.PeakOvershootPct/100)
+		verdict := "ok"
+		if peak > cap {
+			verdict = "WOULD THROTTLE"
+		}
+		fmt.Printf("  job %4d (%s, %2d nodes, %4.1fh): predicted %5.1f W, cap %5.1f W, observed peak %5.1f W -> %s\n",
+			j.ID, j.User, j.Nodes, j.ReqWall.Hours(), pred, cap, peak, verdict)
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: synthesize a small Emmy dataset, run the paper's analyses,
+// and print the headline findings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpcpower"
+)
+
+func main() {
+	// 2% of the five-month study window (~3 days, several hundred jobs).
+	ds, err := hpcpower.GenerateEmmy(0.02, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized %s: %d jobs by %d users running %d applications\n",
+		ds.Meta.System, len(ds.Jobs), len(ds.Users()), len(ds.Apps()))
+
+	rep, err := hpcpower.Analyze(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's three headline findings, one per level of analysis.
+	fmt.Printf("\nsystem level (Figs. 1-2):\n")
+	fmt.Printf("  utilization %.0f%%, power utilization %.0f%% -> %.0f%% of the power budget is stranded\n",
+		rep.SystemLevel.MeanUtilizationPct, rep.SystemLevel.MeanPowerUtilPct,
+		rep.SystemLevel.StrandedPowerPct)
+
+	fmt.Printf("\njob level (Figs. 3-10):\n")
+	fmt.Printf("  per-node power %.0f W on average (%.0f%% of the %.0f W TDP), std %.0f W\n",
+		rep.Distribution.Summary.Mean, rep.Distribution.MeanTDPFracPct,
+		ds.Meta.NodeTDPW, rep.Distribution.Summary.Std)
+	fmt.Printf("  temporal variance is low: peak power only %.0f%% above the mean on average\n",
+		rep.Temporal.MeanOvershootPct)
+	fmt.Printf("  spatial variance is high: %.0f W average max-min spread across a job's nodes\n",
+		rep.Spatial.MeanSpreadW)
+
+	fmt.Printf("\nuser level (Figs. 11-13):\n")
+	fmt.Printf("  the top 20%% of users consume %.0f%% of node-hours and %.0f%% of energy\n",
+		rep.Users.Top20NodeHoursPct, rep.Users.Top20EnergyPct)
+	fmt.Printf("  per-user power variability %.0f%%, collapsing to %.0f%% inside (user,nodes) clusters\n",
+		rep.Variability.MeanPowerStdPct, rep.Clusters.ByNodes.MeanStdPct)
+
+	// Predict the power of a job before it runs (Figs. 14-15).
+	model := hpcpower.NewBDT()
+	if err := model.Fit(hpcpower.TrainingSamples(ds)); err != nil {
+		log.Fatal(err)
+	}
+	j := ds.Jobs[len(ds.Jobs)/2]
+	pred := model.Predict(hpcpower.PredictFeatures{
+		User: j.User, Nodes: j.Nodes, WallHours: j.ReqWall.Hours(),
+	})
+	fmt.Printf("\nprediction (Fig. 14): job %d actually drew %.0f W/node; BDT predicted %.0f W/node pre-execution\n",
+		j.ID, float64(j.AvgPowerPerNode), pred)
+}

@@ -1,0 +1,90 @@
+package hpcpower
+
+import (
+	"io"
+
+	"hpcpower/internal/core"
+	"hpcpower/internal/mlearn"
+	"hpcpower/internal/policy"
+	"hpcpower/internal/replay"
+	"hpcpower/internal/report"
+)
+
+// This file exposes the analyses that go beyond the paper's figures:
+// robustness checks, ablations, and the §6/§7 policy studies.
+
+type (
+	// MonthlyConsistency verifies the Fig. 3 characteristics are stable
+	// across calendar months (the paper's §4 robustness note).
+	MonthlyConsistency = core.MonthlyConsistency
+	// PricingAnalysis contrasts node-hour and energy billing (§6).
+	PricingAnalysis = policy.PricingAnalysis
+	// ProvisioningComparison contrasts TDP / static / dynamic per-job
+	// power provisioning (§7).
+	ProvisioningComparison = policy.ProvisioningComparison
+	// AblationResult is one feature-subset evaluation of the BDT.
+	AblationResult = mlearn.AblationResult
+	// JobCapResult evaluates the §5/§6 static per-job power cap.
+	JobCapResult = policy.JobCapResult
+)
+
+// AnalyzeMonthlyConsistency slices the job table by start month and
+// checks the per-node power distribution is stable across months.
+func AnalyzeMonthlyConsistency(ds *Dataset) (MonthlyConsistency, error) {
+	return core.AnalyzeMonthlyConsistency(ds)
+}
+
+// AnalyzePricing computes the §6 node-hour vs energy billing comparison.
+func AnalyzePricing(ds *Dataset) (PricingAnalysis, error) {
+	return policy.AnalyzePricing(ds)
+}
+
+// CompareProvisioning evaluates TDP, static-cap, and dynamic-oracle
+// per-job power provisioning over the retained raw series (§7).
+func CompareProvisioning(ds *Dataset, headroom float64, reallocEveryMin int) (ProvisioningComparison, error) {
+	return policy.CompareProvisioning(ds, headroom, reallocEveryMin)
+}
+
+// EvaluateJobCaps applies a static per-job cap at the given headroom and
+// reports throttling risk and harvested power (§5/§6).
+func EvaluateJobCaps(ds *Dataset, headroomPct float64) (JobCapResult, error) {
+	return policy.EvaluateJobCaps(ds, headroomPct, nil)
+}
+
+// NewBaseline returns the user-mean baseline predictor — the bar the
+// learned models must beat.
+func NewBaseline() PredictModel { return mlearn.NewBaseline() }
+
+// EvaluateAblation runs the BDT with each pre-execution feature subset
+// (user; user+nodes; user+nodes+wall; nodes+wall) under the paper's
+// evaluation methodology.
+func EvaluateAblation(ds *Dataset, seed uint64) ([]AblationResult, error) {
+	return mlearn.EvaluateAblation(mlearn.SamplesFromDataset(ds), mlearn.DefaultEvalConfig(seed))
+}
+
+type (
+	// ReplayScenario describes a hypothetical machine to replay a trace on.
+	ReplayScenario = replay.Scenario
+	// ReplayOutcome summarizes a replay run.
+	ReplayOutcome = replay.Outcome
+	// OverprovisionStudy validates the §6 over-provisioning claim by
+	// replaying the trace on an enlarged, power-capped machine.
+	OverprovisionStudy = replay.OverprovisionStudy
+)
+
+// Replay re-executes the trace's job stream under the scenario, with a
+// BDT trained on the trace providing power estimates when a cap is set.
+func Replay(ds *Dataset, sc ReplayScenario) (ReplayOutcome, error) {
+	return replay.Run(ds, sc)
+}
+
+// StudyOverprovision replays the trace on the original machine and on a
+// (1+extraFrac)-sized machine capped at the original TDP budget.
+func StudyOverprovision(ds *Dataset, extraFrac, headroom float64) (OverprovisionStudy, error) {
+	return replay.StudyOverprovision(ds, extraFrac, headroom)
+}
+
+// WriteExtensions renders the extension analyses as text.
+func WriteExtensions(w io.Writer, mc MonthlyConsistency, pr PricingAnalysis, pc ProvisioningComparison, ab []AblationResult) error {
+	return report.RenderExtensions(w, mc, pr, pc, ab)
+}

@@ -1,0 +1,73 @@
+package hpcpower
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtensionsWorkflow(t *testing.T) {
+	ds, err := GenerateEmmy(0.03, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mc, err := AnalyzeMonthlyConsistency(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Months) == 0 {
+		t.Fatal("no months")
+	}
+
+	pr, err := AnalyzePricing(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Users) == 0 || pr.MisallocationPct <= 0 {
+		t.Fatalf("pricing = %+v", pr)
+	}
+
+	pc, err := CompareProvisioning(ds, 0.15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc.Results) != 3 {
+		t.Fatalf("provisioning results = %d", len(pc.Results))
+	}
+
+	jc, err := EvaluateJobCaps(ds, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jc.HarvestedBudgetPct <= 0 {
+		t.Errorf("job caps harvested nothing: %+v", jc)
+	}
+
+	base := NewBaseline()
+	if err := base.Fit(TrainingSamples(ds)); err != nil {
+		t.Fatal(err)
+	}
+	if p := base.Predict(PredictFeatures{User: ds.Jobs[0].User}); p <= 0 {
+		t.Errorf("baseline prediction = %v", p)
+	}
+
+	ab, err := EvaluateAblation(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab) != 4 {
+		t.Fatalf("ablation rows = %d", len(ab))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteExtensions(&buf, mc, pr, pc, ab); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"monthly consistency", "pricing", "provisioning strategies", "ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extensions output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module hpcpower
+
+go 1.22

@@ -1,0 +1,135 @@
+package hpcpower
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The facade test exercises the full public workflow end to end:
+// generate → save/load → analyze → compare → predict → policy → render.
+func TestPublicWorkflow(t *testing.T) {
+	emmy, err := GenerateEmmy(0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meggie, err := GenerateMeggie(0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emmy.Meta.System != "Emmy" || meggie.Meta.System != "Meggie" {
+		t.Fatalf("systems: %s / %s", emmy.Meta.System, meggie.Meta.System)
+	}
+
+	// Round-trip through the released dataset format.
+	dir := t.TempDir()
+	if err := emmy.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Jobs) != len(emmy.Jobs) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(loaded.Jobs), len(emmy.Jobs))
+	}
+
+	// Analysis on the loaded dataset must match analysis on the original.
+	ra, err := Analyze(emmy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Analyze(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ra.Distribution.Summary.Mean - rb.Distribution.Summary.Mean; d > 1e-4 || d < -1e-4 {
+		t.Errorf("analysis differs after round trip: %v vs %v",
+			ra.Distribution.Summary.Mean, rb.Distribution.Summary.Mean)
+	}
+
+	rm, err := Analyze(meggie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := Compare(ra, rm)
+	if len(cmp.PerAppDeltaPct) == 0 {
+		t.Error("comparison has no per-app deltas")
+	}
+
+	// Prediction through the facade.
+	m := NewBDT()
+	if err := m.Fit(TrainingSamples(emmy)); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict(PredictFeatures{User: emmy.Jobs[0].User, Nodes: emmy.Jobs[0].Nodes, WallHours: emmy.Jobs[0].ReqWall.Hours()})
+	if p <= 0 || p > emmy.Meta.NodeTDPW {
+		t.Errorf("prediction = %v", p)
+	}
+
+	// Policy through the facade.
+	cap80, err := EvaluateCap(emmy, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap80.HarvestedW <= 0 {
+		t.Error("cap at 80% harvests nothing")
+	}
+	safe, err := SafeCap(emmy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe.ThrottledPct != 0 {
+		t.Errorf("safe cap throttles %v%%", safe.ThrottledPct)
+	}
+	over, err := EvaluateOverprovision(emmy, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.ExtraNodes <= 0 {
+		t.Error("no over-provisioning headroom found")
+	}
+
+	// Rendering.
+	var buf bytes.Buffer
+	if err := WriteSpecs(&buf, []SystemSpec{Emmy(), Meggie()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(&buf, ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteComparison(&buf, cmp); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Fig. 3", "cross-system"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	cfg := EmmyConfig(0.02, 1)
+	cfg.KeepSeries = 0
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Series) != 0 {
+		t.Errorf("KeepSeries=0 retained %d series", len(ds.Series))
+	}
+	if MeggieConfig(0.02, 1).Spec.Name != "Meggie" {
+		t.Error("MeggieConfig spec wrong")
+	}
+}
+
+func TestPredictorsDistinct(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range []PredictModel{NewBDT(), NewKNN(), NewFLDA()} {
+		names[m.Name()] = true
+	}
+	if len(names) != 3 {
+		t.Errorf("predictors = %v", names)
+	}
+}

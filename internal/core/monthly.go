@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hpcpower/internal/stats"
+	"hpcpower/internal/trace"
+)
+
+// MonthlySlice is the Fig. 3 distribution restricted to jobs starting in
+// one calendar month.
+type MonthlySlice struct {
+	Year  int
+	Month time.Month
+	Jobs  int
+	MeanW float64
+	StdW  float64
+}
+
+// MonthlyConsistency backs the paper's §4 robustness note: "we performed
+// further analysis on the aggregate power consumption behavior of these
+// systems over time and verified that the characteristics observed in
+// Fig. 3 remain consistent throughout the months".
+type MonthlyConsistency struct {
+	System string
+	Months []MonthlySlice
+	// MaxMeanDeviationPct is the largest relative deviation of a monthly
+	// mean from the overall mean.
+	MaxMeanDeviationPct float64
+	// KSWorstP is the smallest KS p-value between any month's per-node
+	// power sample and the pooled remainder; high values mean no month is
+	// distributionally atypical.
+	KSWorstP float64
+}
+
+// AnalyzeMonthlyConsistency slices the job table by start month and
+// compares each month's power distribution with the rest.
+func AnalyzeMonthlyConsistency(ds *trace.Dataset) (MonthlyConsistency, error) {
+	if len(ds.Jobs) == 0 {
+		return MonthlyConsistency{}, fmt.Errorf("core: dataset has no jobs")
+	}
+	type key struct {
+		y int
+		m time.Month
+	}
+	byMonth := map[key][]float64{}
+	var order []key
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		k := key{j.Start.Year(), j.Start.Month()}
+		if _, ok := byMonth[k]; !ok {
+			order = append(order, k)
+		}
+		byMonth[k] = append(byMonth[k], float64(j.AvgPowerPerNode))
+	}
+	// Keep chronological order.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if a.y > b.y || (a.y == b.y && a.m > b.m) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	all := perNodePowers(ds)
+	overall := stats.Mean(all)
+	out := MonthlyConsistency{System: ds.Meta.System, KSWorstP: 1}
+	for _, k := range order {
+		sample := byMonth[k]
+		ms := MonthlySlice{
+			Year: k.y, Month: k.m, Jobs: len(sample),
+			MeanW: stats.Mean(sample), StdW: stats.Std(sample),
+		}
+		out.Months = append(out.Months, ms)
+		if overall > 0 {
+			dev := 100 * abs(ms.MeanW-overall) / overall
+			if dev > out.MaxMeanDeviationPct {
+				out.MaxMeanDeviationPct = dev
+			}
+		}
+		// Compare this month against the pooled remainder (KS), skipping
+		// tiny months where the test has no power.
+		if len(sample) >= 50 && len(all)-len(sample) >= 50 {
+			rest := make([]float64, 0, len(all)-len(sample))
+			inMonth := map[float64]int{}
+			for _, v := range sample {
+				inMonth[v]++
+			}
+			for _, v := range all {
+				if inMonth[v] > 0 {
+					inMonth[v]--
+					continue
+				}
+				rest = append(rest, v)
+			}
+			if p := stats.KSTest(sample, rest).P; p < out.KSWorstP {
+				out.KSWorstP = p
+			}
+		}
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

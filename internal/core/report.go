@@ -1,0 +1,85 @@
+package core
+
+import (
+	"hpcpower/internal/apps"
+	"hpcpower/internal/trace"
+)
+
+// Report bundles every single-system analysis of the paper.
+type Report struct {
+	System       string
+	Jobs         int
+	SystemLevel  SystemAnalysis     // Figs. 1-2
+	Distribution PowerDistribution  // Fig. 3
+	AppPower     []AppPower         // Fig. 4 (per system)
+	Correlations CorrelationTable   // Table 2
+	Splits       LengthSizeSplits   // Fig. 5
+	Temporal     TemporalAnalysis   // Figs. 6-7
+	Spatial      SpatialAnalysis    // Figs. 8-10
+	Users        UserConcentration  // Fig. 11
+	Variability  UserVariability    // Fig. 12
+	Clusters     ClusterVariability // Fig. 13
+}
+
+// AnalyzeAll runs the full single-system battery.
+func AnalyzeAll(ds *trace.Dataset) (*Report, error) {
+	r := &Report{System: ds.Meta.System, Jobs: len(ds.Jobs)}
+	var err error
+	if r.SystemLevel, err = AnalyzeSystem(ds); err != nil {
+		return nil, err
+	}
+	if r.Distribution, err = AnalyzePowerDistribution(ds); err != nil {
+		return nil, err
+	}
+	r.AppPower = AnalyzeAppPower(ds, apps.KeyApps)
+	if r.Correlations, err = AnalyzeCorrelations(ds); err != nil {
+		return nil, err
+	}
+	if r.Splits, err = AnalyzeLengthSizeSplits(ds); err != nil {
+		return nil, err
+	}
+	if r.Temporal, err = AnalyzeTemporal(ds); err != nil {
+		return nil, err
+	}
+	if r.Spatial, err = AnalyzeSpatial(ds); err != nil {
+		return nil, err
+	}
+	if r.Users, err = AnalyzeUserConcentration(ds); err != nil {
+		return nil, err
+	}
+	if r.Variability, err = AnalyzeUserVariability(ds); err != nil {
+		return nil, err
+	}
+	if r.Clusters, err = AnalyzeClusterVariability(ds); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Comparison contrasts the two systems of the study (the cross-system
+// findings of Fig. 4 and the summary bullets).
+type Comparison struct {
+	A, B *Report
+	// Flips lists application pairs whose power ranking differs between
+	// the systems.
+	Flips [][2]string
+	// PerAppDeltaPct maps each common application to the relative power
+	// drop (positive: B draws less than A), in percent.
+	PerAppDeltaPct map[string]float64
+}
+
+// Compare contrasts two reports (conventionally Emmy, Meggie).
+func Compare(a, b *Report) *Comparison {
+	c := &Comparison{A: a, B: b, PerAppDeltaPct: map[string]float64{}}
+	c.Flips = RankingFlips(a.AppPower, b.AppPower)
+	bw := map[string]float64{}
+	for _, ap := range b.AppPower {
+		bw[ap.App] = ap.MeanPowerW
+	}
+	for _, ap := range a.AppPower {
+		if w, ok := bw[ap.App]; ok && ap.MeanPowerW > 0 {
+			c.PerAppDeltaPct[ap.App] = 100 * (1 - w/ap.MeanPowerW)
+		}
+	}
+	return c
+}

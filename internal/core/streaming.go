@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"hpcpower/internal/stats"
+)
+
+// Streaming analysis: the paper's traces fit in memory, but the analyses
+// that matter at exascale (the motivation of §1) should not require
+// loading a job table at once. StreamPowerDistribution consumes a
+// jobs.csv stream row by row with O(1) memory: Welford moments plus P²
+// quantile estimators — and its results are tested against the exact
+// in-memory analysis.
+
+// StreamedDistribution is the O(1)-memory counterpart of Fig. 3.
+type StreamedDistribution struct {
+	Jobs    int
+	MeanW   float64
+	StdW    float64
+	MinW    float64
+	MaxW    float64
+	MedianW float64 // P² estimate
+	P95W    float64 // P² estimate
+	// Correlation proxies: streaming Pearson of (log-runtime, power) and
+	// (log-nodes, power). Spearman needs ranks (not streamable); Pearson
+	// over log features is the standard streaming stand-in.
+	LengthPowerPearson float64
+	SizePowerPearson   float64
+}
+
+// StreamPowerDistribution reads a jobs.csv stream and reduces it without
+// materializing rows.
+func StreamPowerDistribution(r io.Reader) (StreamedDistribution, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return StreamedDistribution{}, fmt.Errorf("core: reading header: %w", err)
+	}
+	col := map[string]int{}
+	for i, name := range header {
+		col[name] = i
+	}
+	for _, need := range []string{"avg_power_per_node_w", "start_unix", "end_unix", "nodes"} {
+		if _, ok := col[need]; !ok {
+			return StreamedDistribution{}, fmt.Errorf("core: jobs.csv missing column %q", need)
+		}
+	}
+
+	var acc stats.Accumulator
+	med, err := stats.NewP2Quantile(0.5)
+	if err != nil {
+		return StreamedDistribution{}, err
+	}
+	p95, err := stats.NewP2Quantile(0.95)
+	if err != nil {
+		return StreamedDistribution{}, err
+	}
+	var corrLen, corrSize streamingCorr
+
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return StreamedDistribution{}, fmt.Errorf("core: jobs.csv line %d: %w", line, err)
+		}
+		power, err := strconv.ParseFloat(rec[col["avg_power_per_node_w"]], 64)
+		if err != nil {
+			return StreamedDistribution{}, fmt.Errorf("core: line %d power: %w", line, err)
+		}
+		start, err1 := strconv.ParseInt(rec[col["start_unix"]], 10, 64)
+		end, err2 := strconv.ParseInt(rec[col["end_unix"]], 10, 64)
+		nodes, err3 := strconv.Atoi(rec[col["nodes"]])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return StreamedDistribution{}, fmt.Errorf("core: line %d malformed", line)
+		}
+		acc.Add(power)
+		med.Add(power)
+		p95.Add(power)
+		hours := float64(end-start) / 3600
+		if hours < 0.02 {
+			hours = 0.02
+		}
+		corrLen.add(math.Log(hours), power)
+		corrSize.add(math.Log(float64(nodes)), power)
+	}
+	if acc.N() == 0 {
+		return StreamedDistribution{}, fmt.Errorf("core: empty job stream")
+	}
+	return StreamedDistribution{
+		Jobs:               int(acc.N()),
+		MeanW:              acc.Mean(),
+		StdW:               acc.Std(),
+		MinW:               acc.Min(),
+		MaxW:               acc.Max(),
+		MedianW:            med.Value(),
+		P95W:               p95.Value(),
+		LengthPowerPearson: corrLen.value(),
+		SizePowerPearson:   corrSize.value(),
+	}, nil
+}
+
+// streamingCorr accumulates a Pearson correlation in one pass.
+type streamingCorr struct {
+	n                               float64
+	sumX, sumY, sumXY, sumXX, sumYY float64
+}
+
+func (c *streamingCorr) add(x, y float64) {
+	c.n++
+	c.sumX += x
+	c.sumY += y
+	c.sumXY += x * y
+	c.sumXX += x * x
+	c.sumYY += y * y
+}
+
+func (c *streamingCorr) value() float64 {
+	if c.n < 2 {
+		return 0
+	}
+	cov := c.sumXY - c.sumX*c.sumY/c.n
+	vx := c.sumXX - c.sumX*c.sumX/c.n
+	vy := c.sumYY - c.sumY*c.sumY/c.n
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

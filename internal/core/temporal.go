@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"hpcpower/internal/stats"
+	"hpcpower/internal/trace"
+)
+
+// TemporalAnalysis is Figs. 6-7: how much a job's power varies over its
+// runtime. The paper's headline: it varies little — the peak is only
+// ~10-12% above the mean on average, and most jobs spend ≈0% of their
+// runtime more than 10% above their mean.
+type TemporalAnalysis struct {
+	System string
+	Jobs   int
+	// MeanTemporalCVPct is the average std-over-runtime as % of mean
+	// (paper: ~11%).
+	MeanTemporalCVPct float64
+	// Peak overshoot (Fig. 7a).
+	MeanOvershootPct float64
+	OvershootP80     float64 // 80th percentile of the overshoot CDF
+	OvershootCDF     []stats.Point
+	// Time spent >10% above the mean (Fig. 7b).
+	MeanPctTimeAbove    float64
+	FracJobsNearZeroPct float64 // % of jobs spending <1% of runtime above
+	PctTimeAboveCDF     []stats.Point
+}
+
+// AnalyzeTemporal computes Figs. 6-7 over the instrumented jobs.
+func AnalyzeTemporal(ds *trace.Dataset) (TemporalAnalysis, error) {
+	var cv, over, above []float64
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		if !j.Instrumented {
+			continue
+		}
+		cv = append(cv, j.TemporalCVPct)
+		over = append(over, j.PeakOvershootPct)
+		above = append(above, j.PctTimeAboveMean10)
+	}
+	if len(cv) == 0 {
+		return TemporalAnalysis{}, fmt.Errorf("core: no instrumented jobs")
+	}
+	a := TemporalAnalysis{System: ds.Meta.System, Jobs: len(cv)}
+	a.MeanTemporalCVPct = stats.Mean(cv)
+
+	overCDF := stats.NewECDF(over)
+	a.MeanOvershootPct = overCDF.Mean()
+	a.OvershootP80 = overCDF.Quantile(0.80)
+	a.OvershootCDF = overCDF.Points(CDFPoints)
+
+	aboveCDF := stats.NewECDF(above)
+	a.MeanPctTimeAbove = aboveCDF.Mean()
+	a.FracJobsNearZeroPct = 100 * aboveCDF.Eval(1.0)
+	a.PctTimeAboveCDF = aboveCDF.Points(CDFPoints)
+	return a, nil
+}
+
+// SpatialAnalysis is Figs. 8-10: how unevenly power is drawn across the
+// nodes of one job. The paper's headline: spatial variance is HIGH —
+// average spread ~20 W (~15% of per-node power), and 20% of jobs see >15%
+// node-energy imbalance.
+type SpatialAnalysis struct {
+	System string
+	// Jobs counts multi-node instrumented jobs (spatial metrics are
+	// undefined for single-node jobs).
+	Jobs int
+	// Fig. 9a: average spatial spread in watts.
+	MeanSpreadW float64
+	MaxSpreadW  float64
+	SpreadWCDF  []stats.Point
+	// Fig. 9b: spread as % of per-node power.
+	MeanSpreadPct float64
+	SpreadPctCDF  []stats.Point
+	// Fig. 9c: % of runtime with spread above the job's average spread.
+	MeanPctTimeAboveAvg float64
+	PctTimeAboveCDF     []stats.Point
+	// Fig. 10: node-energy spread (max-min)/min, and the fraction of jobs
+	// above 15%.
+	EnergySpreadPDF       []stats.Point
+	FracJobsEnergyAbove15 float64
+	EnergySpreadSizeCorr  stats.CorrResult // paper: correlated with node count
+}
+
+// AnalyzeSpatial computes Figs. 8-10 over multi-node instrumented jobs.
+func AnalyzeSpatial(ds *trace.Dataset) (SpatialAnalysis, error) {
+	var spreadW, spreadPct, pctAbove, eSpread, sizes []float64
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		if !j.Instrumented || j.Nodes < 2 {
+			continue
+		}
+		spreadW = append(spreadW, j.AvgSpatialSpreadW)
+		spreadPct = append(spreadPct, j.SpatialSpreadPct)
+		pctAbove = append(pctAbove, j.PctTimeSpreadAboveAvg)
+		eSpread = append(eSpread, j.NodeEnergySpreadPct)
+		sizes = append(sizes, float64(j.Nodes))
+	}
+	if len(spreadW) == 0 {
+		return SpatialAnalysis{}, fmt.Errorf("core: no multi-node instrumented jobs")
+	}
+	a := SpatialAnalysis{System: ds.Meta.System, Jobs: len(spreadW)}
+
+	wCDF := stats.NewECDF(spreadW)
+	a.MeanSpreadW = wCDF.Mean()
+	a.MaxSpreadW = wCDF.Quantile(1)
+	a.SpreadWCDF = wCDF.Points(CDFPoints)
+
+	pCDF := stats.NewECDF(spreadPct)
+	a.MeanSpreadPct = pCDF.Mean()
+	a.SpreadPctCDF = pCDF.Points(CDFPoints)
+
+	tCDF := stats.NewECDF(pctAbove)
+	a.MeanPctTimeAboveAvg = tCDF.Mean()
+	a.PctTimeAboveCDF = tCDF.Points(CDFPoints)
+
+	eCDF := stats.NewECDF(eSpread)
+	a.FracJobsEnergyAbove15 = 100 * eCDF.FractionAtOrAbove(15)
+	hi := eCDF.Quantile(0.995)
+	if hi <= 0 {
+		hi = 1
+	}
+	a.EnergySpreadPDF = stats.NewHistogram(eSpread, 0, hi, 40).PDFPoints()
+	a.EnergySpreadSizeCorr = stats.SpearmanTest(sizes, eSpread)
+	return a, nil
+}
+
+// VerifySpatialFromSeries recomputes a job's spatial and temporal summary
+// metrics from its retained raw node series and reports the values — used
+// by tests and by downstream users to validate that the released job
+// table matches the released raw samples.
+func VerifySpatialFromSeries(series []trace.NodeSeries) (avgSpreadW, perNodePowerW, energySpreadPct float64, err error) {
+	if len(series) == 0 {
+		return 0, 0, 0, fmt.Errorf("core: empty series")
+	}
+	t := len(series[0].Power)
+	for _, ns := range series {
+		if len(ns.Power) != t {
+			return 0, 0, 0, fmt.Errorf("core: ragged series")
+		}
+	}
+	var totalSpread, total float64
+	energies := make([]float64, len(series))
+	for m := 0; m < t; m++ {
+		minP, maxP := series[0].Power[m], series[0].Power[m]
+		for n := range series {
+			p := series[n].Power[m]
+			total += p
+			energies[n] += p * 60
+			if p < minP {
+				minP = p
+			}
+			if p > maxP {
+				maxP = p
+			}
+		}
+		totalSpread += maxP - minP
+	}
+	avgSpreadW = totalSpread / float64(t)
+	perNodePowerW = total / float64(t*len(series))
+	minE, maxE := stats.Min(energies), stats.Max(energies)
+	if len(series) >= 2 && minE > 0 {
+		energySpreadPct = 100 * (maxE - minE) / minE
+	}
+	return avgSpreadW, perNodePowerW, energySpreadPct, nil
+}

@@ -1,0 +1,505 @@
+package gen
+
+import (
+	"hpcpower/internal/apps"
+	"hpcpower/internal/cluster"
+	"hpcpower/internal/rng"
+	"hpcpower/internal/users"
+	"testing"
+	"time"
+
+	"hpcpower/internal/stats"
+	"hpcpower/internal/trace"
+)
+
+// testScale keeps unit-test generation around a week of trace.
+const testScale = 0.05
+
+// Cached datasets: generation is the expensive step, and many tests
+// inspect the same output.
+var (
+	emmyDS   *trace.Dataset
+	meggieDS *trace.Dataset
+)
+
+func emmy(t testing.TB) *trace.Dataset {
+	t.Helper()
+	if emmyDS == nil {
+		ds, err := Generate(EmmyConfig(testScale, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		emmyDS = ds
+	}
+	return emmyDS
+}
+
+func meggie(t testing.TB) *trace.Dataset {
+	t.Helper()
+	if meggieDS == nil {
+		ds, err := Generate(MeggieConfig(testScale, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		meggieDS = ds
+	}
+	return meggieDS
+}
+
+func TestGenerateProducesValidDataset(t *testing.T) {
+	ds := emmy(t)
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("dataset invalid: %v", err)
+	}
+	if len(ds.Jobs) < 500 {
+		t.Errorf("only %d jobs generated", len(ds.Jobs))
+	}
+	if ds.Meta.System != "Emmy" || ds.Meta.TotalNodes != 560 {
+		t.Errorf("meta = %+v", ds.Meta)
+	}
+	if len(ds.System) == 0 {
+		t.Error("no system series")
+	}
+	if len(ds.Series) == 0 {
+		t.Error("no retained raw series")
+	}
+}
+
+func TestJobsStartWithinWindow(t *testing.T) {
+	ds := emmy(t)
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		if j.Start.Before(ds.Meta.Start) || !j.Start.Before(ds.Meta.End) {
+			t.Fatalf("job %d starts at %v, window [%v, %v)", j.ID, j.Start, ds.Meta.Start, ds.Meta.End)
+		}
+	}
+}
+
+func TestSystemSeriesBounds(t *testing.T) {
+	for _, ds := range []*trace.Dataset{emmy(t), meggie(t)} {
+		budget := float64(ds.Meta.TotalNodes) * ds.Meta.NodeTDPW
+		for i, s := range ds.System {
+			if s.ActiveNodes < 0 || s.ActiveNodes > ds.Meta.TotalNodes {
+				t.Fatalf("%s minute %d: active=%d", ds.Meta.System, i, s.ActiveNodes)
+			}
+			if s.TotalPowerW < 0 || s.TotalPowerW > budget {
+				t.Fatalf("%s minute %d: power=%v of budget %v", ds.Meta.System, i, s.TotalPowerW, budget)
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := EmmyConfig(0.01, 7)
+	cfg.Workers = 1
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs:\n%+v\n%+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+	for i := range a.System {
+		if a.System[i] != b.System[i] {
+			t.Fatalf("system sample %d differs", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, err := Generate(EmmyConfig(0.01, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(EmmyConfig(0.01, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) == len(b.Jobs) {
+		same := 0
+		for i := range a.Jobs {
+			if a.Jobs[i].AvgPowerPerNode == b.Jobs[i].AvgPowerPerNode {
+				same++
+			}
+		}
+		if same > len(a.Jobs)/10 {
+			t.Errorf("seeds 1 and 2 share %d/%d identical job powers", same, len(a.Jobs))
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := EmmyConfig(0.01, 1)
+	bad.OfferedLoad = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero load accepted")
+	}
+	bad = EmmyConfig(0.01, 1)
+	bad.Duration = time.Minute
+	if _, err := Generate(bad); err == nil {
+		t.Error("tiny duration accepted")
+	}
+	bad = EmmyConfig(0.01, 1)
+	bad.Spec.Nodes = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// --- Calibration checks against the paper's aggregates ---
+
+func perNodePowers(ds *trace.Dataset) []float64 {
+	out := make([]float64, len(ds.Jobs))
+	for i := range ds.Jobs {
+		out[i] = float64(ds.Jobs[i].AvgPowerPerNode)
+	}
+	return out
+}
+
+func TestCalibrationEmmyPowerDistribution(t *testing.T) {
+	// Paper Fig. 3a: Emmy mean per-node power ≈149 W (71% of 210 W TDP),
+	// std ≈39 W (26% of mean).
+	s := stats.Summarize(perNodePowers(emmy(t)))
+	if s.Mean < 135 || s.Mean > 163 {
+		t.Errorf("Emmy mean per-node power = %.1f W, want ~149 W", s.Mean)
+	}
+	if s.CVPercent < 16 || s.CVPercent > 36 {
+		t.Errorf("Emmy power CV = %.1f%%, want ~26%%", s.CVPercent)
+	}
+}
+
+func TestCalibrationMeggiePowerDistribution(t *testing.T) {
+	// Paper Fig. 3b: Meggie mean ≈114 W (59% of 195 W TDP), std ≈20 W
+	// (18% of mean).
+	s := stats.Summarize(perNodePowers(meggie(t)))
+	if s.Mean < 100 || s.Mean > 128 {
+		t.Errorf("Meggie mean per-node power = %.1f W, want ~114 W", s.Mean)
+	}
+	if s.CVPercent < 10 || s.CVPercent > 28 {
+		t.Errorf("Meggie power CV = %.1f%%, want ~18%%", s.CVPercent)
+	}
+}
+
+func TestCalibrationUtilization(t *testing.T) {
+	// Paper Fig. 1: Emmy ≈87%, Meggie ≈80% system utilization.
+	util := func(ds *trace.Dataset) float64 {
+		var sum float64
+		for _, s := range ds.System {
+			sum += float64(s.ActiveNodes) / float64(ds.Meta.TotalNodes)
+		}
+		return sum / float64(len(ds.System))
+	}
+	ue, um := util(emmy(t)), util(meggie(t))
+	if ue < 0.75 || ue > 0.97 {
+		t.Errorf("Emmy utilization = %.2f, want ~0.87", ue)
+	}
+	if um < 0.68 || um > 0.92 {
+		t.Errorf("Meggie utilization = %.2f, want ~0.80", um)
+	}
+}
+
+func TestCalibrationPowerUtilization(t *testing.T) {
+	// Paper Fig. 2: Emmy ≈69% (never >85%), Meggie ≈51% (never >70%).
+	powerUtil := func(ds *trace.Dataset) (mean, max float64) {
+		budget := float64(ds.Meta.TotalNodes) * ds.Meta.NodeTDPW
+		var sum float64
+		for _, s := range ds.System {
+			u := s.TotalPowerW / budget
+			sum += u
+			if u > max {
+				max = u
+			}
+		}
+		return sum / float64(len(ds.System)), max
+	}
+	em, ex := powerUtil(emmy(t))
+	if em < 0.60 || em > 0.78 {
+		t.Errorf("Emmy power utilization = %.2f, want ~0.69", em)
+	}
+	if ex > 0.88 {
+		t.Errorf("Emmy peak power utilization = %.2f, paper: never above 0.85", ex)
+	}
+	mm, mx := powerUtil(meggie(t))
+	if mm < 0.44 || mm > 0.62 {
+		t.Errorf("Meggie power utilization = %.2f, want ~0.51", mm)
+	}
+	if mx > 0.75 {
+		t.Errorf("Meggie peak power utilization = %.2f, paper: never above 0.70", mx)
+	}
+}
+
+func TestCalibrationTable2Correlations(t *testing.T) {
+	// Paper Table 2 (Spearman): Emmy length 0.42 / size 0.21; Meggie
+	// length 0.12 / size 0.42. We assert sign, rough magnitude, and the
+	// ordering flip between the systems.
+	corrs := func(ds *trace.Dataset) (length, size stats.CorrResult) {
+		var lens, sizes, pows []float64
+		for i := range ds.Jobs {
+			j := &ds.Jobs[i]
+			lens = append(lens, j.Runtime().Hours())
+			sizes = append(sizes, float64(j.Nodes))
+			pows = append(pows, float64(j.AvgPowerPerNode))
+		}
+		return stats.SpearmanTest(lens, pows), stats.SpearmanTest(sizes, pows)
+	}
+	el, es := corrs(emmy(t))
+	ml, ms := corrs(meggie(t))
+	if el.R < 0.20 || el.R > 0.60 {
+		t.Errorf("Emmy length-power Spearman = %.2f, want ~0.42", el.R)
+	}
+	if es.R < 0.05 || es.R > 0.40 {
+		t.Errorf("Emmy size-power Spearman = %.2f, want ~0.21", es.R)
+	}
+	if ml.R < -0.05 || ml.R > 0.30 {
+		t.Errorf("Meggie length-power Spearman = %.2f, want ~0.12", ml.R)
+	}
+	if ms.R < 0.20 || ms.R > 0.60 {
+		t.Errorf("Meggie size-power Spearman = %.2f, want ~0.42", ms.R)
+	}
+	if !(el.R > es.R) {
+		t.Errorf("Emmy: length (%.2f) should beat size (%.2f)", el.R, es.R)
+	}
+	if !(ms.R > ml.R) {
+		t.Errorf("Meggie: size (%.2f) should beat length (%.2f)", ms.R, ml.R)
+	}
+	for _, c := range []stats.CorrResult{el, es, ms} {
+		if c.P > 0.01 {
+			t.Errorf("correlation p-value = %v, want ≈0", c.P)
+		}
+	}
+}
+
+func TestCalibrationUserConcentration(t *testing.T) {
+	// Paper Fig. 11: top 20% of users hold ≈85% of node-hours and energy.
+	for _, ds := range []*trace.Dataset{emmy(t), meggie(t)} {
+		nodeHours := map[string]float64{}
+		energy := map[string]float64{}
+		for i := range ds.Jobs {
+			j := &ds.Jobs[i]
+			nodeHours[j.User] += float64(j.NodeHours())
+			energy[j.User] += float64(j.Energy)
+		}
+		nh := make([]float64, 0, len(nodeHours))
+		for _, v := range nodeHours {
+			nh = append(nh, v)
+		}
+		en := make([]float64, 0, len(energy))
+		for _, v := range energy {
+			en = append(en, v)
+		}
+		shareNH := stats.NewConcentration(nh).TopShare(0.2)
+		shareEN := stats.NewConcentration(en).TopShare(0.2)
+		if shareNH < 0.70 {
+			t.Errorf("%s: top-20%% node-hours share = %.2f, want ~0.85", ds.Meta.System, shareNH)
+		}
+		if shareEN < 0.70 {
+			t.Errorf("%s: top-20%% energy share = %.2f, want ~0.85", ds.Meta.System, shareEN)
+		}
+		k := len(nodeHours) / 5
+		if overlap := stats.TopOverlap(nodeHours, energy, k); overlap < 0.75 {
+			t.Errorf("%s: node-hours/energy top-set overlap = %.2f, want ~0.9", ds.Meta.System, overlap)
+		}
+	}
+}
+
+func TestCalibrationTemporalSpatial(t *testing.T) {
+	// Paper §4: mean temporal CV ≈11%; mean peak overshoot ≈10-12%; mean
+	// spatial spread ≈20 W and ≈15% of per-node power.
+	ds := emmy(t)
+	var cv, over, spreadW, spreadPct []float64
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		cv = append(cv, j.TemporalCVPct)
+		over = append(over, j.PeakOvershootPct)
+		if j.Nodes >= 2 {
+			spreadW = append(spreadW, j.AvgSpatialSpreadW)
+			spreadPct = append(spreadPct, j.SpatialSpreadPct)
+		}
+	}
+	if m := stats.Mean(cv); m < 3 || m > 16 {
+		t.Errorf("mean temporal CV = %.1f%%, want ~11%%", m)
+	}
+	if m := stats.Mean(over); m < 6 || m > 18 {
+		t.Errorf("mean peak overshoot = %.1f%%, want ~10-12%%", m)
+	}
+	if m := stats.Mean(spreadW); m < 10 || m > 32 {
+		t.Errorf("mean spatial spread = %.1f W, want ~20 W", m)
+	}
+	if m := stats.Mean(spreadPct); m < 8 || m > 24 {
+		t.Errorf("mean spatial spread %% = %.1f%%, want ~15%%", m)
+	}
+}
+
+func TestCalibrationRankingFlip(t *testing.T) {
+	// Paper Fig. 4: MD-0 and FASTEST swap their per-node power ranking
+	// between the systems.
+	appMean := func(ds *trace.Dataset, app string) float64 {
+		var sum float64
+		n := 0
+		for i := range ds.Jobs {
+			if ds.Jobs[i].App == app {
+				sum += float64(ds.Jobs[i].AvgPowerPerNode)
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	e, m := emmy(t), meggie(t)
+	if !(appMean(e, "MD-0") > appMean(e, "FASTEST")) {
+		t.Errorf("Emmy: MD-0 (%f) should out-draw FASTEST (%f)", appMean(e, "MD-0"), appMean(e, "FASTEST"))
+	}
+	if !(appMean(m, "FASTEST") > appMean(m, "MD-0")) {
+		t.Errorf("Meggie: FASTEST (%f) should out-draw MD-0 (%f)", appMean(m, "FASTEST"), appMean(m, "MD-0"))
+	}
+}
+
+func BenchmarkGenerateEmmyDay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := EmmyConfig(1.0/151, uint64(i))
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestJobInvariants(t *testing.T) {
+	ds := emmy(t)
+	validApps := map[string]bool{}
+	for _, a := range apps.Catalog() {
+		validApps[a.Name] = true
+	}
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		if !validApps[j.App] {
+			t.Fatalf("job %d runs unknown app %q", j.ID, j.App)
+		}
+		if len(j.User) != 4 || j.User[0] != 'u' {
+			t.Fatalf("job %d has malformed user %q", j.ID, j.User)
+		}
+		if j.Runtime() > j.ReqWall {
+			t.Fatalf("job %d ran %v beyond its %v walltime", j.ID, j.Runtime(), j.ReqWall)
+		}
+		if !j.Instrumented {
+			t.Fatalf("job %d not instrumented", j.ID)
+		}
+		// Energy identity: Energy = AvgPowerPerNode × nodes × minutes × 60.
+		want := float64(j.AvgPowerPerNode) * float64(j.Nodes) * float64(j.RuntimeMinutes()) * 60
+		if got := float64(j.Energy); got != 0 && (got < 0.999*want || got > 1.001*want) {
+			t.Fatalf("job %d energy %v inconsistent with power (%v)", j.ID, got, want)
+		}
+		// Power within the synthesizer's clamp.
+		if p := float64(j.AvgPowerPerNode); p < 0.1*ds.Meta.NodeTDPW || p > ds.Meta.NodeTDPW {
+			t.Fatalf("job %d power %v outside [0.1, 1]×TDP", j.ID, p)
+		}
+	}
+}
+
+func TestRetainedSeriesShape(t *testing.T) {
+	ds := emmy(t)
+	for id, series := range ds.Series {
+		j := ds.Job(id)
+		if j == nil {
+			t.Fatalf("series for unknown job %d", id)
+		}
+		if len(series) != j.Nodes {
+			t.Fatalf("job %d: %d series for %d nodes", id, len(series), j.Nodes)
+		}
+		for n, ns := range series {
+			if ns.Node != n {
+				t.Fatalf("job %d: series %d labeled node %d", id, n, ns.Node)
+			}
+			if len(ns.Power) != j.RuntimeMinutes() {
+				t.Fatalf("job %d: %d samples for %d minutes", id, len(ns.Power), j.RuntimeMinutes())
+			}
+			if !ns.Start.Equal(j.Start) {
+				t.Fatalf("job %d: series starts at %v, job at %v", id, ns.Start, j.Start)
+			}
+		}
+	}
+}
+
+func TestLoadShapeBounds(t *testing.T) {
+	// The arrival modulation must stay within sane bounds and dip on
+	// weekends and at night.
+	weekdayNoon := time.Date(2018, 10, 3, 12, 0, 0, 0, time.UTC) // Wednesday
+	weekdayNight := time.Date(2018, 10, 3, 3, 0, 0, 0, time.UTC) // Wednesday 3am
+	weekendNoon := time.Date(2018, 10, 6, 12, 0, 0, 0, time.UTC) // Saturday
+	if !(loadShape(weekdayNoon) > loadShape(weekdayNight)) {
+		t.Error("night load not below day load")
+	}
+	if !(loadShape(weekdayNoon) > loadShape(weekendNoon)) {
+		t.Error("weekend load not below weekday load")
+	}
+	for _, ts := range []time.Time{weekdayNoon, weekdayNight, weekendNoon} {
+		if f := loadShape(ts); f < 0.3 || f > 1.5 {
+			t.Errorf("loadShape(%v) = %v", ts, f)
+		}
+	}
+}
+
+func TestDrawRuntimeBounds(t *testing.T) {
+	src := rng.New(9)
+	pop, err := users.NewPopulation(cluster.Emmy(), users.DefaultParams(cluster.Emmy()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		u := pop.SampleUser(src)
+		c := u.SampleConfig(src, 0.5)
+		run := drawRuntime(c, src)
+		if run < time.Minute {
+			t.Fatalf("runtime %v below a minute", run)
+		}
+		if run > c.ReqWall {
+			t.Fatalf("runtime %v exceeds request %v", run, c.ReqWall)
+		}
+	}
+}
+
+func TestTargetMeanPowerClamped(t *testing.T) {
+	spec := cluster.Emmy()
+	cal := calibrationFor(spec.Arch)
+	app, err := apps.ByName("GROMACS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extreme tilt and size must stay within the clamp.
+	c := users.Config{App: "GROMACS", Nodes: 128, ReqWall: 72 * time.Hour, PowerTilt: 1.4, WallUseMean: 0.98}
+	w := targetMeanPower(spec, cal, app, c)
+	if w > 0.97*float64(spec.NodeTDP) || w <= 0 {
+		t.Errorf("power %v outside clamp", w)
+	}
+	c = users.Config{App: "GROMACS", Nodes: 1, ReqWall: time.Hour, PowerTilt: 0.6, WallUseMean: 0.1}
+	w = targetMeanPower(spec, cal, app, c)
+	if w < 0.15*float64(spec.NodeTDP) {
+		t.Errorf("power %v below clamp", w)
+	}
+}
+
+func TestWinterBreakDip(t *testing.T) {
+	christmas := time.Date(2018, 12, 25, 12, 0, 0, 0, time.UTC) // Tuesday
+	newYear := time.Date(2019, 1, 1, 12, 0, 0, 0, time.UTC)     // Tuesday
+	ordinary := time.Date(2018, 11, 6, 12, 0, 0, 0, time.UTC)   // Tuesday
+	if !isWinterBreak(christmas) || !isWinterBreak(newYear) {
+		t.Error("holiday window not detected")
+	}
+	if isWinterBreak(ordinary) {
+		t.Error("ordinary day flagged as holiday")
+	}
+	if !(loadShape(christmas) < 0.75*loadShape(ordinary)) {
+		t.Errorf("no holiday dip: %v vs %v", loadShape(christmas), loadShape(ordinary))
+	}
+}

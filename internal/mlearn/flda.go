@@ -1,0 +1,212 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FLDAParams tunes Fisher's linear discriminant analysis.
+type FLDAParams struct {
+	// Classes is the number of power classes (quantile bins of the
+	// training target).
+	Classes int
+	// Ridge is added to the pooled covariance diagonal for stability.
+	Ridge float64
+}
+
+// DefaultFLDAParams returns the parameters used for Fig. 14.
+func DefaultFLDAParams() FLDAParams { return FLDAParams{Classes: 10, Ridge: 1e-4} }
+
+// FLDA classifies jobs into power classes with linear discriminant
+// functions over three numeric features — target-encoded user (the user's
+// mean training power), ln nodes, ln walltime — assuming a shared
+// covariance, and predicts the training-mean power of the chosen class.
+//
+// A linear decision boundary cannot carve up a workload as diverse as
+// Emmy's, which is why the paper finds FLDA the weakest model there.
+type FLDA struct {
+	params FLDAParams
+	// classMean[c] is the mean power of class c; discriminants hold the
+	// per-class linear functions g_c(x) = w·x + b.
+	classMean []float64
+	weights   [][3]float64
+	biases    []float64
+	userMean  map[string]float64
+	global    float64
+	fitted    bool
+}
+
+// NewFLDA returns an untrained model.
+func NewFLDA(p FLDAParams) *FLDA {
+	if p.Classes < 2 {
+		p.Classes = 10
+	}
+	if p.Ridge <= 0 {
+		p.Ridge = 1e-4
+	}
+	return &FLDA{params: p}
+}
+
+// Name implements Model.
+func (f *FLDA) Name() string { return "FLDA" }
+
+// Fit implements Model.
+func (f *FLDA) Fit(samples []Sample) error {
+	if len(samples) < f.params.Classes {
+		return fmt.Errorf("mlearn: FLDA needs at least %d samples, got %d", f.params.Classes, len(samples))
+	}
+	// Target-encode users.
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	var total float64
+	for _, s := range samples {
+		sums[s.User] += s.PowerW
+		counts[s.User]++
+		total += s.PowerW
+	}
+	f.global = total / float64(len(samples))
+	f.userMean = make(map[string]float64, len(sums))
+	for u, sum := range sums {
+		f.userMean[u] = sum / float64(counts[u])
+	}
+
+	// Quantile class boundaries over the target.
+	targets := make([]float64, len(samples))
+	for i, s := range samples {
+		targets[i] = s.PowerW
+	}
+	sort.Float64s(targets)
+	nc := f.params.Classes
+	bounds := make([]float64, nc-1)
+	for c := 1; c < nc; c++ {
+		bounds[c-1] = targets[c*len(targets)/nc]
+	}
+	classOf := func(y float64) int {
+		c := sort.SearchFloat64s(bounds, y)
+		return c
+	}
+
+	// Per-class means and pooled within-class covariance over features.
+	xs := make([][3]float64, len(samples))
+	cls := make([]int, len(samples))
+	classN := make([]int, nc)
+	classSum := make([][3]float64, nc)
+	classPow := make([]float64, nc)
+	for i, s := range samples {
+		xs[i] = f.encode(s.Features)
+		cls[i] = classOf(s.PowerW)
+		classN[cls[i]]++
+		for d := 0; d < 3; d++ {
+			classSum[cls[i]][d] += xs[i][d]
+		}
+		classPow[cls[i]] += s.PowerW
+	}
+	classMeanX := make([][3]float64, nc)
+	f.classMean = make([]float64, nc)
+	for c := 0; c < nc; c++ {
+		if classN[c] == 0 {
+			f.classMean[c] = f.global
+			continue
+		}
+		for d := 0; d < 3; d++ {
+			classMeanX[c][d] = classSum[c][d] / float64(classN[c])
+		}
+		f.classMean[c] = classPow[c] / float64(classN[c])
+	}
+	var cov [3][3]float64
+	for i := range xs {
+		m := classMeanX[cls[i]]
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				cov[a][b] += (xs[i][a] - m[a]) * (xs[i][b] - m[b])
+			}
+		}
+	}
+	denom := float64(len(xs) - nc)
+	if denom < 1 {
+		denom = 1
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			cov[a][b] /= denom
+		}
+		cov[a][a] += f.params.Ridge
+	}
+	inv, ok := invert3(cov)
+	if !ok {
+		return fmt.Errorf("mlearn: singular pooled covariance")
+	}
+
+	// Linear discriminants: g_c(x) = μ_c^T Σ⁻¹ x − ½ μ_c^T Σ⁻¹ μ_c + ln π_c.
+	f.weights = make([][3]float64, nc)
+	f.biases = make([]float64, nc)
+	for c := 0; c < nc; c++ {
+		if classN[c] == 0 {
+			f.biases[c] = math.Inf(-1)
+			continue
+		}
+		w := mulVec3(inv, classMeanX[c])
+		f.weights[c] = w
+		f.biases[c] = -0.5*dot3(w, classMeanX[c]) + math.Log(float64(classN[c])/float64(len(xs)))
+	}
+	f.fitted = true
+	return nil
+}
+
+// encode maps features to the numeric vector (user mean power scaled,
+// ln nodes, ln wall). Unseen users fall back to the global mean.
+func (f *FLDA) encode(feat Features) [3]float64 {
+	um, ok := f.userMean[feat.User]
+	if !ok {
+		um = f.global
+	}
+	// Scale the power encoding into the same ballpark as the log features
+	// so the shared covariance is well-conditioned.
+	return [3]float64{um / 100.0, lnNodes(feat), lnWall(feat)}
+}
+
+// Predict implements Model.
+func (f *FLDA) Predict(feat Features) float64 {
+	if !f.fitted {
+		return f.global
+	}
+	x := f.encode(feat)
+	best := 0
+	bestG := math.Inf(-1)
+	for c := range f.weights {
+		g := dot3(f.weights[c], x) + f.biases[c]
+		if g > bestG {
+			bestG = g
+			best = c
+		}
+	}
+	return f.classMean[best]
+}
+
+// invert3 inverts a 3×3 matrix; ok is false when it is singular.
+func invert3(m [3][3]float64) ([3][3]float64, bool) {
+	a, b, c := m[0][0], m[0][1], m[0][2]
+	d, e, f := m[1][0], m[1][1], m[1][2]
+	g, h, i := m[2][0], m[2][1], m[2][2]
+	det := a*(e*i-f*h) - b*(d*i-f*g) + c*(d*h-e*g)
+	if math.Abs(det) < 1e-18 {
+		return [3][3]float64{}, false
+	}
+	inv := [3][3]float64{
+		{(e*i - f*h) / det, (c*h - b*i) / det, (b*f - c*e) / det},
+		{(f*g - d*i) / det, (a*i - c*g) / det, (c*d - a*f) / det},
+		{(d*h - e*g) / det, (b*g - a*h) / det, (a*e - b*d) / det},
+	}
+	return inv, true
+}
+
+func mulVec3(m [3][3]float64, v [3]float64) [3]float64 {
+	var out [3]float64
+	for r := 0; r < 3; r++ {
+		out[r] = m[r][0]*v[0] + m[r][1]*v[1] + m[r][2]*v[2]
+	}
+	return out
+}
+
+func dot3(a, b [3]float64) float64 { return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] }

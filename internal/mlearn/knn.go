@@ -1,0 +1,107 @@
+package mlearn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KNNParams tunes the k-nearest-neighbour regressor.
+type KNNParams struct {
+	K int
+	// UserMismatchPenalty is added to the distance when the query and the
+	// candidate belong to different users. Same-user history dominates,
+	// matching how the paper describes KNN clustering jobs with "small
+	// distance" in (nodes, walltime) space.
+	UserMismatchPenalty float64
+}
+
+// DefaultKNNParams returns the parameters used for Fig. 14.
+func DefaultKNNParams() KNNParams {
+	return KNNParams{K: 5, UserMismatchPenalty: 4.0}
+}
+
+// KNN predicts a job's power as the mean of its k nearest training jobs
+// in (user, ln nodes, ln walltime) space. Its characteristic failure mode
+// — blending configurations that are close in size/walltime but far in
+// power — is exactly the weakness the paper reports.
+type KNN struct {
+	params KNNParams
+	// samples grouped by user for fast same-user lookup.
+	byUser map[string][]knnRow
+	all    []knnRow
+	global float64
+}
+
+type knnRow struct {
+	x [2]float64
+	y float64
+}
+
+// NewKNN returns an untrained model.
+func NewKNN(p KNNParams) *KNN {
+	if p.K <= 0 {
+		p.K = 5
+	}
+	return &KNN{params: p}
+}
+
+// Name implements Model.
+func (k *KNN) Name() string { return "KNN" }
+
+// Fit implements Model.
+func (k *KNN) Fit(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("mlearn: KNN fit on empty training set")
+	}
+	k.byUser = map[string][]knnRow{}
+	k.all = make([]knnRow, 0, len(samples))
+	var sum float64
+	for _, s := range samples {
+		row := knnRow{x: [2]float64{lnNodes(s.Features), lnWall(s.Features)}, y: s.PowerW}
+		k.byUser[s.User] = append(k.byUser[s.User], row)
+		k.all = append(k.all, row)
+		sum += s.PowerW
+	}
+	k.global = sum / float64(len(samples))
+	return nil
+}
+
+// Predict implements Model.
+func (k *KNN) Predict(f Features) float64 {
+	if len(k.all) == 0 {
+		return k.global
+	}
+	q := [2]float64{lnNodes(f), lnWall(f)}
+	type scored struct {
+		d float64
+		y float64
+	}
+	var cands []scored
+	// Same-user candidates at zero penalty.
+	for _, r := range k.byUser[f.User] {
+		cands = append(cands, scored{d: dist2(q, r.x), y: r.y})
+	}
+	// If the user's history cannot fill k neighbours, widen to the whole
+	// training set with the mismatch penalty.
+	if len(cands) < k.params.K {
+		for _, r := range k.all {
+			cands = append(cands, scored{d: dist2(q, r.x) + k.params.UserMismatchPenalty, y: r.y})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	n := k.params.K
+	if n > len(cands) {
+		n = len(cands)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += cands[i].y
+	}
+	return sum / float64(n)
+}
+
+func dist2(a, b [2]float64) float64 {
+	d0 := a[0] - b[0]
+	d1 := a[1] - b[1]
+	return d0*d0 + d1*d1
+}

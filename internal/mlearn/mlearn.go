@@ -1,0 +1,236 @@
+// Package mlearn implements the paper's pre-execution power prediction
+// (§5, RQ9, Figs. 14-15) from scratch: three classic, light-weight models
+// that predict a job's per-node power from the only three features
+// available before execution — user id, node count, and requested
+// walltime.
+//
+//   - BDT: a binary (CART) regression tree, the paper's best model
+//     (90% of predictions under 10% absolute error);
+//   - KNN: k-nearest-neighbour regression;
+//   - FLDA: Fisher's linear discriminant analysis over power classes,
+//     the weakest on diverse workloads (Emmy).
+//
+// The evaluation harness reproduces the paper's methodology: ten random
+// 80/20 train/validation splits, constrained so every validation user is
+// present in training, reporting pooled absolute-percentage-error CDFs
+// (Fig. 14) and per-user mean error CDFs (Fig. 15).
+package mlearn
+
+import (
+	"fmt"
+	"math"
+
+	"hpcpower/internal/rng"
+	"hpcpower/internal/stats"
+	"hpcpower/internal/trace"
+)
+
+// Features are the pre-execution job attributes the models may use.
+type Features struct {
+	User      string
+	Nodes     int
+	WallHours float64
+}
+
+// Sample couples features with the observed target.
+type Sample struct {
+	Features
+	PowerW float64
+}
+
+// Model is a trainable per-node power predictor.
+type Model interface {
+	Name() string
+	// Fit trains on the samples. Implementations must not retain the
+	// slice header (they may copy).
+	Fit(samples []Sample) error
+	// Predict returns the predicted per-node power in watts.
+	Predict(f Features) float64
+}
+
+// SamplesFromDataset extracts (features, power) pairs from a trace.
+func SamplesFromDataset(ds *trace.Dataset) []Sample {
+	out := make([]Sample, 0, len(ds.Jobs))
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		out = append(out, Sample{
+			Features: Features{
+				User:      j.User,
+				Nodes:     j.Nodes,
+				WallHours: j.ReqWall.Hours(),
+			},
+			PowerW: float64(j.AvgPowerPerNode),
+		})
+	}
+	return out
+}
+
+// lnNodes and lnWall are the numeric encodings used by all models: node
+// counts and walltimes are log-scaled (they span orders of magnitude).
+func lnNodes(f Features) float64 { return math.Log(math.Max(float64(f.Nodes), 1)) }
+func lnWall(f Features) float64  { return math.Log(math.Max(f.WallHours, 0.1)) }
+
+// Split holds one train/validation partition.
+type Split struct {
+	Train, Valid []Sample
+}
+
+// StratifiedSplit draws a random 80/20 split with the paper's constraint:
+// every user appearing in validation also appears in training. Users with
+// a single job always land in training.
+func StratifiedSplit(samples []Sample, validFrac float64, src *rng.Source) Split {
+	if validFrac <= 0 || validFrac >= 1 {
+		validFrac = 0.2
+	}
+	byUser := map[string][]int{}
+	for i := range samples {
+		byUser[samples[i].User] = append(byUser[samples[i].User], i)
+	}
+	var sp Split
+	// Iterate deterministically: order indices, not map order.
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	src.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+
+	// First pass: pick one anchor (training) job per user — the first of
+	// the user's jobs in shuffled order.
+	anchor := map[string]int{}
+	for _, idx := range order {
+		u := samples[idx].User
+		if _, ok := anchor[u]; !ok {
+			anchor[u] = idx
+		}
+	}
+	for _, idx := range order {
+		s := samples[idx]
+		if anchor[s.User] == idx {
+			sp.Train = append(sp.Train, s)
+			continue
+		}
+		if src.Float64() < validFrac {
+			sp.Valid = append(sp.Valid, s)
+		} else {
+			sp.Train = append(sp.Train, s)
+		}
+	}
+	return sp
+}
+
+// Prediction is one validation outcome.
+type Prediction struct {
+	Features
+	Actual, Predicted float64
+}
+
+// AbsErrPct returns |predicted − actual| / actual × 100, the paper's
+// absolute prediction error.
+func (p Prediction) AbsErrPct() float64 {
+	if p.Actual == 0 {
+		return math.NaN()
+	}
+	return 100 * math.Abs(p.Predicted-p.Actual) / p.Actual
+}
+
+// EvalResult aggregates a model's validation performance across splits.
+type EvalResult struct {
+	Model string
+	Reps  int
+	N     int // pooled validation predictions
+	// Fig. 14: pooled absolute-error CDF and its headline points.
+	ErrCDF        []stats.Point
+	MeanErrPct    float64
+	MedianErrPct  float64
+	FracBelow5Pct float64 // % of predictions with <5% error
+	FracBelow10   float64 // % of predictions with <10% error
+	// Fig. 15: per-user mean absolute error CDF.
+	PerUserCDF      []stats.Point
+	FracUsersBelow5 float64 // % of users with mean error <5%
+}
+
+// EvalConfig parameterizes Evaluate.
+type EvalConfig struct {
+	Reps      int     // number of random splits (paper: 10)
+	ValidFrac float64 // validation fraction (paper: 0.2)
+	Seed      uint64
+	CDFPoints int
+}
+
+// DefaultEvalConfig returns the paper's evaluation methodology.
+func DefaultEvalConfig(seed uint64) EvalConfig {
+	return EvalConfig{Reps: 10, ValidFrac: 0.2, Seed: seed, CDFPoints: 200}
+}
+
+// Evaluate trains and validates the model built by factory on cfg.Reps
+// random stratified splits and pools the results.
+func Evaluate(samples []Sample, factory func() Model, cfg EvalConfig) (EvalResult, error) {
+	if len(samples) < 20 {
+		return EvalResult{}, fmt.Errorf("mlearn: only %d samples", len(samples))
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 10
+	}
+	if cfg.CDFPoints <= 0 {
+		cfg.CDFPoints = 200
+	}
+	root := rng.New(cfg.Seed)
+	var name string
+	var errs []float64
+	perUserErrs := map[string][]float64{}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		sp := StratifiedSplit(samples, cfg.ValidFrac, root.Split(uint64(rep)))
+		m := factory()
+		name = m.Name()
+		if err := m.Fit(sp.Train); err != nil {
+			return EvalResult{}, err
+		}
+		for _, v := range sp.Valid {
+			p := Prediction{Features: v.Features, Actual: v.PowerW, Predicted: m.Predict(v.Features)}
+			e := p.AbsErrPct()
+			if math.IsNaN(e) {
+				continue
+			}
+			errs = append(errs, e)
+			perUserErrs[v.User] = append(perUserErrs[v.User], e)
+		}
+	}
+	if len(errs) == 0 {
+		return EvalResult{}, fmt.Errorf("mlearn: no valid predictions")
+	}
+	cdf := stats.NewECDF(errs)
+	res := EvalResult{
+		Model: name, Reps: cfg.Reps, N: len(errs),
+		ErrCDF:        cdf.Points(cfg.CDFPoints),
+		MeanErrPct:    cdf.Mean(),
+		MedianErrPct:  cdf.Quantile(0.5),
+		FracBelow5Pct: 100 * cdf.FractionBelow(5),
+		FracBelow10:   100 * cdf.FractionBelow(10),
+	}
+	var userMeans []float64
+	for _, es := range perUserErrs {
+		userMeans = append(userMeans, stats.Mean(es))
+	}
+	uCDF := stats.NewECDF(userMeans)
+	res.PerUserCDF = uCDF.Points(cfg.CDFPoints)
+	res.FracUsersBelow5 = 100 * uCDF.FractionBelow(5)
+	return res, nil
+}
+
+// EvaluateAll runs the paper's three models (Fig. 14) on one dataset.
+func EvaluateAll(samples []Sample, cfg EvalConfig) ([]EvalResult, error) {
+	factories := []func() Model{
+		func() Model { return NewBDT(DefaultTreeParams()) },
+		func() Model { return NewKNN(DefaultKNNParams()) },
+		func() Model { return NewFLDA(DefaultFLDAParams()) },
+	}
+	var out []EvalResult
+	for _, f := range factories {
+		r, err := Evaluate(samples, f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,346 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TreeParams tunes the CART regression tree.
+type TreeParams struct {
+	MaxDepth int // maximum tree depth
+	MinLeaf  int // minimum samples per leaf
+}
+
+// DefaultTreeParams returns the parameters used for Fig. 14.
+func DefaultTreeParams() TreeParams { return TreeParams{MaxDepth: 22, MinLeaf: 1} }
+
+// BDT is the paper's Binary Decision Tree: a CART regression tree over
+// (user, nodes, walltime). The user feature is categorical and split by
+// target-mean ordering (the optimal categorical split for squared error);
+// nodes and walltime are numeric log-scaled features. In practice the
+// tree splits on user first — the explicit hierarchy the paper describes —
+// because user explains the most variance.
+type BDT struct {
+	params TreeParams
+	root   *treeNode
+	// fallback is the global training mean, used for unseen users when no
+	// better route exists.
+	fallback float64
+}
+
+// treeNode is one node of the fitted tree.
+type treeNode struct {
+	// leaf
+	isLeaf bool
+	value  float64
+	std    float64 // std of training targets in the leaf
+	n      int     // training samples in the leaf
+	// split: exactly one of userSet (categorical) or numeric split is set.
+	userSet   map[string]bool // non-nil: left if userSet[user]
+	featIdx   int             // 0 = lnNodes, 1 = lnWall (when userSet == nil)
+	threshold float64         // left if x <= threshold
+	left      *treeNode
+	right     *treeNode
+}
+
+// NewBDT returns an untrained tree.
+func NewBDT(p TreeParams) *BDT {
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 18
+	}
+	if p.MinLeaf <= 0 {
+		p.MinLeaf = 2
+	}
+	return &BDT{params: p}
+}
+
+// Name implements Model.
+func (t *BDT) Name() string { return "BDT" }
+
+// Fit implements Model.
+func (t *BDT) Fit(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("mlearn: BDT fit on empty training set")
+	}
+	rows := make([]treeRow, len(samples))
+	var sum float64
+	for i, s := range samples {
+		rows[i] = treeRow{
+			user: s.User,
+			x:    [2]float64{lnNodes(s.Features), lnWall(s.Features)},
+			y:    s.PowerW,
+		}
+		sum += s.PowerW
+	}
+	t.fallback = sum / float64(len(samples))
+	t.root = t.build(rows, 0)
+	return nil
+}
+
+type treeRow struct {
+	user string
+	x    [2]float64
+	y    float64
+}
+
+// build grows the tree recursively.
+func (t *BDT) build(rows []treeRow, depth int) *treeNode {
+	mean, sse := meanSSE(rows)
+	leaf := func() *treeNode {
+		return &treeNode{
+			isLeaf: true, value: mean,
+			std: math.Sqrt(sse / float64(len(rows))), n: len(rows),
+		}
+	}
+	if depth >= t.params.MaxDepth || len(rows) < 2*t.params.MinLeaf || sse <= 1e-12 {
+		return leaf()
+	}
+	best := t.bestSplit(rows, sse)
+	if best == nil {
+		return leaf()
+	}
+	var left, right []treeRow
+	for _, r := range rows {
+		if best.goesLeft(r) {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < t.params.MinLeaf || len(right) < t.params.MinLeaf {
+		return leaf()
+	}
+	node := &treeNode{
+		userSet:   best.userSet,
+		featIdx:   best.featIdx,
+		threshold: best.threshold,
+	}
+	node.left = t.build(left, depth+1)
+	node.right = t.build(right, depth+1)
+	return node
+}
+
+type candidateSplit struct {
+	userSet   map[string]bool
+	featIdx   int
+	threshold float64
+	gain      float64
+}
+
+func (c *candidateSplit) goesLeft(r treeRow) bool {
+	if c.userSet != nil {
+		return c.userSet[r.user]
+	}
+	return r.x[c.featIdx] <= c.threshold
+}
+
+// bestSplit searches the categorical user split and both numeric splits,
+// returning the one with the highest SSE reduction (nil if none helps).
+func (t *BDT) bestSplit(rows []treeRow, parentSSE float64) *candidateSplit {
+	var best *candidateSplit
+	consider := func(c *candidateSplit) {
+		if c != nil && (best == nil || c.gain > best.gain) {
+			best = c
+		}
+	}
+	consider(t.bestUserSplit(rows, parentSSE))
+	consider(t.bestNumericSplit(rows, 0, parentSSE))
+	consider(t.bestNumericSplit(rows, 1, parentSSE))
+	if best != nil && best.gain <= 1e-12 {
+		return nil
+	}
+	return best
+}
+
+// bestUserSplit orders users by mean target and scans prefix partitions —
+// the optimal subset split for L2 loss (Fisher 1958 / CART).
+func (t *BDT) bestUserSplit(rows []treeRow, parentSSE float64) *candidateSplit {
+	type ustat struct {
+		user string
+		sum  float64
+		n    int
+	}
+	agg := map[string]*ustat{}
+	for _, r := range rows {
+		u := agg[r.user]
+		if u == nil {
+			u = &ustat{user: r.user}
+			agg[r.user] = u
+		}
+		u.sum += r.y
+		u.n++
+	}
+	if len(agg) < 2 {
+		return nil
+	}
+	users := make([]*ustat, 0, len(agg))
+	for _, u := range agg {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool {
+		ma := users[a].sum / float64(users[a].n)
+		mb := users[b].sum / float64(users[b].n)
+		if ma != mb {
+			return ma < mb
+		}
+		return users[a].user < users[b].user
+	})
+	// Prefix scan over the ordered users.
+	var totalSum float64
+	totalN := 0
+	for _, u := range users {
+		totalSum += u.sum
+		totalN += u.n
+	}
+	// SSE(left)+SSE(right) is minimized by maximizing
+	// sumL^2/nL + sumR^2/nR (standard variance-reduction identity).
+	var bestScore float64 = math.Inf(-1)
+	bestK := -1
+	var sumL float64
+	nL := 0
+	for k := 0; k < len(users)-1; k++ {
+		sumL += users[k].sum
+		nL += users[k].n
+		nR := totalN - nL
+		if nL < t.params.MinLeaf || nR < t.params.MinLeaf {
+			continue
+		}
+		sumR := totalSum - sumL
+		score := sumL*sumL/float64(nL) + sumR*sumR/float64(nR)
+		if score > bestScore {
+			bestScore = score
+			bestK = k
+		}
+	}
+	if bestK < 0 {
+		return nil
+	}
+	set := make(map[string]bool, bestK+1)
+	for k := 0; k <= bestK; k++ {
+		set[users[k].user] = true
+	}
+	// gain = parentSSE − (SSE_L + SSE_R) = bestScore − totalSum²/totalN.
+	gain := bestScore - totalSum*totalSum/float64(totalN)
+	return &candidateSplit{userSet: set, gain: gain}
+}
+
+// bestNumericSplit scans thresholds between consecutive distinct values.
+func (t *BDT) bestNumericSplit(rows []treeRow, feat int, parentSSE float64) *candidateSplit {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return rows[idx[a]].x[feat] < rows[idx[b]].x[feat] })
+	var totalSum float64
+	for _, r := range rows {
+		totalSum += r.y
+	}
+	totalN := len(rows)
+	var bestScore float64 = math.Inf(-1)
+	bestThreshold := 0.0
+	var sumL float64
+	for i := 0; i < totalN-1; i++ {
+		r := rows[idx[i]]
+		sumL += r.y
+		next := rows[idx[i+1]]
+		if r.x[feat] == next.x[feat] {
+			continue // not a valid threshold between equal values
+		}
+		nL := i + 1
+		nR := totalN - nL
+		if nL < t.params.MinLeaf || nR < t.params.MinLeaf {
+			continue
+		}
+		sumR := totalSum - sumL
+		score := sumL*sumL/float64(nL) + sumR*sumR/float64(nR)
+		if score > bestScore {
+			bestScore = score
+			bestThreshold = (r.x[feat] + next.x[feat]) / 2
+		}
+	}
+	if math.IsInf(bestScore, -1) {
+		return nil
+	}
+	gain := bestScore - totalSum*totalSum/float64(totalN)
+	return &candidateSplit{featIdx: feat, threshold: bestThreshold, gain: gain}
+}
+
+func meanSSE(rows []treeRow) (mean, sse float64) {
+	var sum float64
+	for _, r := range rows {
+		sum += r.y
+	}
+	mean = sum / float64(len(rows))
+	for _, r := range rows {
+		d := r.y - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+// Predict implements Model.
+func (t *BDT) Predict(f Features) float64 {
+	if t.root == nil {
+		return t.fallback
+	}
+	row := treeRow{user: f.User, x: [2]float64{lnNodes(f), lnWall(f)}}
+	node := t.root
+	for !node.isLeaf {
+		c := candidateSplit{userSet: node.userSet, featIdx: node.featIdx, threshold: node.threshold}
+		if c.goesLeft(row) {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.value
+}
+
+// PredictWithStd returns the prediction together with the std of the
+// training targets in the matched leaf and the leaf's sample count — an
+// uncertainty estimate operators can use to size per-job cap headroom
+// (a cap at prediction + k·std bounds throttling risk).
+func (t *BDT) PredictWithStd(f Features) (pred, std float64, n int) {
+	if t.root == nil {
+		return t.fallback, 0, 0
+	}
+	row := treeRow{user: f.User, x: [2]float64{lnNodes(f), lnWall(f)}}
+	node := t.root
+	for !node.isLeaf {
+		c := candidateSplit{userSet: node.userSet, featIdx: node.featIdx, threshold: node.threshold}
+		if c.goesLeft(row) {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.value, node.std, node.n
+}
+
+// Depth returns the fitted tree's depth (diagnostics, ablations).
+func (t *BDT) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.isLeaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaves (diagnostics, ablations).
+func (t *BDT) Leaves() int { return leavesOf(t.root) }
+
+func leavesOf(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf {
+		return 1
+	}
+	return leavesOf(n.left) + leavesOf(n.right)
+}

@@ -1,0 +1,123 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"hpcpower/internal/trace"
+	"hpcpower/internal/units"
+)
+
+// seriesDataset builds a dataset with one instrumented 2-node job whose
+// raw series is retained: node 0 flat at 100 W, node 1 at 100 W with one
+// 140 W phase.
+func seriesDataset() *trace.Dataset {
+	t0 := time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC)
+	flat := make([]float64, 60)
+	phased := make([]float64, 60)
+	var total float64
+	for i := range flat {
+		flat[i] = 100
+		phased[i] = 100
+		if i >= 30 && i < 40 {
+			phased[i] = 140
+		}
+		total += flat[i] + phased[i]
+	}
+	mean := total / 120
+	j := trace.Job{
+		ID: 1, User: "u", App: "A", Nodes: 2,
+		Submit: t0, Start: t0, End: t0.Add(time.Hour), ReqWall: 2 * time.Hour,
+		AvgPowerPerNode: units.Watts(mean),
+		Energy:          units.Joules(total * 60),
+		Instrumented:    true,
+	}
+	return &trace.Dataset{
+		Meta: trace.Meta{System: "X", TotalNodes: 4, NodeTDPW: 200},
+		Jobs: []trace.Job{j},
+		Series: map[uint64][]trace.NodeSeries{
+			1: {
+				{JobID: 1, Node: 0, Start: t0, Power: flat},
+				{JobID: 1, Node: 1, Start: t0, Power: phased},
+			},
+		},
+	}
+}
+
+func TestCompareProvisioningOrdering(t *testing.T) {
+	cmp, err := CompareProvisioning(seriesDataset(), 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Jobs != 1 || len(cmp.Results) != 3 {
+		t.Fatalf("cmp = %+v", cmp)
+	}
+	byS := map[ProvisionStrategy]ProvisionResult{}
+	for _, r := range cmp.Results {
+		byS[r.Strategy] = r
+	}
+	// TDP wastes the most, dynamic (1-minute oracle) the least.
+	if !(byS[ProvisionTDP].OverProvisionPct > byS[ProvisionStatic].OverProvisionPct) {
+		t.Errorf("TDP (%v) should over-provision more than static (%v)",
+			byS[ProvisionTDP].OverProvisionPct, byS[ProvisionStatic].OverProvisionPct)
+	}
+	if !(byS[ProvisionStatic].OverProvisionPct > byS[ProvisionDynamic].OverProvisionPct) {
+		t.Errorf("static (%v) should over-provision more than the dynamic oracle (%v)",
+			byS[ProvisionStatic].OverProvisionPct, byS[ProvisionDynamic].OverProvisionPct)
+	}
+	// With 1-minute reallocation the oracle reserves exactly headroom.
+	if d := byS[ProvisionDynamic].OverProvisionPct; d < 14 || d > 16 {
+		t.Errorf("dynamic over-provision = %v, want ~15", d)
+	}
+	// TDP: 200 W per node vs ~103.3 W mean -> ~93%.
+	if d := byS[ProvisionTDP].OverProvisionPct; d < 85 || d > 100 {
+		t.Errorf("TDP over-provision = %v", d)
+	}
+	// TDP never violates; dynamic with 1-min realloc never violates.
+	if byS[ProvisionTDP].ViolationPct != 0 {
+		t.Errorf("TDP violations = %v", byS[ProvisionTDP].ViolationPct)
+	}
+	if byS[ProvisionDynamic].ViolationPct != 0 {
+		t.Errorf("1-min dynamic violations = %v", byS[ProvisionDynamic].ViolationPct)
+	}
+	// Static cap = 1.15 × 103.33 ≈ 118.8 W: the ten 140 W minutes of
+	// node 1 violate -> 10/120 samples.
+	got := byS[ProvisionStatic].ViolationPct
+	if got < 8 || got > 9 {
+		t.Errorf("static violations = %v, want ~8.3", got)
+	}
+}
+
+func TestCompareProvisioningGapSmallOnRealTrace(t *testing.T) {
+	// The paper's §7 argument: on real (mostly flat) jobs the static
+	// policy gives up little against a perfect phase-following oracle,
+	// far less than what BOTH save over TDP provisioning.
+	cmp, err := CompareProvisioning(emmy(t), 0.15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byS := map[ProvisionStrategy]ProvisionResult{}
+	for _, r := range cmp.Results {
+		byS[r.Strategy] = r
+	}
+	tdpSaving := byS[ProvisionTDP].OverProvisionPct - byS[ProvisionStatic].OverProvisionPct
+	if cmp.StaticVsDynamicGapPct > tdpSaving/2 {
+		t.Errorf("static-vs-dynamic gap (%v%%) not small relative to the TDP saving (%v%%)",
+			cmp.StaticVsDynamicGapPct, tdpSaving)
+	}
+	if byS[ProvisionStatic].ViolationPct > 25 {
+		t.Errorf("static violations = %v%%, want modest", byS[ProvisionStatic].ViolationPct)
+	}
+}
+
+func TestCompareProvisioningErrors(t *testing.T) {
+	if _, err := CompareProvisioning(seriesDataset(), -0.1, 10); err == nil {
+		t.Error("negative headroom accepted")
+	}
+	if _, err := CompareProvisioning(seriesDataset(), 0.15, 0); err == nil {
+		t.Error("zero realloc period accepted")
+	}
+	if _, err := CompareProvisioning(&trace.Dataset{Meta: trace.Meta{NodeTDPW: 100}}, 0.15, 10); err == nil {
+		t.Error("dataset without series accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package policy implements the power-management what-ifs the paper's
+// discussion (§6) derives from its findings:
+//
+//   - system-level power capping: cap the whole machine below worst-case
+//     (TDP) provisioning and harvest the stranded power;
+//   - hardware over-provisioning: add nodes under the original power
+//     budget, enabled by jobs drawing far below TDP;
+//   - static per-job power caps: cap each job slightly above its
+//     predicted per-node power — safe because temporal variance is low.
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"hpcpower/internal/stats"
+	"hpcpower/internal/trace"
+)
+
+// CapResult evaluates one system-level power cap (Fig. 2 / §6 bullet 1).
+type CapResult struct {
+	// CapFrac is the cap as a fraction of the TDP-provisioned budget.
+	CapFrac float64
+	CapW    float64
+	// ThrottledPct is the percentage of minutes where observed demand
+	// exceeded the cap (minutes that would have required throttling).
+	ThrottledPct float64
+	// ClippedEnergyPct is the share of total consumed energy that sat
+	// above the cap (the energy that throttling would have cut or moved).
+	ClippedEnergyPct float64
+	// HarvestedW is the provisioned power freed by the cap: budget − cap.
+	HarvestedW float64
+}
+
+// EvaluateCap evaluates a system power cap at capFrac of the provisioned
+// budget against the observed minute series.
+func EvaluateCap(ds *trace.Dataset, capFrac float64) (CapResult, error) {
+	if len(ds.System) == 0 {
+		return CapResult{}, fmt.Errorf("policy: dataset has no system series")
+	}
+	if capFrac <= 0 || capFrac > 1 {
+		return CapResult{}, fmt.Errorf("policy: cap fraction %v out of (0,1]", capFrac)
+	}
+	budget := float64(ds.Meta.TotalNodes) * ds.Meta.NodeTDPW
+	capW := capFrac * budget
+	throttled := 0
+	var total, clipped float64
+	for _, s := range ds.System {
+		total += s.TotalPowerW
+		if s.TotalPowerW > capW {
+			throttled++
+			clipped += s.TotalPowerW - capW
+		}
+	}
+	r := CapResult{
+		CapFrac:    capFrac,
+		CapW:       capW,
+		HarvestedW: budget - capW,
+	}
+	r.ThrottledPct = 100 * float64(throttled) / float64(len(ds.System))
+	if total > 0 {
+		r.ClippedEnergyPct = 100 * clipped / total
+	}
+	return r, nil
+}
+
+// CapSweep evaluates caps from loFrac to hiFrac in steps (inclusive) —
+// the exploration the paper suggests operators run on the open traces.
+func CapSweep(ds *trace.Dataset, loFrac, hiFrac float64, steps int) ([]CapResult, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("policy: need at least 2 sweep steps")
+	}
+	if loFrac <= 0 || hiFrac > 1 || loFrac >= hiFrac {
+		return nil, fmt.Errorf("policy: invalid sweep range [%v, %v]", loFrac, hiFrac)
+	}
+	out := make([]CapResult, 0, steps)
+	for i := 0; i < steps; i++ {
+		frac := loFrac + (hiFrac-loFrac)*float64(i)/float64(steps-1)
+		r, err := EvaluateCap(ds, frac)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SafeCap returns the smallest cap fraction whose throttled-minute share
+// stays at or below maxThrottledPct.
+func SafeCap(ds *trace.Dataset, maxThrottledPct float64) (CapResult, error) {
+	sweep, err := CapSweep(ds, 0.30, 1.0, 141)
+	if err != nil {
+		return CapResult{}, err
+	}
+	for _, r := range sweep {
+		if r.ThrottledPct <= maxThrottledPct {
+			return r, nil
+		}
+	}
+	return sweep[len(sweep)-1], nil
+}
+
+// Overprovision estimates how many nodes the machine could host under its
+// ORIGINAL power budget if nodes were budgeted at the observed per-node
+// demand percentile instead of TDP (§6: "over-provision the system with
+// more nodes to improve throughput without increasing the electricity
+// bill").
+type Overprovision struct {
+	// BudgetW is the original TDP-provisioned budget.
+	BudgetW float64
+	// PerNodeBudgetW is the per-node allowance used instead of TDP: the
+	// given percentile of observed per-node job power plus headroom for
+	// the idle baseline.
+	PerNodeBudgetW float64
+	// SupportableNodes is BudgetW / PerNodeBudgetW.
+	SupportableNodes int
+	// ExtraNodes is the gain over the installed node count.
+	ExtraNodes int
+	// ThroughputGainPct is the relative node-count gain.
+	ThroughputGainPct float64
+}
+
+// EvaluateOverprovision sizes the machine with per-node power budgeted at
+// the pctile percentile (e.g. 0.95) of observed per-node job power.
+func EvaluateOverprovision(ds *trace.Dataset, pctile float64) (Overprovision, error) {
+	if len(ds.Jobs) == 0 {
+		return Overprovision{}, fmt.Errorf("policy: dataset has no jobs")
+	}
+	if pctile <= 0 || pctile > 1 {
+		return Overprovision{}, fmt.Errorf("policy: percentile %v out of (0,1]", pctile)
+	}
+	powers := make([]float64, len(ds.Jobs))
+	for i := range ds.Jobs {
+		powers[i] = float64(ds.Jobs[i].AvgPowerPerNode)
+	}
+	perNode := stats.Quantile(powers, pctile)
+	if perNode <= 0 {
+		return Overprovision{}, fmt.Errorf("policy: degenerate power distribution")
+	}
+	budget := float64(ds.Meta.TotalNodes) * ds.Meta.NodeTDPW
+	nodes := int(budget / perNode)
+	o := Overprovision{
+		BudgetW:          budget,
+		PerNodeBudgetW:   perNode,
+		SupportableNodes: nodes,
+		ExtraNodes:       nodes - ds.Meta.TotalNodes,
+	}
+	o.ThroughputGainPct = 100 * float64(o.ExtraNodes) / float64(ds.Meta.TotalNodes)
+	return o, nil
+}
+
+// JobCapResult evaluates the paper's static per-job power cap: cap each
+// job at (1+headroom) × its (predicted or observed-mean) per-node power.
+// Because temporal variance is low, a modest headroom keeps nearly all
+// jobs unthrottled while freeing most of the per-node stranded power.
+type JobCapResult struct {
+	HeadroomPct float64
+	// JobsThrottledPct is the share of jobs whose observed PEAK power
+	// (mean × (1+overshoot)) exceeds their cap.
+	JobsThrottledPct float64
+	// MeanHarvestedWPerNode is the average TDP − cap across jobs.
+	MeanHarvestedWPerNode float64
+	// HarvestedBudgetPct is the harvested share of the per-node TDP,
+	// averaged over jobs.
+	HarvestedBudgetPct float64
+}
+
+// EvaluateJobCaps applies a static cap of (1+headroomPct/100) × mean
+// per-node power to every instrumented job. predict maps a job to its
+// predicted per-node power; pass nil to use the observed mean (oracle).
+func EvaluateJobCaps(ds *trace.Dataset, headroomPct float64, predict func(*trace.Job) float64) (JobCapResult, error) {
+	if headroomPct < 0 {
+		return JobCapResult{}, fmt.Errorf("policy: negative headroom")
+	}
+	res := JobCapResult{HeadroomPct: headroomPct}
+	n, throttled := 0, 0
+	var harvested, harvestedPct float64
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		if !j.Instrumented {
+			continue
+		}
+		base := float64(j.AvgPowerPerNode)
+		if predict != nil {
+			base = predict(j)
+		}
+		if base <= 0 {
+			continue
+		}
+		capW := base * (1 + headroomPct/100)
+		if capW > ds.Meta.NodeTDPW {
+			capW = ds.Meta.NodeTDPW
+		}
+		peak := float64(j.AvgPowerPerNode) * (1 + j.PeakOvershootPct/100)
+		if peak > capW {
+			throttled++
+		}
+		harvested += math.Max(0, ds.Meta.NodeTDPW-capW)
+		harvestedPct += 100 * math.Max(0, ds.Meta.NodeTDPW-capW) / ds.Meta.NodeTDPW
+		n++
+	}
+	if n == 0 {
+		return JobCapResult{}, fmt.Errorf("policy: no instrumented jobs")
+	}
+	res.JobsThrottledPct = 100 * float64(throttled) / float64(n)
+	res.MeanHarvestedWPerNode = harvested / float64(n)
+	res.HarvestedBudgetPct = harvestedPct / float64(n)
+	return res, nil
+}

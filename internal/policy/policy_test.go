@@ -1,0 +1,213 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hpcpower/internal/gen"
+	"hpcpower/internal/trace"
+)
+
+var emmyDS *trace.Dataset
+
+func emmy(t testing.TB) *trace.Dataset {
+	t.Helper()
+	if emmyDS == nil {
+		ds, err := gen.Generate(gen.EmmyConfig(0.03, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		emmyDS = ds
+	}
+	return emmyDS
+}
+
+// fixed builds a dataset with a hand-constructed system series.
+func fixed() *trace.Dataset {
+	t0 := time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC)
+	ds := &trace.Dataset{
+		Meta: trace.Meta{System: "X", TotalNodes: 10, NodeTDPW: 100, Start: t0},
+	}
+	// Budget 1000 W. Demand: 500, 600, 700, 800.
+	for i, p := range []float64{500, 600, 700, 800} {
+		ds.System = append(ds.System, trace.SystemSample{
+			Time: t0.Add(time.Duration(i) * time.Minute), ActiveNodes: 8, TotalPowerW: p,
+		})
+	}
+	return ds
+}
+
+func TestEvaluateCapExact(t *testing.T) {
+	ds := fixed()
+	r, err := EvaluateCap(ds, 0.65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CapW != 650 {
+		t.Errorf("CapW = %v", r.CapW)
+	}
+	// Demand exceeds 650 in 2 of 4 minutes.
+	if r.ThrottledPct != 50 {
+		t.Errorf("ThrottledPct = %v", r.ThrottledPct)
+	}
+	// Clipped energy: (700-650)+(800-650) = 200 of 2600 total.
+	want := 100 * 200.0 / 2600.0
+	if math.Abs(r.ClippedEnergyPct-want) > 1e-9 {
+		t.Errorf("ClippedEnergyPct = %v, want %v", r.ClippedEnergyPct, want)
+	}
+	if r.HarvestedW != 350 {
+		t.Errorf("HarvestedW = %v", r.HarvestedW)
+	}
+	// Cap at 100%: nothing throttled, nothing harvested.
+	r, err = EvaluateCap(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ThrottledPct != 0 || r.HarvestedW != 0 {
+		t.Errorf("full cap = %+v", r)
+	}
+}
+
+func TestEvaluateCapErrors(t *testing.T) {
+	if _, err := EvaluateCap(&trace.Dataset{Meta: trace.Meta{TotalNodes: 1, NodeTDPW: 1}}, 0.5); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := EvaluateCap(fixed(), 0); err == nil {
+		t.Error("zero cap accepted")
+	}
+	if _, err := EvaluateCap(fixed(), 1.5); err == nil {
+		t.Error("cap >1 accepted")
+	}
+}
+
+func TestCapSweepMonotone(t *testing.T) {
+	sweep, err := CapSweep(emmy(t), 0.4, 1.0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 13 {
+		t.Fatalf("sweep length = %d", len(sweep))
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].CapFrac <= sweep[i-1].CapFrac {
+			t.Fatalf("cap fractions not increasing")
+		}
+		// Higher cap → no more throttling, no more harvest.
+		if sweep[i].ThrottledPct > sweep[i-1].ThrottledPct+1e-9 {
+			t.Errorf("throttling not monotone at %d", i)
+		}
+		if sweep[i].HarvestedW > sweep[i-1].HarvestedW {
+			t.Errorf("harvest not monotone at %d", i)
+		}
+	}
+}
+
+func TestCapSweepErrors(t *testing.T) {
+	if _, err := CapSweep(fixed(), 0.4, 1.0, 1); err == nil {
+		t.Error("single step accepted")
+	}
+	if _, err := CapSweep(fixed(), 0.9, 0.5, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestSafeCapFindsStrandedPower(t *testing.T) {
+	// The paper's headline: >30% of provisioned power is stranded. A cap
+	// with zero throttled minutes should therefore harvest a significant
+	// share of the budget.
+	r, err := SafeCap(emmy(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ThrottledPct > 0 {
+		t.Errorf("safe cap throttles %v%% of minutes", r.ThrottledPct)
+	}
+	budget := float64(emmy(t).Meta.TotalNodes) * emmy(t).Meta.NodeTDPW
+	harvestFrac := r.HarvestedW / budget
+	if harvestFrac < 0.10 {
+		t.Errorf("harvested only %.0f%% of budget", 100*harvestFrac)
+	}
+}
+
+func TestEvaluateOverprovision(t *testing.T) {
+	o, err := EvaluateOverprovision(emmy(t), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-node power sits well below TDP, so extra nodes fit.
+	if o.ExtraNodes <= 0 {
+		t.Errorf("ExtraNodes = %d, want positive", o.ExtraNodes)
+	}
+	if o.PerNodeBudgetW >= emmy(t).Meta.NodeTDPW {
+		t.Errorf("per-node budget %v >= TDP", o.PerNodeBudgetW)
+	}
+	if o.ThroughputGainPct <= 0 || o.ThroughputGainPct > 120 {
+		t.Errorf("gain = %v%%", o.ThroughputGainPct)
+	}
+	// Higher percentile → more conservative → fewer nodes.
+	o99, err := EvaluateOverprovision(emmy(t), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o99.SupportableNodes > o.SupportableNodes {
+		t.Errorf("p99 sizing (%d) exceeds p95 sizing (%d)", o99.SupportableNodes, o.SupportableNodes)
+	}
+}
+
+func TestEvaluateOverprovisionErrors(t *testing.T) {
+	if _, err := EvaluateOverprovision(&trace.Dataset{}, 0.95); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := EvaluateOverprovision(emmy(t), 0); err == nil {
+		t.Error("zero percentile accepted")
+	}
+}
+
+func TestEvaluateJobCaps(t *testing.T) {
+	// Paper §5: cap at 15% above the (predicted) per-node power; low
+	// temporal variance means few jobs would ever hit the cap.
+	r, err := EvaluateJobCaps(emmy(t), 15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JobsThrottledPct > 40 {
+		t.Errorf("throttled jobs = %v%%, want a small minority", r.JobsThrottledPct)
+	}
+	if r.HarvestedBudgetPct < 10 {
+		t.Errorf("harvested = %v%% of per-node budget", r.HarvestedBudgetPct)
+	}
+	// Tighter headroom throttles more, harvests more.
+	r0, err := EvaluateJobCaps(emmy(t), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.JobsThrottledPct < r.JobsThrottledPct {
+		t.Errorf("zero headroom throttles less than 15%%?")
+	}
+	if r0.HarvestedBudgetPct < r.HarvestedBudgetPct {
+		t.Errorf("zero headroom harvests less")
+	}
+}
+
+func TestEvaluateJobCapsWithPredictor(t *testing.T) {
+	// A deliberately bad predictor (half the true power) must throttle
+	// nearly everything.
+	bad := func(j *trace.Job) float64 { return float64(j.AvgPowerPerNode) / 2 }
+	r, err := EvaluateJobCaps(emmy(t), 15, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JobsThrottledPct < 90 {
+		t.Errorf("bad predictor throttled only %v%%", r.JobsThrottledPct)
+	}
+}
+
+func TestEvaluateJobCapsErrors(t *testing.T) {
+	if _, err := EvaluateJobCaps(emmy(t), -1, nil); err == nil {
+		t.Error("negative headroom accepted")
+	}
+	if _, err := EvaluateJobCaps(&trace.Dataset{Meta: trace.Meta{NodeTDPW: 100}}, 15, nil); err == nil {
+		t.Error("no instrumented jobs accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"hpcpower/internal/trace"
+)
+
+// Pricing analysis for the paper's §6 bullet on power-aware pricing:
+// because longer/larger jobs draw MORE per-node power, node-hours are not
+// a fair proxy for energy cost — users running power-hungry jobs are
+// subsidized under node-hour pricing. This file quantifies who wins and
+// loses when a facility switches from node-hour-proportional billing to
+// energy-proportional billing of the same total cost.
+
+// UserBill is one user's share under both pricing schemes.
+type UserBill struct {
+	User string
+	// NodeHourSharePct is the user's bill share under node-hour pricing.
+	NodeHourSharePct float64
+	// EnergySharePct is the user's bill share under energy pricing.
+	EnergySharePct float64
+	// DeltaPct = EnergyShare − NodeHourShare: positive means the user
+	// pays more under fair (energy) pricing — they were subsidized.
+	DeltaPct float64
+	// MeanPowerW is the user's node-hour-weighted mean power: the driver
+	// of the delta.
+	MeanPowerW float64
+}
+
+// PricingAnalysis contrasts node-hour and energy billing.
+type PricingAnalysis struct {
+	System string
+	Users  []UserBill // sorted by DeltaPct descending (biggest losers first)
+	// MaxAbsDeltaPct is the largest bill-share shift any user sees.
+	MaxAbsDeltaPct float64
+	// MisallocationPct is half the L1 distance between the two share
+	// vectors: the fraction of the total bill charged to the wrong users
+	// under node-hour pricing.
+	MisallocationPct float64
+}
+
+// AnalyzePricing computes the §6 pricing comparison.
+func AnalyzePricing(ds *trace.Dataset) (PricingAnalysis, error) {
+	if len(ds.Jobs) == 0 {
+		return PricingAnalysis{}, fmt.Errorf("policy: dataset has no jobs")
+	}
+	nodeHours := map[string]float64{}
+	energy := map[string]float64{}
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		nodeHours[j.User] += float64(j.NodeHours())
+		energy[j.User] += float64(j.Energy)
+	}
+	var totalNH, totalE float64
+	for _, v := range nodeHours {
+		totalNH += v
+	}
+	for _, v := range energy {
+		totalE += v
+	}
+	if totalNH <= 0 || totalE <= 0 {
+		return PricingAnalysis{}, fmt.Errorf("policy: degenerate totals")
+	}
+	a := PricingAnalysis{System: ds.Meta.System}
+	for user, nh := range nodeHours {
+		nhShare := 100 * nh / totalNH
+		eShare := 100 * energy[user] / totalE
+		// node-hour-weighted mean power: J / (node-hours × 3600 s).
+		meanW := energy[user] / (nh * 3600)
+		a.Users = append(a.Users, UserBill{
+			User:             user,
+			NodeHourSharePct: nhShare,
+			EnergySharePct:   eShare,
+			DeltaPct:         eShare - nhShare,
+			MeanPowerW:       meanW,
+		})
+	}
+	sort.Slice(a.Users, func(i, j int) bool {
+		if a.Users[i].DeltaPct != a.Users[j].DeltaPct {
+			return a.Users[i].DeltaPct > a.Users[j].DeltaPct
+		}
+		return a.Users[i].User < a.Users[j].User
+	})
+	for _, u := range a.Users {
+		d := u.DeltaPct
+		if d < 0 {
+			d = -d
+		}
+		if d > a.MaxAbsDeltaPct {
+			a.MaxAbsDeltaPct = d
+		}
+		a.MisallocationPct += d / 2
+	}
+	return a, nil
+}
+
+// HighPowerUsersPayMore reports whether users with above-median mean
+// power see non-negative deltas more often than below-median users — the
+// sanity direction of the paper's pricing argument.
+func (a *PricingAnalysis) HighPowerUsersPayMore() bool {
+	if len(a.Users) < 4 {
+		return true
+	}
+	powers := make([]float64, len(a.Users))
+	for i, u := range a.Users {
+		powers[i] = u.MeanPowerW
+	}
+	sorted := append([]float64(nil), powers...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	hiPos, hiTot, loPos, loTot := 0, 0, 0, 0
+	for _, u := range a.Users {
+		if u.MeanPowerW >= median {
+			hiTot++
+			if u.DeltaPct >= 0 {
+				hiPos++
+			}
+		} else {
+			loTot++
+			if u.DeltaPct >= 0 {
+				loPos++
+			}
+		}
+	}
+	if hiTot == 0 || loTot == 0 {
+		return true
+	}
+	return float64(hiPos)/float64(hiTot) > float64(loPos)/float64(loTot)
+}

@@ -1,0 +1,99 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hpcpower/internal/trace"
+	"hpcpower/internal/units"
+)
+
+// pricingDataset: two users, same node-hours, different power.
+func pricingDataset() *trace.Dataset {
+	t0 := time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(id uint64, user string, powerW float64) trace.Job {
+		return trace.Job{
+			ID: id, User: user, App: "A", Nodes: 2,
+			Submit: t0, Start: t0, End: t0.Add(time.Hour),
+			ReqWall:         2 * time.Hour,
+			AvgPowerPerNode: units.Watts(powerW),
+			Energy:          units.Joules(powerW * 2 * 3600),
+		}
+	}
+	return &trace.Dataset{
+		Meta: trace.Meta{System: "X", TotalNodes: 8, NodeTDPW: 200},
+		Jobs: []trace.Job{
+			mk(1, "hot", 180), mk(2, "hot", 180),
+			mk(3, "cool", 90), mk(4, "cool", 90),
+		},
+	}
+}
+
+func TestAnalyzePricingExact(t *testing.T) {
+	a, err := AnalyzePricing(pricingDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Users) != 2 {
+		t.Fatalf("users = %d", len(a.Users))
+	}
+	// Node-hours are equal: 50/50. Energy: hot 2/3, cool 1/3.
+	hot := a.Users[0] // sorted by delta desc: hot first
+	cool := a.Users[1]
+	if hot.User != "hot" || cool.User != "cool" {
+		t.Fatalf("order = %s, %s", hot.User, cool.User)
+	}
+	if math.Abs(hot.NodeHourSharePct-50) > 1e-9 || math.Abs(cool.NodeHourSharePct-50) > 1e-9 {
+		t.Errorf("node-hour shares: %v / %v", hot.NodeHourSharePct, cool.NodeHourSharePct)
+	}
+	if math.Abs(hot.EnergySharePct-200.0/3) > 1e-9 {
+		t.Errorf("hot energy share = %v", hot.EnergySharePct)
+	}
+	if math.Abs(hot.DeltaPct-(200.0/3-50)) > 1e-9 {
+		t.Errorf("hot delta = %v", hot.DeltaPct)
+	}
+	if math.Abs(hot.MeanPowerW-180) > 1e-9 || math.Abs(cool.MeanPowerW-90) > 1e-9 {
+		t.Errorf("mean powers: %v / %v", hot.MeanPowerW, cool.MeanPowerW)
+	}
+	// Misallocation: |Δ_hot| = |Δ_cool| = 16.67; half L1 = 16.67.
+	if math.Abs(a.MisallocationPct-(200.0/3-50)) > 1e-9 {
+		t.Errorf("misallocation = %v", a.MisallocationPct)
+	}
+	if math.Abs(a.MaxAbsDeltaPct-(200.0/3-50)) > 1e-9 {
+		t.Errorf("max delta = %v", a.MaxAbsDeltaPct)
+	}
+}
+
+func TestAnalyzePricingOnGenerated(t *testing.T) {
+	a, err := AnalyzePricing(emmy(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Users) < 20 {
+		t.Fatalf("users = %d", len(a.Users))
+	}
+	// Shares sum to 100 under both schemes.
+	var nh, en float64
+	for _, u := range a.Users {
+		nh += u.NodeHourSharePct
+		en += u.EnergySharePct
+	}
+	if math.Abs(nh-100) > 1e-6 || math.Abs(en-100) > 1e-6 {
+		t.Errorf("share sums: %v / %v", nh, en)
+	}
+	// The paper's direction: power-hungry users are subsidized by
+	// node-hour pricing, so energy pricing shifts cost onto them.
+	if !a.HighPowerUsersPayMore() {
+		t.Error("high-power users do not pay more under energy pricing")
+	}
+	if a.MisallocationPct <= 0 || a.MisallocationPct > 50 {
+		t.Errorf("misallocation = %v%%", a.MisallocationPct)
+	}
+}
+
+func TestAnalyzePricingErrors(t *testing.T) {
+	if _, err := AnalyzePricing(&trace.Dataset{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}

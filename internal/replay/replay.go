@@ -1,0 +1,209 @@
+// Package replay re-executes a released trace's job stream on a
+// hypothetical machine, validating the paper's §6 capacity proposals by
+// simulation instead of arithmetic:
+//
+//   - add nodes under the ORIGINAL power budget (over-provisioning) and
+//     measure the real throughput/wait-time gain with a power-aware
+//     scheduler holding the cap;
+//   - or shrink the power budget on the existing machine and measure how
+//     much queueing the cap introduces.
+//
+// Per-job power estimates come from a predictor trained on the trace
+// itself (the paper's BDT), exactly the deployment loop §5 proposes.
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"hpcpower/internal/mlearn"
+	"hpcpower/internal/sched"
+	"hpcpower/internal/stats"
+	"hpcpower/internal/trace"
+	"hpcpower/internal/units"
+)
+
+// Scenario describes the hypothetical machine the trace replays on.
+type Scenario struct {
+	// Nodes is the machine size (defaults to the trace's system size).
+	Nodes int
+	// PowerCapW caps the whole system (0 = uncapped). Estimates use the
+	// trained predictor times (1+HeadroomFrac).
+	PowerCapW float64
+	// HeadroomFrac pads each job's predicted power (e.g. 0.15).
+	HeadroomFrac float64
+	// IdlePowerFrac is the idle draw per node as a fraction of TDP
+	// charged against the cap (0 to ignore).
+	IdlePowerFrac float64
+	// DisableBackfill replays with pure FCFS.
+	DisableBackfill bool
+}
+
+// Outcome summarizes a replay.
+type Outcome struct {
+	Scenario Scenario
+	Jobs     int
+	// Wait statistics of the replayed schedule.
+	Waits sched.WaitStats
+	// MeanUtilizationPct is node utilization over the original window.
+	MeanUtilizationPct float64
+	// MakespanHours is submit-of-first to end-of-last.
+	MakespanHours float64
+	// NodeHoursPerDay is delivered capacity: total node-hours divided by
+	// the makespan — the throughput measure over-provisioning targets.
+	NodeHoursPerDay float64
+	// MeanEstPowerUtilPct is the mean estimated power draw as a fraction
+	// of the cap (0 when uncapped).
+	MeanEstPowerUtilPct float64
+}
+
+// Run replays the dataset's job stream under the scenario.
+func Run(ds *trace.Dataset, sc Scenario) (Outcome, error) {
+	if len(ds.Jobs) == 0 {
+		return Outcome{}, fmt.Errorf("replay: dataset has no jobs")
+	}
+	if sc.Nodes <= 0 {
+		sc.Nodes = ds.Meta.TotalNodes
+	}
+	if sc.HeadroomFrac < 0 || sc.IdlePowerFrac < 0 {
+		return Outcome{}, fmt.Errorf("replay: negative headroom or idle fraction")
+	}
+
+	// Train the pre-execution predictor on the trace (the §5 loop).
+	var est func(*sched.Request) float64
+	if sc.PowerCapW > 0 {
+		model := mlearn.NewBDT(mlearn.DefaultTreeParams())
+		if err := model.Fit(mlearn.SamplesFromDataset(ds)); err != nil {
+			return Outcome{}, err
+		}
+		head := 1 + sc.HeadroomFrac
+		est = func(r *sched.Request) float64 {
+			perNode := model.Predict(mlearn.Features{
+				User: r.User, Nodes: r.Nodes, WallHours: r.ReqWall.Hours(),
+			})
+			if perNode <= 0 {
+				perNode = ds.Meta.NodeTDPW
+			}
+			return head * perNode * float64(r.Nodes)
+		}
+	}
+
+	reqs := make([]sched.Request, len(ds.Jobs))
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		run := j.Runtime()
+		if run < time.Minute {
+			run = time.Minute
+		}
+		reqs[i] = sched.Request{
+			ID: j.ID, User: j.User, App: j.App, Nodes: j.Nodes,
+			ReqWall: j.ReqWall, Runtime: run, Submit: j.Submit,
+		}
+	}
+	opts := sched.Options{
+		DisableBackfill: sc.DisableBackfill,
+		PowerCapW:       sc.PowerCapW,
+		EstPowerW:       est,
+		IdlePowerW:      sc.IdlePowerFrac * ds.Meta.NodeTDPW,
+	}
+	ps, err := sched.SimulateOpts(sc.Nodes, reqs, opts)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	out := Outcome{Scenario: sc, Jobs: len(ps), Waits: sched.Waits(ps)}
+	first, last := ps[0].Submit, ps[0].End
+	var nodeHours float64
+	for i := range ps {
+		if ps[i].Submit.Before(first) {
+			first = ps[i].Submit
+		}
+		if ps[i].End.After(last) {
+			last = ps[i].End
+		}
+		nodeHours += float64(ps[i].Nodes) * ps[i].End.Sub(ps[i].Start).Hours()
+	}
+	out.MakespanHours = last.Sub(first).Hours()
+	if out.MakespanHours > 0 {
+		out.NodeHoursPerDay = nodeHours / (out.MakespanHours / 24)
+	}
+	grid := units.GridOver(first, last)
+	out.MeanUtilizationPct = 100 * sched.MeanUtilization(ps, grid, sc.Nodes)
+
+	if sc.PowerCapW > 0 {
+		// Mean estimated power over the schedule, sampled per minute.
+		active := estPowerSeries(ps, est, grid)
+		out.MeanEstPowerUtilPct = 100 * stats.Mean(active) / sc.PowerCapW
+	}
+	return out, nil
+}
+
+// estPowerSeries reconstructs the estimated aggregate power per minute.
+func estPowerSeries(ps []sched.Placement, est func(*sched.Request) float64, grid units.TimeGrid) []float64 {
+	diff := make([]float64, grid.N+1)
+	for i := range ps {
+		p := &ps[i]
+		lo := int((p.Start.Sub(grid.Start) + units.SampleInterval - 1) / units.SampleInterval)
+		hi := int((p.End.Sub(grid.Start) + units.SampleInterval - 1) / units.SampleInterval)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > grid.N {
+			hi = grid.N
+		}
+		if lo >= hi {
+			continue
+		}
+		w := est(&p.Request)
+		diff[lo] += w
+		diff[hi] -= w
+	}
+	out := make([]float64, grid.N)
+	var cur float64
+	for i := 0; i < grid.N; i++ {
+		cur += diff[i]
+		out[i] = cur
+	}
+	return out
+}
+
+// OverprovisionStudy replays the trace on the original machine and on an
+// enlarged machine capped at the ORIGINAL TDP budget — the experiment
+// behind the §6 over-provisioning claim.
+type OverprovisionStudy struct {
+	Baseline Outcome // original machine, no cap
+	Enlarged Outcome // +extraNodes under the original budget
+	// ThroughputGainPct is the delivered node-hours/day gain.
+	ThroughputGainPct float64
+	// WaitChangePct is the relative mean-wait change (negative = faster).
+	WaitChangePct float64
+}
+
+// StudyOverprovision runs the two replays. extraFrac is the node-count
+// increase (e.g. 0.2 for +20%); headroom pads the per-job estimates.
+func StudyOverprovision(ds *trace.Dataset, extraFrac, headroom float64) (OverprovisionStudy, error) {
+	if extraFrac <= 0 {
+		return OverprovisionStudy{}, fmt.Errorf("replay: non-positive extra fraction")
+	}
+	base, err := Run(ds, Scenario{})
+	if err != nil {
+		return OverprovisionStudy{}, err
+	}
+	budget := float64(ds.Meta.TotalNodes) * ds.Meta.NodeTDPW
+	big, err := Run(ds, Scenario{
+		Nodes:        int(float64(ds.Meta.TotalNodes) * (1 + extraFrac)),
+		PowerCapW:    budget,
+		HeadroomFrac: headroom,
+	})
+	if err != nil {
+		return OverprovisionStudy{}, err
+	}
+	st := OverprovisionStudy{Baseline: base, Enlarged: big}
+	if base.NodeHoursPerDay > 0 {
+		st.ThroughputGainPct = 100 * (big.NodeHoursPerDay - base.NodeHoursPerDay) / base.NodeHoursPerDay
+	}
+	if base.Waits.MeanWaitMin > 0 {
+		st.WaitChangePct = 100 * (big.Waits.MeanWaitMin - base.Waits.MeanWaitMin) / base.Waits.MeanWaitMin
+	}
+	return st, nil
+}

@@ -1,0 +1,114 @@
+package replay
+
+import (
+	"testing"
+
+	"hpcpower/internal/gen"
+	"hpcpower/internal/trace"
+)
+
+var cached *trace.Dataset
+
+func data(t testing.TB) *trace.Dataset {
+	t.Helper()
+	if cached == nil {
+		ds, err := gen.Generate(gen.EmmyConfig(0.02, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached = ds
+	}
+	return cached
+}
+
+func TestRunBaseline(t *testing.T) {
+	out, err := Run(data(t), Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Jobs != len(data(t).Jobs) {
+		t.Fatalf("jobs = %d, want %d", out.Jobs, len(data(t).Jobs))
+	}
+	if out.MeanUtilizationPct <= 40 || out.MeanUtilizationPct > 100 {
+		t.Errorf("utilization = %v", out.MeanUtilizationPct)
+	}
+	if out.NodeHoursPerDay <= 0 || out.MakespanHours <= 0 {
+		t.Errorf("throughput stats: %+v", out)
+	}
+}
+
+func TestRunDefaultsToSystemSize(t *testing.T) {
+	out, err := Run(data(t), Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Scenario.Nodes != data(t).Meta.TotalNodes {
+		t.Errorf("nodes defaulted to %d", out.Scenario.Nodes)
+	}
+}
+
+func TestPowerCapAddsQueueing(t *testing.T) {
+	ds := data(t)
+	budget := float64(ds.Meta.TotalNodes) * ds.Meta.NodeTDPW
+	free, err := Run(ds, Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tight cap (45% of budget) must slow the system down.
+	capped, err := Run(ds, Scenario{PowerCapW: 0.45 * budget, HeadroomFrac: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(capped.Waits.MeanWaitMin > free.Waits.MeanWaitMin) {
+		t.Errorf("tight cap did not increase waits: %v vs %v",
+			capped.Waits.MeanWaitMin, free.Waits.MeanWaitMin)
+	}
+	if capped.MeanEstPowerUtilPct <= 0 || capped.MeanEstPowerUtilPct > 100 {
+		t.Errorf("power utilization under cap = %v", capped.MeanEstPowerUtilPct)
+	}
+	// A generous cap (full budget) must change almost nothing.
+	loose, err := Run(ds, Scenario{PowerCapW: budget, HeadroomFrac: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Waits.MeanWaitMin > free.Waits.MeanWaitMin*1.2+1 {
+		t.Errorf("full-budget cap added waits: %v vs %v",
+			loose.Waits.MeanWaitMin, free.Waits.MeanWaitMin)
+	}
+}
+
+func TestStudyOverprovision(t *testing.T) {
+	// The §6 claim validated by replay: +25% nodes under the ORIGINAL
+	// power budget must deliver more node-hours/day without hurting
+	// waits. (Jobs draw ~70% of TDP, so the budget absorbs the growth.)
+	st, err := StudyOverprovision(data(t), 0.25, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The magnitude depends on how much queueing pressure the short test
+	// window builds; the sign must be positive and waits must improve.
+	if st.ThroughputGainPct <= 0 {
+		t.Errorf("throughput gain = %v%%, want positive", st.ThroughputGainPct)
+	}
+	if st.Enlarged.Waits.MeanWaitMin > st.Baseline.Waits.MeanWaitMin {
+		t.Errorf("over-provisioned machine waits longer: %v vs %v",
+			st.Enlarged.Waits.MeanWaitMin, st.Baseline.Waits.MeanWaitMin)
+	}
+	// The enlarged machine's estimated power stays within the old budget
+	// by construction; utilization of that budget should be substantial.
+	if st.Enlarged.MeanEstPowerUtilPct <= 30 {
+		t.Errorf("enlarged est power utilization = %v%%", st.Enlarged.MeanEstPowerUtilPct)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(&trace.Dataset{}, Scenario{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Run(data(t), Scenario{HeadroomFrac: -1}); err == nil {
+		t.Error("negative headroom accepted")
+	}
+	if _, err := StudyOverprovision(data(t), 0, 0.15); err == nil {
+		t.Error("zero extra fraction accepted")
+	}
+}

@@ -1,0 +1,320 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"hpcpower/internal/cluster"
+	"hpcpower/internal/core"
+	"hpcpower/internal/mlearn"
+	"hpcpower/internal/policy"
+)
+
+// RenderSpecs prints Table 1 for the given systems.
+func RenderSpecs(w io.Writer, specs []cluster.Spec) error {
+	fmt.Fprintln(w, "== Table 1: system specifications ==")
+	headers := []string{"property"}
+	for _, s := range specs {
+		headers = append(headers, s.Name)
+	}
+	row := func(name string, f func(cluster.Spec) string) []string {
+		r := []string{name}
+		for _, s := range specs {
+			r = append(r, f(s))
+		}
+		return r
+	}
+	rows := [][]string{
+		row("number of nodes", func(s cluster.Spec) string { return fmt.Sprint(s.Nodes) }),
+		row("processors", func(s cluster.Spec) string { return s.Processors }),
+		row("architecture", func(s cluster.Spec) string { return fmt.Sprintf("%s (%d nm)", s.Arch, s.ProcessNm) }),
+		row("node TDP", func(s cluster.Spec) string { return fmt.Sprintf("%.0f W", float64(s.NodeTDP)) }),
+		row("turbo / SMT", func(s cluster.Spec) string { return fmt.Sprintf("%v / %v", s.TurboMode, s.SMT) }),
+		row("memory", func(s cluster.Spec) string { return s.MemoryType }),
+		row("interconnect", func(s cluster.Spec) string { return s.Interconnect }),
+		row("topology", func(s cluster.Spec) string { return s.Topology }),
+		row("batch system", func(s cluster.Spec) string { return s.BatchSystem }),
+		row("LINPACK perf", func(s cluster.Spec) string { return fmt.Sprintf("%.0f TFlop/s", s.LinpackTF) }),
+		row("LINPACK power", func(s cluster.Spec) string { return fmt.Sprintf("%.0f kW", s.LinpackKW) }),
+		row("cooling", func(s cluster.Spec) string { return s.Cooling }),
+	}
+	return Table(w, headers, rows)
+}
+
+// RenderReport prints every single-system analysis in paper order.
+func RenderReport(w io.Writer, r *core.Report) error {
+	fmt.Fprintf(w, "==== %s: %d jobs ====\n\n", r.System, r.Jobs)
+
+	fmt.Fprintln(w, "== Figs. 1-2: system & power utilization ==")
+	if err := Table(w,
+		[]string{"metric", "value"},
+		[][]string{
+			{"mean system utilization", F(r.SystemLevel.MeanUtilizationPct) + " %"},
+			{"mean power utilization", F(r.SystemLevel.MeanPowerUtilPct) + " %"},
+			{"peak power utilization", F(r.SystemLevel.PeakPowerUtilPct) + " %"},
+			{"stranded power", F(r.SystemLevel.StrandedPowerPct) + " %"},
+		}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := Plot(w, fmt.Sprintf("Fig 1 (%s): daily system utilization [%%]", r.System),
+		r.SystemLevel.UtilSeries, 10, 72); err != nil {
+		return err
+	}
+	if err := Plot(w, fmt.Sprintf("Fig 2 (%s): daily power utilization [%%]", r.System),
+		r.SystemLevel.PowerSeries, 10, 72); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n== Fig. 3: per-node power distribution ==")
+	d := r.Distribution
+	if err := Table(w,
+		[]string{"metric", "value"},
+		[][]string{
+			{"jobs", fmt.Sprint(d.Summary.N)},
+			{"mean per-node power", F(d.Summary.Mean) + " W"},
+			{"std", F(d.Summary.Std) + " W (" + F(d.Summary.CVPercent) + " % of mean)"},
+			{"mean as % of TDP", F(d.MeanTDPFracPct) + " %"},
+			{"median", F(d.Summary.Median) + " W"},
+			{"p5 / p95", F(d.Summary.P05) + " / " + F(d.Summary.P95) + " W"},
+		}); err != nil {
+		return err
+	}
+	if err := Plot(w, fmt.Sprintf("Fig 3 (%s): PDF of per-node power [W]", r.System), d.PDF, 10, 72); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n== Fig. 4: key applications ==")
+	appRows := make([][]string, 0, len(r.AppPower))
+	for _, a := range r.AppPower {
+		appRows = append(appRows, []string{a.App, fmt.Sprint(a.Jobs), F(a.MeanPowerW), F(a.StdW)})
+	}
+	if err := Table(w, []string{"application", "jobs", "mean W", "std W"}, appRows); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n== Table 2: Spearman correlations ==")
+	c := r.Correlations
+	if err := Table(w,
+		[]string{"feature 1", "feature 2", "correlation", "p-value"},
+		[][]string{
+			{"job length (runtime)", "per-node power", F2(c.Length.R), P(c.Length.P)},
+			{"job size (num. nodes)", "per-node power", F2(c.Size.R), P(c.Size.P)},
+		}); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n== Fig. 5: short/long and small/large splits ==")
+	s := r.Splits
+	if err := Table(w,
+		[]string{"group", "jobs", "mean W", "std W", "% of TDP"},
+		[][]string{
+			{"short (<= median runtime)", fmt.Sprint(s.Short.Jobs), F(s.Short.MeanPowerW), F(s.Short.StdW), F(s.Short.MeanTDPPct)},
+			{"long", fmt.Sprint(s.Long.Jobs), F(s.Long.MeanPowerW), F(s.Long.StdW), F(s.Long.MeanTDPPct)},
+			{"small (<= median nodes)", fmt.Sprint(s.Small.Jobs), F(s.Small.MeanPowerW), F(s.Small.StdW), F(s.Small.MeanTDPPct)},
+			{"large", fmt.Sprint(s.Large.Jobs), F(s.Large.MeanPowerW), F(s.Large.StdW), F(s.Large.MeanTDPPct)},
+		}); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n== Figs. 6-7: temporal behaviour ==")
+	t := r.Temporal
+	if err := Table(w,
+		[]string{"metric", "value"},
+		[][]string{
+			{"instrumented jobs", fmt.Sprint(t.Jobs)},
+			{"mean temporal std (% of mean)", F(t.MeanTemporalCVPct) + " %"},
+			{"mean peak overshoot", F(t.MeanOvershootPct) + " %"},
+			{"p80 peak overshoot", F(t.OvershootP80) + " %"},
+			{"mean % runtime >10% above mean", F(t.MeanPctTimeAbove) + " %"},
+			{"jobs spending ~0% above", F(t.FracJobsNearZeroPct) + " %"},
+		}); err != nil {
+		return err
+	}
+	if err := Plot(w, fmt.Sprintf("Fig 7a (%s): CDF of peak overshoot [%%]", r.System), t.OvershootCDF, 10, 72); err != nil {
+		return err
+	}
+	if err := Plot(w, fmt.Sprintf("Fig 7b (%s): CDF of %% runtime >10%% above mean", r.System), t.PctTimeAboveCDF, 10, 72); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n== Figs. 8-10: spatial behaviour ==")
+	sp := r.Spatial
+	if err := Table(w,
+		[]string{"metric", "value"},
+		[][]string{
+			{"multi-node jobs", fmt.Sprint(sp.Jobs)},
+			{"mean spatial spread", F(sp.MeanSpreadW) + " W"},
+			{"max spatial spread", F(sp.MaxSpreadW) + " W"},
+			{"mean spread (% of per-node power)", F(sp.MeanSpreadPct) + " %"},
+			{"mean % runtime above avg spread", F(sp.MeanPctTimeAboveAvg) + " %"},
+			{"jobs with >15% node-energy spread", F(sp.FracJobsEnergyAbove15) + " %"},
+			{"energy spread vs size (Spearman)", F2(sp.EnergySpreadSizeCorr.R)},
+		}); err != nil {
+		return err
+	}
+	if err := Plot(w, fmt.Sprintf("Fig 9a (%s): CDF of avg spatial spread [W]", r.System), sp.SpreadWCDF, 10, 72); err != nil {
+		return err
+	}
+	if err := Plot(w, fmt.Sprintf("Fig 10 (%s): PDF of node-energy spread [%%]", r.System), sp.EnergySpreadPDF, 10, 72); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n== Fig. 11: user concentration ==")
+	u := r.Users
+	if err := Table(w,
+		[]string{"metric", "value"},
+		[][]string{
+			{"users", fmt.Sprint(u.Users)},
+			{"top-20% node-hours share", F(u.Top20NodeHoursPct) + " %"},
+			{"top-20% energy share", F(u.Top20EnergyPct) + " %"},
+			{"top-set overlap", F(u.OverlapPct) + " %"},
+			{"Gini (node-hours / energy)", F2(u.GiniNodeHours) + " / " + F2(u.GiniEnergy)},
+		}); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n== Fig. 12: per-user variability ==")
+	v := r.Variability
+	if err := Table(w,
+		[]string{"metric", "value"},
+		[][]string{
+			{"users with enough jobs", fmt.Sprint(v.Users)},
+			{"mean per-user power std", F(v.MeanPowerStdPct) + " %"},
+			{"mean per-user nodes std", F(v.MeanNodesStdPct) + " %"},
+			{"mean per-user runtime std", F(v.MeanRuntimeStdPct) + " %"},
+		}); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n== Fig. 13: clustering by (user,nodes) and (user,walltime) ==")
+	for _, b := range []core.ClusterBreakdown{r.Clusters.ByNodes, r.Clusters.ByWalltime} {
+		rows := make([][]string, 0, len(b.Buckets))
+		for _, bucket := range b.Buckets {
+			label := fmt.Sprintf("%.0f-%.0f%%", bucket.Lo, bucket.Hi)
+			if bucket.Hi > 1000 {
+				label = fmt.Sprintf(">%.0f%%", bucket.Lo)
+			}
+			rows = append(rows, []string{label, F(bucket.ClustersPct) + " %"})
+		}
+		fmt.Fprintf(w, "clustered by %s (%d clusters, %.1f%% below 10%% std):\n",
+			b.Criterion, b.Clusters, b.FracBelow10Pct)
+		if err := Table(w, []string{"within-cluster power std", "share of clusters"}, rows); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RenderComparison prints the cross-system findings.
+func RenderComparison(w io.Writer, cmp *core.Comparison) error {
+	fmt.Fprintln(w, "== Fig. 4: cross-system comparison ==")
+	rows := make([][]string, 0, len(cmp.A.AppPower))
+	bw := map[string]float64{}
+	for _, ap := range cmp.B.AppPower {
+		bw[ap.App] = ap.MeanPowerW
+	}
+	for _, ap := range cmp.A.AppPower {
+		rows = append(rows, []string{
+			ap.App, F(ap.MeanPowerW), F(bw[ap.App]), F(cmp.PerAppDeltaPct[ap.App]) + " %",
+		})
+	}
+	if err := Table(w, []string{"application", cmp.A.System + " W", cmp.B.System + " W", "delta"}, rows); err != nil {
+		return err
+	}
+	if len(cmp.Flips) == 0 {
+		fmt.Fprintln(w, "ranking flips: none")
+	} else {
+		fmt.Fprintf(w, "ranking flips (power order differs across systems): %v\n", cmp.Flips)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RenderPrediction prints Figs. 14-15 for a set of evaluated models.
+func RenderPrediction(w io.Writer, system string, results []mlearn.EvalResult) error {
+	fmt.Fprintf(w, "== Figs. 14-15 (%s): pre-execution power prediction ==\n", system)
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Model,
+			fmt.Sprint(r.N),
+			F(r.MeanErrPct) + " %",
+			F(r.MedianErrPct) + " %",
+			F(r.FracBelow5Pct) + " %",
+			F(r.FracBelow10) + " %",
+			F(r.FracUsersBelow5) + " %",
+		})
+	}
+	if err := Table(w, []string{"model", "preds", "mean err", "median err", "<5% err", "<10% err", "users <5%"}, rows); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Model == "BDT" {
+			if err := Plot(w, fmt.Sprintf("Fig 14 (%s): CDF of BDT absolute prediction error [%%]", system), r.ErrCDF, 10, 72); err != nil {
+				return err
+			}
+			if err := Plot(w, fmt.Sprintf("Fig 15 (%s): CDF of per-user mean error (BDT) [%%]", system), r.PerUserCDF, 10, 72); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RenderPolicy prints the §6 what-if evaluations.
+func RenderPolicy(w io.Writer, system string, sweep []policy.CapResult, over policy.Overprovision, jobCap policy.JobCapResult) error {
+	fmt.Fprintf(w, "== §6 what-ifs (%s) ==\n", system)
+	rows := make([][]string, 0, len(sweep))
+	for _, r := range sweep {
+		rows = append(rows, []string{
+			F(100*r.CapFrac) + " %",
+			F(r.ThrottledPct) + " %",
+			F(r.ClippedEnergyPct) + " %",
+			F(r.HarvestedW/1000) + " kW",
+		})
+	}
+	if err := Table(w, []string{"system cap", "throttled minutes", "clipped energy", "harvested"}, rows); err != nil {
+		return err
+	}
+	if err := Table(w,
+		[]string{"metric", "value"},
+		[][]string{
+			{"over-provisioning per-node budget (p95)", F(over.PerNodeBudgetW) + " W"},
+			{"supportable nodes", fmt.Sprint(over.SupportableNodes)},
+			{"extra nodes under same budget", fmt.Sprint(over.ExtraNodes)},
+			{"throughput gain", F(over.ThroughputGainPct) + " %"},
+			{"per-job cap headroom", F(jobCap.HeadroomPct) + " %"},
+			{"jobs that would throttle", F(jobCap.JobsThrottledPct) + " %"},
+			{"harvested per node (mean)", F(jobCap.MeanHarvestedWPerNode) + " W"},
+		}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RenderClaims prints the paper-claims checklist.
+func RenderClaims(w io.Writer, claims []core.Claim) error {
+	fmt.Fprintln(w, "== paper claims checklist ==")
+	rows := make([][]string, 0, len(claims))
+	for _, c := range claims {
+		status := "HOLDS"
+		if !c.Holds {
+			status = "FAILS"
+		}
+		rows = append(rows, []string{c.ID, c.Section, status, c.Measured})
+	}
+	if err := Table(w, []string{"claim", "where", "status", "measured"}, rows); err != nil {
+		return err
+	}
+	if core.ClaimsHold(claims) {
+		fmt.Fprintln(w, "all paper claims reproduced")
+	} else {
+		fmt.Fprintln(w, "WARNING: some paper claims do NOT hold on this dataset")
+	}
+	fmt.Fprintln(w)
+	return nil
+}

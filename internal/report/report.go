@@ -1,0 +1,167 @@
+// Package report renders analysis results as text tables, ASCII plots,
+// and CSV series — the textual equivalents of the paper's tables and
+// figures that cmd/powreport regenerates.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hpcpower/internal/stats"
+)
+
+// Table writes an aligned ASCII table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Plot draws an ASCII scatter/line of the series into a rows×cols grid
+// with axis labels, suitable for terminal output of CDF and PDF figures.
+func Plot(w io.Writer, title string, series []stats.Point, rows, cols int) error {
+	if rows < 4 {
+		rows = 12
+	}
+	if cols < 16 {
+		cols = 64
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if len(series) == 0 {
+		_, err := fmt.Fprintln(w, "  (no data)")
+		return err
+	}
+	minX, maxX := series[0].X, series[0].X
+	minY, maxY := series[0].Y, series[0].Y
+	for _, p := range series {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for _, p := range series {
+		c := int(float64(cols-1) * (p.X - minX) / (maxX - minX))
+		r := rows - 1 - int(float64(rows-1)*(p.Y-minY)/(maxY-minY))
+		grid[r][c] = '*'
+	}
+	for r := 0; r < rows; r++ {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(rows-1)
+		if _, err := fmt.Fprintf(w, "%10.3f |%s\n", yVal, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", cols)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%10s  %-12.4g%s%12.4g\n", "", minX,
+		strings.Repeat(" ", maxInt(cols-24, 1)), maxX)
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteSeriesCSV writes a figure series as x,y CSV with the given column
+// names — the machine-readable counterpart of each plotted figure.
+func WriteSeriesCSV(w io.Writer, xName, yName string, series []stats.Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{xName, yName}); err != nil {
+		return err
+	}
+	for _, p := range series {
+		err := cw.Write([]string{
+			strconv.FormatFloat(p.X, 'g', 8, 64),
+			strconv.FormatFloat(p.Y, 'g', 8, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// F formats a float with one decimal, the paper's usual precision.
+func F(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// F2 formats a float with two decimals (correlations).
+func F2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// P formats a p-value in scientific notation, matching Table 2.
+func P(v float64) string {
+	if v == 0 {
+		return "0.00"
+	}
+	if v < 1e-3 {
+		return strconv.FormatFloat(v, 'e', 2, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}

@@ -1,0 +1,397 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hpcpower/internal/rng"
+	"hpcpower/internal/units"
+)
+
+var t0 = time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func req(id uint64, nodes int, wall, run time.Duration, submit time.Time) Request {
+	return Request{
+		ID: id, User: "u", App: "A", Nodes: nodes,
+		ReqWall: wall, Runtime: run, Submit: submit,
+	}
+}
+
+func TestEmptyMachineStartsImmediately(t *testing.T) {
+	ps, err := Simulate(4, []Request{req(1, 2, time.Hour, 30*time.Minute, t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 {
+		t.Fatalf("placements = %d", len(ps))
+	}
+	p := ps[0]
+	if !p.Start.Equal(t0) {
+		t.Errorf("start = %v", p.Start)
+	}
+	if !p.End.Equal(t0.Add(30 * time.Minute)) {
+		t.Errorf("end = %v", p.End)
+	}
+	if len(p.NodeIDs) != 2 || p.NodeIDs[0] != 0 || p.NodeIDs[1] != 1 {
+		t.Errorf("nodes = %v", p.NodeIDs)
+	}
+}
+
+func TestFCFSQueuesWhenFull(t *testing.T) {
+	// Job 1 fills the machine for 1h; job 2 must wait for it.
+	reqs := []Request{
+		req(1, 4, time.Hour, time.Hour, t0),
+		req(2, 3, time.Hour, 30*time.Minute, t0.Add(time.Minute)),
+	}
+	ps, err := Simulate(4, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps[1].Start.Equal(t0.Add(time.Hour)) {
+		t.Errorf("job 2 start = %v, want %v", ps[1].Start, t0.Add(time.Hour))
+	}
+}
+
+func TestRuntimeCappedAtWalltime(t *testing.T) {
+	ps, err := Simulate(2, []Request{req(1, 1, time.Hour, 3*time.Hour, t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ps[0].End.Sub(ps[0].Start); got != time.Hour {
+		t.Errorf("runtime = %v, want capped at 1h", got)
+	}
+}
+
+func TestEASYBackfillSmallJobJumps(t *testing.T) {
+	// Machine: 4 nodes. J1 takes all 4 for 2h. J2 (head of queue) wants 4
+	// nodes. J3 wants 1 node for 1h: it can backfill into the idle nodes
+	// without delaying J2's reservation (shadow = J1 end).
+	reqs := []Request{
+		req(1, 4, 2*time.Hour, 2*time.Hour, t0),
+		req(2, 4, time.Hour, time.Hour, t0.Add(time.Minute)),
+		req(3, 1, time.Hour, time.Hour, t0.Add(2*time.Minute)),
+	}
+	ps, err := Simulate(4, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[uint64]Placement{}
+	for _, p := range ps {
+		byID[p.ID] = p
+	}
+	// J3 cannot backfill: zero nodes free while J1 runs. Make a variant
+	// where J1 leaves one node idle.
+	if !byID[2].Start.Equal(t0.Add(2 * time.Hour)) {
+		t.Errorf("head start = %v", byID[2].Start)
+	}
+
+	reqs = []Request{
+		req(1, 3, 2*time.Hour, 2*time.Hour, t0),
+		req(2, 4, time.Hour, time.Hour, t0.Add(time.Minute)),
+		req(3, 1, time.Hour, time.Hour, t0.Add(2*time.Minute)),
+	}
+	ps, err = Simulate(4, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID = map[uint64]Placement{}
+	for _, p := range ps {
+		byID[p.ID] = p
+	}
+	// J3 fits in the idle node and finishes before the shadow time (J1's
+	// estimated end at t0+2h): it backfills at its submit time.
+	if !byID[3].Start.Equal(t0.Add(2 * time.Minute)) {
+		t.Errorf("backfill start = %v, want %v", byID[3].Start, t0.Add(2*time.Minute))
+	}
+	// The head must still start exactly at the shadow time.
+	if !byID[2].Start.Equal(t0.Add(2 * time.Hour)) {
+		t.Errorf("head delayed to %v by backfill", byID[2].Start)
+	}
+}
+
+func TestBackfillDoesNotDelayHead(t *testing.T) {
+	// J3's walltime would run past the shadow time and it needs the nodes
+	// the head reserved -> it must NOT backfill.
+	reqs := []Request{
+		req(1, 3, time.Hour, time.Hour, t0),
+		req(2, 4, time.Hour, time.Hour, t0.Add(time.Minute)),
+		req(3, 1, 3*time.Hour, 3*time.Hour, t0.Add(2*time.Minute)),
+	}
+	ps, err := Simulate(4, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[uint64]Placement{}
+	for _, p := range ps {
+		byID[p.ID] = p
+	}
+	if !byID[2].Start.Equal(t0.Add(time.Hour)) {
+		t.Errorf("head start = %v, want %v", byID[2].Start, t0.Add(time.Hour))
+	}
+	if byID[3].Start.Before(byID[2].Start) {
+		t.Errorf("J3 backfilled at %v and delayed the head", byID[3].Start)
+	}
+}
+
+func TestBackfillIntoSpareNodes(t *testing.T) {
+	// Head needs 3 of 4 nodes at shadow time; one node is spare, so a
+	// long 1-node job may backfill even though it outlives the shadow.
+	reqs := []Request{
+		req(1, 4, time.Hour, time.Hour, t0),
+		req(2, 3, time.Hour, time.Hour, t0.Add(time.Minute)),
+		req(3, 1, 10*time.Hour, 10*time.Hour, t0.Add(2*time.Minute)),
+	}
+	ps, err := Simulate(4, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[uint64]Placement{}
+	for _, p := range ps {
+		byID[p.ID] = p
+	}
+	// At t0+1h J1 ends; head J2 takes 3 nodes, J3 should run on the spare
+	// node no later than that (it cannot start earlier: machine full).
+	if byID[3].Start.After(t0.Add(time.Hour)) {
+		t.Errorf("spare-node backfill start = %v", byID[3].Start)
+	}
+	if !byID[2].Start.Equal(t0.Add(time.Hour)) {
+		t.Errorf("head start = %v", byID[2].Start)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(0, nil); err == nil {
+		t.Error("zero-node machine accepted")
+	}
+	bad := []Request{req(1, 5, time.Hour, time.Hour, t0)}
+	if _, err := Simulate(4, bad); err == nil {
+		t.Error("oversized job accepted")
+	}
+	for _, r := range []Request{
+		req(1, 0, time.Hour, time.Hour, t0),
+		req(1, 1, 0, time.Hour, t0),
+		req(1, 1, time.Hour, 0, t0),
+	} {
+		if _, err := Simulate(4, []Request{r}); err == nil {
+			t.Errorf("invalid request accepted: %+v", r)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	reqs := randomRequests(rng.New(3), 200, 16)
+	a, err := Simulate(16, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(16, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || !a[i].Start.Equal(b[i].Start) {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func randomRequests(src *rng.Source, n, machineNodes int) []Request {
+	reqs := make([]Request, n)
+	cur := t0
+	for i := range reqs {
+		cur = cur.Add(time.Duration(src.Exp(10)) * time.Minute)
+		wall := time.Duration(1+src.Intn(8)) * time.Hour
+		run := time.Duration(float64(wall) * (0.2 + 0.8*src.Float64()))
+		if run < time.Minute {
+			run = time.Minute
+		}
+		reqs[i] = req(uint64(i+1), 1+src.Intn(machineNodes), wall, run, cur)
+	}
+	return reqs
+}
+
+// TestNoDoubleBooking is the core safety property: at no instant may two
+// jobs share a node, and every job gets exactly the nodes it asked for.
+func TestNoDoubleBooking(t *testing.T) {
+	src := rng.New(17)
+	for trial := 0; trial < 20; trial++ {
+		machine := 4 + src.Intn(60)
+		reqs := randomRequests(src, 150, machine)
+		ps, err := Simulate(machine, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ps) != len(reqs) {
+			t.Fatalf("trial %d: %d placements of %d requests", trial, len(ps), len(reqs))
+		}
+		checkPlacements(t, ps, machine)
+	}
+}
+
+func checkPlacements(t *testing.T, ps []Placement, machine int) {
+	t.Helper()
+	for i := range ps {
+		p := &ps[i]
+		if len(p.NodeIDs) != p.Nodes {
+			t.Fatalf("job %d: %d ids for %d nodes", p.ID, len(p.NodeIDs), p.Nodes)
+		}
+		seen := map[int]bool{}
+		for _, id := range p.NodeIDs {
+			if id < 0 || id >= machine || seen[id] {
+				t.Fatalf("job %d: bad node id %d", p.ID, id)
+			}
+			seen[id] = true
+		}
+		if p.Start.Before(p.Submit) {
+			t.Fatalf("job %d starts before submission", p.ID)
+		}
+		if p.End.Sub(p.Start) != p.Runtime {
+			t.Fatalf("job %d: end-start != runtime", p.ID)
+		}
+		for j := i + 1; j < len(ps); j++ {
+			q := &ps[j]
+			if p.End.After(q.Start) && q.End.After(p.Start) {
+				for _, a := range p.NodeIDs {
+					for _, b := range q.NodeIDs {
+						if a == b {
+							t.Fatalf("jobs %d and %d share node %d while overlapping", p.ID, q.ID, a)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	src := rng.New(23)
+	machine := 32
+	reqs := randomRequests(src, 300, machine)
+	ps, err := Simulate(machine, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := units.GridOver(t0, t0.Add(400*time.Hour))
+	for i, a := range ActiveNodes(ps, grid) {
+		if a > machine {
+			t.Fatalf("minute %d: %d active of %d", i, a, machine)
+		}
+		if a < 0 {
+			t.Fatalf("minute %d: negative active", i)
+		}
+	}
+}
+
+func TestActiveNodesExact(t *testing.T) {
+	ps := []Placement{
+		{
+			Request: req(1, 3, time.Hour, time.Hour, t0),
+			Start:   t0, End: t0.Add(2 * time.Minute), NodeIDs: []int{0, 1, 2},
+		},
+		{
+			Request: req(2, 2, time.Hour, time.Hour, t0),
+			Start:   t0.Add(time.Minute), End: t0.Add(3 * time.Minute), NodeIDs: []int{3, 4},
+		},
+	}
+	grid := units.NewTimeGrid(t0, 4)
+	got := ActiveNodes(ps, grid)
+	want := []int{3, 5, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("minute %d: active = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestActiveNodesPartialMinute(t *testing.T) {
+	// A job ending mid-minute still occupies that minute's sample.
+	ps := []Placement{{
+		Request: req(1, 2, time.Hour, time.Hour, t0),
+		Start:   t0, End: t0.Add(90 * time.Second), NodeIDs: []int{0, 1},
+	}}
+	grid := units.NewTimeGrid(t0, 3)
+	got := ActiveNodes(ps, grid)
+	if got[0] != 2 || got[1] != 2 || got[2] != 0 {
+		t.Errorf("active = %v", got)
+	}
+}
+
+func TestActiveNodesOutsideGrid(t *testing.T) {
+	ps := []Placement{{
+		Request: req(1, 2, time.Hour, time.Hour, t0),
+		Start:   t0.Add(-2 * time.Hour), End: t0.Add(-time.Hour), NodeIDs: []int{0, 1},
+	}}
+	grid := units.NewTimeGrid(t0, 5)
+	for _, a := range ActiveNodes(ps, grid) {
+		if a != 0 {
+			t.Fatalf("job outside grid counted: %v", a)
+		}
+	}
+}
+
+func TestMeanUtilization(t *testing.T) {
+	ps := []Placement{{
+		Request: req(1, 2, time.Hour, time.Hour, t0),
+		Start:   t0, End: t0.Add(2 * time.Minute), NodeIDs: []int{0, 1},
+	}}
+	grid := units.NewTimeGrid(t0, 4)
+	got := MeanUtilization(ps, grid, 4)
+	if got != 0.25 { // 2 nodes busy for 2 of 4 minutes on a 4-node machine
+		t.Errorf("MeanUtilization = %v", got)
+	}
+}
+
+func TestHighLoadReachesHighUtilization(t *testing.T) {
+	// Offered load beyond capacity must keep the machine nearly full —
+	// the regime both production systems run in (Fig. 1).
+	src := rng.New(31)
+	machine := 64
+	var reqs []Request
+	cur := t0
+	for i := 0; i < 2000; i++ {
+		cur = cur.Add(time.Duration(src.Exp(2)) * time.Minute)
+		wall := time.Duration(2+src.Intn(6)) * time.Hour
+		reqs = append(reqs, req(uint64(i+1), 1+src.Intn(16), wall, wall*3/4, cur))
+	}
+	ps, err := Simulate(machine, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure over the steady middle of the horizon.
+	var last time.Time
+	for _, p := range ps {
+		if p.End.After(last) {
+			last = p.End
+		}
+	}
+	span := last.Sub(t0)
+	grid := units.GridOver(t0.Add(span/10), last.Add(-span/10))
+	util := MeanUtilization(ps, grid, machine)
+	if util < 0.85 {
+		t.Errorf("saturated utilization = %v, want >= 0.85", util)
+	}
+}
+
+func TestQuickPlacementInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		machine := 2 + src.Intn(20)
+		reqs := randomRequests(src, 60, machine)
+		ps, err := Simulate(machine, reqs)
+		if err != nil {
+			return false
+		}
+		grid := units.GridOver(t0, t0.Add(200*time.Hour))
+		for _, a := range ActiveNodes(ps, grid) {
+			if a > machine || a < 0 {
+				return false
+			}
+		}
+		return len(ps) == len(reqs)
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

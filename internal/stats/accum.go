@@ -1,0 +1,100 @@
+package stats
+
+import "math"
+
+// Accumulator computes streaming moments and extrema in one pass using
+// Welford's algorithm. It is the workhorse for trace synthesis, where
+// per-node per-minute samples are produced once and never materialized.
+//
+// The zero value is an empty accumulator ready to use.
+type Accumulator struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+	sum      float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	a.sum += x
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// Merge folds another accumulator into a (parallel reduction). It uses the
+// standard Chan et al. pairwise update and is exact up to floating-point
+// rounding, so sharded accumulation matches serial accumulation.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	a.mean += delta * float64(b.n) / float64(n)
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	a.n = n
+	a.sum += b.sum
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// N returns the number of samples added.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Sum returns the running sum.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean returns the running mean, or NaN when empty.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.mean
+}
+
+// Variance returns the population variance, or NaN when empty.
+func (a *Accumulator) Variance() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.m2 / float64(a.n)
+}
+
+// Std returns the population standard deviation, or NaN when empty.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the minimum sample, or NaN when empty.
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max returns the maximum sample, or NaN when empty.
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}

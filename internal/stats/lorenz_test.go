@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTopShareUniform(t *testing.T) {
+	vals := []float64{10, 10, 10, 10, 10}
+	c := NewConcentration(vals)
+	approx(t, "TopShare(0.2)", c.TopShare(0.2), 0.2, 1e-12)
+	approx(t, "TopShare(1)", c.TopShare(1), 1, 1e-12)
+	approx(t, "TopShare(0)", c.TopShare(0), 0, 1e-12)
+}
+
+func TestTopShareSkewed(t *testing.T) {
+	// One user dominates: top 20% of 5 users (= 1 user) holds 96/100.
+	vals := []float64{96, 1, 1, 1, 1}
+	c := NewConcentration(vals)
+	approx(t, "TopShare skewed", c.TopShare(0.2), 0.96, 1e-12)
+}
+
+func TestTopShareCeil(t *testing.T) {
+	// frac*n not integral: ceil is used (top 30% of 5 -> top 2).
+	vals := []float64{50, 30, 10, 5, 5}
+	c := NewConcentration(vals)
+	approx(t, "TopShare ceil", c.TopShare(0.3), 0.8, 1e-12)
+}
+
+func TestConcentrationNegativesClamped(t *testing.T) {
+	c := NewConcentration([]float64{-5, 10})
+	approx(t, "neg clamp", c.TopShare(0.5), 1, 1e-12)
+}
+
+func TestConcentrationEmpty(t *testing.T) {
+	c := NewConcentration(nil)
+	if !math.IsNaN(c.TopShare(0.2)) || !math.IsNaN(c.Gini()) {
+		t.Error("empty concentration should be NaN")
+	}
+}
+
+func TestCurve(t *testing.T) {
+	c := NewConcentration([]float64{4, 3, 2, 1})
+	pts := c.Curve(4)
+	if len(pts) != 5 {
+		t.Fatalf("curve len = %d", len(pts))
+	}
+	if pts[0] != (Point{0, 0}) {
+		t.Errorf("curve start = %+v", pts[0])
+	}
+	approx(t, "curve end", pts[4].Y, 1, 1e-12)
+	// Monotone and concave-ish (largest consumers first).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Errorf("curve not monotone at %d", i)
+		}
+	}
+	approx(t, "curve(0.25)", pts[1].Y, 0.4, 1e-12)
+}
+
+func TestGini(t *testing.T) {
+	// Perfect equality: 0.
+	approx(t, "gini equal", NewConcentration([]float64{5, 5, 5, 5}).Gini(), 0, 1e-12)
+	// Known value: {0, 1} has Gini 0.5... for n=2 values (0,1):
+	// ascending ranks: 1*0 + 2*1 = 2; G = 2*2/(2*1) - 3/2 = 0.5.
+	approx(t, "gini 0/1", NewConcentration([]float64{0, 1}).Gini(), 0.5, 1e-12)
+	// More concentration means higher Gini.
+	low := NewConcentration([]float64{4, 5, 6, 5}).Gini()
+	high := NewConcentration([]float64{1, 1, 1, 17}).Gini()
+	if low >= high {
+		t.Errorf("gini ordering: %v >= %v", low, high)
+	}
+}
+
+func TestTopOverlap(t *testing.T) {
+	a := map[string]float64{"u1": 100, "u2": 90, "u3": 10, "u4": 5}
+	b := map[string]float64{"u1": 50, "u2": 45, "u3": 44, "u4": 1}
+	approx(t, "overlap full", TopOverlap(a, b, 2), 1, 1e-12)
+	c := map[string]float64{"u3": 100, "u4": 90, "u1": 10, "u2": 5}
+	approx(t, "overlap none", TopOverlap(a, c, 2), 0, 1e-12)
+	d := map[string]float64{"u1": 99, "u3": 98, "u2": 1, "u4": 0}
+	approx(t, "overlap half", TopOverlap(a, d, 2), 0.5, 1e-12)
+	if !math.IsNaN(TopOverlap(a, b, 0)) {
+		t.Error("k=0 should be NaN")
+	}
+	if !math.IsNaN(TopOverlap(map[string]float64{"x": 1}, b, 2)) {
+		t.Error("k>len should be NaN")
+	}
+}

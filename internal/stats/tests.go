@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"hpcpower/internal/rng"
+)
+
+// This file adds the remaining inferential tools the repository's
+// analyses and ablations use: Kendall's tau (a second rank correlation to
+// cross-check Spearman), the two-sample Kolmogorov-Smirnov test (used to
+// compare distributions across systems and to validate dataset round
+// trips), and bootstrap confidence intervals for arbitrary statistics.
+
+// KendallTau returns Kendall's tau-b rank correlation between xs and ys,
+// handling ties. It panics when lengths differ and returns NaN for fewer
+// than two points or all-tied inputs. O(n²) — fine for the ≤10⁵ samples
+// of this study's analyses.
+func KendallTau(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	var concordant, discordant float64
+	var tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := xs[i] - xs[j]
+			dy := ys[i] - ys[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// double tie: counts toward neither
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx*dy > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	denom := math.Sqrt((concordant + discordant + tiesX) * (concordant + discordant + tiesY))
+	if denom == 0 {
+		return math.NaN()
+	}
+	return (concordant - discordant) / denom
+}
+
+// KSResult holds a two-sample Kolmogorov-Smirnov test outcome.
+type KSResult struct {
+	D float64 // maximum ECDF distance
+	P float64 // asymptotic p-value of the null "same distribution"
+}
+
+// KSTest runs the two-sample Kolmogorov-Smirnov test. It returns NaNs
+// for empty samples.
+func KSTest(a, b []float64) KSResult {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{D: math.NaN(), P: math.NaN()}
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(sa)), float64(len(sb))
+	for i < len(sa) && j < len(sb) {
+		// Step past ALL values equal to the smaller head so ties advance
+		// both ECDFs together before the distance is measured.
+		x := math.Min(sa[i], sb[j])
+		for i < len(sa) && sa[i] == x {
+			i++
+		}
+		for j < len(sb) && sb[j] == x {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	ne := na * nb / (na + nb)
+	return KSResult{D: d, P: ksPValue((math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d)}
+}
+
+// ksPValue evaluates the Kolmogorov distribution tail Q_KS(λ)
+// (Numerical Recipes §14.3).
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	a2 := -2 * lambda * lambda
+	sign := 1.0
+	var prev float64
+	for k := 1; k <= 100; k++ {
+		term := sign * 2 * math.Exp(a2*float64(k*k))
+		sum += term
+		if math.Abs(term) <= 1e-12*math.Abs(prev) || math.Abs(term) < 1e-300 {
+			return clamp01(sum)
+		}
+		prev = term
+		sign = -sign
+	}
+	return clamp01(sum)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// BootstrapCI estimates a two-sided confidence interval for statistic f
+// over xs by non-parametric bootstrap with the given number of resamples
+// (percentile method). confidence is e.g. 0.95.
+func BootstrapCI(xs []float64, f func([]float64) float64, resamples int, confidence float64, src *rng.Source) (lo, hi float64) {
+	if len(xs) == 0 || resamples < 2 || confidence <= 0 || confidence >= 1 {
+		return math.NaN(), math.NaN()
+	}
+	vals := make([]float64, 0, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[src.Intn(len(xs))]
+		}
+		vals = append(vals, f(buf))
+	}
+	sort.Float64s(vals)
+	alpha := (1 - confidence) / 2
+	return quantileSorted(vals, alpha), quantileSorted(vals, 1-alpha)
+}

@@ -1,0 +1,365 @@
+// Package telemetry synthesizes RAPL-like node power traces for scheduled
+// jobs and reduces them, in one streaming pass, to the per-job metrics the
+// paper analyzes.
+//
+// The synthesizer substitutes for the production monitoring stack (§2.2):
+// one averaged PKG+DRAM power sample per node per minute. Its statistical
+// shape is calibrated to the paper's findings:
+//
+//   - temporal variance is LOW: most jobs run essentially flat; the job-
+//     mean power's std is ~11% of the mean, peak overshoot ~10-12%, and
+//     >70% of jobs spend ≈0% of their runtime >10% above their mean
+//     (Figs. 6-7);
+//   - spatial variance is HIGH: persistent manufacturing variability plus
+//     per-job workload imbalance yield an average max-min node spread of
+//     ~20 W (~15% of per-node power), and a node-energy spread that
+//     exceeds 15% for ~20% of jobs (Figs. 8-10).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hpcpower/internal/apps"
+	"hpcpower/internal/cluster"
+	"hpcpower/internal/rapl"
+	"hpcpower/internal/rng"
+	"hpcpower/internal/units"
+)
+
+// Model constants. These are the knobs the calibration tests pin down.
+const (
+	// FlatNoiseFrac is the relative per-minute noise of a flat job's
+	// job-wide power signal.
+	FlatNoiseFrac = 0.03
+	// NodeNoiseFrac is the relative per-node per-minute measurement and
+	// micro-load noise.
+	NodeNoiseFrac = 0.012
+	// WobbleAmpFrac is the amplitude of each node's slow load wobble
+	// (drifting imbalance between nodes of one job).
+	WobbleAmpFrac = 0.045
+	// MinPowerFrac floors a node sample at this fraction of TDP (idle
+	// PKG+DRAM draw); MaxPowerFrac caps it at TDP (minute-averaged RAPL
+	// does not sustain above TDP).
+	MinPowerFrac = 0.12
+	MaxPowerFrac = 1.00
+	// MeanPhaseCycleMinutes is the typical alternation period of phased
+	// jobs (compute vs communication/IO-dominated phases).
+	MeanPhaseCycleMinutes = 80.0
+)
+
+// Params describes one job to synthesize.
+type Params struct {
+	JobID uint64
+	App   apps.Profile
+	Spec  cluster.Spec
+	// NodeIDs are the cluster node ids the job runs on (their persistent
+	// efficiency factors come from the fleet).
+	NodeIDs []int
+	// Minutes is the runtime in one-minute samples (>= 1).
+	Minutes int
+	// MeanPowerW is the target mean per-node power before node factors
+	// and clamping.
+	MeanPowerW float64
+	// Src is the job's private random substream.
+	Src *rng.Source
+}
+
+// Validate reports the first problem with the parameters.
+func (p *Params) Validate() error {
+	switch {
+	case len(p.NodeIDs) == 0:
+		return fmt.Errorf("telemetry: job %d has no nodes", p.JobID)
+	case p.Minutes <= 0:
+		return fmt.Errorf("telemetry: job %d has %d minutes", p.JobID, p.Minutes)
+	case p.MeanPowerW <= 0:
+		return fmt.Errorf("telemetry: job %d has mean power %v", p.JobID, p.MeanPowerW)
+	case p.Src == nil:
+		return fmt.Errorf("telemetry: job %d has no random source", p.JobID)
+	}
+	return nil
+}
+
+// Summary holds the per-job reductions of the synthesized trace — exactly
+// the quantities the paper's job-level figures consume.
+type Summary struct {
+	// AvgPowerPerNode is mean power over runtime and nodes, in watts.
+	AvgPowerPerNode float64
+	// Energy is the total energy across nodes and runtime, in joules.
+	Energy float64
+	// TemporalCVPct is std-over-time of the node-averaged power, as % of mean.
+	TemporalCVPct float64
+	// PeakOvershootPct is (peak − mean)/mean of node-averaged power, in %.
+	PeakOvershootPct float64
+	// PctTimeAboveMean10 is the % of samples with node-averaged power
+	// >10% above the job mean.
+	PctTimeAboveMean10 float64
+	// AvgSpatialSpreadW is mean over time of (max − min) node power, watts.
+	AvgSpatialSpreadW float64
+	// SpatialSpreadPct is AvgSpatialSpreadW as % of AvgPowerPerNode.
+	SpatialSpreadPct float64
+	// PctTimeSpreadAboveAvg is the % of samples whose spatial spread
+	// exceeds the job's average spread.
+	PctTimeSpreadAboveAvg float64
+	// NodeEnergySpreadPct is (max − min)/min node energy, in %.
+	NodeEnergySpreadPct float64
+}
+
+// EmitFunc receives the synthesized samples of one minute: powers[n] is
+// the power of the job's n-th node during that minute. The slice is reused
+// between calls; implementations must copy what they keep.
+type EmitFunc func(minute int, powers []float64)
+
+// Synthesize generates the job's per-node minute power samples, streams
+// them to emit (if non-nil), and returns the summary reductions.
+//
+// The power model for node n at minute t is
+//
+//	p[t,n] = base · eff[n] · imb[n] · phase(t) · wobble[n](t) · (1+ε)
+//
+// clamped to [MinPowerFrac, MaxPowerFrac]·TDP, where eff is the node's
+// persistent manufacturing-variability factor, imb a per-job static
+// workload-imbalance factor, phase(t) the shared temporal profile (flat
+// for most jobs, a two-level phase alternation otherwise), wobble a slow
+// per-node drift, and ε white noise.
+func Synthesize(p Params, fleet *cluster.Fleet, emit EmitFunc) (Summary, error) {
+	if err := p.Validate(); err != nil {
+		return Summary{}, err
+	}
+	src := p.Src
+	n := len(p.NodeIDs)
+	t := p.Minutes
+
+	// Per-node static factors: manufacturing variability × workload
+	// imbalance. The imbalance factors are normalized to a unit mean per
+	// job: imbalance moves work BETWEEN nodes, it does not change the
+	// job's total computation, so repeated runs of a configuration keep a
+	// near-identical job-mean power (the paper's repetitive-job premise).
+	static := make([]float64, n)
+	var effSum, rawSum float64
+	for i, id := range p.NodeIDs {
+		eff := 1.0
+		if fleet != nil {
+			eff = fleet.NodeEfficiency(id)
+		}
+		imb := src.TruncNormal(1, p.App.ImbalanceFrac, 0.8, 1.2)
+		static[i] = eff * imb
+		effSum += eff
+		rawSum += static[i]
+	}
+	if rawSum > 0 {
+		norm := effSum / rawSum
+		for i := range static {
+			static[i] *= norm
+		}
+	}
+
+	// Per-node slow wobble: random phase and period per node.
+	wPhase := make([]float64, n)
+	wFreq := make([]float64, n)
+	for i := range wPhase {
+		wPhase[i] = src.Float64() * 2 * math.Pi
+		period := 60 + src.Float64()*180 // 1-4 hours
+		wFreq[i] = 2 * math.Pi / period
+	}
+
+	// Temporal profile.
+	prof := newPhaseProfile(p.App, src)
+
+	// RAPL metering: ground-truth power flows through emulated PKG/DRAM
+	// counters, so recorded samples inherit the hardware's quantization —
+	// exactly how the production monitoring observed the jobs (§2.2).
+	meters := make([]*rapl.NodeMeter, n)
+	epoch := time.Unix(0, 0).UTC()
+	for i := range meters {
+		meters[i] = rapl.NewNodeMeter()
+		if _, _, err := meters[i].Sample(epoch); err != nil {
+			return Summary{}, err
+		}
+	}
+	dramFrac := p.App.DRAMFrac
+
+	lo := MinPowerFrac * float64(p.Spec.NodeTDP)
+	hi := MaxPowerFrac * float64(p.Spec.NodeTDP)
+
+	// Streaming reductions. Minute-level aggregates (job mean and spread
+	// per minute) are retained because two of the paper's metrics are
+	// defined against whole-run averages.
+	jobMean := make([]float64, t) // node-averaged power per minute
+	spread := make([]float64, t)  // max-min node power per minute
+	nodeEnergy := make([]float64, n)
+	powers := make([]float64, n)
+	var total float64
+
+	for m := 0; m < t; m++ {
+		ph := prof.level(m, src)
+		minP, maxP := math.Inf(1), math.Inf(-1)
+		var sum float64
+		sampleAt := epoch.Add(time.Duration(m+1) * units.SampleInterval)
+		for i := range powers {
+			wob := 1 + WobbleAmpFrac*math.Sin(wFreq[i]*float64(m)+wPhase[i])
+			pw := p.MeanPowerW * static[i] * ph * wob * (1 + NodeNoiseFrac*src.Norm())
+			pw = units.Clamp(pw, lo, hi)
+			// Record what the RAPL sampler recovers, not the ground truth.
+			if err := meters[i].Accumulate(pw, dramFrac, units.SampleInterval); err != nil {
+				return Summary{}, err
+			}
+			sampled, ok, err := meters[i].Sample(sampleAt)
+			if err != nil {
+				return Summary{}, err
+			}
+			if ok {
+				pw = sampled
+			}
+			powers[i] = pw
+			sum += pw
+			nodeEnergy[i] += pw * units.SecondsPerSample
+			if pw < minP {
+				minP = pw
+			}
+			if pw > maxP {
+				maxP = pw
+			}
+		}
+		jobMean[m] = sum / float64(n)
+		spread[m] = maxP - minP
+		total += sum
+		if emit != nil {
+			emit(m, powers)
+		}
+	}
+
+	return reduce(jobMean, spread, nodeEnergy, total), nil
+}
+
+// reduce computes the Summary from the minute aggregates.
+func reduce(jobMean, spread, nodeEnergy []float64, total float64) Summary {
+	t := len(jobMean)
+	n := len(nodeEnergy)
+	var s Summary
+	s.AvgPowerPerNode = total / float64(t*n)
+	s.Energy = total * units.SecondsPerSample
+
+	// Temporal metrics over the node-averaged signal.
+	mean := s.AvgPowerPerNode
+	var ss, peak float64
+	above := 0
+	peak = jobMean[0]
+	for _, v := range jobMean {
+		d := v - mean
+		ss += d * d
+		if v > peak {
+			peak = v
+		}
+		if v > 1.1*mean {
+			above++
+		}
+	}
+	std := math.Sqrt(ss / float64(t))
+	if mean > 0 {
+		s.TemporalCVPct = 100 * std / mean
+		s.PeakOvershootPct = 100 * (peak - mean) / mean
+	}
+	s.PctTimeAboveMean10 = 100 * float64(above) / float64(t)
+
+	// Spatial metrics (zero for single-node jobs).
+	if n >= 2 {
+		var sum float64
+		for _, v := range spread {
+			sum += v
+		}
+		avgSpread := sum / float64(t)
+		s.AvgSpatialSpreadW = avgSpread
+		if mean > 0 {
+			s.SpatialSpreadPct = 100 * avgSpread / mean
+		}
+		aboveSpread := 0
+		for _, v := range spread {
+			if v > avgSpread {
+				aboveSpread++
+			}
+		}
+		s.PctTimeSpreadAboveAvg = 100 * float64(aboveSpread) / float64(t)
+
+		minE, maxE := nodeEnergy[0], nodeEnergy[0]
+		for _, e := range nodeEnergy[1:] {
+			if e < minE {
+				minE = e
+			}
+			if e > maxE {
+				maxE = e
+			}
+		}
+		if minE > 0 {
+			s.NodeEnergySpreadPct = 100 * (maxE - minE) / minE
+		}
+	}
+	return s
+}
+
+// phaseProfile is the shared temporal signal of a job: either flat (plus
+// noise) or a two-level alternation between a low phase and a high phase.
+type phaseProfile struct {
+	flat bool
+	// two-level profile state
+	high, low   float64 // power levels relative to the base
+	inHigh      bool
+	remaining   int // minutes left in the current segment
+	meanHighLen float64
+	meanLowLen  float64
+	noise       float64
+}
+
+// newPhaseProfile draws a job's temporal behaviour from its application
+// profile. Flat jobs dominate (App.FlatProb); phased jobs get an amplitude
+// around the app's PhaseAmpFrac and a duty cycle drawn per job.
+func newPhaseProfile(app apps.Profile, src *rng.Source) *phaseProfile {
+	p := &phaseProfile{noise: FlatNoiseFrac}
+	if src.Bool(app.FlatProb) {
+		p.flat = true
+		return p
+	}
+	amp := units.Clamp(app.PhaseAmpFrac*src.LogNormal(0, 0.35), 0.06, 0.50)
+	duty := src.TruncNormal(0.30, 0.15, 0.05, 0.60)
+	// Normalize so the expected mean level is ~1: the high phase sits at
+	// 1+amp·(1−duty), the low phase at 1−amp·duty.
+	p.high = 1 + amp*(1-duty)
+	p.low = 1 - amp*duty
+	cycle := MeanPhaseCycleMinutes * src.LogNormal(0, 0.4)
+	p.meanHighLen = math.Max(2, cycle*duty)
+	p.meanLowLen = math.Max(2, cycle*(1-duty))
+	p.inHigh = src.Bool(duty)
+	p.remaining = p.segmentLen(src)
+	return p
+}
+
+func (p *phaseProfile) segmentLen(src *rng.Source) int {
+	mean := p.meanLowLen
+	if p.inHigh {
+		mean = p.meanHighLen
+	}
+	l := int(src.Exp(mean))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// level returns the profile multiplier for minute m (m is advisory; the
+// profile advances one minute per call).
+func (p *phaseProfile) level(_ int, src *rng.Source) float64 {
+	noise := 1 + p.noise*src.Norm()
+	if p.flat {
+		return noise
+	}
+	if p.remaining == 0 {
+		p.inHigh = !p.inHigh
+		p.remaining = p.segmentLen(src)
+	}
+	p.remaining--
+	if p.inHigh {
+		return p.high * noise
+	}
+	return p.low * noise
+}

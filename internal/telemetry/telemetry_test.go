@@ -1,0 +1,386 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"hpcpower/internal/apps"
+	"hpcpower/internal/cluster"
+	"hpcpower/internal/rng"
+)
+
+func params(t *testing.T, app string, nodes, minutes int, meanW float64, seed uint64) Params {
+	t.Helper()
+	prof, err := apps.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, nodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	return Params{
+		JobID: seed, App: prof, Spec: cluster.Emmy(),
+		NodeIDs: ids, Minutes: minutes, MeanPowerW: meanW,
+		Src: rng.New(1000 + seed),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := params(t, "GROMACS", 4, 60, 150, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.NodeIDs = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no nodes accepted")
+	}
+	bad = good
+	bad.Minutes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero minutes accepted")
+	}
+	bad = good
+	bad.MeanPowerW = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero power accepted")
+	}
+	bad = good
+	bad.Src = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := Synthesize(bad, nil, nil); err == nil {
+		t.Error("Synthesize accepted invalid params")
+	}
+}
+
+func TestMeanPowerNearTarget(t *testing.T) {
+	p := params(t, "GROMACS", 8, 600, 150, 2)
+	s, err := Synthesize(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.AvgPowerPerNode-150)/150 > 0.08 {
+		t.Errorf("AvgPowerPerNode = %v, want ~150", s.AvgPowerPerNode)
+	}
+}
+
+func TestEnergyConsistency(t *testing.T) {
+	// Energy must equal the integral of emitted power samples exactly.
+	p := params(t, "VASP", 4, 120, 140, 3)
+	var integral float64
+	s, err := Synthesize(p, nil, func(_ int, powers []float64) {
+		for _, pw := range powers {
+			integral += pw * 60
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Energy-integral)/integral > 1e-9 {
+		t.Errorf("Energy = %v, emitted integral = %v", s.Energy, integral)
+	}
+	// And the per-node average must be energy/(60·T·N).
+	want := integral / (60 * 120 * 4)
+	if math.Abs(s.AvgPowerPerNode-want) > 1e-9 {
+		t.Errorf("AvgPowerPerNode inconsistent with energy")
+	}
+}
+
+func TestSamplesWithinBounds(t *testing.T) {
+	p := params(t, "MISC", 4, 300, 200, 4)
+	spec := p.Spec
+	_, err := Synthesize(p, nil, func(_ int, powers []float64) {
+		for _, pw := range powers {
+			if pw < MinPowerFrac*float64(spec.NodeTDP)-1e-9 || pw > MaxPowerFrac*float64(spec.NodeTDP)+1e-9 {
+				t.Fatalf("sample %v outside [%v, %v]", pw,
+					MinPowerFrac*float64(spec.NodeTDP), MaxPowerFrac*float64(spec.NodeTDP))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Summary {
+		p := params(t, "FASTEST", 6, 240, 145, 5)
+		s, err := Synthesize(p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("nondeterministic summaries:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSingleNodeNoSpatialMetrics(t *testing.T) {
+	p := params(t, "SERIAL-MIX", 1, 120, 100, 6)
+	s, err := Synthesize(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AvgSpatialSpreadW != 0 || s.SpatialSpreadPct != 0 ||
+		s.PctTimeSpreadAboveAvg != 0 || s.NodeEnergySpreadPct != 0 {
+		t.Errorf("single-node job has spatial metrics: %+v", s)
+	}
+}
+
+func TestFlatJobsHaveLowTemporalVariance(t *testing.T) {
+	// GROMACS has FlatProb 0.85: most of its jobs must be nearly flat.
+	flatCount := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		p := params(t, "GROMACS", 4, 360, 160, uint64(100+i))
+		s, err := Synthesize(p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.TemporalCVPct < 5 {
+			flatCount++
+		}
+	}
+	if flatCount < 70 {
+		t.Errorf("only %d/%d GROMACS jobs are flat", flatCount, trials)
+	}
+}
+
+func TestPhasedJobsSpendTimeAboveMean(t *testing.T) {
+	// WRF has FlatProb 0.50: a good share of its jobs must show phases
+	// with measurable time >10% above the mean.
+	withPhases := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		p := params(t, "WRF", 4, 600, 130, uint64(200+i))
+		s, err := Synthesize(p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.PctTimeAboveMean10 > 3 {
+			withPhases++
+		}
+	}
+	if withPhases < 15 || withPhases > 70 {
+		t.Errorf("WRF jobs with visible phases = %d/%d, want 15-70", withPhases, trials)
+	}
+}
+
+func TestSpatialSpreadScalesWithNodes(t *testing.T) {
+	// Expected max-min range grows with node count.
+	avgSpread := func(nodes int) float64 {
+		var sum float64
+		const trials = 30
+		for i := 0; i < trials; i++ {
+			p := params(t, "FASTEST", nodes, 240, 150, uint64(300+nodes*100+i))
+			fleet := cluster.NewFleet(cluster.Emmy(), rng.New(42))
+			s, err := Synthesize(p, fleet, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += s.AvgSpatialSpreadW
+		}
+		return sum / trials
+	}
+	s2, s16 := avgSpread(2), avgSpread(16)
+	if !(s16 > s2*1.5) {
+		t.Errorf("spread(16 nodes)=%v not ≫ spread(2 nodes)=%v", s16, s2)
+	}
+}
+
+func TestFleetVariabilityIncreasesSpread(t *testing.T) {
+	spreadWith := func(fleet *cluster.Fleet, seed uint64) float64 {
+		var sum float64
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			p := params(t, "MD-0", 8, 240, 160, seed+uint64(i))
+			s, err := Synthesize(p, fleet, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += s.AvgSpatialSpreadW
+		}
+		return sum / trials
+	}
+	fleet := cluster.NewFleet(cluster.Emmy(), rng.New(9))
+	with := spreadWith(fleet, 500)
+	without := spreadWith(nil, 500)
+	if !(with > without) {
+		t.Errorf("fleet variability did not increase spread: with=%v without=%v", with, without)
+	}
+}
+
+func TestNodeEnergySpreadPositiveForMultiNode(t *testing.T) {
+	p := params(t, "CP2K", 8, 600, 150, 7)
+	fleet := cluster.NewFleet(cluster.Emmy(), rng.New(10))
+	s, err := Synthesize(p, fleet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeEnergySpreadPct <= 0 {
+		t.Errorf("NodeEnergySpreadPct = %v", s.NodeEnergySpreadPct)
+	}
+	if s.NodeEnergySpreadPct > 80 {
+		t.Errorf("NodeEnergySpreadPct implausibly large: %v", s.NodeEnergySpreadPct)
+	}
+}
+
+func TestEmitReceivesAllMinutes(t *testing.T) {
+	p := params(t, "GROMACS", 3, 47, 150, 8)
+	var minutes []int
+	_, err := Synthesize(p, nil, func(m int, powers []float64) {
+		if len(powers) != 3 {
+			t.Fatalf("emit got %d powers", len(powers))
+		}
+		minutes = append(minutes, m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minutes) != 47 || minutes[0] != 0 || minutes[46] != 46 {
+		t.Errorf("emitted minutes = %v", minutes)
+	}
+}
+
+func TestCalibrationTemporalMixture(t *testing.T) {
+	// Across the app mix, the average temporal CV should sit near the
+	// paper's ~11% (we accept a generous band at unit-test scale) and the
+	// peak overshoot near 10-12%.
+	var cvs, overs []float64
+	catalog := apps.Catalog()
+	src := rng.New(77)
+	for i := 0; i < 300; i++ {
+		app := catalog[i%len(catalog)]
+		p := Params{
+			JobID: uint64(i), App: app, Spec: cluster.Emmy(),
+			NodeIDs: []int{0, 1, 2, 3}, Minutes: 300,
+			MeanPowerW: 150, Src: src.Split(uint64(i)),
+		}
+		s, err := Synthesize(p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cvs = append(cvs, s.TemporalCVPct)
+		overs = append(overs, s.PeakOvershootPct)
+	}
+	meanCV := mean(cvs)
+	meanOver := mean(overs)
+	if meanCV < 3 || meanCV > 16 {
+		t.Errorf("mean temporal CV = %v%%, want ~11%% (band 3-16)", meanCV)
+	}
+	if meanOver < 6 || meanOver > 20 {
+		t.Errorf("mean peak overshoot = %v%%, want ~10-12%% (band 6-20)", meanOver)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func BenchmarkSynthesize8x240(b *testing.B) {
+	prof, _ := apps.ByName("GROMACS")
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	fleet := cluster.NewFleet(cluster.Emmy(), rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := Params{
+			JobID: uint64(i), App: prof, Spec: cluster.Emmy(),
+			NodeIDs: ids, Minutes: 240, MeanPowerW: 150,
+			Src: rng.New(uint64(i)),
+		}
+		if _, err := Synthesize(p, fleet, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPhaseProfileFlat(t *testing.T) {
+	prof, _ := apps.ByName("MD-0") // FlatProb 0.88
+	flatSeen := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		src := rng.New(uint64(9000 + i))
+		p := newPhaseProfile(prof, src)
+		if p.flat {
+			flatSeen++
+			// A flat profile stays within pure noise around 1.
+			for m := 0; m < 100; m++ {
+				l := p.level(m, src)
+				if l < 1-6*FlatNoiseFrac || l > 1+6*FlatNoiseFrac {
+					t.Fatalf("flat level %v out of noise band", l)
+				}
+			}
+		}
+	}
+	frac := float64(flatSeen) / trials
+	if frac < 0.78 || frac > 0.96 {
+		t.Errorf("flat fraction = %v, want ~0.88", frac)
+	}
+}
+
+func TestPhaseProfileTwoLevels(t *testing.T) {
+	prof, _ := apps.ByName("WRF") // FlatProb 0.5, amp 0.32
+	src := rng.New(777)
+	// Find a phased profile.
+	var p *phaseProfile
+	for i := 0; i < 100; i++ {
+		cand := newPhaseProfile(prof, src)
+		if !cand.flat {
+			p = cand
+			break
+		}
+	}
+	if p == nil {
+		t.Fatal("no phased profile in 100 draws")
+	}
+	if !(p.high > 1 && p.low < 1) {
+		t.Fatalf("levels: high=%v low=%v", p.high, p.low)
+	}
+	// Long-run mean of the two-level signal stays near 1.
+	var sum float64
+	const T = 20000
+	for m := 0; m < T; m++ {
+		sum += p.level(m, src)
+	}
+	mean := sum / T
+	if mean < 0.9 || mean > 1.1 {
+		t.Errorf("phased long-run mean = %v, want ~1", mean)
+	}
+}
+
+func TestImbalanceNormalization(t *testing.T) {
+	// With a nil fleet (efficiency 1), the static factors must average to
+	// exactly 1 per job: imbalance moves work, it does not create it.
+	p := params(t, "FASTEST", 16, 5, 150, 99)
+	perNodeMeans := make([]float64, 16)
+	count := 0
+	_, err := Synthesize(p, nil, func(_ int, powers []float64) {
+		for i, pw := range powers {
+			perNodeMeans[i] += pw
+		}
+		count++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grand float64
+	for i := range perNodeMeans {
+		perNodeMeans[i] /= float64(count)
+		grand += perNodeMeans[i]
+	}
+	grand /= float64(len(perNodeMeans))
+	// Grand mean ≈ target (noise and phases average close to 1 over the
+	// short window; generous tolerance).
+	if math.Abs(grand-150)/150 > 0.1 {
+		t.Errorf("grand mean = %v, want ~150", grand)
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Compressed release support: at full study scale the time-resolved
+// series file dominates the dataset size; gzip cuts it by roughly 4×.
+// SaveCompressed writes series.csv.gz instead of series.csv, and Load
+// transparently reads either.
+
+const seriesGzFile = "series.csv.gz"
+
+// SaveCompressed writes the dataset like Save but gzips the series file.
+func (d *Dataset) SaveCompressed(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: creating dataset dir: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, metaFile), d.writeMeta); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(dir, jobsFile), d.WriteJobsCSV); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(dir, systemFile), d.WriteSystemCSV); err != nil {
+		return err
+	}
+	err := writeFileAtomic(filepath.Join(dir, seriesGzFile), func(w io.Writer) error {
+		gz := gzip.NewWriter(w)
+		if err := d.WriteSeriesCSV(gz); err != nil {
+			gz.Close()
+			return err
+		}
+		return gz.Close()
+	})
+	if err != nil {
+		return err
+	}
+	// Remove a stale uncompressed series file so Load is unambiguous.
+	if err := os.Remove(filepath.Join(dir, seriesFile)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// loadSeries reads the dataset's series from whichever form exists.
+// It returns an error when neither file is present.
+func (d *Dataset) loadSeries(dir string) error {
+	plain := filepath.Join(dir, seriesFile)
+	if _, err := os.Stat(plain); err == nil {
+		return readFile(plain, d.ReadSeriesCSV)
+	}
+	gzPath := filepath.Join(dir, seriesGzFile)
+	return readFile(gzPath, func(r io.Reader) error {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer gz.Close()
+		return d.ReadSeriesCSV(gz)
+	})
+}

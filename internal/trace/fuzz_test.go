@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Parser fuzzing: the released dataset formats are consumed by external
+// tooling and must never panic on malformed input — errors only.
+
+func FuzzReadJobsCSV(f *testing.F) {
+	var buf bytes.Buffer
+	d := testDataset()
+	if err := d.WriteJobsCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("job_id,user\n1,u")
+	f.Add(strings.Repeat("a,", 40))
+	f.Fuzz(func(t *testing.T, input string) {
+		var ds Dataset
+		_ = ds.ReadJobsCSV(strings.NewReader(input)) // must not panic
+	})
+}
+
+func FuzzReadAccounting(f *testing.F) {
+	var buf bytes.Buffer
+	d := testDataset()
+	if err := d.WriteAccounting(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("JobID|User\n")
+	f.Add("JobID|User|JobName|Submit|Start|End|Timelimit|NNodes|State\nx|y|z|a|b|c|d|e|f\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		var ds Dataset
+		_ = ds.ReadAccounting(strings.NewReader(input))
+	})
+}
+
+func FuzzParseTimelimit(f *testing.F) {
+	for _, seed := range []string{"01:00:00", "1-02:03:04", "30:00", "", "x", "::", "-1:2:3"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := parseTimelimit(input)
+		if err == nil && d < 0 {
+			t.Errorf("parseTimelimit(%q) = negative %v without error", input, d)
+		}
+	})
+}
+
+func FuzzReadSeriesCSV(f *testing.F) {
+	var buf bytes.Buffer
+	d := testDataset()
+	if err := d.WriteSeriesCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("job_id,node,idx,time_unix,power_w\n1,0,0,0,abc\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		var ds Dataset
+		_ = ds.ReadSeriesCSV(strings.NewReader(input))
+	})
+}
