@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race bench smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Serving-layer benchmarks (tsdb write hot path + predict handler).
+bench:
+	$(GO) test -run xxx -bench 'IngestBatch|PredictEndpoint' -benchtime=1s .
+
+# End-to-end smoke: generate a small dataset, export a model, start
+# powserved on a random port, replay the dataset with powload, and check
+# zero dropped batches + offline/online prediction parity.
+smoke:
+	./scripts/smoke.sh
+
+ci: vet build race smoke

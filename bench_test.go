@@ -9,6 +9,8 @@ package hpcpower_test
 // window; run cmd/powreport -scale 1 for the full-scale reproduction.
 
 import (
+	"bytes"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -18,7 +20,9 @@ import (
 	"hpcpower/internal/core"
 	"hpcpower/internal/mlearn"
 	"hpcpower/internal/policy"
+	"hpcpower/internal/serve"
 	"hpcpower/internal/trace"
+	"hpcpower/internal/tsdb"
 )
 
 // benchScale keeps a single bench iteration around a week of trace.
@@ -442,4 +446,64 @@ func BenchmarkProvisioningStrategies(b *testing.B) {
 		}
 	}
 	b.ReportMetric(cmp.StaticVsDynamicGapPct, "static_vs_dynamic_gap")
+}
+
+// BenchmarkIngestBatch measures the tsdb write hot path: one 512-sample
+// batch appended to a sharded store (the per-node rings plus the per-job
+// incremental analytics), reporting sustained samples/s.
+func BenchmarkIngestBatch(b *testing.B) {
+	store := tsdb.New(tsdb.Config{Shards: 16, RingLen: 1440})
+	const batchSize = 512
+	batch := make([]trace.PowerSample, batchSize)
+	for i := range batch {
+		batch[i] = trace.PowerSample{
+			Node:   i % 64,
+			JobID:  uint64(i%8 + 1),
+			Unix:   60,
+			PowerW: 100 + float64(i%50),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Advance time so rings rotate like live telemetry.
+		t := int64(60 * (i + 1))
+		for j := range batch {
+			batch[j].Unix = t
+		}
+		if err := store.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)*batchSize/elapsed, "samples/s")
+	}
+}
+
+// BenchmarkPredictEndpoint measures the in-process POST /v1/predict
+// handler: JSON decode, BDT descent, JSON encode.
+func BenchmarkPredictEndpoint(b *testing.B) {
+	emmy, _ := benchData(b)
+	m := mlearn.NewBDT(mlearn.DefaultTreeParams())
+	if err := m.Fit(mlearn.SamplesFromDataset(emmy)); err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.New(tsdb.New(tsdb.DefaultConfig()), m, serve.DefaultConfig())
+	defer srv.Close()
+	handler := srv.Handler()
+	body := []byte(`{"user":"u001","nodes":8,"wall_hours":12}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "predicts/s")
+	}
 }

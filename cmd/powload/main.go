@@ -1,0 +1,211 @@
+// Command powload replays a powsim dataset's time-resolved telemetry
+// against a running powserved instance and reports the achieved
+// throughput and tail latencies — the load generator behind the serving
+// layer's performance acceptance.
+//
+// Usage:
+//
+//	powload -addr http://127.0.0.1:8080 -dataset traces/emmy
+//	powload -addr http://127.0.0.1:8080 -dataset traces/emmy \
+//	        -batch 512 -concurrency 8 -rate 100000 -max-samples 2000000
+//
+// With -rate 0 (default) batches are pushed as fast as the server admits
+// them. Rejected batches (503 backpressure) are retried after the
+// server's Retry-After hint and counted separately; the exit status is
+// non-zero if any batch is ultimately dropped.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpcpower"
+	"hpcpower/internal/trace"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "powserved base URL")
+		dataset     = flag.String("dataset", "", "powsim dataset directory (required)")
+		batchSize   = flag.Int("batch", 512, "samples per ingest request")
+		concurrency = flag.Int("concurrency", 8, "concurrent pushers")
+		rate        = flag.Float64("rate", 0, "target samples/s across all pushers (0 = unthrottled)")
+		maxSamples  = flag.Int("max-samples", 0, "stop after this many samples (0 = whole dataset)")
+		retries     = flag.Int("retries", 8, "retry attempts per batch on 503 backpressure")
+		verify      = flag.Bool("verify", true, "verify the server's ingested count via /healthz afterwards")
+	)
+	flag.Parse()
+	if *dataset == "" {
+		fmt.Fprintln(os.Stderr, "usage: powload -dataset <dir> [-addr url] [-batch n] [-concurrency n] [-rate s/s]")
+		os.Exit(2)
+	}
+
+	ds, err := hpcpower.Load(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	samples := trace.FlattenSeries(ds)
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("dataset %s has no time-resolved series", *dataset))
+	}
+	if *maxSamples > 0 && len(samples) > *maxSamples {
+		samples = samples[:*maxSamples]
+	}
+
+	// Pre-marshal the batches: the generator must not bottleneck on JSON
+	// encoding while measuring the server.
+	var bodies [][]byte
+	var sizes []int
+	for off := 0; off < len(samples); off += *batchSize {
+		end := off + *batchSize
+		if end > len(samples) {
+			end = len(samples)
+		}
+		body, err := json.Marshal(trace.SampleBatch{Samples: samples[off:end]})
+		if err != nil {
+			fatal(err)
+		}
+		bodies = append(bodies, body)
+		sizes = append(sizes, end-off)
+	}
+	fmt.Printf("powload: %d samples in %d batches of ≤%d against %s\n",
+		len(samples), len(bodies), *batchSize, *addr)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var (
+		next      atomic.Int64
+		sent      atomic.Int64 // samples accepted
+		retried   atomic.Int64 // 503 responses that were retried
+		dropped   atomic.Int64 // batches lost after all retries
+		mu        sync.Mutex
+		latencies []float64 // seconds, accepted requests only
+	)
+	// Token-bucket pacing shared by all pushers (when -rate > 0).
+	var pace func(n int)
+	if *rate > 0 {
+		interval := float64(time.Second) / *rate
+		var clock atomic.Int64
+		clock.Store(time.Now().UnixNano())
+		pace = func(n int) {
+			due := clock.Add(int64(interval * float64(n)))
+			if wait := due - time.Now().UnixNano(); wait > 0 {
+				time.Sleep(time.Duration(wait))
+			}
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bodies) {
+					return
+				}
+				if pace != nil {
+					pace(sizes[i])
+				}
+				ok := false
+				for attempt := 0; attempt <= *retries; attempt++ {
+					t0 := time.Now()
+					resp, err := client.Post(*addr+"/v1/samples", "application/json", bytes.NewReader(bodies[i]))
+					if err != nil {
+						fatal(err)
+					}
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusAccepted:
+						d := time.Since(t0).Seconds()
+						mu.Lock()
+						latencies = append(latencies, d)
+						mu.Unlock()
+						sent.Add(int64(sizes[i]))
+						ok = true
+					case http.StatusServiceUnavailable:
+						retried.Add(1)
+						time.Sleep(50 * time.Millisecond)
+						continue
+					default:
+						fatal(fmt.Errorf("batch %d: unexpected status %d", i, resp.StatusCode))
+					}
+					break
+				}
+				if !ok {
+					dropped.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	q := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)))
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	fmt.Printf("powload: pushed %d samples in %.2fs\n", sent.Load(), elapsed.Seconds())
+	fmt.Printf("powload: throughput %.0f samples/s, %.0f req/s\n",
+		float64(sent.Load())/elapsed.Seconds(), float64(len(latencies))/elapsed.Seconds())
+	fmt.Printf("powload: ingest latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		1e3*q(0.50), 1e3*q(0.95), 1e3*q(0.99), 1e3*q(1))
+	fmt.Printf("powload: backpressure retries %d, dropped batches %d\n", retried.Load(), dropped.Load())
+
+	if *verify {
+		resp, err := client.Get(*addr + "/healthz")
+		if err != nil {
+			fatal(err)
+		}
+		var health struct {
+			Ingested int64 `json:"ingested"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&health)
+		resp.Body.Close()
+		if err != nil {
+			fatal(err)
+		}
+		// The server may still be draining its queue; poll briefly.
+		deadline := time.Now().Add(10 * time.Second)
+		for health.Ingested < sent.Load() && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Millisecond)
+			resp, err := client.Get(*addr + "/healthz")
+			if err != nil {
+				fatal(err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&health)
+			resp.Body.Close()
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("powload: server ingested %d (accepted %d)\n", health.Ingested, sent.Load())
+		if health.Ingested < sent.Load() {
+			fatal(fmt.Errorf("server ingested %d < accepted %d", health.Ingested, sent.Load()))
+		}
+	}
+	if dropped.Load() > 0 {
+		fatal(fmt.Errorf("%d batches dropped after %d retries", dropped.Load(), *retries))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "powload: %v\n", err)
+	os.Exit(1)
+}

@@ -6,9 +6,12 @@
 //
 //	powpredict traces/emmy
 //	powpredict -seed 7 -what-if "u001,8,12" traces/emmy
+//	powpredict -save-model model.json traces/emmy
 //
 // -what-if trains a BDT on the full dataset and predicts the per-node
 // power of a hypothetical job given as user,nodes,wall-hours.
+// -save-model trains a BDT on the full dataset and exports it as JSON
+// for powserved's POST /v1/predict endpoint.
 package main
 
 import (
@@ -23,8 +26,9 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 7, "evaluation split seed")
-		whatIf = flag.String("what-if", "", "predict one job: user,nodes,wallHours")
+		seed      = flag.Uint64("seed", 7, "evaluation split seed")
+		whatIf    = flag.String("what-if", "", "predict one job: user,nodes,wallHours")
+		saveModel = flag.String("save-model", "", "train a BDT on the full dataset and write it to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -56,6 +60,18 @@ func main() {
 		p := m.Predict(f)
 		fmt.Printf("what-if %s, %d nodes, %.1f h requested: predicted %.1f W per node (%.0f%% of TDP)\n",
 			f.User, f.Nodes, f.WallHours, p, 100*p/ds.Meta.NodeTDPW)
+	}
+
+	if *saveModel != "" {
+		m := hpcpower.NewBDT()
+		if err := m.Fit(hpcpower.TrainingSamples(ds)); err != nil {
+			fatal(err)
+		}
+		if err := hpcpower.SaveBDTFile(*saveModel, m); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved BDT trained on %d jobs to %s (serve it: powserved -model %s)\n",
+			len(ds.Jobs), *saveModel, *saveModel)
 	}
 }
 

@@ -1,0 +1,99 @@
+// Command powserved is the online power-telemetry daemon: it ingests
+// RAPL-style per-node per-minute samples pushed by monitoring agents into
+// a sharded in-memory TSDB, answers live node/job power queries, and
+// serves pre-execution power predictions from a BDT model exported by
+// powpredict -save-model.
+//
+// Usage:
+//
+//	powserved -addr :8080 -model model.json
+//	powserved -addr 127.0.0.1:0 -train traces/emmy   # train at startup
+//
+// Endpoints: POST /v1/samples, GET /v1/nodes/{id}/series,
+// GET /v1/jobs/{id}/power, POST /v1/predict, GET /v1/summary,
+// GET /metrics, GET /healthz. SIGINT/SIGTERM shut down gracefully,
+// draining the ingest queue first.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hpcpower"
+	"hpcpower/internal/mlearn"
+	"hpcpower/internal/serve"
+	"hpcpower/internal/tsdb"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (host:port, :0 picks a free port)")
+		model   = flag.String("model", "", "BDT model file from powpredict -save-model")
+		train   = flag.String("train", "", "dataset directory to train a BDT on at startup (alternative to -model)")
+		shards  = flag.Int("shards", 16, "TSDB shards (rounded up to a power of two)")
+		ring    = flag.Int("ring", 1440, "retained samples per node (1440 = one day of minutes)")
+		queue   = flag.Int("queue", 256, "ingest queue depth in batches (backpressure threshold)")
+		workers = flag.Int("workers", 4, "ingest worker goroutines")
+	)
+	flag.Parse()
+
+	var bdt *mlearn.BDT
+	switch {
+	case *model != "" && *train != "":
+		fatal(fmt.Errorf("use -model or -train, not both"))
+	case *model != "":
+		m, err := mlearn.LoadBDTFile(*model)
+		if err != nil {
+			fatal(err)
+		}
+		bdt = m
+		fmt.Printf("powserved: loaded model %s (depth %d, %d leaves)\n", *model, m.Depth(), m.Leaves())
+	case *train != "":
+		ds, err := hpcpower.Load(*train)
+		if err != nil {
+			fatal(err)
+		}
+		m := mlearn.NewBDT(mlearn.DefaultTreeParams())
+		if err := m.Fit(mlearn.SamplesFromDataset(ds)); err != nil {
+			fatal(err)
+		}
+		bdt = m
+		fmt.Printf("powserved: trained on %s: %d jobs (depth %d, %d leaves)\n",
+			*train, len(ds.Jobs), m.Depth(), m.Leaves())
+	default:
+		fmt.Println("powserved: no model (-model/-train); POST /v1/predict will answer 503")
+	}
+
+	store := tsdb.New(tsdb.Config{Shards: *shards, RingLen: *ring})
+	srv := serve.New(store, bdt, serve.Config{
+		QueueDepth:    *queue,
+		IngestWorkers: *workers,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	bound, done, err := srv.ListenAndServe(ctx, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("powserved: listening on %s\n", bound)
+
+	start := time.Now()
+	if err := <-done; err != nil {
+		fatal(err)
+	}
+	sum := store.Summarize()
+	fmt.Printf("powserved: drained and stopped after %s: %d samples, %d nodes, %d jobs\n",
+		time.Since(start).Round(time.Second), sum.Samples, sum.Nodes, sum.Jobs)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "powserved: %v\n", err)
+	os.Exit(1)
+}

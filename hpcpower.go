@@ -25,6 +25,7 @@
 package hpcpower
 
 import (
+	"fmt"
 	"io"
 
 	"hpcpower/internal/cluster"
@@ -113,6 +114,32 @@ func NewFLDA() PredictModel { return mlearn.NewFLDA(mlearn.DefaultFLDAParams()) 
 // TrainingSamples extracts (user, nodes, walltime) → power samples from a
 // dataset for use with the predictors.
 func TrainingSamples(ds *Dataset) []mlearn.Sample { return mlearn.SamplesFromDataset(ds) }
+
+// SaveBDT serializes a fitted BDT as JSON. The model must come from
+// NewBDT (the other predictors have no serial format).
+func SaveBDT(w io.Writer, m PredictModel) error {
+	t, ok := m.(*mlearn.BDT)
+	if !ok {
+		return fmt.Errorf("hpcpower: model %s is not a BDT", m.Name())
+	}
+	return t.Save(w)
+}
+
+// SaveBDTFile writes a fitted BDT to a model file powserved can load.
+func SaveBDTFile(path string, m PredictModel) error {
+	t, ok := m.(*mlearn.BDT)
+	if !ok {
+		return fmt.Errorf("hpcpower: model %s is not a BDT", m.Name())
+	}
+	return t.SaveFile(path)
+}
+
+// LoadBDT reads a model written by SaveBDT; predictions from the loaded
+// model are bit-identical to the saved one.
+func LoadBDT(r io.Reader) (PredictModel, error) { return mlearn.LoadBDT(r) }
+
+// LoadBDTFile reads a model file written by SaveBDTFile.
+func LoadBDTFile(path string) (PredictModel, error) { return mlearn.LoadBDTFile(path) }
 
 // EvaluatePredictors reproduces Figs. 14-15: BDT, KNN and FLDA under ten
 // stratified 80/20 splits.

@@ -31,11 +31,28 @@ type StreamedDistribution struct {
 	// over log features is the standard streaming stand-in.
 	LengthPowerPearson float64
 	SizePowerPearson   float64
+	// SkippedRows counts malformed rows dropped in lenient mode (always 0
+	// in strict mode, which aborts on the first bad row).
+	SkippedRows int
+}
+
+// StreamOptions tunes StreamPowerDistributionOpt.
+type StreamOptions struct {
+	// Lenient makes the reader skip malformed rows (counting them in
+	// SkippedRows) instead of aborting the stream — what an ingest path
+	// fed by real agents needs. Structural failures (unreadable header,
+	// missing columns, empty stream) still error in both modes.
+	Lenient bool
 }
 
 // StreamPowerDistribution reads a jobs.csv stream and reduces it without
-// materializing rows.
+// materializing rows. It is strict: the first malformed row aborts.
 func StreamPowerDistribution(r io.Reader) (StreamedDistribution, error) {
+	return StreamPowerDistributionOpt(r, StreamOptions{})
+}
+
+// StreamPowerDistributionOpt is StreamPowerDistribution with options.
+func StreamPowerDistributionOpt(r io.Reader, opt StreamOptions) (StreamedDistribution, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
@@ -63,22 +80,35 @@ func StreamPowerDistribution(r io.Reader) (StreamedDistribution, error) {
 	}
 	var corrLen, corrSize streamingCorr
 
+	skipped := 0
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			if opt.Lenient {
+				skipped++
+				continue
+			}
 			return StreamedDistribution{}, fmt.Errorf("core: jobs.csv line %d: %w", line, err)
 		}
 		power, err := strconv.ParseFloat(rec[col["avg_power_per_node_w"]], 64)
 		if err != nil {
+			if opt.Lenient {
+				skipped++
+				continue
+			}
 			return StreamedDistribution{}, fmt.Errorf("core: line %d power: %w", line, err)
 		}
 		start, err1 := strconv.ParseInt(rec[col["start_unix"]], 10, 64)
 		end, err2 := strconv.ParseInt(rec[col["end_unix"]], 10, 64)
 		nodes, err3 := strconv.Atoi(rec[col["nodes"]])
 		if err1 != nil || err2 != nil || err3 != nil {
+			if opt.Lenient {
+				skipped++
+				continue
+			}
 			return StreamedDistribution{}, fmt.Errorf("core: line %d malformed", line)
 		}
 		acc.Add(power)
@@ -104,6 +134,7 @@ func StreamPowerDistribution(r io.Reader) (StreamedDistribution, error) {
 		P95W:               p95.Value(),
 		LengthPowerPearson: corrLen.value(),
 		SizePowerPearson:   corrSize.value(),
+		SkippedRows:        skipped,
 	}, nil
 }
 

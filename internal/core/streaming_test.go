@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// streamCSV builds a jobs.csv stream with the columns the reader needs,
+// interleaving the given malformed lines at the end.
+func streamCSV(goodRows int, badRows ...string) string {
+	var b strings.Builder
+	b.WriteString("job_id,user,avg_power_per_node_w,start_unix,end_unix,nodes\n")
+	for i := 0; i < goodRows; i++ {
+		fmt.Fprintf(&b, "%d,u%03d,%g,%d,%d,%d\n",
+			i+1, i%7, 100+float64(i%40), 1000+int64(i)*60, 1000+int64(i)*60+3600, 1+i%16)
+	}
+	for _, bad := range badRows {
+		b.WriteString(bad + "\n")
+	}
+	return b.String()
+}
+
+func TestStreamStrictAbortsOnBadRow(t *testing.T) {
+	in := streamCSV(5, "6,u001,not-a-number,1000,2000,4")
+	if _, err := StreamPowerDistribution(strings.NewReader(in)); err == nil {
+		t.Fatal("strict mode accepted a malformed power value")
+	}
+	// Strict is the default for the options entry point too.
+	if _, err := StreamPowerDistributionOpt(strings.NewReader(in), StreamOptions{}); err == nil {
+		t.Fatal("zero-value options accepted a malformed row")
+	}
+}
+
+func TestStreamLenientSkipsAndCounts(t *testing.T) {
+	clean := streamCSV(50)
+	want, err := StreamPowerDistribution(strings.NewReader(clean))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirty := streamCSV(50,
+		"51,u001,not-a-number,1000,2000,4", // bad power
+		"52,u001,120,oops,2000,4",          // bad start
+		"53,u001,120,1000,2000,many",       // bad node count
+		"54,u001",                          // wrong column count
+	)
+	got, err := StreamPowerDistributionOpt(strings.NewReader(dirty), StreamOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SkippedRows != 4 {
+		t.Errorf("SkippedRows = %d, want 4", got.SkippedRows)
+	}
+	if got.Jobs != want.Jobs {
+		t.Errorf("lenient Jobs = %d, want %d", got.Jobs, want.Jobs)
+	}
+	// The good rows must reduce identically to the clean stream.
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"mean", got.MeanW, want.MeanW},
+		{"std", got.StdW, want.StdW},
+		{"min", got.MinW, want.MinW},
+		{"max", got.MaxW, want.MaxW},
+		{"median", got.MedianW, want.MedianW},
+		{"p95", got.P95W, want.P95W},
+		{"corr length", got.LengthPowerPearson, want.LengthPowerPearson},
+		{"corr size", got.SizePowerPearson, want.SizePowerPearson},
+	} {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("lenient %s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if want.SkippedRows != 0 {
+		t.Errorf("clean stream SkippedRows = %d", want.SkippedRows)
+	}
+}
+
+func TestStreamLenientStillErrorsOnStructure(t *testing.T) {
+	// Structural problems are fatal in both modes.
+	for name, in := range map[string]string{
+		"empty":           "",
+		"missing columns": "a,b\n1,2\n",
+		"all rows bad":    streamCSV(0, "1,u001,bad,1000,2000,4"),
+	} {
+		if _, err := StreamPowerDistributionOpt(strings.NewReader(in), StreamOptions{Lenient: true}); err == nil {
+			t.Errorf("%s: lenient mode did not error", name)
+		}
+	}
+}

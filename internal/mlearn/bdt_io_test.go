@@ -1,0 +1,139 @@
+package mlearn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hpcpower/internal/rng"
+)
+
+// ioSamples builds a deterministic training set with categorical
+// structure (users with distinct power levels) and numeric structure.
+func ioSamples(n int) []Sample {
+	src := rng.New(99)
+	users := []string{"u001", "u002", "u003", "u004", "u005", "u006"}
+	base := []float64{95, 120, 140, 150, 175, 200}
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		u := int(src.Uint64() % uint64(len(users)))
+		nodes := 1 + int(src.Uint64()%64)
+		wall := 0.5 + 24*src.Float64()
+		power := base[u] + 10*src.Float64() + 0.2*float64(nodes)
+		out = append(out, Sample{
+			Features: Features{User: users[u], Nodes: nodes, WallHours: wall},
+			PowerW:   power,
+		})
+	}
+	return out
+}
+
+func TestBDTSaveLoadRoundTrip(t *testing.T) {
+	samples := ioSamples(400)
+	train, held := samples[:320], samples[320:]
+	m := NewBDT(DefaultTreeParams())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBDT(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Depth() != m.Depth() || loaded.Leaves() != m.Leaves() {
+		t.Fatalf("shape changed: depth %d→%d leaves %d→%d",
+			m.Depth(), loaded.Depth(), m.Leaves(), loaded.Leaves())
+	}
+	// Held-out plus unseen-user probes: predictions must be bit-identical.
+	probes := make([]Features, 0, len(held)+2)
+	for _, s := range held {
+		probes = append(probes, s.Features)
+	}
+	probes = append(probes,
+		Features{User: "unseen", Nodes: 8, WallHours: 12},
+		Features{User: "u003", Nodes: 1024, WallHours: 0.01},
+	)
+	for _, f := range probes {
+		if got, want := loaded.Predict(f), m.Predict(f); got != want {
+			t.Fatalf("Predict(%+v) = %v after reload, want %v", f, got, want)
+		}
+		gp, gs, gn := loaded.PredictWithStd(f)
+		wp, ws, wn := m.PredictWithStd(f)
+		if gp != wp || gs != ws || gn != wn {
+			t.Fatalf("PredictWithStd(%+v) = (%v,%v,%d), want (%v,%v,%d)", f, gp, gs, gn, wp, ws, wn)
+		}
+	}
+}
+
+func TestBDTSaveLoadUntrained(t *testing.T) {
+	m := NewBDT(TreeParams{MaxDepth: 5, MinLeaf: 3})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBDT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.root != nil || loaded.params != m.params {
+		t.Errorf("untrained round-trip: %+v", loaded)
+	}
+}
+
+func TestLoadBDTRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"not json":      "xyzzy",
+		"wrong format":  `{"format":"other","version":1}`,
+		"wrong version": `{"format":"hpcpower-bdt","version":99}`,
+		"child out of range": `{"format":"hpcpower-bdt","version":1,
+			"nodes":[{"leaf":false,"feat":0,"l":5,"r":6}]}`,
+		"cycle": `{"format":"hpcpower-bdt","version":1,
+			"nodes":[{"leaf":false,"feat":0,"l":0,"r":0}]}`,
+		"unreachable node": `{"format":"hpcpower-bdt","version":1,
+			"nodes":[{"leaf":true,"value":1,"l":-1,"r":-1},{"leaf":true,"value":2,"l":-1,"r":-1}]}`,
+		"bad feature": `{"format":"hpcpower-bdt","version":1,
+			"nodes":[{"leaf":false,"feat":7,"l":1,"r":2},
+			         {"leaf":true,"value":1,"l":-1,"r":-1},{"leaf":true,"value":2,"l":-1,"r":-1}]}`,
+		"negative leaf n": `{"format":"hpcpower-bdt","version":1,
+			"nodes":[{"leaf":true,"value":1,"n":-4,"l":-1,"r":-1}]}`,
+	}
+	for name, body := range cases {
+		if _, err := LoadBDT(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: LoadBDT accepted malformed input", name)
+		}
+	}
+}
+
+// FuzzLoadBDT: model files come from operators' disks; loading must never
+// panic, and any model that loads must predict without panicking.
+func FuzzLoadBDT(f *testing.F) {
+	m := NewBDT(DefaultTreeParams())
+	if err := m.Fit(ioSamples(100)); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"format":"hpcpower-bdt","version":1,"nodes":[]}`)
+	f.Add(`{"format":"hpcpower-bdt","version":1,"nodes":[{"leaf":false,"l":0,"r":0}]}`)
+	f.Add(`{"format":"hpcpower-bdt","version":1,"fallback":1e308,"nodes":null}`)
+	f.Add("{")
+	f.Fuzz(func(t *testing.T, input string) {
+		loaded, err := LoadBDT(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// A file that loads must be a usable model.
+		_ = loaded.Predict(Features{User: "u001", Nodes: 4, WallHours: 2})
+		_ = loaded.Depth()
+		_ = loaded.Leaves()
+	})
+}

@@ -1,0 +1,79 @@
+package rapl
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hpcpower/internal/trace"
+)
+
+// PushAgent is the monitoring-agent side of the online telemetry path: it
+// owns one NodeMeter per monitored node and turns periodic counter reads
+// into trace.PowerSample wire records ready to POST to a powserved
+// ingest endpoint. The offline pipeline stores what the Sampler recovers;
+// the push agent ships the very same recovered values, so live and
+// released telemetry agree sample for sample.
+type PushAgent struct {
+	meters map[int]*meterEntry
+}
+
+type meterEntry struct {
+	meter *NodeMeter
+	jobID uint64
+}
+
+// NewPushAgent returns an agent with no monitored nodes.
+func NewPushAgent() *PushAgent {
+	return &PushAgent{meters: map[int]*meterEntry{}}
+}
+
+// Track registers a node and the job currently occupying it (0 for an
+// idle node). Re-tracking an existing node only updates the job binding,
+// preserving counter history across job boundaries like real hardware.
+func (a *PushAgent) Track(node int, jobID uint64) error {
+	if node < 0 {
+		return fmt.Errorf("rapl: negative node %d", node)
+	}
+	if e, ok := a.meters[node]; ok {
+		e.jobID = jobID
+		return nil
+	}
+	a.meters[node] = &meterEntry{meter: NewNodeMeter(), jobID: jobID}
+	return nil
+}
+
+// Accumulate feeds ground-truth power into a node's counters (the role
+// the hardware plays in production; tests and the load generator drive
+// it directly).
+func (a *PushAgent) Accumulate(node int, totalW, dramFrac float64, d time.Duration) error {
+	e, ok := a.meters[node]
+	if !ok {
+		return fmt.Errorf("rapl: node %d not tracked", node)
+	}
+	return e.meter.Accumulate(totalW, dramFrac, d)
+}
+
+// Collect samples every tracked node at instant t and returns the wire
+// batch. Nodes without a complete interval yet (first observation) are
+// skipped, exactly like the offline Sampler's warm-up.
+func (a *PushAgent) Collect(t time.Time) ([]trace.PowerSample, error) {
+	out := make([]trace.PowerSample, 0, len(a.meters))
+	for node, e := range a.meters {
+		w, ok, err := e.meter.Sample(t)
+		if err != nil {
+			return nil, fmt.Errorf("rapl: node %d: %w", node, err)
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, trace.PowerSample{
+			Node: node, JobID: e.jobID, Unix: t.Unix(), PowerW: w,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out, nil
+}
+
+// Nodes returns the number of tracked nodes.
+func (a *PushAgent) Nodes() int { return len(a.meters) }

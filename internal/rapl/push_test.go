@@ -1,0 +1,82 @@
+package rapl
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPushAgentCollect(t *testing.T) {
+	a := NewPushAgent()
+	for n := 0; n < 3; n++ {
+		if err := a.Track(n, uint64(10+n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Nodes() != 3 {
+		t.Fatalf("Nodes() = %d", a.Nodes())
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+
+	// Warm-up: the first collection has no interval yet.
+	first, err := a.Collect(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 0 {
+		t.Fatalf("warm-up collect returned %d samples", len(first))
+	}
+
+	// One minute of known power per node.
+	for n := 0; n < 3; n++ {
+		if err := a.Accumulate(n, 100+10*float64(n), 0.2, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := a.Collect(t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("collected %d samples, want 3", len(batch))
+	}
+	for i, s := range batch {
+		if s.Node != i || s.JobID != uint64(10+i) || s.Unix != t0.Add(time.Minute).Unix() {
+			t.Errorf("sample %d = %+v", i, s)
+		}
+		// RAPL quantization keeps the recovered power within a tick.
+		if want := 100 + 10*float64(i); math.Abs(s.PowerW-want) > 0.01 {
+			t.Errorf("node %d power = %v, want ≈%v", i, s.PowerW, want)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("sample %d invalid: %v", i, err)
+		}
+	}
+
+	// Re-tracking rebinds the job without resetting counters.
+	if err := a.Track(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Accumulate(0, 100, 0.2, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	batch, err = a.Collect(t0.Add(2 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 || batch[0].JobID != 99 {
+		t.Fatalf("after rebind: %+v", batch)
+	}
+	// Nodes 1 and 2 drew nothing in the second minute.
+	if batch[1].PowerW > 0.01 || batch[2].PowerW > 0.01 {
+		t.Errorf("idle nodes reported %v, %v W", batch[1].PowerW, batch[2].PowerW)
+	}
+
+	// Untracked node and negative node are rejected.
+	if err := a.Accumulate(7, 100, 0.2, time.Minute); err == nil {
+		t.Error("accumulate on untracked node did not error")
+	}
+	if err := a.Track(-1, 1); err == nil {
+		t.Error("negative node accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// endpointStats is the per-endpoint request accounting: counts, errors,
+// and latency sum/max — all atomics, so the hot path never takes a lock.
+type endpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status ≥ 400
+	nanosSum atomic.Int64
+	nanosMax atomic.Int64
+}
+
+func (e *endpointStats) observe(d time.Duration, status int) {
+	e.requests.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	n := d.Nanoseconds()
+	e.nanosSum.Add(n)
+	for {
+		cur := e.nanosMax.Load()
+		if n <= cur || e.nanosMax.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// metrics aggregates server-wide counters for GET /metrics.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+
+	samplesIngested atomic.Int64
+	batchesAccepted atomic.Int64
+	batchesRejected atomic.Int64 // backpressure: queue full
+	batchesInvalid  atomic.Int64 // malformed body or samples
+	queueDepth      func() int
+}
+
+func newMetrics(queueDepth func() int) *metrics {
+	return &metrics{endpoints: map[string]*endpointStats{}, queueDepth: queueDepth}
+}
+
+func (m *metrics) endpoint(name string) *endpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[name]
+	if e == nil {
+		e = &endpointStats{}
+		m.endpoints[name] = e
+	}
+	return e
+}
+
+// instrument wraps a handler with latency/throughput accounting under the
+// given endpoint label.
+func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	e := m.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		e.observe(time.Since(start), sw.status)
+	}
+}
+
+// statusWriter records the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// write renders the counters in the Prometheus text exposition format
+// (hand-rolled: the repo is stdlib-only by design).
+func (m *metrics) write(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE powserved_samples_ingested_total counter\n")
+	fmt.Fprintf(w, "powserved_samples_ingested_total %d\n", m.samplesIngested.Load())
+	fmt.Fprintf(w, "# TYPE powserved_batches_accepted_total counter\n")
+	fmt.Fprintf(w, "powserved_batches_accepted_total %d\n", m.batchesAccepted.Load())
+	fmt.Fprintf(w, "# TYPE powserved_batches_rejected_total counter\n")
+	fmt.Fprintf(w, "powserved_batches_rejected_total %d\n", m.batchesRejected.Load())
+	fmt.Fprintf(w, "# TYPE powserved_batches_invalid_total counter\n")
+	fmt.Fprintf(w, "powserved_batches_invalid_total %d\n", m.batchesInvalid.Load())
+	if m.queueDepth != nil {
+		fmt.Fprintf(w, "# TYPE powserved_ingest_queue_depth gauge\n")
+		fmt.Fprintf(w, "powserved_ingest_queue_depth %d\n", m.queueDepth())
+	}
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	eps := make([]*endpointStats, len(names))
+	for i, name := range names {
+		eps[i] = m.endpoints[name]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# TYPE powserved_requests_total counter\n")
+	for i, name := range names {
+		fmt.Fprintf(w, "powserved_requests_total{endpoint=%q} %d\n", name, eps[i].requests.Load())
+	}
+	fmt.Fprintf(w, "# TYPE powserved_request_errors_total counter\n")
+	for i, name := range names {
+		fmt.Fprintf(w, "powserved_request_errors_total{endpoint=%q} %d\n", name, eps[i].errors.Load())
+	}
+	fmt.Fprintf(w, "# TYPE powserved_request_seconds_sum counter\n")
+	for i, name := range names {
+		fmt.Fprintf(w, "powserved_request_seconds_sum{endpoint=%q} %g\n",
+			name, float64(eps[i].nanosSum.Load())/1e9)
+	}
+	fmt.Fprintf(w, "# TYPE powserved_request_seconds_max gauge\n")
+	for i, name := range names {
+		fmt.Fprintf(w, "powserved_request_seconds_max{endpoint=%q} %g\n",
+			name, float64(eps[i].nanosMax.Load())/1e9)
+	}
+}

@@ -1,0 +1,313 @@
+// Package serve is the HTTP layer of the powserved online telemetry
+// service: batch sample ingest with bounded-queue backpressure, node
+// series and live job characterization queries, pre-execution power
+// prediction from a serialized BDT, and operational endpoints
+// (/metrics, /healthz) — stdlib net/http only.
+//
+// Endpoints:
+//
+//	POST /v1/samples          ingest a trace.SampleBatch (202, or 503 on backpressure)
+//	GET  /v1/nodes/{id}/series?from=&to=   retained window of one node
+//	GET  /v1/jobs/{id}/power  live streaming characterization of one job
+//	POST /v1/predict          BDT prediction from (user, nodes, wall_hours)
+//	GET  /v1/summary          store-wide reduction (merged shards)
+//	GET  /metrics             Prometheus-style counters
+//	GET  /healthz             liveness
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpcpower/internal/mlearn"
+	"hpcpower/internal/trace"
+	"hpcpower/internal/tsdb"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// QueueDepth bounds the ingest queue (batches). 0 means 256. When the
+	// queue is full, POST /v1/samples answers 503 + Retry-After instead of
+	// blocking the agent — explicit backpressure, never unbounded memory.
+	QueueDepth int
+	// IngestWorkers drains the queue into the store. 0 means 4.
+	IngestWorkers int
+	// MaxBatchBytes bounds an ingest request body. 0 means 8 MiB.
+	MaxBatchBytes int64
+	// RequestTimeout bounds handler time per request. 0 means 10 s.
+	RequestTimeout time.Duration
+}
+
+// DefaultConfig returns the sizing powserved starts with.
+func DefaultConfig() Config {
+	return Config{QueueDepth: 256, IngestWorkers: 4, MaxBatchBytes: 8 << 20, RequestTimeout: 10 * time.Second}
+}
+
+// Server wires the TSDB, the prediction model, and the HTTP API.
+type Server struct {
+	store *tsdb.Store
+	model *mlearn.BDT // may be nil: predict answers 503
+	cfg   Config
+
+	mux     *http.ServeMux
+	metrics *metrics
+
+	ingestQ  chan []trace.PowerSample
+	workerWG sync.WaitGroup
+	draining atomic.Bool
+}
+
+// New builds a server around a store and an optional prediction model,
+// and starts its ingest workers. Call Close (or Shutdown) to drain.
+func New(store *tsdb.Store, model *mlearn.BDT, cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.IngestWorkers <= 0 {
+		cfg.IngestWorkers = 4
+	}
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = 8 << 20
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	s := &Server{
+		store:   store,
+		model:   model,
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		ingestQ: make(chan []trace.PowerSample, cfg.QueueDepth),
+	}
+	s.metrics = newMetrics(func() int { return len(s.ingestQ) })
+	for i := 0; i < cfg.IngestWorkers; i++ {
+		s.workerWG.Add(1)
+		go s.ingestWorker()
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/samples", s.metrics.instrument("ingest", s.handleIngest))
+	s.mux.HandleFunc("GET /v1/nodes/{id}/series", s.metrics.instrument("node_series", s.handleNodeSeries))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/power", s.metrics.instrument("job_power", s.handleJobPower))
+	s.mux.HandleFunc("POST /v1/predict", s.metrics.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("GET /v1/summary", s.metrics.instrument("summary", s.handleSummary))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// Handler returns the fully instrumented root handler with the request
+// timeout applied (ingest and predict are fast; the timeout guards the
+// query endpoints against pathological windows).
+func (s *Server) Handler() http.Handler {
+	return http.TimeoutHandler(s.mux, s.cfg.RequestTimeout, `{"error":"request timeout"}`)
+}
+
+func (s *Server) ingestWorker() {
+	defer s.workerWG.Done()
+	for batch := range s.ingestQ {
+		if err := s.store.Append(batch); err != nil {
+			// Validated before enqueue; a failure here is a programming
+			// error — count it, don't crash the drain loop.
+			s.metrics.batchesInvalid.Add(1)
+			continue
+		}
+		s.metrics.samplesIngested.Add(int64(len(batch)))
+	}
+}
+
+// Close stops accepting ingest work and drains the queue.
+func (s *Server) Close() {
+	if s.draining.Swap(true) {
+		return
+	}
+	close(s.ingestQ)
+	s.workerWG.Wait()
+}
+
+// errJSON writes a JSON error body with the given status.
+func errJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		errJSON(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	var batch trace.SampleBatch
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes))
+	if err := dec.Decode(&batch); err != nil {
+		s.metrics.batchesInvalid.Add(1)
+		errJSON(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	if len(batch.Samples) == 0 {
+		s.metrics.batchesInvalid.Add(1)
+		errJSON(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if err := batch.Validate(); err != nil {
+		s.metrics.batchesInvalid.Add(1)
+		errJSON(w, http.StatusBadRequest, "invalid batch: %v", err)
+		return
+	}
+	select {
+	case s.ingestQ <- batch.Samples:
+		s.metrics.batchesAccepted.Add(1)
+		writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(batch.Samples)})
+	default:
+		// Backpressure: bounded queue full. The agent owns the retry.
+		s.metrics.batchesRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		errJSON(w, http.StatusServiceUnavailable, "ingest queue full")
+	}
+}
+
+func (s *Server) handleNodeSeries(w http.ResponseWriter, r *http.Request) {
+	node, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || node < 0 {
+		errJSON(w, http.StatusBadRequest, "bad node id %q", r.PathValue("id"))
+		return
+	}
+	var from, to int64
+	if v := r.URL.Query().Get("from"); v != "" {
+		if from, err = strconv.ParseInt(v, 10, 64); err != nil {
+			errJSON(w, http.StatusBadRequest, "bad from: %v", err)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		if to, err = strconv.ParseInt(v, 10, 64); err != nil {
+			errJSON(w, http.StatusBadRequest, "bad to: %v", err)
+			return
+		}
+	}
+	points := s.store.NodeSeries(node, from, to)
+	writeJSON(w, http.StatusOK, map[string]any{"node": node, "points": points})
+}
+
+func (s *Server) handleJobPower(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil || id == 0 {
+		errJSON(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return
+	}
+	stats, ok := s.store.JobPower(id)
+	if !ok {
+		errJSON(w, http.StatusNotFound, "no samples for job %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// PredictRequest is the body of POST /v1/predict: the paper's three
+// pre-execution features.
+type PredictRequest struct {
+	User      string  `json:"user"`
+	Nodes     int     `json:"nodes"`
+	WallHours float64 `json:"wall_hours"`
+}
+
+// PredictResponse is the prediction plus the leaf's uncertainty — what a
+// power-aware scheduler needs to size cap headroom.
+type PredictResponse struct {
+	PredictedW float64 `json:"predicted_w"`
+	LeafStdW   float64 `json:"leaf_std_w"`
+	LeafN      int     `json:"leaf_n"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if s.model == nil {
+		errJSON(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		errJSON(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Nodes <= 0 || req.WallHours <= 0 {
+		errJSON(w, http.StatusBadRequest, "nodes and wall_hours must be positive")
+		return
+	}
+	pred, std, n := s.model.PredictWithStd(mlearn.Features{
+		User: req.User, Nodes: req.Nodes, WallHours: req.WallHours,
+	})
+	writeJSON(w, http.StatusOK, PredictResponse{PredictedW: pred, LeafStdW: std, LeafN: n})
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Summarize())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"ingested": s.store.Ingested(),
+	})
+}
+
+// ListenAndServe runs the server on addr until ctx is cancelled, then
+// shuts down gracefully: stop accepting connections, finish in-flight
+// requests, drain the ingest queue. The returned addr channel reports the
+// bound address (useful with ":0").
+func (s *Server) ListenAndServe(ctx context.Context, addr string) (boundAddr string, done <-chan error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("serve: %w", err)
+	}
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		serveErr := hs.Serve(ln)
+		if errors.Is(serveErr, http.ErrServerClosed) {
+			serveErr = nil
+		}
+		errc <- serveErr
+	}()
+	result := make(chan error, 1)
+	go func() {
+		select {
+		case <-ctx.Done():
+			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			shutErr := hs.Shutdown(shutCtx)
+			s.Close()
+			if serveErr := <-errc; serveErr != nil {
+				shutErr = serveErr
+			}
+			result <- shutErr
+		case serveErr := <-errc:
+			s.Close()
+			result <- serveErr
+		}
+	}()
+	return ln.Addr().String(), result, nil
+}

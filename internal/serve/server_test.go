@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpcpower/internal/mlearn"
+	"hpcpower/internal/rng"
+	"hpcpower/internal/trace"
+	"hpcpower/internal/tsdb"
+)
+
+func trainedModel(t testing.TB) *mlearn.BDT {
+	t.Helper()
+	src := rng.New(7)
+	users := []string{"u001", "u002", "u003"}
+	var samples []mlearn.Sample
+	for i := 0; i < 200; i++ {
+		u := int(src.Uint64() % 3)
+		samples = append(samples, mlearn.Sample{
+			Features: mlearn.Features{
+				User:      users[u],
+				Nodes:     1 + int(src.Uint64()%32),
+				WallHours: 0.5 + 12*src.Float64(),
+			},
+			PowerW: 100 + 30*float64(u) + 5*src.Float64(),
+		})
+	}
+	m := mlearn.NewBDT(mlearn.DefaultTreeParams())
+	if err := m.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(tsdb.New(tsdb.Config{Shards: 4, RingLen: 256}), trainedModel(t), cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t testing.TB, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func get(t testing.TB, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// waitIngested polls until the store has absorbed want samples (ingest is
+// asynchronous behind the bounded queue).
+func waitIngested(t testing.TB, s *Server, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.store.Ingested() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested %d of %d before timeout", s.store.Ingested(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestIngestAndQueryRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, DefaultConfig())
+	batch := trace.SampleBatch{}
+	for m := 0; m < 10; m++ {
+		for n := 0; n < 4; n++ {
+			batch.Samples = append(batch.Samples, trace.PowerSample{
+				Node: n, JobID: 5, Unix: int64(6000 + 60*m), PowerW: 100 + float64(n),
+			})
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/samples", batch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+	}
+	waitIngested(t, s, 40)
+
+	// Node series.
+	resp, body = get(t, ts.URL+"/v1/nodes/2/series?from=6000&to=6300")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("series status %d: %s", resp.StatusCode, body)
+	}
+	var series struct {
+		Node   int          `json:"node"`
+		Points []tsdb.Point `json:"points"`
+	}
+	if err := json.Unmarshal(body, &series); err != nil {
+		t.Fatal(err)
+	}
+	if series.Node != 2 || len(series.Points) != 6 {
+		t.Errorf("series = node %d with %d points", series.Node, len(series.Points))
+	}
+
+	// Live job characterization.
+	resp, body = get(t, ts.URL+"/v1/jobs/5/power")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job power status %d: %s", resp.StatusCode, body)
+	}
+	var js tsdb.JobStats
+	if err := json.Unmarshal(body, &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Samples != 40 || js.Nodes != 4 || js.MeanW < 100 || js.MeanW > 104 {
+		t.Errorf("job stats = %+v", js)
+	}
+	// Spread across nodes is exactly 3 W every minute.
+	if js.AvgSpatialSpreadW < 2.99 || js.AvgSpatialSpreadW > 3.01 {
+		t.Errorf("spatial spread = %v", js.AvgSpatialSpreadW)
+	}
+
+	// Unknown job → 404.
+	resp, _ = get(t, ts.URL+"/v1/jobs/999/power")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status %d", resp.StatusCode)
+	}
+
+	// Summary.
+	resp, body = get(t, ts.URL+"/v1/summary")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary status %d", resp.StatusCode)
+	}
+	var sum tsdb.Summary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Samples != 40 || sum.Nodes != 4 || sum.Jobs != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestIngestRejectsBadBatches(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	for name, body := range map[string]string{
+		"not json":       "xyzzy",
+		"empty batch":    `{"samples":[]}`,
+		"negative node":  `{"samples":[{"node":-1,"job":1,"t":60,"w":100}]}`,
+		"negative power": `{"samples":[{"node":1,"job":1,"t":60,"w":-5}]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/samples", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestIngestBackpressure fills the bounded queue (no workers draining it)
+// and checks the 503 + Retry-After contract, with every accepted batch
+// accounted and none dropped.
+func TestIngestBackpressure(t *testing.T) {
+	store := tsdb.New(tsdb.Config{Shards: 2, RingLen: 64})
+	// A server whose single worker is blocked: saturate the queue first.
+	s := New(store, nil, Config{QueueDepth: 4, IngestWorkers: 1})
+	// Stall the worker by pre-filling the queue faster than it drains:
+	// direct channel access keeps the test deterministic.
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	batch := trace.SampleBatch{Samples: []trace.PowerSample{{Node: 1, JobID: 1, Unix: 60, PowerW: 10}}}
+	accepted, rejected := 0, 0
+	for i := 0; i < 2000; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/samples", batch)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusServiceUnavailable:
+			rejected++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("503 without Retry-After")
+			}
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if accepted == 0 {
+		t.Error("no batch accepted")
+	}
+	// Every accepted sample must eventually reach the store: accepted
+	// means enqueued, and the queue is drained, not dropped.
+	waitIngested(t, s, int64(accepted))
+	if got := store.Ingested(); got != int64(accepted) {
+		t.Errorf("store ingested %d, want %d (accepted)", got, accepted)
+	}
+}
+
+func TestPredictMatchesOfflineModel(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mlearn.LoadBDT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(tsdb.New(tsdb.DefaultConfig()), loaded, DefaultConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	for _, f := range []PredictRequest{
+		{User: "u001", Nodes: 4, WallHours: 2},
+		{User: "u003", Nodes: 16, WallHours: 11.5},
+		{User: "unseen", Nodes: 1, WallHours: 0.5},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/predict", f)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict status %d: %s", resp.StatusCode, body)
+		}
+		var pr PredictResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		// The served prediction must equal the offline model exactly.
+		want, wantStd, wantN := m.PredictWithStd(mlearn.Features{
+			User: f.User, Nodes: f.Nodes, WallHours: f.WallHours,
+		})
+		if pr.PredictedW != want || pr.LeafStdW != wantStd || pr.LeafN != wantN {
+			t.Errorf("predict(%+v) = %+v, want (%v, %v, %d)", f, pr, want, wantStd, wantN)
+		}
+	}
+
+	// Invalid request.
+	resp, _ := postJSON(t, ts.URL+"/v1/predict", PredictRequest{User: "u001"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid predict status %d", resp.StatusCode)
+	}
+}
+
+func TestPredictWithoutModel(t *testing.T) {
+	s := New(tsdb.New(tsdb.DefaultConfig()), nil, DefaultConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+	resp, _ := postJSON(t, ts.URL+"/v1/predict", PredictRequest{User: "u", Nodes: 1, WallHours: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("predict without model: status %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsAndHealth(t *testing.T) {
+	s, ts := newTestServer(t, DefaultConfig())
+	batch := trace.SampleBatch{Samples: []trace.PowerSample{{Node: 0, JobID: 1, Unix: 60, PowerW: 50}}}
+	postJSON(t, ts.URL+"/v1/samples", batch)
+	waitIngested(t, s, 1)
+	get(t, ts.URL+"/v1/jobs/1/power")
+
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz: %d %s", resp.StatusCode, body)
+	}
+	resp, body = get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"powserved_samples_ingested_total 1",
+		"powserved_batches_accepted_total 1",
+		`powserved_requests_total{endpoint="ingest"} 1`,
+		`powserved_requests_total{endpoint="job_power"} 1`,
+		"powserved_ingest_queue_depth",
+		"powserved_request_seconds_sum",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestGracefulShutdown exercises ListenAndServe: concurrent ingest while
+// the context is cancelled; the server must drain the queue (nothing
+// accepted is lost) and exit cleanly.
+func TestGracefulShutdown(t *testing.T) {
+	store := tsdb.New(tsdb.Config{Shards: 4, RingLen: 64})
+	s := New(store, nil, Config{QueueDepth: 64, IngestWorkers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	addr, done, err := s.ListenAndServe(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + addr
+
+	var mu sync.Mutex
+	accepted := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				batch := trace.SampleBatch{Samples: []trace.PowerSample{
+					{Node: w, JobID: uint64(w + 1), Unix: int64(60 * (i + 1)), PowerW: 100},
+				}}
+				buf, _ := json.Marshal(batch)
+				resp, err := http.Post(url+"/v1/samples", "application/json", bytes.NewReader(buf))
+				if err != nil {
+					return // server may already be shutting down
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusAccepted {
+					mu.Lock()
+					accepted++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("shutdown timed out")
+	}
+	mu.Lock()
+	want := int64(accepted)
+	mu.Unlock()
+	if got := store.Ingested(); got != want {
+		t.Errorf("after drain: ingested %d, want %d", got, want)
+	}
+	// Port is released.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestAccumulatorShardedMergeProperty is the contract the tsdb store's
+// per-shard reduce relies on: partitioning a stream across K shards
+// (by any assignment), accumulating per shard, and merging in any order
+// yields the same moments and extrema as a single sequential pass.
+func TestAccumulatorShardedMergeProperty(t *testing.T) {
+	f := func(xs []float64, assign []uint8, kRaw uint8) bool {
+		k := int(kRaw%16) + 1
+		clean := make([]float64, 0, len(xs))
+		for _, v := range xs {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				clean = append(clean, v)
+			}
+		}
+		var whole Accumulator
+		shards := make([]Accumulator, k)
+		for i, x := range clean {
+			whole.Add(x)
+			s := 0
+			if len(assign) > 0 {
+				s = int(assign[i%len(assign)]) % k
+			}
+			shards[s].Add(x)
+		}
+		var merged Accumulator
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		if whole.N() == 0 {
+			return merged.N() == 0
+		}
+		if merged.N() != whole.N() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			return false
+		}
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		return math.Abs(merged.Mean()-whole.Mean()) < 1e-6*scale &&
+			math.Abs(merged.Variance()-whole.Variance()) < 1e-4*math.Max(1, whole.Variance()) &&
+			math.Abs(merged.Sum()-whole.Sum()) < 1e-6*math.Max(1, math.Abs(whole.Sum()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAccumulatorMergeAssociativity: merging shard-by-shard left to right
+// equals pairwise tree reduction — the property that lets the reduce
+// happen in any topology (sequential drain or parallel tree).
+func TestAccumulatorMergeAssociativity(t *testing.T) {
+	mk := func(xs ...float64) Accumulator {
+		var a Accumulator
+		for _, x := range xs {
+			a.Add(x)
+		}
+		return a
+	}
+	a := mk(1, 2, 3)
+	b := mk(10, 20)
+	c := mk(100, 200, 300, 400)
+
+	left := a // ((a·b)·c)
+	left.Merge(&b)
+	left.Merge(&c)
+
+	right := b // (a·(b·c))
+	right.Merge(&c)
+	tree := a
+	tree.Merge(&right)
+
+	if left.N() != tree.N() || left.Min() != tree.Min() || left.Max() != tree.Max() {
+		t.Fatalf("associativity: %+v vs %+v", left, tree)
+	}
+	if math.Abs(left.Mean()-tree.Mean()) > 1e-12 || math.Abs(left.Variance()-tree.Variance()) > 1e-9 {
+		t.Errorf("associativity moments: mean %v/%v var %v/%v",
+			left.Mean(), tree.Mean(), left.Variance(), tree.Variance())
+	}
+}

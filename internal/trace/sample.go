@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hpcpower/internal/units"
+)
+
+// PowerSample is the wire record of the online telemetry path: one
+// per-node per-minute RAPL power reading, as pushed by a monitoring agent
+// to the serving layer (cmd/powserved). It is the live counterpart of one
+// NodeSeries entry — flattened, self-describing, and JSON-friendly so
+// agents in any language can produce it.
+type PowerSample struct {
+	Node   int     `json:"node"` // cluster-wide node index
+	JobID  uint64  `json:"job"`  // job occupying the node (0 = idle/system)
+	Unix   int64   `json:"t"`    // sample time, seconds since epoch
+	PowerW float64 `json:"w"`    // average watts over the sampling interval
+}
+
+// Validate reports the first structural problem with the sample, if any.
+func (s PowerSample) Validate() error {
+	switch {
+	case s.Node < 0:
+		return fmt.Errorf("trace: sample has negative node %d", s.Node)
+	case s.Unix <= 0:
+		return fmt.Errorf("trace: sample has non-positive time %d", s.Unix)
+	case s.PowerW < 0:
+		return fmt.Errorf("trace: sample has negative power %v", s.PowerW)
+	}
+	return nil
+}
+
+// SampleBatch is the ingest request body of POST /v1/samples.
+type SampleBatch struct {
+	Samples []PowerSample `json:"samples"`
+}
+
+// Validate checks every sample in the batch.
+func (b SampleBatch) Validate() error {
+	for i, s := range b.Samples {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("sample %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FlattenSeries converts a dataset's time-resolved node series into the
+// wire samples an agent would have pushed live. Per-job node indices are
+// offset by a running base so different jobs do not collide on node 0
+// (a dataset does not record physical node placement).
+func FlattenSeries(d *Dataset) []PowerSample {
+	var out []PowerSample
+	base := 0
+	for _, id := range sortedSeriesIDs(d) {
+		for _, ns := range d.Series[id] {
+			for i, pw := range ns.Power {
+				out = append(out, PowerSample{
+					Node:   base + ns.Node,
+					JobID:  ns.JobID,
+					Unix:   ns.Start.Add(sampleOffset(i)).Unix(),
+					PowerW: pw,
+				})
+			}
+		}
+		if n := len(d.Series[id]); n > 0 {
+			base += n
+		}
+	}
+	return out
+}
+
+func sampleOffset(i int) time.Duration {
+	return time.Duration(i) * units.SampleInterval
+}
+
+func sortedSeriesIDs(d *Dataset) []uint64 {
+	ids := make([]uint64, 0, len(d.Series))
+	for id := range d.Series {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}

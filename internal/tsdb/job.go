@@ -1,0 +1,159 @@
+package tsdb
+
+import (
+	"math"
+
+	"hpcpower/internal/stats"
+)
+
+// jobState carries the incremental characterization of one active job:
+// the paper's per-job power metrics (§4) computed online, one sample at a
+// time, in O(1) memory per job. A query at any instant returns the same
+// quantities the offline analysis would compute over the samples seen so
+// far — Welford moments, P² quantiles, running peak overshoot, and the
+// per-minute spatial spread across the job's nodes.
+type jobState struct {
+	acc      stats.Accumulator // all samples of the job, all nodes
+	med, p95 *stats.P2Quantile
+	nodes    map[int]struct{} // distinct nodes seen
+
+	firstUnix, lastUnix int64
+
+	// Spatial spread: per-minute min/max across nodes. Open minutes live
+	// in a bounded window; when a minute is evicted its spread folds into
+	// spreadAcc — queries merge the window on the fly, so nothing is lost.
+	minutes   map[int64]*minuteAgg
+	spreadAcc stats.Accumulator
+}
+
+// minuteAgg is the min/max/count of one telemetry minute of one job.
+type minuteAgg struct {
+	min, max float64
+	n        int
+}
+
+// spatialWindowMinutes bounds the number of open (not yet folded)
+// minutes per job. Telemetry arrives roughly in time order; a window of
+// 16 tolerates generous agent skew at negligible memory cost.
+const spatialWindowMinutes = 16
+
+func newJobState() *jobState {
+	med, _ := stats.NewP2Quantile(0.5)
+	p95, _ := stats.NewP2Quantile(0.95)
+	return &jobState{
+		med: med, p95: p95,
+		nodes:   map[int]struct{}{},
+		minutes: map[int64]*minuteAgg{},
+	}
+}
+
+func (j *jobState) add(node int, unix int64, w float64) {
+	j.acc.Add(w)
+	j.med.Add(w)
+	j.p95.Add(w)
+	j.nodes[node] = struct{}{}
+	if j.firstUnix == 0 || unix < j.firstUnix {
+		j.firstUnix = unix
+	}
+	if unix > j.lastUnix {
+		j.lastUnix = unix
+	}
+
+	minute := unix / 60
+	m := j.minutes[minute]
+	if m == nil {
+		m = &minuteAgg{min: w, max: w}
+		j.minutes[minute] = m
+		if len(j.minutes) > spatialWindowMinutes {
+			j.evictOldestMinute()
+		}
+	} else {
+		if w < m.min {
+			m.min = w
+		}
+		if w > m.max {
+			m.max = w
+		}
+	}
+	m.n++
+}
+
+func (j *jobState) evictOldestMinute() {
+	oldest := int64(math.MaxInt64)
+	for k := range j.minutes {
+		if k < oldest {
+			oldest = k
+		}
+	}
+	j.foldMinute(j.minutes[oldest])
+	delete(j.minutes, oldest)
+}
+
+// foldMinute folds one closed minute into the spread accumulator. Minutes
+// with a single sample carry no cross-node information and are skipped —
+// the paper's spatial metrics are defined over multi-node jobs.
+func (j *jobState) foldMinute(m *minuteAgg) {
+	if m.n >= 2 {
+		j.spreadAcc.Add(m.max - m.min)
+	}
+}
+
+// JobStats is the live characterization returned by GET /v1/jobs/{id}/power:
+// the streaming counterparts of the paper's per-job metrics.
+type JobStats struct {
+	JobID   uint64 `json:"job"`
+	Samples int64  `json:"samples"`
+	Nodes   int    `json:"nodes"`
+
+	FirstUnix int64 `json:"first_unix"`
+	LastUnix  int64 `json:"last_unix"`
+
+	MeanW   float64 `json:"mean_w"`
+	StdW    float64 `json:"std_w"`
+	MinW    float64 `json:"min_w"`
+	MaxW    float64 `json:"max_w"`
+	MedianW float64 `json:"median_w"` // P² estimate
+	P95W    float64 `json:"p95_w"`    // P² estimate
+
+	// PeakOvershootPct is (max − mean)/mean in percent (Fig. 6/7a).
+	PeakOvershootPct float64 `json:"peak_overshoot_pct"`
+	// AvgSpatialSpreadW is the mean over minutes of (max node power −
+	// min node power), watts (Fig. 8/9a); zero until a minute has ≥2 nodes.
+	AvgSpatialSpreadW float64 `json:"avg_spatial_spread_w"`
+	// SpatialSpreadPct is AvgSpatialSpreadW over MeanW in percent (Fig. 9b).
+	SpatialSpreadPct float64 `json:"spatial_spread_pct"`
+}
+
+// snapshot reduces the state to JobStats without mutating it, folding the
+// still-open minutes into a copy of the spread accumulator.
+func (j *jobState) snapshot(id uint64) JobStats {
+	spread := j.spreadAcc // value copy; folding below does not touch j
+	for _, m := range j.minutes {
+		if m.n >= 2 {
+			spread.Add(m.max - m.min)
+		}
+	}
+	s := JobStats{
+		JobID:     id,
+		Samples:   j.acc.N(),
+		Nodes:     len(j.nodes),
+		FirstUnix: j.firstUnix,
+		LastUnix:  j.lastUnix,
+		MeanW:     j.acc.Mean(),
+		StdW:      j.acc.Std(),
+		MinW:      j.acc.Min(),
+		MaxW:      j.acc.Max(),
+		MedianW:   j.med.Value(),
+		P95W:      j.p95.Value(),
+	}
+	if s.MeanW > 0 {
+		s.PeakOvershootPct = 100 * (s.MaxW - s.MeanW) / s.MeanW
+	}
+	if spread.N() > 0 {
+		s.AvgSpatialSpreadW = spread.Mean()
+		if s.MeanW > 0 {
+			s.SpatialSpreadPct = 100 * s.AvgSpatialSpreadW / s.MeanW
+		}
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+package tsdb
+
+// Point is one retained sample of a node's series.
+type Point struct {
+	Unix   int64   `json:"t"`
+	PowerW float64 `json:"w"`
+}
+
+// ring is a fixed-capacity circular buffer of Points. Appends overwrite
+// the oldest entry once full — per-node retention is bounded so the store
+// holds the recent window (what live dashboards and cap controllers
+// need), not the unbounded history (that is the offline dataset's job).
+type ring struct {
+	buf   []Point
+	head  int // index of the next write
+	count int // number of valid entries, ≤ len(buf)
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]Point, capacity)}
+}
+
+func (r *ring) append(p Point) {
+	r.buf[r.head] = p
+	r.head = (r.head + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+// scan calls fn over the retained points in insertion order.
+func (r *ring) scan(fn func(Point)) {
+	start := r.head - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		fn(r.buf[(start+i)%len(r.buf)])
+	}
+}
+
+// window returns a copy of the retained points with from ≤ Unix ≤ to
+// (to ≤ 0 means no upper bound), preserving insertion order.
+func (r *ring) window(from, to int64) []Point {
+	out := make([]Point, 0, r.count)
+	r.scan(func(p Point) {
+		if p.Unix >= from && (to <= 0 || p.Unix <= to) {
+			out = append(out, p)
+		}
+	})
+	return out
+}

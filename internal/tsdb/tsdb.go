@@ -1,0 +1,253 @@
+// Package tsdb is a sharded in-memory time-series store for RAPL-style
+// per-node per-minute power samples — the storage engine behind the
+// powserved online telemetry service.
+//
+// Design:
+//
+//   - node series are partitioned across power-of-two shards by node
+//     index; each shard holds a lock-striped map of bounded ring buffers,
+//     so concurrent agent pushes for different nodes never contend;
+//   - per-job analytics are *incremental*: every sample folds into
+//     Welford moments, P² quantile markers, a running peak, and a
+//     per-minute spatial min/max — a query is a reduction of O(1) state,
+//     never a scan over raw samples;
+//   - store-wide summaries merge the per-shard accumulators with
+//     stats.Accumulator.Merge, the same sharded-then-reduced pattern the
+//     offline generator uses.
+//
+// All methods are safe for concurrent use.
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hpcpower/internal/stats"
+	"hpcpower/internal/trace"
+)
+
+// Config sizes the store.
+type Config struct {
+	// Shards is rounded up to a power of two. 0 means 16.
+	Shards int
+	// RingLen is the retained samples per node. 0 means 1440 (one day of
+	// minute samples).
+	RingLen int
+}
+
+// DefaultConfig returns the sizing used by powserved.
+func DefaultConfig() Config { return Config{Shards: 16, RingLen: 1440} }
+
+// Store is the sharded in-memory TSDB.
+type Store struct {
+	shards []shard
+	mask   uint64
+
+	jobShards []jobShard
+	jobMask   uint64
+
+	ringLen  int
+	ingested atomic.Int64 // total samples accepted
+}
+
+// shard holds the node rings of one partition plus the shard's sample
+// accumulator (merged on Summary).
+type shard struct {
+	mu    sync.RWMutex
+	nodes map[int]*ring
+	acc   stats.Accumulator
+}
+
+// jobShard stripes the per-job streaming state independently of the node
+// partitioning (a job spans many nodes and would otherwise serialize on
+// one node shard).
+type jobShard struct {
+	mu   sync.RWMutex
+	jobs map[uint64]*jobState
+}
+
+// New returns an empty store.
+func New(cfg Config) *Store {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.RingLen <= 0 {
+		cfg.RingLen = 1440
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	s := &Store{
+		shards:    make([]shard, n),
+		mask:      uint64(n - 1),
+		jobShards: make([]jobShard, n),
+		jobMask:   uint64(n - 1),
+		ringLen:   cfg.RingLen,
+	}
+	for i := range s.shards {
+		s.shards[i].nodes = map[int]*ring{}
+	}
+	for i := range s.jobShards {
+		s.jobShards[i].jobs = map[uint64]*jobState{}
+	}
+	return s
+}
+
+// splitmix64 finalizer: cheap, well-mixed shard hashing for sequential
+// node indices and job IDs.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (s *Store) nodeShard(node int) *shard {
+	return &s.shards[mix(uint64(node))&s.mask]
+}
+
+func (s *Store) jobShard(id uint64) *jobShard {
+	return &s.jobShards[mix(id)&s.jobMask]
+}
+
+// Append ingests a batch of samples. The batch is validated up front and
+// rejected whole on the first malformed sample (the ingest API's lenient
+// skipping happens a layer up, in the stream reader); a valid batch is
+// then grouped by shard so each stripe lock is taken once.
+func (s *Store) Append(batch []trace.PowerSample) error {
+	for i, smp := range batch {
+		if err := smp.Validate(); err != nil {
+			return fmt.Errorf("tsdb: sample %d: %w", i, err)
+		}
+	}
+	// Group sample indices by node shard to amortize locking.
+	byShard := map[uint64][]int{}
+	for i, smp := range batch {
+		k := mix(uint64(smp.Node)) & s.mask
+		byShard[k] = append(byShard[k], i)
+	}
+	for k, idxs := range byShard {
+		sh := &s.shards[k]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			smp := batch[i]
+			r := sh.nodes[smp.Node]
+			if r == nil {
+				r = newRing(s.ringLen)
+				sh.nodes[smp.Node] = r
+			}
+			r.append(Point{Unix: smp.Unix, PowerW: smp.PowerW})
+			sh.acc.Add(smp.PowerW)
+		}
+		sh.mu.Unlock()
+	}
+	// Per-job streaming analytics (jobID 0 marks idle/system samples).
+	for _, smp := range batch {
+		if smp.JobID == 0 {
+			continue
+		}
+		js := s.jobShard(smp.JobID)
+		js.mu.Lock()
+		st := js.jobs[smp.JobID]
+		if st == nil {
+			st = newJobState()
+			js.jobs[smp.JobID] = st
+		}
+		st.add(smp.Node, smp.Unix, smp.PowerW)
+		js.mu.Unlock()
+	}
+	s.ingested.Add(int64(len(batch)))
+	return nil
+}
+
+// NodeSeries returns the retained samples of a node with
+// from ≤ Unix ≤ to (to ≤ 0 means unbounded), in insertion order.
+// A node never seen yields an empty, non-nil slice.
+func (s *Store) NodeSeries(node int, from, to int64) []Point {
+	sh := s.nodeShard(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r := sh.nodes[node]
+	if r == nil {
+		return []Point{}
+	}
+	return r.window(from, to)
+}
+
+// JobPower returns the live characterization of a job, and whether any
+// samples for it have been ingested.
+func (s *Store) JobPower(id uint64) (JobStats, bool) {
+	js := s.jobShard(id)
+	js.mu.RLock()
+	defer js.mu.RUnlock()
+	st := js.jobs[id]
+	if st == nil {
+		return JobStats{}, false
+	}
+	return st.snapshot(id), true
+}
+
+// Jobs returns the IDs of all jobs with ingested samples, ascending.
+func (s *Store) Jobs() []uint64 {
+	var out []uint64
+	for i := range s.jobShards {
+		js := &s.jobShards[i]
+		js.mu.RLock()
+		for id := range js.jobs {
+			out = append(out, id)
+		}
+		js.mu.RUnlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Summary is the store-wide reduction over every ingested sample.
+type Summary struct {
+	Samples int64   `json:"samples"`
+	Nodes   int     `json:"nodes"`
+	Jobs    int     `json:"jobs"`
+	MeanW   float64 `json:"mean_w"`
+	StdW    float64 `json:"std_w"`
+	MinW    float64 `json:"min_w"`
+	MaxW    float64 `json:"max_w"`
+}
+
+// Summarize merges the per-shard accumulators (stats.Accumulator.Merge —
+// the sharded-then-reduced identity is property-tested in internal/stats)
+// into one store-wide view.
+func (s *Store) Summarize() Summary {
+	var merged stats.Accumulator
+	nodes := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		acc := sh.acc
+		nodes += len(sh.nodes)
+		sh.mu.RUnlock()
+		merged.Merge(&acc)
+	}
+	jobs := 0
+	for i := range s.jobShards {
+		js := &s.jobShards[i]
+		js.mu.RLock()
+		jobs += len(js.jobs)
+		js.mu.RUnlock()
+	}
+	out := Summary{Samples: merged.N(), Nodes: nodes, Jobs: jobs}
+	if merged.N() > 0 {
+		out.MeanW = merged.Mean()
+		out.StdW = merged.Std()
+		out.MinW = merged.Min()
+		out.MaxW = merged.Max()
+	}
+	return out
+}
+
+// Ingested returns the total number of samples accepted so far.
+func (s *Store) Ingested() int64 { return s.ingested.Load() }

@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Smoke test of the online serving path: powsim dataset → powpredict
+# model export → powserved on a random port → powload replay.
+# Fails on any dropped batch, on an ingest shortfall, or if the served
+# prediction diverges from the offline model.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill $server_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+
+echo "smoke: building binaries"
+go build -o "$workdir/powsim" ./cmd/powsim
+go build -o "$workdir/powpredict" ./cmd/powpredict
+go build -o "$workdir/powserved" ./cmd/powserved
+go build -o "$workdir/powload" ./cmd/powload
+
+echo "smoke: generating dataset (emmy, 2% scale)"
+"$workdir/powsim" -system emmy -scale 0.02 -seed 42 -out "$workdir/traces" >/dev/null
+
+echo "smoke: exporting BDT model"
+"$workdir/powpredict" -save-model "$workdir/model.json" "$workdir/traces/emmy" >/dev/null
+
+echo "smoke: starting powserved on a random port"
+"$workdir/powserved" -addr 127.0.0.1:0 -model "$workdir/model.json" >"$workdir/served.log" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^powserved: listening on //p' "$workdir/served.log")
+    [ -n "$addr" ] && break
+    kill -0 $server_pid 2>/dev/null || { cat "$workdir/served.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "smoke: server did not report its address"; cat "$workdir/served.log"; exit 1; }
+base="http://$addr"
+echo "smoke: server at $base"
+
+echo "smoke: replaying telemetry with powload"
+"$workdir/powload" -addr "$base" -dataset "$workdir/traces/emmy" -batch 512 -concurrency 4
+
+echo "smoke: checking online/offline prediction parity"
+online=$(curl -sf -X POST "$base/v1/predict" \
+    -d '{"user":"u001","nodes":8,"wall_hours":12}')
+offline=$("$workdir/powpredict" -what-if "u001,8,12" "$workdir/traces/emmy" \
+    | sed -n 's/.*predicted \([0-9.]*\) W per node.*/\1/p')
+echo "smoke: online=$online offline=${offline} W"
+case "$online" in
+    *"\"predicted_w\""*) : ;;
+    *) echo "smoke: predict endpoint returned no prediction"; exit 1 ;;
+esac
+# The what-if output rounds to 0.1 W; check the served value matches it.
+served_w=$(printf '%s' "$online" | sed -n 's/.*"predicted_w":\([0-9.]*\).*/\1/p')
+rounded=$(printf '%.1f' "$served_w")
+if [ "$rounded" != "$offline" ]; then
+    echo "smoke: served prediction $served_w !~ offline $offline"
+    exit 1
+fi
+
+echo "smoke: metrics endpoint"
+curl -sf "$base/metrics" | grep -q "powserved_samples_ingested_total" || {
+    echo "smoke: /metrics missing counters"; exit 1; }
+
+echo "smoke: graceful shutdown"
+kill -TERM $server_pid
+wait $server_pid
+
+echo "smoke: OK"
