@@ -1,22 +1,31 @@
 // Command powload replays a powsim dataset's time-resolved telemetry
 // against a running powserved instance and reports the achieved
 // throughput and tail latencies — the load generator behind the serving
-// layer's performance acceptance.
+// layer's performance and fault-tolerance acceptance.
 //
 // Usage:
 //
 //	powload -addr http://127.0.0.1:8080 -dataset traces/emmy
 //	powload -addr http://127.0.0.1:8080 -dataset traces/emmy \
 //	        -batch 512 -concurrency 8 -rate 100000 -max-samples 2000000
+//	powload -addr http://127.0.0.1:9090 -dataset traces/emmy \
+//	        -fault -concurrency 1            # through a powchaos proxy
 //
-// With -rate 0 (default) batches are pushed as fast as the server admits
-// them. Rejected batches (503 backpressure) are retried after the
-// server's Retry-After hint and counted separately; the exit status is
-// non-zero if any batch is ultimately dropped.
+// Every pusher is a ship.Shipper: batches are stamped (AgentID, Seq)
+// and delivered at-least-once with exponential backoff + jitter,
+// honoring the server's Retry-After; the server's idempotent ingest
+// turns that into exactly-once analytics. With -rate 0 (default)
+// batches are pushed as fast as the server admits them.
+//
+// -fault targets an unreliable path (e.g. a powchaos proxy): retries
+// are unlimited (bounded only by -fault-timeout), the summary reports
+// retries/redeliveries/duplicates, and verification demands the server
+// ingested *exactly* the samples sent — zero loss and zero
+// double-counting. The exit status is non-zero if any sample is lost.
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,23 +37,27 @@ import (
 	"time"
 
 	"hpcpower"
+	"hpcpower/internal/ship"
 	"hpcpower/internal/trace"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", "http://127.0.0.1:8080", "powserved base URL")
-		dataset     = flag.String("dataset", "", "powsim dataset directory (required)")
-		batchSize   = flag.Int("batch", 512, "samples per ingest request")
-		concurrency = flag.Int("concurrency", 8, "concurrent pushers")
-		rate        = flag.Float64("rate", 0, "target samples/s across all pushers (0 = unthrottled)")
-		maxSamples  = flag.Int("max-samples", 0, "stop after this many samples (0 = whole dataset)")
-		retries     = flag.Int("retries", 8, "retry attempts per batch on 503 backpressure")
-		verify      = flag.Bool("verify", true, "verify the server's ingested count via /healthz afterwards")
+		addr         = flag.String("addr", "http://127.0.0.1:8080", "powserved (or powchaos) base URL")
+		dataset      = flag.String("dataset", "", "powsim dataset directory (required)")
+		batchSize    = flag.Int("batch", 512, "samples per ingest request")
+		concurrency  = flag.Int("concurrency", 8, "concurrent pushers (one shipper each)")
+		rate         = flag.Float64("rate", 0, "target samples/s across all pushers (0 = unthrottled)")
+		maxSamples   = flag.Int("max-samples", 0, "stop after this many samples (0 = whole dataset)")
+		retries      = flag.Int("retries", 8, "delivery attempts per batch without -fault (failed batches are dropped after)")
+		fault        = flag.Bool("fault", false, "fault-injection mode: unlimited retries, strict zero-loss/zero-dup verification")
+		faultTimeout = flag.Duration("fault-timeout", 5*time.Minute, "overall delivery deadline in -fault mode")
+		agentPrefix  = flag.String("agent", "powload", "agent ID prefix (one agent per pusher)")
+		verify       = flag.Bool("verify", true, "verify the server's ingested count via /healthz afterwards")
 	)
 	flag.Parse()
 	if *dataset == "" {
-		fmt.Fprintln(os.Stderr, "usage: powload -dataset <dir> [-addr url] [-batch n] [-concurrency n] [-rate s/s]")
+		fmt.Fprintln(os.Stderr, "usage: powload -dataset <dir> [-addr url] [-batch n] [-concurrency n] [-rate s/s] [-fault]")
 		os.Exit(2)
 	}
 
@@ -60,31 +73,37 @@ func main() {
 		samples = samples[:*maxSamples]
 	}
 
-	// Pre-marshal the batches: the generator must not bottleneck on JSON
-	// encoding while measuring the server.
-	var bodies [][]byte
-	var sizes []int
+	// Pre-slice the batches; each shipper stamps and marshals on delivery
+	// (the stamp is per-agent, so bodies cannot be shared across pushers).
+	var batches [][]trace.PowerSample
 	for off := 0; off < len(samples); off += *batchSize {
 		end := off + *batchSize
 		if end > len(samples) {
 			end = len(samples)
 		}
-		body, err := json.Marshal(trace.SampleBatch{Samples: samples[off:end]})
-		if err != nil {
-			fatal(err)
-		}
-		bodies = append(bodies, body)
-		sizes = append(sizes, end-off)
+		batches = append(batches, samples[off:end])
 	}
-	fmt.Printf("powload: %d samples in %d batches of ≤%d against %s\n",
-		len(samples), len(bodies), *batchSize, *addr)
+	mode := "clean"
+	if *fault {
+		mode = "fault-injection"
+	}
+	fmt.Printf("powload: %d samples in %d batches of ≤%d against %s (%s mode)\n",
+		len(samples), len(batches), *batchSize, *addr, mode)
+
+	ctx := context.Background()
+	if *fault {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *faultTimeout)
+		defer cancel()
+	}
+	maxAttempts := *retries + 1
+	if *fault {
+		maxAttempts = 0 // unlimited: the dedup window makes re-sends free
+	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	var (
 		next      atomic.Int64
-		sent      atomic.Int64 // samples accepted
-		retried   atomic.Int64 // 503 responses that were retried
-		dropped   atomic.Int64 // batches lost after all retries
 		mu        sync.Mutex
 		latencies []float64 // seconds, accepted requests only
 	)
@@ -103,52 +122,59 @@ func main() {
 	}
 
 	start := time.Now()
+	shippers := make([]*ship.Shipper, *concurrency)
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
+		shippers[w] = ship.New(ship.Config{
+			URL:         *addr + "/v1/samples",
+			AgentID:     fmt.Sprintf("%s-%d", *agentPrefix, w),
+			Client:      client,
+			MaxAttempts: maxAttempts,
+			Seed:        int64(w + 1),
+			Observe: func(d time.Duration, status int, err error) {
+				if err == nil && status == http.StatusAccepted {
+					mu.Lock()
+					latencies = append(latencies, d.Seconds())
+					mu.Unlock()
+				}
+			},
+		})
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			sh := shippers[w]
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(bodies) {
+				if i >= len(batches) {
 					return
 				}
 				if pace != nil {
-					pace(sizes[i])
+					pace(len(batches[i]))
 				}
-				ok := false
-				for attempt := 0; attempt <= *retries; attempt++ {
-					t0 := time.Now()
-					resp, err := client.Post(*addr+"/v1/samples", "application/json", bytes.NewReader(bodies[i]))
-					if err != nil {
-						fatal(err)
-					}
-					resp.Body.Close()
-					switch resp.StatusCode {
-					case http.StatusAccepted:
-						d := time.Since(t0).Seconds()
-						mu.Lock()
-						latencies = append(latencies, d)
-						mu.Unlock()
-						sent.Add(int64(sizes[i]))
-						ok = true
-					case http.StatusServiceUnavailable:
-						retried.Add(1)
-						time.Sleep(50 * time.Millisecond)
-						continue
-					default:
-						fatal(fmt.Errorf("batch %d: unexpected status %d", i, resp.StatusCode))
-					}
-					break
-				}
-				if !ok {
-					dropped.Add(1)
+				sh.Enqueue(batches[i])
+				if err := sh.Flush(ctx); err != nil {
+					fatal(fmt.Errorf("pusher %d: %w", w, err))
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	var total ship.Stats
+	for _, sh := range shippers {
+		st := sh.Stats()
+		total.ShippedBatches += st.ShippedBatches
+		total.ShippedSamples += st.ShippedSamples
+		total.Duplicates += st.Duplicates
+		total.Retries += st.Retries
+		total.Redeliveries += st.Redeliveries
+		total.EvictedBatches += st.EvictedBatches
+		total.DroppedSamples += st.DroppedSamples
+		total.ExhaustedBatch += st.ExhaustedBatch
+		total.PoisonedBatches += st.PoisonedBatches
+		total.BreakerOpens += st.BreakerOpens
+	}
 
 	sort.Float64s(latencies)
 	q := func(p float64) float64 {
@@ -161,47 +187,68 @@ func main() {
 		}
 		return latencies[i]
 	}
-	fmt.Printf("powload: pushed %d samples in %.2fs\n", sent.Load(), elapsed.Seconds())
+	fmt.Printf("powload: pushed %d samples in %.2fs\n", total.ShippedSamples, elapsed.Seconds())
 	fmt.Printf("powload: throughput %.0f samples/s, %.0f req/s\n",
-		float64(sent.Load())/elapsed.Seconds(), float64(len(latencies))/elapsed.Seconds())
+		float64(total.ShippedSamples)/elapsed.Seconds(), float64(len(latencies))/elapsed.Seconds())
 	fmt.Printf("powload: ingest latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
 		1e3*q(0.50), 1e3*q(0.95), 1e3*q(0.99), 1e3*q(1))
-	fmt.Printf("powload: backpressure retries %d, dropped batches %d\n", retried.Load(), dropped.Load())
+	fmt.Printf("powload: retries %d, redeliveries %d, duplicates absorbed %d, breaker opens %d\n",
+		total.Retries, total.Redeliveries, total.Duplicates, total.BreakerOpens)
+	fmt.Printf("powload: lost samples %d (evicted batches %d, exhausted %d, poisoned %d)\n",
+		total.DroppedSamples, total.EvictedBatches, total.ExhaustedBatch, total.PoisonedBatches)
 
 	if *verify {
-		resp, err := client.Get(*addr + "/healthz")
+		ingested, err := pollIngested(client, *addr, total.ShippedSamples)
 		if err != nil {
 			fatal(err)
 		}
-		var health struct {
-			Ingested int64 `json:"ingested"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&health)
-		resp.Body.Close()
-		if err != nil {
-			fatal(err)
-		}
-		// The server may still be draining its queue; poll briefly.
-		deadline := time.Now().Add(10 * time.Second)
-		for health.Ingested < sent.Load() && time.Now().Before(deadline) {
-			time.Sleep(100 * time.Millisecond)
-			resp, err := client.Get(*addr + "/healthz")
-			if err != nil {
-				fatal(err)
+		fmt.Printf("powload: server ingested %d (shipped %d, sent %d)\n",
+			ingested, total.ShippedSamples, len(samples))
+		if *fault {
+			// Zero loss and zero double-counting, exactly.
+			if ingested != int64(len(samples)) {
+				fatal(fmt.Errorf("fault mode: server ingested %d, want exactly %d (loss or double count)",
+					ingested, len(samples)))
 			}
-			err = json.NewDecoder(resp.Body).Decode(&health)
-			resp.Body.Close()
-			if err != nil {
-				fatal(err)
-			}
-		}
-		fmt.Printf("powload: server ingested %d (accepted %d)\n", health.Ingested, sent.Load())
-		if health.Ingested < sent.Load() {
-			fatal(fmt.Errorf("server ingested %d < accepted %d", health.Ingested, sent.Load()))
+			fmt.Printf("powload: fault mode verified: zero loss, zero double-counting\n")
+		} else if ingested < total.ShippedSamples {
+			fatal(fmt.Errorf("server ingested %d < shipped %d", ingested, total.ShippedSamples))
 		}
 	}
-	if dropped.Load() > 0 {
-		fatal(fmt.Errorf("%d batches dropped after %d retries", dropped.Load(), *retries))
+	if total.DroppedSamples > 0 {
+		fatal(fmt.Errorf("%d samples lost in delivery", total.DroppedSamples))
+	}
+}
+
+// pollIngested reads /healthz until the (asynchronously draining) server
+// has absorbed want samples or a deadline passes, and returns the final
+// count. Transient errors are retried — the path may run through a
+// chaos proxy.
+func pollIngested(client *http.Client, addr string, want int64) (int64, error) {
+	deadline := time.Now().Add(15 * time.Second)
+	var ingested int64 = -1
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			var health struct {
+				Ingested int64 `json:"ingested"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&health)
+			resp.Body.Close()
+			if derr == nil {
+				ingested = health.Ingested
+				if ingested >= want {
+					return ingested, nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			if ingested < 0 {
+				return 0, fmt.Errorf("healthz unreachable: %v", err)
+			}
+			return ingested, nil
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }
 

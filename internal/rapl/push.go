@@ -3,6 +3,7 @@ package rapl
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"hpcpower/internal/trace"
@@ -14,7 +15,13 @@ import (
 // ingest endpoint. The offline pipeline stores what the Sampler recovers;
 // the push agent ships the very same recovered values, so live and
 // released telemetry agree sample for sample.
+//
+// All methods are safe for concurrent use: in a real agent the hardware
+// accumulation and the collect-and-ship tick run on different
+// goroutines (Collect feeds a ship.Shipper while Accumulate keeps
+// integrating power), so the meter map and entries are mutex-guarded.
 type PushAgent struct {
+	mu     sync.Mutex
 	meters map[int]*meterEntry
 }
 
@@ -35,6 +42,8 @@ func (a *PushAgent) Track(node int, jobID uint64) error {
 	if node < 0 {
 		return fmt.Errorf("rapl: negative node %d", node)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if e, ok := a.meters[node]; ok {
 		e.jobID = jobID
 		return nil
@@ -47,6 +56,8 @@ func (a *PushAgent) Track(node int, jobID uint64) error {
 // the hardware plays in production; tests and the load generator drive
 // it directly).
 func (a *PushAgent) Accumulate(node int, totalW, dramFrac float64, d time.Duration) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	e, ok := a.meters[node]
 	if !ok {
 		return fmt.Errorf("rapl: node %d not tracked", node)
@@ -58,6 +69,8 @@ func (a *PushAgent) Accumulate(node int, totalW, dramFrac float64, d time.Durati
 // batch. Nodes without a complete interval yet (first observation) are
 // skipped, exactly like the offline Sampler's warm-up.
 func (a *PushAgent) Collect(t time.Time) ([]trace.PowerSample, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	out := make([]trace.PowerSample, 0, len(a.meters))
 	for node, e := range a.meters {
 		w, ok, err := e.meter.Sample(t)
@@ -76,4 +89,8 @@ func (a *PushAgent) Collect(t time.Time) ([]trace.PowerSample, error) {
 }
 
 // Nodes returns the number of tracked nodes.
-func (a *PushAgent) Nodes() int { return len(a.meters) }
+func (a *PushAgent) Nodes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.meters)
+}

@@ -2,6 +2,7 @@ package rapl
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -79,4 +80,66 @@ func TestPushAgentCollect(t *testing.T) {
 	if err := a.Track(-1, 1); err == nil {
 		t.Error("negative node accepted")
 	}
+}
+
+// TestPushAgentConcurrent hammers Accumulate/Track/Nodes against a
+// concurrent Collect loop — the agent's documented deployment shape (a
+// hardware-integration goroutine racing the ship tick). Run under
+// -race (CI does) this is the regression test for PushAgent's locking;
+// it also checks collected samples stay structurally valid mid-race.
+func TestPushAgentConcurrent(t *testing.T) {
+	a := NewPushAgent()
+	const nodes = 8
+	for n := 0; n < nodes; n++ {
+		if err := a.Track(n, uint64(n+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Accumulators: one goroutine per node feeding power.
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := a.Accumulate(n, 100+float64(n), 0.2, time.Second); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%16 == 0 {
+					a.Track(n, uint64(i)+1) // rebind churn
+				}
+			}
+		}(n)
+	}
+	// Collector: the shipper-tick side.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 200; i++ {
+			batch, err := a.Collect(t0.Add(time.Duration(i) * time.Second))
+			if err != nil {
+				t.Error(err)
+				break
+			}
+			for _, s := range batch {
+				if err := s.Validate(); err != nil {
+					t.Errorf("mid-race sample invalid: %v", err)
+				}
+			}
+			if a.Nodes() != nodes {
+				t.Errorf("Nodes() = %d mid-race", a.Nodes())
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,15 +40,73 @@ type metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
 
-	samplesIngested atomic.Int64
-	batchesAccepted atomic.Int64
-	batchesRejected atomic.Int64 // backpressure: queue full
-	batchesInvalid  atomic.Int64 // malformed body or samples
-	queueDepth      func() int
+	samplesIngested  atomic.Int64
+	batchesAccepted  atomic.Int64
+	batchesRejected  atomic.Int64 // backpressure: queue full
+	batchesInvalid   atomic.Int64 // malformed body or samples
+	batchesDuplicate atomic.Int64 // (agent, seq) already counted — dedup hit
+	batchesStale     atomic.Int64 // duplicate because older than the dedup window
+	redeliveries     atomic.Int64 // batches flagged as re-sent by the agent
+	queueDepth       func() int
+
+	agentMu sync.Mutex
+	agents  map[string]*agentReport
+}
+
+// agentReport is the last delivery-health state an agent self-reported
+// via ingest request headers — the server-side window into the shipper's
+// breaker, retry, and spill-buffer counters.
+type agentReport struct {
+	breaker    string // "closed", "half-open", "open"
+	retries    int64  // cumulative retry attempts
+	spillDepth int64  // batches waiting in the agent's spill buffer
 }
 
 func newMetrics(queueDepth func() int) *metrics {
-	return &metrics{endpoints: map[string]*endpointStats{}, queueDepth: queueDepth}
+	return &metrics{
+		endpoints:  map[string]*endpointStats{},
+		queueDepth: queueDepth,
+		agents:     map[string]*agentReport{},
+	}
+}
+
+// Agent-report headers set by ship.Shipper on every delivery.
+const (
+	HeaderBreakerState = "X-Breaker-State"
+	HeaderAgentRetries = "X-Agent-Retries"
+	HeaderSpillDepth   = "X-Agent-Spill-Depth"
+)
+
+// agentReportCap bounds the per-agent gauge map; beyond it new agents
+// are not tracked (the dedup index has its own, larger bound).
+const agentReportCap = 1024
+
+// observeAgent folds the agent-reported delivery-health headers into the
+// per-agent gauges.
+func (m *metrics) observeAgent(agent string, h http.Header) {
+	m.agentMu.Lock()
+	defer m.agentMu.Unlock()
+	rep := m.agents[agent]
+	if rep == nil {
+		if len(m.agents) >= agentReportCap {
+			return
+		}
+		rep = &agentReport{breaker: "closed"}
+		m.agents[agent] = rep
+	}
+	if v := h.Get(HeaderBreakerState); v != "" {
+		rep.breaker = v
+	}
+	if v := h.Get(HeaderAgentRetries); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			rep.retries = n
+		}
+	}
+	if v := h.Get(HeaderSpillDepth); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			rep.spillDepth = n
+		}
+	}
 }
 
 func (m *metrics) endpoint(name string) *endpointStats {
@@ -95,6 +154,12 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "powserved_batches_rejected_total %d\n", m.batchesRejected.Load())
 	fmt.Fprintf(w, "# TYPE powserved_batches_invalid_total counter\n")
 	fmt.Fprintf(w, "powserved_batches_invalid_total %d\n", m.batchesInvalid.Load())
+	fmt.Fprintf(w, "# TYPE powserved_batches_duplicate_total counter\n")
+	fmt.Fprintf(w, "powserved_batches_duplicate_total %d\n", m.batchesDuplicate.Load())
+	fmt.Fprintf(w, "# TYPE powserved_batches_stale_total counter\n")
+	fmt.Fprintf(w, "powserved_batches_stale_total %d\n", m.batchesStale.Load())
+	fmt.Fprintf(w, "# TYPE powserved_redeliveries_total counter\n")
+	fmt.Fprintf(w, "powserved_redeliveries_total %d\n", m.redeliveries.Load())
 	if m.queueDepth != nil {
 		fmt.Fprintf(w, "# TYPE powserved_ingest_queue_depth gauge\n")
 		fmt.Fprintf(w, "powserved_ingest_queue_depth %d\n", m.queueDepth())
@@ -129,5 +194,45 @@ func (m *metrics) write(w io.Writer) {
 	for i, name := range names {
 		fmt.Fprintf(w, "powserved_request_seconds_max{endpoint=%q} %g\n",
 			name, float64(eps[i].nanosMax.Load())/1e9)
+	}
+
+	m.agentMu.Lock()
+	agentNames := make([]string, 0, len(m.agents))
+	for name := range m.agents {
+		agentNames = append(agentNames, name)
+	}
+	sort.Strings(agentNames)
+	reps := make([]agentReport, len(agentNames))
+	for i, name := range agentNames {
+		reps[i] = *m.agents[name]
+	}
+	m.agentMu.Unlock()
+	if len(agentNames) > 0 {
+		fmt.Fprintf(w, "# TYPE powserved_agent_breaker_state gauge\n")
+		for i, name := range agentNames {
+			fmt.Fprintf(w, "powserved_agent_breaker_state{agent=%q} %d\n",
+				name, breakerStateValue(reps[i].breaker))
+		}
+		fmt.Fprintf(w, "# TYPE powserved_agent_retries gauge\n")
+		for i, name := range agentNames {
+			fmt.Fprintf(w, "powserved_agent_retries{agent=%q} %d\n", name, reps[i].retries)
+		}
+		fmt.Fprintf(w, "# TYPE powserved_agent_spill_depth gauge\n")
+		for i, name := range agentNames {
+			fmt.Fprintf(w, "powserved_agent_spill_depth{agent=%q} %d\n", name, reps[i].spillDepth)
+		}
+	}
+}
+
+// breakerStateValue encodes the reported breaker state as a numeric
+// gauge: 0 closed (healthy), 1 half-open (probing), 2 open (tripped).
+func breakerStateValue(s string) int {
+	switch s {
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	default:
+		return 0
 	}
 }

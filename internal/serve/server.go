@@ -44,6 +44,9 @@ type Config struct {
 	MaxBatchBytes int64
 	// RequestTimeout bounds handler time per request. 0 means 10 s.
 	RequestTimeout time.Duration
+	// DedupWindow is the per-agent reordering tolerance (batches) of the
+	// idempotent-ingest index. 0 means 4096.
+	DedupWindow int
 }
 
 // DefaultConfig returns the sizing powserved starts with.
@@ -59,8 +62,13 @@ type Server struct {
 
 	mux     *http.ServeMux
 	metrics *metrics
+	dedup   *tsdb.Deduper
 
-	ingestQ  chan []trace.PowerSample
+	ingestQ chan []trace.PowerSample
+	// ingestMu makes enqueue-vs-Close safe: handlers send under RLock,
+	// Close flips draining and closes the channel under Lock, so a send
+	// can never race a close (send on closed channel panics).
+	ingestMu sync.RWMutex
 	workerWG sync.WaitGroup
 	draining atomic.Bool
 }
@@ -85,6 +93,7 @@ func New(store *tsdb.Store, model *mlearn.BDT, cfg Config) *Server {
 		model:   model,
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
+		dedup:   tsdb.NewDeduper(tsdb.DedupConfig{Window: cfg.DedupWindow}),
 		ingestQ: make(chan []trace.PowerSample, cfg.QueueDepth),
 	}
 	s.metrics = newMetrics(func() int { return len(s.ingestQ) })
@@ -99,6 +108,7 @@ func New(store *tsdb.Store, model *mlearn.BDT, cfg Config) *Server {
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/samples", s.metrics.instrument("ingest", s.handleIngest))
 	s.mux.HandleFunc("GET /v1/nodes/{id}/series", s.metrics.instrument("node_series", s.handleNodeSeries))
+	s.mux.HandleFunc("GET /v1/jobs", s.metrics.instrument("jobs", s.handleJobs))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/power", s.metrics.instrument("job_power", s.handleJobPower))
 	s.mux.HandleFunc("POST /v1/predict", s.metrics.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("GET /v1/summary", s.metrics.instrument("summary", s.handleSummary))
@@ -110,7 +120,20 @@ func (s *Server) routes() {
 // timeout applied (ingest and predict are fast; the timeout guards the
 // query endpoints against pathological windows).
 func (s *Server) Handler() http.Handler {
-	return http.TimeoutHandler(s.mux, s.cfg.RequestTimeout, `{"error":"request timeout"}`)
+	return timeoutJSON(s.mux, s.cfg.RequestTimeout)
+}
+
+// timeoutJSON wraps h in http.TimeoutHandler with a JSON timeout body
+// that is actually served as JSON: TimeoutHandler writes its body with
+// whatever headers the underlying writer already carries, so the
+// Content-Type is pre-set here. Handlers that complete in time replace
+// it with their own (TimeoutHandler copies their headers over).
+func timeoutJSON(h http.Handler, d time.Duration) http.Handler {
+	th := http.TimeoutHandler(h, d, `{"error":"request timeout"}`)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		th.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) ingestWorker() {
@@ -126,12 +149,18 @@ func (s *Server) ingestWorker() {
 	}
 }
 
-// Close stops accepting ingest work and drains the queue.
+// Close stops accepting ingest work and drains the queue. Safe against
+// concurrent ingest handlers: the channel is closed under the write
+// lock, and handlers only send under the read lock after re-checking
+// the draining flag.
 func (s *Server) Close() {
+	s.ingestMu.Lock()
 	if s.draining.Swap(true) {
+		s.ingestMu.Unlock()
 		return
 	}
 	close(s.ingestQ)
+	s.ingestMu.Unlock()
 	s.workerWG.Wait()
 }
 
@@ -148,8 +177,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// retryAfterSeconds scales the 503 Retry-After hint with ingest queue
+// occupancy: a briefly-full queue asks agents back in a second, a deeply
+// backed-up one pushes the retry storm further out so the workers can
+// drain. occupancy is in [0, 1].
+func retryAfterSeconds(depth, capacity int) int {
+	if capacity <= 0 {
+		return 1
+	}
+	occ := float64(depth) / float64(capacity)
+	if occ < 0 {
+		occ = 0
+	} else if occ > 1 {
+		occ = 1
+	}
+	return 1 + int(occ*4+0.5) // 1 s empty → 5 s full
+}
+
+func (s *Server) retryAfter() int {
+	return retryAfterSeconds(len(s.ingestQ), cap(s.ingestQ))
+}
+
+// ingestResponse is the body of a 202 from POST /v1/samples. Duplicate
+// deliveries are acknowledged (the data is already counted — re-sending
+// would be wrong) with accepted=0 and duplicate=true.
+type ingestResponse struct {
+	Accepted  int  `json:"accepted"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		errJSON(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
@@ -170,14 +229,47 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		errJSON(w, http.StatusBadRequest, "invalid batch: %v", err)
 		return
 	}
+	if batch.Redelivery {
+		s.metrics.redeliveries.Add(1)
+	}
+	if batch.AgentID != "" {
+		s.metrics.observeAgent(batch.AgentID, r.Header)
+		// Mark before enqueue so two racing deliveries of the same
+		// (agent, seq) cannot both be counted; rolled back below if the
+		// batch is refused.
+		if dup, stale := s.dedup.Mark(batch.AgentID, batch.Seq); dup {
+			s.metrics.batchesDuplicate.Add(1)
+			if stale {
+				s.metrics.batchesStale.Add(1)
+			}
+			writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: 0, Duplicate: true})
+			return
+		}
+	}
+	s.ingestMu.RLock()
+	if s.draining.Load() {
+		s.ingestMu.RUnlock()
+		if batch.AgentID != "" {
+			s.dedup.Forget(batch.AgentID, batch.Seq)
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		errJSON(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
 	select {
 	case s.ingestQ <- batch.Samples:
+		s.ingestMu.RUnlock()
 		s.metrics.batchesAccepted.Add(1)
-		writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(batch.Samples)})
+		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(batch.Samples)})
 	default:
-		// Backpressure: bounded queue full. The agent owns the retry.
+		s.ingestMu.RUnlock()
+		// Backpressure: bounded queue full. The agent owns the retry — and
+		// must be able to re-send this sequence number successfully.
+		if batch.AgentID != "" {
+			s.dedup.Forget(batch.AgentID, batch.Seq)
+		}
 		s.metrics.batchesRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		errJSON(w, http.StatusServiceUnavailable, "ingest queue full")
 	}
 }
@@ -217,6 +309,14 @@ func (s *Server) handleJobPower(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	ids := s.store.Jobs()
+	if ids == nil {
+		ids = []uint64{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": ids})
 }
 
 // PredictRequest is the body of POST /v1/predict: the paper's three

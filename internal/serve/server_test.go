@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -365,5 +368,290 @@ func TestGracefulShutdown(t *testing.T) {
 	// Port is released.
 	if _, err := http.Get(url + "/healthz"); err == nil {
 		t.Error("server still answering after shutdown")
+	}
+}
+
+// TestIngestDeduplicates delivers the same (agent, seq) batch twice:
+// the second must be acknowledged without re-counting, and both the
+// duplicate and redelivery counters must surface on /metrics.
+func TestIngestDeduplicates(t *testing.T) {
+	s, ts := newTestServer(t, DefaultConfig())
+	batch := trace.SampleBatch{
+		AgentID: "agent-x", Seq: 1,
+		Samples: []trace.PowerSample{{Node: 1, JobID: 7, Unix: 60, PowerW: 100}},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/samples", batch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first delivery: %d %s", resp.StatusCode, body)
+	}
+	waitIngested(t, s, 1)
+
+	// Redelivery of the same sequence: acknowledged, not re-counted.
+	batch.Redelivery = true
+	resp, body = postJSON(t, ts.URL+"/v1/samples", batch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("redelivery: %d %s", resp.StatusCode, body)
+	}
+	var ack struct {
+		Accepted  int  `json:"accepted"`
+		Duplicate bool `json:"duplicate"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 0 || !ack.Duplicate {
+		t.Errorf("redelivery ack = %+v, want accepted=0 duplicate=true", ack)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := s.store.Ingested(); got != 1 {
+		t.Errorf("store ingested %d after duplicate delivery, want 1", got)
+	}
+	js, _ := s.store.JobPower(7)
+	if js.Samples != 1 {
+		t.Errorf("job analytics counted %d samples, want 1 (no double count)", js.Samples)
+	}
+
+	// A new sequence from the same agent is accepted normally.
+	resp, _ = postJSON(t, ts.URL+"/v1/samples", trace.SampleBatch{
+		AgentID: "agent-x", Seq: 2,
+		Samples: []trace.PowerSample{{Node: 1, JobID: 7, Unix: 120, PowerW: 101}},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("seq 2: %d", resp.StatusCode)
+	}
+	waitIngested(t, s, 2)
+
+	// Stamp validation: agent without seq (and vice versa) is rejected.
+	for _, bad := range []trace.SampleBatch{
+		{AgentID: "agent-x", Samples: batch.Samples},
+		{Seq: 3, Samples: batch.Samples},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/samples", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("invalid stamp %+v: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	_, body = get(t, ts.URL+"/metrics")
+	text := string(body)
+	for _, want := range []string{
+		"powserved_batches_duplicate_total 1",
+		"powserved_redeliveries_total 1",
+		`powserved_agent_breaker_state{agent="agent-x"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestIngestRecordsAgentReports checks the agent-health headers a
+// shipper stamps on deliveries are republished as /metrics gauges.
+func TestIngestRecordsAgentReports(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	batch := trace.SampleBatch{
+		AgentID: "node-17", Seq: 1,
+		Samples: []trace.PowerSample{{Node: 1, JobID: 1, Unix: 60, PowerW: 50}},
+	}
+	buf, _ := json.Marshal(batch)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/samples", bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderBreakerState, "half-open")
+	req.Header.Set(HeaderAgentRetries, "42")
+	req.Header.Set(HeaderSpillDepth, "9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	_, body := get(t, ts.URL+"/metrics")
+	text := string(body)
+	for _, want := range []string{
+		`powserved_agent_breaker_state{agent="node-17"} 1`,
+		`powserved_agent_retries{agent="node-17"} 42`,
+		`powserved_agent_spill_depth{agent="node-17"} 9`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestRetryAfterScalesWithQueueOccupancy covers the adaptive
+// backpressure hint: empty queue → 1 s, full queue → 5 s, monotonic in
+// between — and the hint a real rejection carries reflects a full queue.
+func TestRetryAfterScalesWithQueueOccupancy(t *testing.T) {
+	const capacity = 64
+	prev := 0
+	for depth := 0; depth <= capacity; depth += 8 {
+		got := retryAfterSeconds(depth, capacity)
+		if got < prev {
+			t.Errorf("retryAfterSeconds(%d, %d) = %d < previous %d (not monotonic)", depth, capacity, got, prev)
+		}
+		prev = got
+	}
+	if got := retryAfterSeconds(0, capacity); got != 1 {
+		t.Errorf("empty queue hint = %d, want 1", got)
+	}
+	if got := retryAfterSeconds(capacity, capacity); got != 5 {
+		t.Errorf("full queue hint = %d, want 5", got)
+	}
+	if retryAfterSeconds(capacity, capacity) <= retryAfterSeconds(capacity/4, capacity) {
+		t.Error("hint does not grow as the queue fills")
+	}
+
+	// End to end: a rejection from a saturated queue carries the
+	// full-queue hint, not the old hardcoded "1".
+	s := New(tsdb.New(tsdb.Config{Shards: 2, RingLen: 64}), nil, Config{QueueDepth: 2, IngestWorkers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+	batch := trace.SampleBatch{Samples: []trace.PowerSample{{Node: 1, JobID: 1, Unix: 60, PowerW: 10}}}
+	sawFull := false
+	for i := 0; i < 500 && !sawFull; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/samples", batch)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if err != nil {
+				t.Fatalf("unparseable Retry-After %q", resp.Header.Get("Retry-After"))
+			}
+			if ra < 2 {
+				t.Fatalf("full-queue Retry-After = %d, want scaled value ≥ 2", ra)
+			}
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Skip("queue never saturated (machine too fast); helper assertions above still cover scaling")
+	}
+}
+
+// TestTimeoutResponseIsJSON is the regression test for the
+// http.TimeoutHandler Content-Type fix: a timed-out request must get
+// the JSON error body *as* application/json.
+func TestTimeoutResponseIsJSON(t *testing.T) {
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(200 * time.Millisecond)
+	})
+	ts := httptest.NewServer(timeoutJSON(slow, 20*time.Millisecond))
+	defer ts.Close()
+	resp, body := get(t, ts.URL+"/v1/predict")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("timeout Content-Type = %q, want application/json", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("timeout body %q is not the JSON error", body)
+	}
+
+	// Handlers that finish in time keep their own Content-Type.
+	_, hts := newTestServer(t, DefaultConfig())
+	resp, _ = get(t, hts.URL+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q, want text/plain (not clobbered by the timeout wrapper)", ct)
+	}
+	resp, _ = get(t, hts.URL+"/healthz")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/healthz Content-Type = %q", ct)
+	}
+}
+
+// TestCloseMidFloodKeepsAcceptedBatches floods ingest from many
+// goroutines and calls Close in the middle: every batch that got a 202
+// must be queryable afterwards (no accepted-then-lost samples), and no
+// send may race the queue close (panics would crash the handler).
+func TestCloseMidFloodKeepsAcceptedBatches(t *testing.T) {
+	store := tsdb.New(tsdb.Config{Shards: 4, RingLen: 4096})
+	s := New(store, nil, Config{QueueDepth: 8, IngestWorkers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const flooders = 8
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	acceptedNodes := make([]map[int]bool, flooders)
+	start := make(chan struct{})
+	for f := 0; f < flooders; f++ {
+		acceptedNodes[f] = map[int]bool{}
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				node := f*1000 + i
+				batch := trace.SampleBatch{
+					AgentID: fmt.Sprintf("flood-%d", f), Seq: uint64(i + 1),
+					Samples: []trace.PowerSample{{Node: node, JobID: uint64(f + 1), Unix: int64(60 * (i + 1)), PowerW: 100}},
+				}
+				buf, _ := json.Marshal(batch)
+				resp, err := http.Post(ts.URL+"/v1/samples", "application/json", bytes.NewReader(buf))
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				code := resp.StatusCode
+				resp.Body.Close()
+				if code == http.StatusAccepted {
+					accepted.Add(1)
+					acceptedNodes[f][node] = true
+				}
+			}
+		}(f)
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond) // let the flood build
+	s.Close()                        // mid-flood: drains the queue, flips handlers to 503
+	wg.Wait()
+
+	if accepted.Load() == 0 {
+		t.Fatal("nothing accepted before Close")
+	}
+	if got := store.Ingested(); got != accepted.Load() {
+		t.Fatalf("store ingested %d, want %d (every 202'd batch)", got, accepted.Load())
+	}
+	// Every individually accepted sample is queryable.
+	for f := range acceptedNodes {
+		for node := range acceptedNodes[f] {
+			if pts := store.NodeSeries(node, 0, 0); len(pts) != 1 {
+				t.Fatalf("node %d: 202-accepted sample not queryable after Close (%d points)", node, len(pts))
+			}
+		}
+	}
+	// And ingest now answers 503 draining.
+	batch := trace.SampleBatch{Samples: []trace.PowerSample{{Node: 1, JobID: 1, Unix: 60, PowerW: 1}}}
+	resp, _ := postJSON(t, ts.URL+"/v1/samples", batch)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-Close ingest status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestJobsListEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, DefaultConfig())
+	resp, body := get(t, ts.URL+"/v1/jobs")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"jobs":[]`) {
+		t.Fatalf("empty jobs list: %d %s", resp.StatusCode, body)
+	}
+	postJSON(t, ts.URL+"/v1/samples", trace.SampleBatch{Samples: []trace.PowerSample{
+		{Node: 0, JobID: 3, Unix: 60, PowerW: 10},
+		{Node: 0, JobID: 1, Unix: 60, PowerW: 10},
+	}})
+	waitIngested(t, s, 2)
+	_, body = get(t, ts.URL+"/v1/jobs")
+	var out struct {
+		Jobs []uint64 `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 2 || out.Jobs[0] != 1 || out.Jobs[1] != 3 {
+		t.Errorf("jobs = %v, want [1 3]", out.Jobs)
 	}
 }

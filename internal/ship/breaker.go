@@ -1,0 +1,100 @@
+package ship
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// breaker is a classic three-state circuit breaker for the delivery
+// path. Closed passes everything; Threshold consecutive failures trip it
+// open, after which sends fail fast for cooldown; the first send after
+// the cooldown runs as a half-open probe — its outcome re-closes or
+// re-opens the circuit.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int
+	threshold int // <0 disables the breaker
+	cooldown  time.Duration
+	openedAt  time.Time
+	opens     atomic.Int64
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// allow reports whether a send may proceed now; when it may not, wait is
+// how long to back off before asking again. An open breaker past its
+// cooldown transitions to half-open and admits exactly one probe.
+func (b *breaker) allow(now time.Time) (wait time.Duration, ok bool) {
+	if b.threshold < 0 {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if remaining := b.cooldown - now.Sub(b.openedAt); remaining > 0 {
+			return remaining, false
+		}
+		b.state = breakerHalfOpen
+		return 0, true
+	default: // closed, or half-open (the single in-flight probe)
+		return 0, true
+	}
+}
+
+func (b *breaker) success() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// Failed probe: straight back to open for another cooldown.
+		b.trip()
+	default:
+		b.failures++
+		if b.state == breakerClosed && b.failures >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip must be called with b.mu held.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.failures = 0
+	b.openedAt = time.Now()
+	b.opens.Add(1)
+}
+
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

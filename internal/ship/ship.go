@@ -1,0 +1,420 @@
+// Package ship is the fault-tolerant delivery side of the online
+// telemetry path: a Shipper takes the wire batches a monitoring agent
+// collects (rapl.PushAgent) and gets them to a powserved ingest endpoint
+// through an unreliable network.
+//
+// Delivery contract — at-least-once transport, exactly-once analytics:
+//
+//   - every batch is stamped with the agent's ID and a monotonic
+//     sequence number; the server deduplicates on (AgentID, Seq), so
+//     re-sending after an ambiguous failure (the request may or may not
+//     have been counted) is always safe;
+//   - failed deliveries retry with exponential backoff and full jitter,
+//     honoring the server's Retry-After hint on 503/429 backpressure;
+//   - pending batches wait in a bounded spill buffer (FIFO ring) so an
+//     outage shorter than the buffer horizon loses nothing; beyond it the
+//     oldest batches are evicted and counted, never silently dropped;
+//   - a circuit breaker (closed → open → half-open) stops hammering a
+//     dead server: after Threshold consecutive failures sends fail fast
+//     for Cooldown, then a single probe decides re-close vs. re-open.
+//
+// The Shipper self-reports its breaker state, cumulative retries, and
+// spill depth via request headers, which the server republishes on
+// /metrics — one scrape point shows the whole fleet's delivery health.
+package ship
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpcpower/internal/trace"
+)
+
+// Config parameterizes a Shipper.
+type Config struct {
+	// URL is the full ingest endpoint, e.g. http://host:8080/v1/samples.
+	URL string
+	// AgentID identifies this shipper to the server's dedup index.
+	AgentID string
+	// Client is the HTTP client. nil means a client with a 10 s timeout.
+	Client *http.Client
+	// MaxPending bounds the spill buffer (batches). 0 means 256. When
+	// full, Enqueue evicts the oldest non-inflight batch.
+	MaxPending int
+	// MaxAttempts bounds delivery attempts per batch. 0 means unlimited
+	// (retry until the context is cancelled).
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff ceiling. 0 means 50 ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff (and the honored Retry-After). 0 means 5 s.
+	MaxBackoff time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips the
+	// circuit breaker. 0 means 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// allowing a half-open probe. 0 means 2 s.
+	BreakerCooldown time.Duration
+	// Seed seeds the jitter source; 0 means 1 (deterministic by default —
+	// distinct agents should pass distinct seeds).
+	Seed int64
+	// Observe, when set, is called after every delivery attempt with the
+	// attempt latency, HTTP status (0 on transport error), and error.
+	Observe func(d time.Duration, status int, err error)
+}
+
+// Stats is a snapshot of the shipper's delivery counters.
+type Stats struct {
+	Enqueued        int64  // batches handed to Enqueue
+	ShippedBatches  int64  // batches acknowledged with 202
+	ShippedSamples  int64  // samples in acknowledged batches
+	Duplicates      int64  // 202s the server flagged as already counted
+	Retries         int64  // failed attempts that were retried
+	Redeliveries    int64  // batches that needed more than one attempt
+	EvictedBatches  int64  // batches evicted from a full spill buffer
+	DroppedSamples  int64  // samples lost to eviction or attempt exhaustion
+	ExhaustedBatch  int64  // batches dropped after MaxAttempts
+	PoisonedBatches int64  // batches rejected 4xx (never retried)
+	BreakerOpens    int64  // closed→open transitions
+	Pending         int    // batches currently in the spill buffer
+	Breaker         string // "closed", "half-open", "open"
+}
+
+type batchEntry struct {
+	seq        uint64
+	samples    []trace.PowerSample
+	redelivery bool
+	inflight   bool
+}
+
+// Shipper delivers sample batches with retries, spill buffering, and a
+// circuit breaker. Enqueue is safe to call concurrently with one
+// running Run/Flush loop; the loop itself must not run concurrently
+// with another loop on the same Shipper.
+type Shipper struct {
+	cfg    Config
+	client *http.Client
+
+	mu      sync.Mutex
+	pending []*batchEntry // FIFO: pending[0] is next to ship
+	seq     uint64
+	wake    chan struct{}
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	breaker breaker
+
+	enqueued, shippedBatches, shippedSamples   atomic.Int64
+	duplicates, retries, redeliveries          atomic.Int64
+	evicted, droppedSamples, exhausted, poison atomic.Int64
+}
+
+// New returns a Shipper. Defaults are applied for zero Config fields.
+func New(cfg Config) *Shipper {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 256
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s := &Shipper{
+		cfg:    cfg,
+		client: cfg.Client,
+		wake:   make(chan struct{}, 1),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.breaker.threshold = cfg.BreakerThreshold
+	s.breaker.cooldown = cfg.BreakerCooldown
+	return s
+}
+
+// Enqueue stamps the batch with the next sequence number and appends it
+// to the spill buffer, evicting the oldest non-inflight batch if full.
+// It returns the assigned sequence number. The samples slice is retained
+// until delivered — callers must not mutate it afterwards.
+func (s *Shipper) Enqueue(samples []trace.PowerSample) uint64 {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	s.pending = append(s.pending, &batchEntry{seq: seq, samples: samples})
+	if len(s.pending) > s.cfg.MaxPending {
+		// Oldest-first eviction, skipping an entry the delivery loop is
+		// currently sending (it is about to leave the buffer anyway).
+		for i, e := range s.pending {
+			if !e.inflight {
+				s.evicted.Add(1)
+				s.droppedSamples.Add(int64(len(e.samples)))
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.enqueued.Add(1)
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return seq
+}
+
+// Pending returns the spill-buffer depth in batches.
+func (s *Shipper) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Stats returns a snapshot of the delivery counters.
+func (s *Shipper) Stats() Stats {
+	return Stats{
+		Enqueued:        s.enqueued.Load(),
+		ShippedBatches:  s.shippedBatches.Load(),
+		ShippedSamples:  s.shippedSamples.Load(),
+		Duplicates:      s.duplicates.Load(),
+		Retries:         s.retries.Load(),
+		Redeliveries:    s.redeliveries.Load(),
+		EvictedBatches:  s.evicted.Load(),
+		DroppedSamples:  s.droppedSamples.Load(),
+		ExhaustedBatch:  s.exhausted.Load(),
+		PoisonedBatches: s.poison.Load(),
+		BreakerOpens:    s.breaker.opens.Load(),
+		Pending:         s.Pending(),
+		Breaker:         s.breaker.stateName(),
+	}
+}
+
+// Run drains the spill buffer until ctx is cancelled, blocking while the
+// buffer is empty. Undelivered batches stay pending across calls.
+func (s *Shipper) Run(ctx context.Context) error {
+	for {
+		e := s.next()
+		if e == nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-s.wake:
+				continue
+			}
+		}
+		if err := s.deliver(ctx, e); err != nil {
+			return err
+		}
+	}
+}
+
+// Flush delivers everything currently pending (and anything enqueued
+// meanwhile) and returns when the buffer is empty or ctx is cancelled.
+func (s *Shipper) Flush(ctx context.Context) error {
+	for {
+		e := s.next()
+		if e == nil {
+			return nil
+		}
+		if err := s.deliver(ctx, e); err != nil {
+			return err
+		}
+	}
+}
+
+// next marks and returns the oldest pending batch, or nil.
+func (s *Shipper) next() *batchEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		return nil
+	}
+	e := s.pending[0]
+	e.inflight = true
+	return e
+}
+
+// remove drops e from the buffer (it is at the head unless evicted).
+func (s *Shipper) remove(e *batchEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range s.pending {
+		if p == e {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// deliver attempts e until acknowledged, poisoned, exhausted, or ctx is
+// cancelled. Only a ctx error is returned — delivery failures are
+// absorbed into the counters and the retry loop.
+func (s *Shipper) deliver(ctx context.Context, e *batchEntry) error {
+	for attempt := 0; ; attempt++ {
+		if err := s.waitBreaker(ctx); err != nil {
+			return err
+		}
+		status, retryAfter, dup, err := s.post(ctx, e)
+		switch {
+		case err == nil && status == http.StatusAccepted:
+			s.breaker.success()
+			s.shippedBatches.Add(1)
+			s.shippedSamples.Add(int64(len(e.samples)))
+			if dup {
+				s.duplicates.Add(1)
+			}
+			if e.redelivery {
+				s.redeliveries.Add(1)
+			}
+			s.remove(e)
+			return nil
+		case err == nil && status >= 400 && status < 500 &&
+			status != http.StatusTooManyRequests && status != http.StatusRequestTimeout:
+			// The server deterministically refuses this batch; retrying
+			// cannot help (poison). Drop it and move on.
+			s.poison.Add(1)
+			s.droppedSamples.Add(int64(len(e.samples)))
+			s.remove(e)
+			return nil
+		}
+		// Transport error, 5xx, or retryable 4xx: ambiguous — the server
+		// may have counted the batch. Re-send with the same seq; the
+		// dedup window makes that safe.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		e.redelivery = true
+		s.retries.Add(1)
+		s.breaker.failure()
+		if s.cfg.MaxAttempts > 0 && attempt+1 >= s.cfg.MaxAttempts {
+			s.exhausted.Add(1)
+			s.droppedSamples.Add(int64(len(e.samples)))
+			s.remove(e)
+			return nil
+		}
+		if err := s.sleep(ctx, s.backoff(attempt, retryAfter)); err != nil {
+			return err
+		}
+	}
+}
+
+// post sends one delivery attempt and classifies the response.
+func (s *Shipper) post(ctx context.Context, e *batchEntry) (status int, retryAfter time.Duration, dup bool, err error) {
+	body, err := json.Marshal(trace.SampleBatch{
+		AgentID:    s.cfg.AgentID,
+		Seq:        e.seq,
+		Redelivery: e.redelivery,
+		Samples:    e.samples,
+	})
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("ship: marshal batch %d: %w", e.seq, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.cfg.URL, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Breaker-State", s.breaker.stateName())
+	req.Header.Set("X-Agent-Retries", strconv.FormatInt(s.retries.Load(), 10))
+	req.Header.Set("X-Agent-Spill-Depth", strconv.Itoa(s.Pending()))
+
+	t0 := time.Now()
+	resp, err := s.client.Do(req)
+	if s.cfg.Observe != nil {
+		st := 0
+		if resp != nil {
+			st = resp.StatusCode
+		}
+		s.cfg.Observe(time.Since(t0), st, err)
+	}
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer resp.Body.Close()
+	var ack struct {
+		Accepted  int  `json:"accepted"`
+		Duplicate bool `json:"duplicate"`
+	}
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		// A decode failure (e.g. a chaos-truncated body) is ambiguous:
+		// the 202 status line arrived, so the batch was counted. Treat
+		// it as success — re-sending is also safe, but pointless.
+		_ = json.NewDecoder(resp.Body).Decode(&ack)
+		return resp.StatusCode, 0, ack.Duplicate, nil
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, perr := strconv.Atoi(v); perr == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+				if retryAfter > s.cfg.MaxBackoff {
+					retryAfter = s.cfg.MaxBackoff
+				}
+			}
+		}
+		return resp.StatusCode, retryAfter, false, nil
+	default:
+		return resp.StatusCode, 0, false, nil
+	}
+}
+
+// backoff computes the next retry delay: the server's Retry-After hint
+// when present, otherwise full jitter over an exponentially growing
+// ceiling — rand(0, min(MaxBackoff, Base·2^attempt)).
+func (s *Shipper) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	ceil := s.cfg.BaseBackoff << uint(min(attempt, 30))
+	if ceil > s.cfg.MaxBackoff || ceil <= 0 {
+		ceil = s.cfg.MaxBackoff
+	}
+	s.rngMu.Lock()
+	d := time.Duration(s.rng.Int63n(int64(ceil) + 1))
+	s.rngMu.Unlock()
+	return d
+}
+
+// waitBreaker blocks while the breaker is open and no probe is due.
+func (s *Shipper) waitBreaker(ctx context.Context) error {
+	for {
+		wait, ok := s.breaker.allow(time.Now())
+		if ok {
+			return nil
+		}
+		if err := s.sleep(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Shipper) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,303 @@
+package ship
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpcpower/internal/trace"
+)
+
+func samplesFor(n, base int) []trace.PowerSample {
+	out := make([]trace.PowerSample, n)
+	for i := range out {
+		out[i] = trace.PowerSample{Node: base + i, JobID: 1, Unix: 60, PowerW: 100}
+	}
+	return out
+}
+
+// ackServer accepts every batch and records what it saw.
+type ackServer struct {
+	mu      sync.Mutex
+	batches []trace.SampleBatch
+}
+
+func (a *ackServer) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var b trace.SampleBatch
+		if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		a.mu.Lock()
+		a.batches = append(a.batches, b)
+		a.mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]int{"accepted": len(b.Samples)})
+	}
+}
+
+func TestShipperDeliversInOrder(t *testing.T) {
+	var srv ackServer
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	s := New(Config{URL: ts.URL, AgentID: "agent-a"})
+	for i := 0; i < 10; i++ {
+		s.Enqueue(samplesFor(3, i*10))
+	}
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.batches) != 10 {
+		t.Fatalf("server saw %d batches, want 10", len(srv.batches))
+	}
+	for i, b := range srv.batches {
+		if b.AgentID != "agent-a" || b.Seq != uint64(i+1) {
+			t.Errorf("batch %d: agent %q seq %d, want agent-a seq %d", i, b.AgentID, b.Seq, i+1)
+		}
+		if b.Redelivery {
+			t.Errorf("batch %d flagged redelivery on a clean path", i)
+		}
+	}
+	st := s.Stats()
+	if st.ShippedBatches != 10 || st.ShippedSamples != 30 || st.Retries != 0 ||
+		st.DroppedSamples != 0 || st.Pending != 0 || st.Breaker != "closed" {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestShipperRetriesWithRedeliveryFlag(t *testing.T) {
+	var calls atomic.Int64
+	var srv ackServer
+	inner := srv.handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "injected", http.StatusInternalServerError)
+			return
+		}
+		inner(w, r)
+	}))
+	defer ts.Close()
+
+	s := New(Config{URL: ts.URL, AgentID: "a", BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	s.Enqueue(samplesFor(2, 0))
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	got := srv.batches
+	srv.mu.Unlock()
+	if len(got) != 1 || !got[0].Redelivery {
+		t.Fatalf("server saw %+v, want one redelivery-flagged batch", got)
+	}
+	st := s.Stats()
+	if st.Retries != 2 || st.Redeliveries != 1 || st.ShippedBatches != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestShipperHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var srv ackServer
+	inner := srv.handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "full", http.StatusServiceUnavailable)
+			return
+		}
+		inner(w, r)
+	}))
+	defer ts.Close()
+
+	// BaseBackoff is tiny: any wait ≥ ~1 s proves the server hint won.
+	s := New(Config{URL: ts.URL, AgentID: "a", BaseBackoff: time.Microsecond, MaxBackoff: 2 * time.Second})
+	s.Enqueue(samplesFor(1, 0))
+	start := time.Now()
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("flush took %v, want ≥ ~1s (Retry-After honored)", elapsed)
+	}
+	if st := s.Stats(); st.ShippedBatches != 1 || st.Retries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestShipperSpillEviction(t *testing.T) {
+	// No delivery loop running: everything accumulates in the buffer.
+	s := New(Config{URL: "http://127.0.0.1:0/unused", MaxPending: 4})
+	for i := 0; i < 10; i++ {
+		s.Enqueue(samplesFor(5, i*10))
+	}
+	st := s.Stats()
+	if st.Pending != 4 {
+		t.Errorf("pending = %d, want 4 (bounded)", st.Pending)
+	}
+	if st.EvictedBatches != 6 || st.DroppedSamples != 30 {
+		t.Errorf("evicted %d batches / %d samples, want 6 / 30", st.EvictedBatches, st.DroppedSamples)
+	}
+}
+
+func TestShipperBreakerOpensAndRecovers(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	var attempts atomic.Int64
+	var srv ackServer
+	inner := srv.handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		if failing.Load() {
+			http.Error(w, "down", http.StatusBadGateway)
+			return
+		}
+		inner(w, r)
+	}))
+	defer ts.Close()
+
+	s := New(Config{
+		URL: ts.URL, AgentID: "a",
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		BreakerThreshold: 3, BreakerCooldown: 30 * time.Millisecond,
+	})
+	s.Enqueue(samplesFor(1, 0))
+
+	done := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { done <- s.Flush(ctx) }()
+
+	// Let it bang against the dead server long enough to trip the breaker,
+	// then heal the server and wait for delivery.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.breaker.opens.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.breaker.opens.Load() == 0 {
+		t.Fatal("breaker never opened against a dead server")
+	}
+	// While open, attempts must stall (fail-fast, no hammering).
+	before := attempts.Load()
+	time.Sleep(10 * time.Millisecond)
+	if after := attempts.Load(); after-before > 2 {
+		t.Errorf("open breaker let %d attempts through in 10ms", after-before)
+	}
+	failing.Store(false)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ShippedBatches != 1 || st.BreakerOpens == 0 || st.Breaker != "closed" {
+		t.Errorf("stats after recovery = %+v", st)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.batches) != 1 {
+		t.Errorf("server saw %d batches, want 1", len(srv.batches))
+	}
+}
+
+func TestShipperPoisonBatchesNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad batch", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	s := New(Config{URL: ts.URL, AgentID: "a", BaseBackoff: time.Millisecond})
+	s.Enqueue(samplesFor(4, 0))
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("poison batch attempted %d times, want 1", calls.Load())
+	}
+	st := s.Stats()
+	if st.PoisonedBatches != 1 || st.DroppedSamples != 4 || st.Pending != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestShipperMaxAttemptsExhaustion(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	s := New(Config{
+		URL: ts.URL, AgentID: "a", MaxAttempts: 3,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		BreakerThreshold: -1,
+	})
+	s.Enqueue(samplesFor(2, 0))
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("batch attempted %d times, want 3 (MaxAttempts)", calls.Load())
+	}
+	st := s.Stats()
+	if st.ExhaustedBatch != 1 || st.DroppedSamples != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestShipperConcurrentEnqueue races Enqueue against a Run loop — the
+// -race CI job is the real assertion here; delivery completeness is
+// checked too.
+func TestShipperConcurrentEnqueue(t *testing.T) {
+	var srv ackServer
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	s := New(Config{URL: ts.URL, AgentID: "a", MaxPending: 1024})
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); s.Run(ctx) }()
+
+	var wg sync.WaitGroup
+	const producers, perProducer = 4, 50
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				s.Enqueue(samplesFor(1, p*1000+i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().ShippedBatches < producers*perProducer && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-runDone
+	if got := s.Stats().ShippedBatches; got != producers*perProducer {
+		t.Fatalf("shipped %d batches, want %d", got, producers*perProducer)
+	}
+	// Every sequence number 1..N delivered exactly once.
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	seen := map[uint64]int{}
+	for _, b := range srv.batches {
+		seen[b.Seq]++
+	}
+	for seq := uint64(1); seq <= producers*perProducer; seq++ {
+		if seen[seq] != 1 {
+			t.Fatalf("seq %d delivered %d times", seq, seen[seq])
+		}
+	}
+}

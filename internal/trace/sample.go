@@ -34,12 +34,32 @@ func (s PowerSample) Validate() error {
 }
 
 // SampleBatch is the ingest request body of POST /v1/samples.
+//
+// AgentID and Seq are the delivery identity used for idempotent ingest:
+// an agent stamps every batch it ships with its own ID and a monotonic
+// sequence number starting at 1, and the server deduplicates on
+// (AgentID, Seq) so an at-least-once transport never double-counts a
+// sample into the job analytics. An empty AgentID opts out of
+// deduplication — anonymous pushes keep working unchanged.
+//
+// Redelivery marks a batch that is being re-sent after a delivery
+// failure (the first attempt may or may not have reached the server);
+// the server counts redeliveries so operators can see transport churn.
 type SampleBatch struct {
-	Samples []PowerSample `json:"samples"`
+	AgentID    string        `json:"agent,omitempty"`
+	Seq        uint64        `json:"seq,omitempty"`
+	Redelivery bool          `json:"redelivery,omitempty"`
+	Samples    []PowerSample `json:"samples"`
 }
 
-// Validate checks every sample in the batch.
+// Validate checks the delivery stamp and every sample in the batch.
 func (b SampleBatch) Validate() error {
+	if b.AgentID != "" && b.Seq == 0 {
+		return fmt.Errorf("trace: batch from agent %q has no sequence number", b.AgentID)
+	}
+	if b.AgentID == "" && b.Seq != 0 {
+		return fmt.Errorf("trace: batch has sequence %d but no agent id", b.Seq)
+	}
 	for i, s := range b.Samples {
 		if err := s.Validate(); err != nil {
 			return fmt.Errorf("sample %d: %w", i, err)
