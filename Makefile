@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke ci clean
+.PHONY: all build vet test race bench smoke chaos-smoke crash-smoke fuzz-wal ci clean
 
 all: build
 
@@ -26,4 +26,19 @@ bench:
 smoke:
 	./scripts/smoke.sh
 
-ci: vet build race smoke
+# Chaos smoke: replay through a fault-injecting proxy and verify zero
+# loss / zero double-counting against a fault-free baseline.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
+
+# Crash smoke: SIGKILL powserved mid-ingest, corrupt the WAL tail, and
+# verify the recovered analytics are byte-identical to a control run.
+crash-smoke:
+	./scripts/crash_smoke.sh
+
+# Fuzz the WAL segment reader: arbitrary corruption must yield clean
+# truncation or a typed error, never a panic or a silently wrong record.
+fuzz-wal:
+	$(GO) test -run xxx -fuzz FuzzSegmentRead -fuzztime 30s ./internal/wal/
+
+ci: vet build race smoke crash-smoke

@@ -8,11 +8,19 @@
 //
 //	powserved -addr :8080 -model model.json
 //	powserved -addr 127.0.0.1:0 -train traces/emmy   # train at startup
+//	powserved -addr :8080 -data-dir /var/lib/powserved   # crash-safe
+//
+// With -data-dir the ingest path is crash-safe: accepted batches are
+// written to a write-ahead log before they are acknowledged, snapshots
+// bound replay time, and on startup the daemon recovers the exact
+// pre-crash analytics (latest snapshot + WAL tail) before it binds the
+// listener. The directory must exist; a second instance on the same
+// directory is refused (flock).
 //
 // Endpoints: POST /v1/samples, GET /v1/nodes/{id}/series,
 // GET /v1/jobs/{id}/power, POST /v1/predict, GET /v1/summary,
-// GET /metrics, GET /healthz. SIGINT/SIGTERM shut down gracefully,
-// draining the ingest queue first.
+// GET /metrics, GET /healthz, GET /readyz. SIGINT/SIGTERM shut down
+// gracefully, draining the ingest queue first.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"hpcpower/internal/mlearn"
 	"hpcpower/internal/serve"
 	"hpcpower/internal/tsdb"
+	"hpcpower/internal/wal"
 )
 
 func main() {
@@ -39,6 +48,13 @@ func main() {
 		ring    = flag.Int("ring", 1440, "retained samples per node (1440 = one day of minutes)")
 		queue   = flag.Int("queue", 256, "ingest queue depth in batches (backpressure threshold)")
 		workers = flag.Int("workers", 4, "ingest worker goroutines")
+
+		dataDir    = flag.String("data-dir", "", "data directory for the write-ahead log and snapshots (empty = memory-only)")
+		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch (fsync before every ack), interval, off")
+		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence with -fsync interval")
+		segBytes   = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation size")
+		snapEvery  = flag.Duration("snapshot-interval", 20*time.Second, "time between snapshots")
+		snapBatch  = flag.Int64("snapshot-every", 4096, "also snapshot after this many WAL appends")
 	)
 	flag.Parse()
 
@@ -70,10 +86,45 @@ func main() {
 	}
 
 	store := tsdb.New(tsdb.Config{Shards: *shards, RingLen: *ring})
-	srv := serve.New(store, bdt, serve.Config{
+	cfg := serve.Config{
 		QueueDepth:    *queue,
 		IngestWorkers: *workers,
-	})
+	}
+	var srv *serve.Server
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		// Fail fast: a missing, unwritable, or already-locked data dir is
+		// refused here, before any listener exists.
+		srv, err = serve.NewDurable(store, bdt, cfg, serve.DurabilityConfig{
+			Dir:              *dataDir,
+			Policy:           policy,
+			SyncInterval:     *fsyncEvery,
+			SegmentBytes:     *segBytes,
+			SnapshotInterval: *snapEvery,
+			SnapshotEvery:    *snapBatch,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// Recover the pre-crash state before binding: a client that can
+		// connect always sees fully recovered analytics.
+		rep, err := srv.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		stale := ""
+		if rep.StaleLock {
+			stale = " (stale lock from a dead instance)"
+		}
+		fmt.Printf("powserved: recovered %s in %s%s: snapshot lsn %d, %d records (%d samples) replayed, %d tombstoned, %d bytes truncated\n",
+			*dataDir, rep.Duration.Round(time.Millisecond), stale,
+			rep.SnapshotLSN, rep.RecordsReplayed, rep.SamplesReplayed, rep.Tombstoned, rep.TruncatedBytes)
+	} else {
+		srv = serve.New(store, bdt, cfg)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

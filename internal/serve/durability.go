@@ -1,0 +1,466 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpcpower/internal/trace"
+	"hpcpower/internal/tsdb"
+	"hpcpower/internal/wal"
+)
+
+// DurabilityConfig turns on crash-safe ingest: every accepted batch is
+// appended to a write-ahead log in Dir before it is enqueued, periodic
+// snapshots bound replay time, and Recover rebuilds the exact pre-crash
+// analytics from the latest snapshot plus the WAL tail.
+type DurabilityConfig struct {
+	// Dir is the data directory. It must already exist and be writable;
+	// NewDurable fails fast otherwise and refuses to share it with a
+	// running instance (flock).
+	Dir string
+	// Policy is the fsync discipline (wal.SyncBatch / SyncInterval /
+	// SyncNone). SyncBatch acks a 202 only after the record is fsynced.
+	Policy wal.SyncPolicy
+	// SyncInterval is the cadence for wal.SyncInterval. 0 means 100 ms.
+	SyncInterval time.Duration
+	// SegmentBytes rotates WAL segments. 0 means 64 MiB.
+	SegmentBytes int64
+	// SnapshotInterval is the time between snapshots. 0 means 20 s.
+	SnapshotInterval time.Duration
+	// SnapshotEvery also snapshots after this many WAL appends since the
+	// last one. 0 means 4096.
+	SnapshotEvery int64
+	// KeepSnapshots retains this many snapshot files. 0 means 3.
+	KeepSnapshots int
+}
+
+func (c *DurabilityConfig) withDefaults() DurabilityConfig {
+	d := *c
+	if d.SyncInterval <= 0 {
+		d.SyncInterval = 100 * time.Millisecond
+	}
+	if d.SnapshotInterval <= 0 {
+		d.SnapshotInterval = 20 * time.Second
+	}
+	if d.SnapshotEvery <= 0 {
+		d.SnapshotEvery = 4096
+	}
+	if d.KeepSnapshots <= 0 {
+		d.KeepSnapshots = 3
+	}
+	return d
+}
+
+// snapshotImage is the JSON payload of one snapshot file: the full TSDB
+// and dedup state plus the apply frontier. Replay applies exactly the WAL
+// records with LSN > AppliedLSN and not in Extras — everything else is
+// already inside the image.
+type snapshotImage struct {
+	Store *tsdb.StoreState   `json:"store"`
+	Dedup *tsdb.DeduperState `json:"dedup"`
+	// AppliedLSN is the apply watermark: every record with LSN ≤ it is in
+	// Store. Extras lists the applied LSNs above the watermark (records
+	// applied out of order around in-flight neighbors).
+	AppliedLSN uint64   `json:"applied_lsn"`
+	Extras     []uint64 `json:"extras,omitempty"`
+}
+
+// RecoveryReport summarizes one Recover call, for logs and /metrics.
+type RecoveryReport struct {
+	SnapshotFound    bool
+	SnapshotLSN      uint64
+	SnapshotsSkipped int // corrupt snapshot files skipped over
+	StaleLock        bool
+	RecordsReplayed  int64
+	SamplesReplayed  int64
+	RecordsSkipped   int64 // already in the snapshot (LSN gate)
+	Tombstoned       int64 // cancelled by a tombstone
+	DecodeErrors     int64
+	TruncatedBytes   int64
+	DroppedSegments  int
+	Duration         time.Duration
+}
+
+// applyTracker tracks which WAL LSNs have been folded into the store: a
+// watermark (every LSN ≤ it is done) plus the sparse set of done LSNs
+// above it. LSNs are contiguous, so the watermark chases the set.
+type applyTracker struct {
+	mu        sync.Mutex
+	watermark uint64
+	done      map[uint64]struct{}
+}
+
+func newApplyTracker(watermark uint64) *applyTracker {
+	return &applyTracker{watermark: watermark, done: map[uint64]struct{}{}}
+}
+
+func (t *applyTracker) markDone(lsn uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if lsn <= t.watermark {
+		return
+	}
+	t.done[lsn] = struct{}{}
+	for {
+		if _, ok := t.done[t.watermark+1]; !ok {
+			return
+		}
+		delete(t.done, t.watermark+1)
+		t.watermark++
+	}
+}
+
+// frontier returns the watermark and the sorted extras above it.
+func (t *applyTracker) frontier() (uint64, []uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	extras := make([]uint64, 0, len(t.done))
+	for lsn := range t.done {
+		extras = append(extras, lsn)
+	}
+	sort.Slice(extras, func(a, b int) bool { return extras[a] < extras[b] })
+	return t.watermark, extras
+}
+
+// durability owns the server's crash-safety machinery: the data-dir
+// lock, the WAL, the apply tracker, and the snapshot scheduler.
+type durability struct {
+	cfg  DurabilityConfig
+	lock *wal.FileLock
+	log  *wal.Log
+
+	// applyMu is the snapshot-consistency lock. Readers: the ingest
+	// accept path (dedup mark → WAL append → enqueue, one atomic unit)
+	// and the worker apply path (store append → markDone). Writer: the
+	// snapshot capture, which therefore sees store, dedup, and tracker at
+	// a single batch boundary.
+	applyMu sync.RWMutex
+	// seqMu orders WAL appends with enqueues so LSN order equals queue
+	// order: replay applies records in LSN order, and with one ingest
+	// worker the live apply order must match for the recovered analytics
+	// to be byte-identical.
+	seqMu   sync.Mutex
+	tracker *applyTracker
+
+	appendsSinceSnap atomic.Int64
+	snapLSN          atomic.Uint64 // frontier watermark of the last snapshot
+	snapshots        atomic.Int64
+	snapshotErrors   atomic.Int64
+
+	recovered atomic.Bool
+	report    RecoveryReport
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// openDurability fail-fasts on the data dir (missing, unwritable, or
+// locked by a live instance) and opens the WAL without replaying it.
+func openDurability(cfg DurabilityConfig) (*durability, error) {
+	cfg = cfg.withDefaults()
+	lock, err := wal.LockDir(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &durability{
+		cfg:     cfg,
+		lock:    lock,
+		tracker: newApplyTracker(0),
+		stopc:   make(chan struct{}),
+	}
+	return d, nil
+}
+
+// walBody is the WAL record payload: the delivery-stamped batch, so
+// replay can rebuild both the store and the dedup index.
+type walBody struct {
+	Agent   string              `json:"agent,omitempty"`
+	Seq     uint64              `json:"seq,omitempty"`
+	Samples []trace.PowerSample `json:"samples"`
+}
+
+func encodeWALBody(agent string, seq uint64, samples []trace.PowerSample) ([]byte, error) {
+	return json.Marshal(walBody{Agent: agent, Seq: seq, Samples: samples})
+}
+
+// Recover restores the latest valid snapshot into the store and dedup
+// index, opens the WAL (truncating any torn tail), and replays the
+// records past the snapshot frontier. It must run before the server
+// accepts ingest traffic; /readyz answers 503 until it completes.
+func (s *Server) Recover() (*RecoveryReport, error) {
+	d := s.dur
+	if d == nil {
+		return nil, fmt.Errorf("serve: server has no durability configured")
+	}
+	if d.recovered.Load() {
+		return nil, fmt.Errorf("serve: Recover called twice")
+	}
+	start := time.Now()
+	rep := RecoveryReport{StaleLock: d.lock.Stale()}
+
+	snapLSN, payload, found, skipped, err := wal.LatestSnapshot(d.cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading snapshots: %w", err)
+	}
+	rep.SnapshotsSkipped = skipped
+	var img snapshotImage
+	if found {
+		if err := json.Unmarshal(payload, &img); err != nil {
+			return nil, fmt.Errorf("serve: snapshot %d payload: %w", snapLSN, err)
+		}
+		if img.Store != nil {
+			if err := s.store.RestoreState(img.Store); err != nil {
+				return nil, fmt.Errorf("serve: restoring snapshot %d: %w", snapLSN, err)
+			}
+		}
+		if img.Dedup != nil {
+			if err := s.dedup.RestoreState(img.Dedup); err != nil {
+				return nil, fmt.Errorf("serve: restoring snapshot %d dedup: %w", snapLSN, err)
+			}
+		}
+		rep.SnapshotFound, rep.SnapshotLSN = true, img.AppliedLSN
+	}
+
+	// New appends must never reuse an LSN the snapshot already covers,
+	// even if the WAL tail was lost entirely.
+	floor := img.AppliedLSN
+	for _, e := range img.Extras {
+		if e > floor {
+			floor = e
+		}
+	}
+	log, err := wal.Open(d.cfg.Dir, wal.Options{
+		SegmentBytes: d.cfg.SegmentBytes,
+		Policy:       d.cfg.Policy,
+		Interval:     d.cfg.SyncInterval,
+		NextLSNFloor: floor,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening wal: %w", err)
+	}
+	d.log = log
+
+	applied := map[uint64]struct{}{}
+	for _, e := range img.Extras {
+		applied[e] = struct{}{}
+	}
+	// Pass 1: a tombstone cancels an earlier record, so collect them all
+	// before applying anything.
+	tombstoned := map[uint64]struct{}{}
+	err = log.Replay(func(lsn uint64, typ wal.RecordType, body []byte) error {
+		if typ == wal.RecordTombstone {
+			tombstoned[wal.DecodeTombstone(body)] = struct{}{}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: wal tombstone scan: %w", err)
+	}
+	// Pass 2: apply every data record past the snapshot frontier, in LSN
+	// order — the order the live server applied them. Dedup marks are
+	// re-recorded but never gate replay: a mark captured in the snapshot
+	// may belong to a record that was still in flight at capture time,
+	// and skipping it here would lose acknowledged data.
+	err = log.Replay(func(lsn uint64, typ wal.RecordType, body []byte) error {
+		if typ != wal.RecordData {
+			return nil
+		}
+		if _, ok := tombstoned[lsn]; ok {
+			rep.Tombstoned++
+			return nil
+		}
+		if lsn <= img.AppliedLSN {
+			rep.RecordsSkipped++
+			return nil
+		}
+		if _, ok := applied[lsn]; ok {
+			rep.RecordsSkipped++
+			return nil
+		}
+		var wb walBody
+		if err := json.Unmarshal(body, &wb); err != nil {
+			rep.DecodeErrors++
+			return nil
+		}
+		if wb.Agent != "" {
+			s.dedup.Mark(wb.Agent, wb.Seq)
+		}
+		if err := s.store.Append(wb.Samples); err != nil {
+			rep.DecodeErrors++
+			return nil
+		}
+		rep.RecordsReplayed++
+		rep.SamplesReplayed += int64(len(wb.Samples))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: wal replay: %w", err)
+	}
+
+	// Everything on disk is now in the store: the frontier is the last
+	// LSN the (truncated) WAL holds, or the snapshot floor beyond it.
+	wm := log.LastLSN()
+	if floor > wm {
+		wm = floor
+	}
+	d.tracker = newApplyTracker(wm)
+	d.snapLSN.Store(img.AppliedLSN)
+
+	st := log.Stats()
+	rep.TruncatedBytes = st.TruncatedBytes
+	rep.DroppedSegments = st.DroppedSegments
+	rep.Duration = time.Since(start)
+	d.report = rep
+	d.recovered.Store(true)
+	s.ready.Store(true)
+
+	d.wg.Add(1)
+	go d.snapshotLoop(s)
+	return &rep, nil
+}
+
+// snapshotLoop takes periodic snapshots, plus one whenever enough WAL
+// appends have accumulated since the last.
+func (d *durability) snapshotLoop(s *Server) {
+	defer d.wg.Done()
+	t := time.NewTicker(d.cfg.SnapshotInterval / 4)
+	defer t.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-d.stopc:
+			return
+		case <-t.C:
+			due := time.Since(last) >= d.cfg.SnapshotInterval && d.appendsSinceSnap.Load() > 0
+			if d.appendsSinceSnap.Load() >= d.cfg.SnapshotEvery {
+				due = true
+			}
+			if !due {
+				continue
+			}
+			if err := d.snapshotOnce(s); err != nil {
+				d.snapshotErrors.Add(1)
+			}
+			last = time.Now()
+		}
+	}
+}
+
+// snapshotOnce captures a consistent (store, dedup, frontier) image,
+// makes the WAL durable past it, persists the snapshot, and reaps the
+// segments and snapshots it obsoletes.
+func (d *durability) snapshotOnce(s *Server) error {
+	d.applyMu.Lock()
+	wm, extras := d.tracker.frontier()
+	img := snapshotImage{
+		Store:      s.store.ExportState(),
+		Dedup:      s.dedup.ExportState(),
+		AppliedLSN: wm,
+		Extras:     extras,
+	}
+	pending := d.appendsSinceSnap.Load()
+	d.applyMu.Unlock()
+
+	// Durability barrier: a dedup mark inside the image implies its WAL
+	// record is on disk — otherwise a crash could lose an acked batch and
+	// the snapshot would reject the agent's re-send as a duplicate.
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(&img)
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteSnapshot(d.cfg.Dir, wm, payload); err != nil {
+		return err
+	}
+	d.snapshots.Add(1)
+	d.snapLSN.Store(wm)
+	d.appendsSinceSnap.Add(-pending)
+	d.log.Reap(wm)
+	wal.ReapSnapshots(d.cfg.Dir, d.cfg.KeepSnapshots)
+	return nil
+}
+
+// writeMetrics appends the wal_*, snapshot_*, and recovery_* series to
+// the Prometheus exposition.
+func (d *durability) writeMetrics(w io.Writer) {
+	if d.log != nil {
+		st := d.log.Stats()
+		fmt.Fprintf(w, "# TYPE powserved_wal_appends_total counter\n")
+		fmt.Fprintf(w, "powserved_wal_appends_total %d\n", st.Appends)
+		fmt.Fprintf(w, "# TYPE powserved_wal_fsyncs_total counter\n")
+		fmt.Fprintf(w, "powserved_wal_fsyncs_total %d\n", st.Fsyncs)
+		fmt.Fprintf(w, "# TYPE powserved_wal_rotations_total counter\n")
+		fmt.Fprintf(w, "powserved_wal_rotations_total %d\n", st.Rotations)
+		fmt.Fprintf(w, "# TYPE powserved_wal_segments gauge\n")
+		fmt.Fprintf(w, "powserved_wal_segments %d\n", st.Segments)
+		fmt.Fprintf(w, "# TYPE powserved_wal_last_lsn gauge\n")
+		fmt.Fprintf(w, "powserved_wal_last_lsn %d\n", st.LastLSN)
+		fmt.Fprintf(w, "# TYPE powserved_wal_synced_lsn gauge\n")
+		fmt.Fprintf(w, "powserved_wal_synced_lsn %d\n", st.SyncedLSN)
+		fmt.Fprintf(w, "# TYPE powserved_wal_truncated_bytes_total counter\n")
+		fmt.Fprintf(w, "powserved_wal_truncated_bytes_total %d\n", st.TruncatedBytes)
+		fmt.Fprintf(w, "# TYPE powserved_wal_dropped_segments_total counter\n")
+		fmt.Fprintf(w, "powserved_wal_dropped_segments_total %d\n", st.DroppedSegments)
+	}
+	fmt.Fprintf(w, "# TYPE powserved_snapshots_total counter\n")
+	fmt.Fprintf(w, "powserved_snapshots_total %d\n", d.snapshots.Load())
+	fmt.Fprintf(w, "# TYPE powserved_snapshot_errors_total counter\n")
+	fmt.Fprintf(w, "powserved_snapshot_errors_total %d\n", d.snapshotErrors.Load())
+	fmt.Fprintf(w, "# TYPE powserved_snapshot_last_lsn gauge\n")
+	fmt.Fprintf(w, "powserved_snapshot_last_lsn %d\n", d.snapLSN.Load())
+	if d.recovered.Load() {
+		rep := d.report
+		fmt.Fprintf(w, "# TYPE powserved_recovery_snapshot_found gauge\n")
+		fmt.Fprintf(w, "powserved_recovery_snapshot_found %d\n", b2i(rep.SnapshotFound))
+		fmt.Fprintf(w, "# TYPE powserved_recovery_snapshot_lsn gauge\n")
+		fmt.Fprintf(w, "powserved_recovery_snapshot_lsn %d\n", rep.SnapshotLSN)
+		fmt.Fprintf(w, "# TYPE powserved_recovery_snapshots_skipped gauge\n")
+		fmt.Fprintf(w, "powserved_recovery_snapshots_skipped %d\n", rep.SnapshotsSkipped)
+		fmt.Fprintf(w, "# TYPE powserved_recovery_records_replayed gauge\n")
+		fmt.Fprintf(w, "powserved_recovery_records_replayed %d\n", rep.RecordsReplayed)
+		fmt.Fprintf(w, "# TYPE powserved_recovery_samples_replayed gauge\n")
+		fmt.Fprintf(w, "powserved_recovery_samples_replayed %d\n", rep.SamplesReplayed)
+		fmt.Fprintf(w, "# TYPE powserved_recovery_records_skipped gauge\n")
+		fmt.Fprintf(w, "powserved_recovery_records_skipped %d\n", rep.RecordsSkipped)
+		fmt.Fprintf(w, "# TYPE powserved_recovery_tombstoned gauge\n")
+		fmt.Fprintf(w, "powserved_recovery_tombstoned %d\n", rep.Tombstoned)
+		fmt.Fprintf(w, "# TYPE powserved_recovery_truncated_bytes gauge\n")
+		fmt.Fprintf(w, "powserved_recovery_truncated_bytes %d\n", rep.TruncatedBytes)
+		fmt.Fprintf(w, "# TYPE powserved_recovery_stale_lock gauge\n")
+		fmt.Fprintf(w, "powserved_recovery_stale_lock %d\n", b2i(rep.StaleLock))
+		fmt.Fprintf(w, "# TYPE powserved_recovery_seconds gauge\n")
+		fmt.Fprintf(w, "powserved_recovery_seconds %g\n", rep.Duration.Seconds())
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// close stops the snapshot scheduler, takes a final snapshot when the
+// queue has fully drained (fast restart), closes the WAL, and releases
+// the data-dir lock. Called from Server.Close after the workers exit.
+func (d *durability) close(s *Server) {
+	d.stopOnce.Do(func() { close(d.stopc) })
+	d.wg.Wait()
+	if d.log != nil {
+		if d.recovered.Load() {
+			if err := d.snapshotOnce(s); err != nil {
+				d.snapshotErrors.Add(1)
+			}
+		}
+		d.log.Close()
+	}
+	d.lock.Unlock()
+}

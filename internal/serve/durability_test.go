@@ -1,0 +1,475 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hpcpower/internal/rng"
+	"hpcpower/internal/trace"
+	"hpcpower/internal/tsdb"
+	"hpcpower/internal/wal"
+)
+
+// durableConfig pins the knobs that make recovery byte-identical: one
+// ingest worker (apply order = LSN order) and a matching store shape
+// across restarts.
+func durableConfig() Config {
+	cfg := DefaultConfig()
+	cfg.IngestWorkers = 1
+	return cfg
+}
+
+func durableStore() *tsdb.Store {
+	return tsdb.New(tsdb.Config{Shards: 4, RingLen: 256})
+}
+
+// newDurableServer builds, recovers, and serves a durable server over
+// dir. The caller owns shutdown.
+func newDurableServer(t testing.TB, dir string, dcfg DurabilityConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	dcfg.Dir = dir
+	s, err := NewDurable(durableStore(), nil, durableConfig(), dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(); err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	return s, httptest.NewServer(s.Handler())
+}
+
+// crash simulates a SIGKILL: no drain, no final snapshot — just drop
+// the background machinery and abandon (not cleanly unlock) the dir
+// lock, leaving disk exactly as a dead process would.
+func crash(t testing.TB, s *Server, ts *httptest.Server) {
+	t.Helper()
+	ts.Close()
+	d := s.dur
+	d.stopOnce.Do(func() { close(d.stopc) })
+	d.wg.Wait()
+	if d.log != nil {
+		d.log.Close()
+	}
+	d.lock.Abandon()
+}
+
+// analyticsDump serializes summary + every job body — the byte-identity
+// oracle shared with scripts/crash_smoke.sh.
+func analyticsDump(t testing.TB, url string) string {
+	t.Helper()
+	var b strings.Builder
+	resp, body := get(t, url+"/v1/summary")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary: %d %s", resp.StatusCode, body)
+	}
+	b.Write(body)
+	resp, body = get(t, url+"/v1/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("jobs: %d %s", resp.StatusCode, body)
+	}
+	b.Write(body)
+	var jobs struct {
+		Jobs []uint64 `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &jobs); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	for _, id := range jobs.Jobs {
+		resp, body = get(t, url+"/v1/jobs/"+strconv.FormatUint(id, 10)+"/power")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %d: %d %s", id, resp.StatusCode, body)
+		}
+		b.Write(body)
+	}
+	return b.String()
+}
+
+func stampedBatches(seed uint64, n int) []trace.SampleBatch {
+	src := rng.New(seed)
+	out := make([]trace.SampleBatch, n)
+	for b := range out {
+		k := int(src.Uint64()%5) + 1
+		samples := make([]trace.PowerSample, k)
+		for i := range samples {
+			samples[i] = trace.PowerSample{
+				Node:   int(src.Uint64() % 8),
+				JobID:  1 + src.Uint64()%3,
+				Unix:   1_700_000_000 + int64(src.Uint64()%1800),
+				PowerW: 100 + 300*src.Float64(),
+			}
+		}
+		out[b] = trace.SampleBatch{AgentID: "a1", Seq: uint64(b + 1), Samples: samples}
+	}
+	return out
+}
+
+func sendAll(t testing.TB, url string, batches []trace.SampleBatch) int64 {
+	t.Helper()
+	var samples int64
+	for _, b := range batches {
+		resp, body := postJSON(t, url+"/v1/samples", b)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("seq %d: %d %s", b.Seq, resp.StatusCode, body)
+		}
+		samples += int64(len(b.Samples))
+	}
+	return samples
+}
+
+// TestDurableCrashRecoveryMatchesControl is the in-process version of
+// scripts/crash_smoke.sh: a server that crashes mid-stream and recovers,
+// with the shipper re-sending everything unacknowledged, must end up
+// byte-identical to one that never crashed.
+func TestDurableCrashRecoveryMatchesControl(t *testing.T) {
+	batches := stampedBatches(3, 60)
+
+	// Control: same durable pipeline, no crash.
+	ctlServer, ctlTS := newDurableServer(t, t.TempDir(), DurabilityConfig{})
+	defer func() { ctlTS.Close(); ctlServer.Close() }()
+	total := sendAll(t, ctlTS.URL, batches)
+	waitIngested(t, ctlServer, total)
+	want := analyticsDump(t, ctlTS.URL)
+
+	// Crash run: deliver the first 2/3, crash, recover, then redeliver a
+	// generous overlapping suffix (at-least-once transport semantics).
+	dir := t.TempDir()
+	s1, ts1 := newDurableServer(t, dir, DurabilityConfig{})
+	k := 40
+	var before int64
+	for _, b := range batches[:k] {
+		resp, _ := postJSON(t, ts1.URL+"/v1/samples", b)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("seq %d refused", b.Seq)
+		}
+		before += int64(len(b.Samples))
+	}
+	waitIngested(t, s1, before)
+	crash(t, s1, ts1)
+
+	s2, ts2 := newDurableServer(t, dir, DurabilityConfig{})
+	defer func() { ts2.Close(); s2.Close() }()
+	if got := s2.store.Ingested(); got != before {
+		t.Fatalf("recovered %d samples, want %d", got, before)
+	}
+	for _, b := range batches[k-10:] { // overlap: last 10 redelivered
+		b.Redelivery = b.Seq <= uint64(k)
+		resp, _ := postJSON(t, ts2.URL+"/v1/samples", b)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("seq %d refused after recovery", b.Seq)
+		}
+	}
+	waitIngested(t, s2, total)
+	if got := analyticsDump(t, ts2.URL); got != want {
+		t.Fatalf("recovered analytics differ from control\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestRecoverAcrossSnapshots: a graceful restart recovers from the final
+// snapshot with nothing to replay; a crash after more traffic replays
+// only the WAL tail past it.
+func TestRecoverAcrossSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	batches := stampedBatches(9, 30)
+
+	s1, ts1 := newDurableServer(t, dir, DurabilityConfig{})
+	var n1 int64
+	for _, b := range batches[:20] {
+		postJSON(t, ts1.URL+"/v1/samples", b)
+		n1 += int64(len(b.Samples))
+	}
+	waitIngested(t, s1, n1)
+	ts1.Close()
+	s1.Close() // graceful: takes a final snapshot
+
+	s2, err := NewDurable(durableStore(), nil, durableConfig(), DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SnapshotFound {
+		t.Fatal("graceful shutdown left no snapshot")
+	}
+	if rep.RecordsReplayed != 0 {
+		t.Fatalf("replayed %d records after a clean shutdown snapshot", rep.RecordsReplayed)
+	}
+	if got := s2.store.Ingested(); got != n1 {
+		t.Fatalf("snapshot restored %d samples, want %d", got, n1)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	var n2 int64
+	for _, b := range batches[20:] {
+		postJSON(t, ts2.URL+"/v1/samples", b)
+		n2 += int64(len(b.Samples))
+	}
+	waitIngested(t, s2, n1+n2)
+	crash(t, s2, ts2)
+
+	s3, err := NewDurable(durableStore(), nil, durableConfig(), DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = s3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if rep.RecordsReplayed != int64(len(batches)-20) {
+		t.Fatalf("replayed %d records, want %d", rep.RecordsReplayed, len(batches)-20)
+	}
+	if got := s3.store.Ingested(); got != n1+n2 {
+		t.Fatalf("recovered %d samples, want %d", got, n1+n2)
+	}
+}
+
+// TestRecoverTruncatesTornTail: garbage appended to the active segment
+// (a torn final write) is truncated; every previously acked record
+// survives.
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	batches := stampedBatches(17, 12)
+	s1, ts1 := newDurableServer(t, dir, DurabilityConfig{})
+	total := sendAll(t, ts1.URL, batches)
+	waitIngested(t, s1, total)
+	crash(t, s1, ts1)
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A partial frame: plausible length prefix, then EOF mid-body.
+	f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 'x', 'y'})
+	f.Close()
+
+	s2, err := NewDurable(durableStore(), nil, durableConfig(), DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep.TruncatedBytes == 0 {
+		t.Fatal("torn tail not truncated")
+	}
+	if got := s2.store.Ingested(); got != total {
+		t.Fatalf("recovered %d samples, want %d", got, total)
+	}
+}
+
+// TestReadyzTransitions covers both 503 phases: before recovery
+// completes, and during graceful drain.
+func TestReadyzTransitions(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDurable(durableStore(), nil, durableConfig(), DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "recovering") {
+		t.Fatalf("before recovery: %d %s", resp.StatusCode, body)
+	}
+	// Ingest must also refuse while not ready.
+	resp, _ = postJSON(t, ts.URL+"/v1/samples", stampedBatches(1, 1)[0])
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest while recovering: %d", resp.StatusCode)
+	}
+	// Liveness stays 200 throughout.
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during recovery: %d", resp.StatusCode)
+	}
+
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ready") {
+		t.Fatalf("after recovery: %d %s", resp.StatusCode, body)
+	}
+
+	s.Close()
+	resp, body = get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("while draining: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %d", resp.StatusCode)
+	}
+}
+
+// TestDurableBackpressureTombstones: a batch refused with 503 (queue
+// full) is already in the WAL — the handler must tombstone it so replay
+// never resurrects it, and the agent's re-send of the same sequence must
+// be accepted. Uses a worker-less server so the full queue is
+// deterministic, then recovers through the normal path.
+func TestDurableBackpressureTombstones(t *testing.T) {
+	dir := t.TempDir()
+	dur, err := openDurability(DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.Open(dir, wal.Options{Policy: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur.log = log
+	s := &Server{
+		store:   durableStore(),
+		cfg:     durableConfig(),
+		dedup:   tsdb.NewDeduper(tsdb.DedupConfig{}),
+		dur:     dur,
+		ingestQ: make(chan queuedBatch, 1), // no workers drain it
+	}
+	s.metrics = newMetrics(func() int { return len(s.ingestQ) })
+	s.ready.Store(true)
+
+	s.ingestQ <- queuedBatch{} // occupy the only slot
+	batch := trace.SampleBatch{
+		AgentID: "a1", Seq: 1,
+		Samples: []trace.PowerSample{{Node: 1, JobID: 7, Unix: 60, PowerW: 123}},
+	}
+	rec := httptest.NewRecorder()
+	s.ingestDurable(rec, batch)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("full queue: got %d, want 503", rec.Code)
+	}
+
+	<-s.ingestQ // free the slot; the agent retries the same sequence
+	rec = httptest.NewRecorder()
+	s.ingestDurable(rec, batch)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("retry after 503: got %d, want 202 (dedup mark not rolled back?)", rec.Code)
+	}
+
+	// Crash before the (worker-less) apply: only the WAL has the data.
+	log.Close()
+	dur.lock.Abandon()
+
+	s2, err := NewDurable(durableStore(), nil, durableConfig(), DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep.Tombstoned != 1 {
+		t.Fatalf("tombstoned %d records on replay, want 1", rep.Tombstoned)
+	}
+	if rep.RecordsReplayed != 1 {
+		t.Fatalf("replayed %d records, want 1 (the retry only)", rep.RecordsReplayed)
+	}
+	if got := s2.store.Ingested(); got != 1 {
+		t.Fatalf("recovered %d samples, want exactly 1 — the 503'd copy must stay dead", got)
+	}
+	if js, ok := s2.store.JobPower(7); !ok || js.Samples != 1 {
+		t.Fatalf("job 7 after recovery: %+v ok=%v", js, ok)
+	}
+}
+
+// TestNewDurableFailFast: a missing, non-directory, or already-locked
+// data dir is refused at construction with a descriptive error.
+func TestNewDurableFailFast(t *testing.T) {
+	if _, err := NewDurable(durableStore(), nil, durableConfig(),
+		DurabilityConfig{Dir: filepath.Join(t.TempDir(), "nope")}); err == nil ||
+		!strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("missing dir: %v", err)
+	}
+
+	file := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(file, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDurable(durableStore(), nil, durableConfig(),
+		DurabilityConfig{Dir: file}); err == nil || !strings.Contains(err.Error(), "not a directory") {
+		t.Fatalf("non-dir: %v", err)
+	}
+
+	dir := t.TempDir()
+	s1, err := NewDurable(durableStore(), nil, durableConfig(), DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDurable(durableStore(), nil, durableConfig(),
+		DurabilityConfig{Dir: dir}); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("live lock: %v", err)
+	}
+	s1.dur.lock.Abandon() // die without cleanup: LOCK file stays behind
+
+	// Stale lock (previous holder died): opens fine and reports it.
+	s2, err := NewDurable(durableStore(), nil, durableConfig(), DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !rep.StaleLock {
+		t.Fatal("stale lock not detected")
+	}
+}
+
+// TestSnapshotSchedulerRuns: with an aggressive append trigger, ongoing
+// ingest produces snapshots without any shutdown.
+func TestSnapshotSchedulerRuns(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newDurableServer(t, dir, DurabilityConfig{
+		SnapshotInterval: 50 * time.Millisecond,
+		SnapshotEvery:    8,
+	})
+	defer func() { ts.Close(); s.Close() }()
+	total := sendAll(t, ts.URL, stampedBatches(5, 40))
+	waitIngested(t, s, total)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+		if len(snaps) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no snapshot written by the scheduler")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Metrics expose the wal_*/snapshot_* series.
+	_, body := get(t, ts.URL+"/metrics")
+	for _, want := range []string{"powserved_wal_appends_total", "powserved_snapshots_total", "powserved_recovery_records_replayed"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %s", want)
+		}
+	}
+}
+
+// Guard: the wal package's policy parser is what powserved's -fsync flag
+// feeds; keep the three spellings working.
+func TestSyncPolicySpellings(t *testing.T) {
+	for _, s := range []string{"batch", "interval", "off"} {
+		if _, err := wal.ParseSyncPolicy(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if _, err := wal.ParseSyncPolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

@@ -13,6 +13,11 @@
 //	GET  /v1/summary          store-wide reduction (merged shards)
 //	GET  /metrics             Prometheus-style counters
 //	GET  /healthz             liveness
+//	GET  /readyz              readiness: 503 during recovery replay and drain
+//
+// With a DurabilityConfig (NewDurable) the ingest path is crash-safe:
+// accepted batches hit a write-ahead log before the queue, snapshots
+// bound replay, and Recover rebuilds the exact pre-crash analytics.
 package serve
 
 import (
@@ -63,14 +68,23 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *metrics
 	dedup   *tsdb.Deduper
+	dur     *durability // nil: ingest is memory-only (no WAL)
+	ready   atomic.Bool // false until recovery completes
 
-	ingestQ chan []trace.PowerSample
+	ingestQ chan queuedBatch
 	// ingestMu makes enqueue-vs-Close safe: handlers send under RLock,
 	// Close flips draining and closes the channel under Lock, so a send
 	// can never race a close (send on closed channel panics).
 	ingestMu sync.RWMutex
 	workerWG sync.WaitGroup
 	draining atomic.Bool
+}
+
+// queuedBatch is one ingest-queue entry: the samples plus the WAL
+// sequence number that recorded them (0 when durability is off).
+type queuedBatch struct {
+	lsn     uint64
+	samples []trace.PowerSample
 }
 
 // New builds a server around a store and an optional prediction model,
@@ -94,8 +108,9 @@ func New(store *tsdb.Store, model *mlearn.BDT, cfg Config) *Server {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		dedup:   tsdb.NewDeduper(tsdb.DedupConfig{Window: cfg.DedupWindow}),
-		ingestQ: make(chan []trace.PowerSample, cfg.QueueDepth),
+		ingestQ: make(chan queuedBatch, cfg.QueueDepth),
 	}
+	s.ready.Store(true) // nothing to recover
 	s.metrics = newMetrics(func() int { return len(s.ingestQ) })
 	for i := 0; i < cfg.IngestWorkers; i++ {
 		s.workerWG.Add(1)
@@ -103,6 +118,21 @@ func New(store *tsdb.Store, model *mlearn.BDT, cfg Config) *Server {
 	}
 	s.routes()
 	return s
+}
+
+// NewDurable builds a crash-safe server: it locks and validates the data
+// directory immediately (fail-fast on a missing, unwritable, or already
+// locked dir) but does not replay — call Recover before serving traffic.
+// Until Recover completes, /readyz answers 503 and ingest answers 503.
+func NewDurable(store *tsdb.Store, model *mlearn.BDT, cfg Config, dcfg DurabilityConfig) (*Server, error) {
+	dur, err := openDurability(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	s := New(store, model, cfg)
+	s.dur = dur
+	s.ready.Store(false) // Recover flips it
+	return s, nil
 }
 
 func (s *Server) routes() {
@@ -114,6 +144,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/summary", s.metrics.instrument("summary", s.handleSummary))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 }
 
 // Handler returns the fully instrumented root handler with the request
@@ -138,14 +169,25 @@ func timeoutJSON(h http.Handler, d time.Duration) http.Handler {
 
 func (s *Server) ingestWorker() {
 	defer s.workerWG.Done()
-	for batch := range s.ingestQ {
-		if err := s.store.Append(batch); err != nil {
+	for qb := range s.ingestQ {
+		// Under durability the apply and its markDone are one unit wrt
+		// the snapshot capture lock, so a snapshot never records an LSN
+		// as applied while its samples are only half-folded.
+		if s.dur != nil {
+			s.dur.applyMu.RLock()
+		}
+		err := s.store.Append(qb.samples)
+		if s.dur != nil {
+			s.dur.tracker.markDone(qb.lsn)
+			s.dur.applyMu.RUnlock()
+		}
+		if err != nil {
 			// Validated before enqueue; a failure here is a programming
 			// error — count it, don't crash the drain loop.
 			s.metrics.batchesInvalid.Add(1)
 			continue
 		}
-		s.metrics.samplesIngested.Add(int64(len(batch)))
+		s.metrics.samplesIngested.Add(int64(len(qb.samples)))
 	}
 }
 
@@ -162,6 +204,9 @@ func (s *Server) Close() {
 	close(s.ingestQ)
 	s.ingestMu.Unlock()
 	s.workerWG.Wait()
+	if s.dur != nil {
+		s.dur.close(s)
+	}
 }
 
 // errJSON writes a JSON error body with the given status.
@@ -212,6 +257,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		errJSON(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		errJSON(w, http.StatusServiceUnavailable, "server recovering")
+		return
+	}
 	var batch trace.SampleBatch
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes))
 	if err := dec.Decode(&batch); err != nil {
@@ -234,6 +284,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if batch.AgentID != "" {
 		s.metrics.observeAgent(batch.AgentID, r.Header)
+	}
+	if s.dur != nil {
+		s.ingestDurable(w, batch)
+		return
+	}
+	if batch.AgentID != "" {
 		// Mark before enqueue so two racing deliveries of the same
 		// (agent, seq) cannot both be counted; rolled back below if the
 		// batch is refused.
@@ -257,7 +313,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	select {
-	case s.ingestQ <- batch.Samples:
+	case s.ingestQ <- queuedBatch{samples: batch.Samples}:
 		s.ingestMu.RUnlock()
 		s.metrics.batchesAccepted.Add(1)
 		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(batch.Samples)})
@@ -272,6 +328,89 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		errJSON(w, http.StatusServiceUnavailable, "ingest queue full")
 	}
+}
+
+// ingestDurable is the crash-safe accept path. Under one applyMu read
+// lock — one atomic unit from the snapshot capturer's point of view — it
+// marks the delivery stamp, appends the batch to the WAL, and enqueues
+// it; seqMu keeps LSN order equal to queue order so replay applies
+// records exactly as the live server did. The 202 is only written after
+// WaitDurable, so an acknowledged batch survives a crash.
+func (s *Server) ingestDurable(w http.ResponseWriter, batch trace.SampleBatch) {
+	d := s.dur
+	d.applyMu.RLock()
+	if batch.AgentID != "" {
+		if dup, stale := s.dedup.Mark(batch.AgentID, batch.Seq); dup {
+			d.applyMu.RUnlock()
+			s.metrics.batchesDuplicate.Add(1)
+			if stale {
+				s.metrics.batchesStale.Add(1)
+			}
+			writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: 0, Duplicate: true})
+			return
+		}
+	}
+	body, err := encodeWALBody(batch.AgentID, batch.Seq, batch.Samples)
+	if err != nil {
+		if batch.AgentID != "" {
+			s.dedup.Forget(batch.AgentID, batch.Seq)
+		}
+		d.applyMu.RUnlock()
+		errJSON(w, http.StatusInternalServerError, "encoding wal record: %v", err)
+		return
+	}
+	d.seqMu.Lock()
+	lsn, err := d.log.Append(body)
+	if err != nil {
+		d.seqMu.Unlock()
+		if batch.AgentID != "" {
+			s.dedup.Forget(batch.AgentID, batch.Seq)
+		}
+		d.applyMu.RUnlock()
+		errJSON(w, http.StatusInternalServerError, "wal append: %v", err)
+		return
+	}
+	enqueued := false
+	s.ingestMu.RLock()
+	if !s.draining.Load() {
+		select {
+		case s.ingestQ <- queuedBatch{lsn: lsn, samples: batch.Samples}:
+			enqueued = true
+		default:
+		}
+	}
+	s.ingestMu.RUnlock()
+	d.seqMu.Unlock()
+	if !enqueued {
+		// The record is in the WAL but will never be applied: cancel it
+		// with a tombstone so replay skips it, and free the agent to
+		// re-send the same sequence number.
+		if tlsn, terr := d.log.AppendTombstone(lsn); terr == nil {
+			d.tracker.markDone(tlsn)
+		}
+		d.tracker.markDone(lsn)
+		if batch.AgentID != "" {
+			s.dedup.Forget(batch.AgentID, batch.Seq)
+		}
+		d.applyMu.RUnlock()
+		s.metrics.batchesRejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		errJSON(w, http.StatusServiceUnavailable, "ingest queue full")
+		return
+	}
+	d.applyMu.RUnlock()
+	d.appendsSinceSnap.Add(1)
+	// Fsync wait happens outside every lock: group-commit latency never
+	// blocks snapshots or other accepts.
+	if err := d.log.WaitDurable(lsn); err != nil {
+		// The batch is queued and will be applied; only its durability is
+		// in doubt. A 5xx makes the agent re-send, and the dedup mark
+		// turns that retry into a counted-once duplicate ack.
+		errJSON(w, http.StatusInternalServerError, "wal sync: %v", err)
+		return
+	}
+	s.metrics.batchesAccepted.Add(1)
+	writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(batch.Samples)})
 }
 
 func (s *Server) handleNodeSeries(w http.ResponseWriter, r *http.Request) {
@@ -362,6 +501,9 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w)
+	if s.dur != nil {
+		s.dur.writeMetrics(w)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -369,6 +511,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":   "ok",
 		"ingested": s.store.Ingested(),
 	})
+}
+
+// handleReadyz is the readiness probe: unlike /healthz (process up), it
+// answers 503 while the server cannot usefully take traffic — during
+// recovery replay, before Recover has run, and during graceful drain.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
 }
 
 // ListenAndServe runs the server on addr until ctx is cancelled, then

@@ -58,6 +58,30 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	}
 }
 
+// AccumState is the exact serializable image of an Accumulator, used by
+// the TSDB snapshot path. Round-tripping through it is lossless: every
+// field is copied bit-for-bit (encoding/json preserves float64 exactly),
+// so an accumulator restored from state continues the stream with
+// byte-identical results.
+type AccumState struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Sum  float64 `json:"sum"`
+}
+
+// State captures the accumulator's exact internal state.
+func (a *Accumulator) State() AccumState {
+	return AccumState{N: a.n, Mean: a.mean, M2: a.m2, Min: a.min, Max: a.max, Sum: a.sum}
+}
+
+// AccumFromState reconstructs an accumulator from a captured state.
+func AccumFromState(s AccumState) Accumulator {
+	return Accumulator{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max, sum: s.Sum}
+}
+
 // N returns the number of samples added.
 func (a *Accumulator) N() int64 { return a.n }
 

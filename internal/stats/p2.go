@@ -104,6 +104,43 @@ func (q *P2Quantile) linear(i int, sign float64) float64 {
 	return q.heights[i] + sign*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
 }
 
+// P2State is the exact serializable image of a P2Quantile, used by the
+// TSDB snapshot path. A restored estimator continues the stream with
+// byte-identical marker updates.
+type P2State struct {
+	P       float64    `json:"p"`
+	N       int        `json:"n"`
+	Heights [5]float64 `json:"heights"`
+	Pos     [5]float64 `json:"pos"`
+	Want    [5]float64 `json:"want"`
+	Incr    [5]float64 `json:"incr"`
+	Initial []float64  `json:"initial,omitempty"`
+}
+
+// State captures the estimator's exact internal state.
+func (q *P2Quantile) State() P2State {
+	return P2State{
+		P: q.p, N: q.n,
+		Heights: q.heights, Pos: q.pos, Want: q.want, Incr: q.incr,
+		Initial: append([]float64(nil), q.initial...),
+	}
+}
+
+// P2FromState reconstructs an estimator from a captured state.
+func P2FromState(s P2State) (*P2Quantile, error) {
+	if s.P <= 0 || s.P >= 1 {
+		return nil, fmt.Errorf("stats: P2 state quantile %v out of (0,1)", s.P)
+	}
+	if s.N < 0 || (s.N < 5 && len(s.Initial) != s.N) {
+		return nil, fmt.Errorf("stats: P2 state has n=%d but %d initial observations", s.N, len(s.Initial))
+	}
+	return &P2Quantile{
+		p: s.P, n: s.N,
+		heights: s.Heights, pos: s.Pos, want: s.Want, incr: s.Incr,
+		initial: append([]float64(nil), s.Initial...),
+	}, nil
+}
+
 // N returns the number of observations.
 func (q *P2Quantile) N() int { return q.n }
 

@@ -1,6 +1,10 @@
 package tsdb
 
-import "sync"
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
 
 // Deduper is the server half of the exactly-once-analytics contract: a
 // per-agent sliding window over batch sequence numbers. The transport is
@@ -106,6 +110,74 @@ func (d *Deduper) Agents() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.agents)
+}
+
+// DeduperState is the exact serializable image of a Deduper, part of the
+// powserved crash-recovery snapshot. Restoring it preserves the dedup
+// decisions, so replaying an already-marked (agent, seq) after recovery
+// is rejected exactly as it would have been before the crash.
+type DeduperState struct {
+	Window    uint64            `json:"window"`
+	MaxAgents int               `json:"max_agents"`
+	Clock     uint64            `json:"clock"`
+	Agents    []DedupAgentState `json:"agents"`
+}
+
+// DedupAgentState is one agent's sliding window.
+type DedupAgentState struct {
+	ID      string   `json:"id"`
+	Init    bool     `json:"init"`
+	MaxSeq  uint64   `json:"max_seq"`
+	Bits    []uint64 `json:"bits"`
+	Touched uint64   `json:"touched"`
+}
+
+// ExportState captures the dedup index, agents sorted by ID so identical
+// indexes serialize identically.
+func (d *Deduper) ExportState() *DeduperState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := &DeduperState{
+		Window:    d.window,
+		MaxAgents: d.maxAgents,
+		Clock:     d.clock,
+		Agents:    make([]DedupAgentState, 0, len(d.agents)),
+	}
+	for id, aw := range d.agents {
+		st.Agents = append(st.Agents, DedupAgentState{
+			ID: id, Init: aw.init, MaxSeq: aw.maxSeq,
+			Bits: append([]uint64(nil), aw.bits...), Touched: aw.touched,
+		})
+	}
+	sort.Slice(st.Agents, func(a, b int) bool { return st.Agents[a].ID < st.Agents[b].ID })
+	return st
+}
+
+// RestoreState loads a captured dedup index into an empty Deduper. The
+// window must match the configured one — the bitmap layout is
+// window-dependent and cannot be rescaled.
+func (d *Deduper) RestoreState(st *DeduperState) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.agents) != 0 {
+		return fmt.Errorf("tsdb: dedup restore into a non-empty index (%d agents)", len(d.agents))
+	}
+	if st.Window != d.window {
+		return fmt.Errorf("tsdb: snapshot dedup window %d does not match configured window %d — restart with -dedup-window %d",
+			st.Window, d.window, st.Window)
+	}
+	words := int(d.window / 64)
+	for _, a := range st.Agents {
+		if len(a.Bits) != words {
+			return fmt.Errorf("tsdb: snapshot agent %q has %d bitmap words, window needs %d", a.ID, len(a.Bits), words)
+		}
+		d.agents[a.ID] = &agentWindow{
+			init: a.Init, maxSeq: a.MaxSeq,
+			bits: append([]uint64(nil), a.Bits...), touched: a.Touched,
+		}
+	}
+	d.clock = st.Clock
+	return nil
 }
 
 func (d *Deduper) evictOldest() {

@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"math"
+	"sort"
 
 	"hpcpower/internal/stats"
 )
@@ -78,6 +79,16 @@ func (j *jobState) add(node int, unix int64, w float64) {
 	m.n++
 }
 
+// sortedMinutes returns the open minute keys in ascending order.
+func (j *jobState) sortedMinutes() []int64 {
+	keys := make([]int64, 0, len(j.minutes))
+	for k := range j.minutes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
 func (j *jobState) evictOldestMinute() {
 	oldest := int64(math.MaxInt64)
 	for k := range j.minutes {
@@ -125,11 +136,14 @@ type JobStats struct {
 }
 
 // snapshot reduces the state to JobStats without mutating it, folding the
-// still-open minutes into a copy of the spread accumulator.
+// still-open minutes into a copy of the spread accumulator. The fold
+// visits minutes in ascending order so the floating-point reduction is
+// deterministic: two queries of the same state — or of a state that was
+// serialized, restored, and queried again — are byte-identical.
 func (j *jobState) snapshot(id uint64) JobStats {
 	spread := j.spreadAcc // value copy; folding below does not touch j
-	for _, m := range j.minutes {
-		if m.n >= 2 {
+	for _, k := range j.sortedMinutes() {
+		if m := j.minutes[k]; m.n >= 2 {
 			spread.Add(m.max - m.min)
 		}
 	}

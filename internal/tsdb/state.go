@@ -1,0 +1,179 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+
+	"hpcpower/internal/stats"
+)
+
+// StoreState is the exact serializable image of a Store, produced by
+// ExportState and consumed by RestoreState — the payload of powserved's
+// crash-recovery snapshots. Everything order-sensitive is exported in a
+// canonical (sorted) order so identical stores serialize identically,
+// and every accumulator is captured bit-for-bit so a restored store
+// continues the stream with byte-identical analytics.
+type StoreState struct {
+	Shards   int   `json:"shards"`
+	RingLen  int   `json:"ring_len"`
+	Ingested int64 `json:"ingested"`
+
+	// ShardAccs is indexed by node-shard; Summarize merges them in index
+	// order, so restoring them positionally preserves the summary bits.
+	ShardAccs []stats.AccumState `json:"shard_accs"`
+	Nodes     []NodeState        `json:"nodes"`
+	Jobs      []JobStateExport   `json:"jobs"`
+}
+
+// NodeState is one node's retained ring, oldest first.
+type NodeState struct {
+	Node   int     `json:"node"`
+	Points []Point `json:"points"`
+}
+
+// MinuteState is one still-open spatial-spread minute of a job.
+type MinuteState struct {
+	Minute int64   `json:"minute"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	N      int     `json:"n"`
+}
+
+// JobStateExport is the streaming state of one job.
+type JobStateExport struct {
+	ID        uint64           `json:"id"`
+	Acc       stats.AccumState `json:"acc"`
+	Med       stats.P2State    `json:"med"`
+	P95       stats.P2State    `json:"p95"`
+	Nodes     []int            `json:"nodes"`
+	FirstUnix int64            `json:"first_unix"`
+	LastUnix  int64            `json:"last_unix"`
+	Minutes   []MinuteState    `json:"minutes"`
+	Spread    stats.AccumState `json:"spread"`
+}
+
+// ExportState captures the whole store. It takes each stripe lock in
+// turn, so concurrent appends serialize against the export per shard;
+// callers needing a globally consistent cut (the snapshot path) must
+// quiesce writers first.
+func (s *Store) ExportState() *StoreState {
+	st := &StoreState{
+		Shards:    len(s.shards),
+		RingLen:   s.ringLen,
+		Ingested:  s.ingested.Load(),
+		ShardAccs: make([]stats.AccumState, len(s.shards)),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.ShardAccs[i] = sh.acc.State()
+		for node, r := range sh.nodes {
+			ns := NodeState{Node: node, Points: make([]Point, 0, r.count)}
+			r.scan(func(p Point) { ns.Points = append(ns.Points, p) })
+			st.Nodes = append(st.Nodes, ns)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(st.Nodes, func(a, b int) bool { return st.Nodes[a].Node < st.Nodes[b].Node })
+
+	for i := range s.jobShards {
+		js := &s.jobShards[i]
+		js.mu.RLock()
+		for id, j := range js.jobs {
+			st.Jobs = append(st.Jobs, exportJob(id, j))
+		}
+		js.mu.RUnlock()
+	}
+	sort.Slice(st.Jobs, func(a, b int) bool { return st.Jobs[a].ID < st.Jobs[b].ID })
+	return st
+}
+
+func exportJob(id uint64, j *jobState) JobStateExport {
+	e := JobStateExport{
+		ID:        id,
+		Acc:       j.acc.State(),
+		Med:       j.med.State(),
+		P95:       j.p95.State(),
+		FirstUnix: j.firstUnix,
+		LastUnix:  j.lastUnix,
+		Spread:    j.spreadAcc.State(),
+	}
+	e.Nodes = make([]int, 0, len(j.nodes))
+	for n := range j.nodes {
+		e.Nodes = append(e.Nodes, n)
+	}
+	sort.Ints(e.Nodes)
+	for _, k := range j.sortedMinutes() {
+		m := j.minutes[k]
+		e.Minutes = append(e.Minutes, MinuteState{Minute: k, Min: m.min, Max: m.max, N: m.n})
+	}
+	return e
+}
+
+// RestoreState loads a captured state into an empty store. The shard
+// count must match (per-shard accumulators cannot be redistributed);
+// the ring length may differ — points re-append into the configured
+// rings, naturally keeping the most recent window.
+func (s *Store) RestoreState(st *StoreState) error {
+	if s.ingested.Load() != 0 {
+		return fmt.Errorf("tsdb: restore into a non-empty store (%d samples ingested)", s.ingested.Load())
+	}
+	if st.Shards != len(s.shards) {
+		return fmt.Errorf("tsdb: snapshot has %d shards, store is configured for %d — restart with -shards %d",
+			st.Shards, len(s.shards), st.Shards)
+	}
+	if len(st.ShardAccs) != st.Shards {
+		return fmt.Errorf("tsdb: snapshot has %d shard accumulators for %d shards", len(st.ShardAccs), st.Shards)
+	}
+	for i := range s.shards {
+		s.shards[i].acc = stats.AccumFromState(st.ShardAccs[i])
+	}
+	for _, ns := range st.Nodes {
+		if ns.Node < 0 {
+			return fmt.Errorf("tsdb: snapshot has negative node %d", ns.Node)
+		}
+		sh := s.nodeShard(ns.Node)
+		r := newRing(s.ringLen)
+		for _, p := range ns.Points {
+			r.append(p)
+		}
+		sh.nodes[ns.Node] = r
+	}
+	for _, je := range st.Jobs {
+		j, err := restoreJob(je)
+		if err != nil {
+			return fmt.Errorf("tsdb: job %d: %w", je.ID, err)
+		}
+		s.jobShard(je.ID).jobs[je.ID] = j
+	}
+	s.ingested.Store(st.Ingested)
+	return nil
+}
+
+func restoreJob(e JobStateExport) (*jobState, error) {
+	med, err := stats.P2FromState(e.Med)
+	if err != nil {
+		return nil, fmt.Errorf("median estimator: %w", err)
+	}
+	p95, err := stats.P2FromState(e.P95)
+	if err != nil {
+		return nil, fmt.Errorf("p95 estimator: %w", err)
+	}
+	j := &jobState{
+		acc:       stats.AccumFromState(e.Acc),
+		med:       med,
+		p95:       p95,
+		nodes:     make(map[int]struct{}, len(e.Nodes)),
+		firstUnix: e.FirstUnix,
+		lastUnix:  e.LastUnix,
+		minutes:   make(map[int64]*minuteAgg, len(e.Minutes)),
+		spreadAcc: stats.AccumFromState(e.Spread),
+	}
+	for _, n := range e.Nodes {
+		j.nodes[n] = struct{}{}
+	}
+	for _, m := range e.Minutes {
+		j.minutes[m.Minute] = &minuteAgg{min: m.Min, max: m.Max, n: m.N}
+	}
+	return j, nil
+}

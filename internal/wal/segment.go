@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Segment file layout:
+//
+//	header  :=  magic[8] firstLSN[u64le]
+//	frame   :=  bodyLen[u32le] crc[u32le] type[u8] body[bodyLen]
+//
+// crc is CRC32-C (Castagnoli) over type‖body, so a bit flip anywhere in
+// the record — including its type — is detected. bodyLen excludes the
+// type byte. Records are strictly append-only; a record's LSN is
+// firstLSN + its index within the segment, which is why segments must
+// stay contiguous and why recovery truncates (never skips) a bad frame.
+const (
+	segMagic        = "PWRWAL1\n"
+	segHeaderSize   = 8 + 8
+	frameHeaderSize = 4 + 4 + 1
+
+	// maxBody bounds a frame body so a corrupted length field cannot make
+	// the reader allocate gigabytes or mistake megabytes of garbage for a
+	// single record.
+	maxBody = 32 << 20
+)
+
+// RecordType tags a WAL frame.
+type RecordType byte
+
+const (
+	// RecordData carries an ingest batch payload.
+	RecordData RecordType = 1
+	// RecordTombstone cancels an earlier RecordData by LSN: the batch was
+	// logged but then refused (ingest queue full), so replay must skip it.
+	RecordTombstone RecordType = 2
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTorn marks a clean truncation: the segment ends inside a frame (or
+// inside the header), exactly what a crash mid-append leaves behind.
+// Recovery truncates the segment at the last complete frame and carries on.
+var ErrTorn = errors.New("wal: torn frame at end of segment")
+
+// CorruptError reports bytes that are present but wrong — a failed CRC,
+// an impossible length, an unknown record type, or a bad header. Recovery
+// treats it like a torn tail (truncate and continue) but the distinct
+// type lets callers and tests tell silent bit rot from a torn append.
+type CorruptError struct {
+	Offset int64 // byte offset of the bad frame within the segment
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt frame at offset %d: %s", e.Offset, e.Reason)
+}
+
+// appendFrame encodes one frame onto buf.
+func appendFrame(buf []byte, typ RecordType, body []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	crc := crc32.Update(0, crcTable, []byte{byte(typ)})
+	crc = crc32.Update(crc, crcTable, body)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	hdr[8] = byte(typ)
+	buf = append(buf, hdr[:]...)
+	return append(buf, body...)
+}
+
+// appendSegmentHeader encodes the segment header onto buf.
+func appendSegmentHeader(buf []byte, firstLSN uint64) []byte {
+	buf = append(buf, segMagic...)
+	var lsn [8]byte
+	binary.LittleEndian.PutUint64(lsn[:], firstLSN)
+	return append(buf, lsn[:]...)
+}
+
+// scanSegment reads a segment stream: the header, then every complete,
+// CRC-valid frame in order, invoking fn for each. It returns the first
+// LSN from the header, the number of valid records, and the byte offset
+// of the end of the last valid frame (the safe truncation point).
+//
+// err is nil on a clean EOF, wraps ErrTorn on an incomplete tail, is a
+// *CorruptError on damaged bytes, or is fn's error (scanning stops).
+// A frame is never delivered to fn unless its CRC checks out — there is
+// no path that yields a silently wrong record.
+func scanSegment(r io.Reader, fn func(typ RecordType, body []byte) error) (firstLSN uint64, records int, validBytes int64, err error) {
+	var hdr [segHeaderSize]byte
+	n, rerr := io.ReadFull(r, hdr[:])
+	if rerr != nil {
+		if n == 0 && rerr == io.EOF {
+			return 0, 0, 0, fmt.Errorf("empty segment: %w", ErrTorn)
+		}
+		return 0, 0, 0, fmt.Errorf("segment header: %w", ErrTorn)
+	}
+	if string(hdr[:8]) != segMagic {
+		return 0, 0, 0, &CorruptError{Offset: 0, Reason: "bad magic"}
+	}
+	firstLSN = binary.LittleEndian.Uint64(hdr[8:])
+	off := int64(segHeaderSize)
+
+	var fh [frameHeaderSize]byte
+	for {
+		n, rerr := io.ReadFull(r, fh[:])
+		if rerr == io.EOF {
+			return firstLSN, records, off, nil
+		}
+		if rerr != nil {
+			_ = n
+			return firstLSN, records, off, fmt.Errorf("frame header at %d: %w", off, ErrTorn)
+		}
+		bodyLen := binary.LittleEndian.Uint32(fh[0:4])
+		wantCRC := binary.LittleEndian.Uint32(fh[4:8])
+		typ := RecordType(fh[8])
+		if bodyLen > maxBody {
+			return firstLSN, records, off, &CorruptError{Offset: off, Reason: fmt.Sprintf("frame length %d exceeds limit", bodyLen)}
+		}
+		body := make([]byte, bodyLen)
+		if _, rerr := io.ReadFull(r, body); rerr != nil {
+			return firstLSN, records, off, fmt.Errorf("frame body at %d: %w", off, ErrTorn)
+		}
+		crc := crc32.Update(0, crcTable, []byte{byte(typ)})
+		crc = crc32.Update(crc, crcTable, body)
+		if crc != wantCRC {
+			return firstLSN, records, off, &CorruptError{Offset: off, Reason: "crc mismatch"}
+		}
+		if typ != RecordData && typ != RecordTombstone {
+			return firstLSN, records, off, &CorruptError{Offset: off, Reason: fmt.Sprintf("unknown record type %d", typ)}
+		}
+		if fn != nil {
+			if err := fn(typ, body); err != nil {
+				return firstLSN, records, off, err
+			}
+		}
+		records++
+		off += int64(frameHeaderSize) + int64(bodyLen)
+	}
+}
+
+// truncatable reports whether err is the kind recovery absorbs by
+// truncating the log at the last valid frame: a torn tail or corruption.
+func truncatable(err error) bool {
+	var ce *CorruptError
+	return errors.Is(err, ErrTorn) || errors.As(err, &ce)
+}
+
+// tombstoneBody encodes the cancelled LSN for a RecordTombstone.
+func tombstoneBody(cancelled uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], cancelled)
+	return b[:]
+}
+
+// DecodeTombstone returns the LSN a RecordTombstone body cancels.
+// Malformed bodies (impossible for frames that passed CRC, but cheap to
+// guard) decode to 0, which is never a valid LSN.
+func DecodeTombstone(body []byte) uint64 {
+	if len(body) != 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(body)
+}

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Snapshot file layout (snap-<LSN>.snap):
+//
+//	magic[8] lsn[u64le] payloadLen[u64le] crc[u32le] payload
+//
+// A snapshot is written to a temp file, fsynced, and renamed into place,
+// so a crash mid-write leaves either the previous snapshot or a stray
+// .tmp (ignored) — never a half-visible one. The LSN records the applied
+// watermark the payload state corresponds to: recovery loads the latest
+// CRC-valid snapshot and replays the WAL strictly after it.
+const (
+	snapMagic      = "PWRSNP1\n"
+	snapHeaderSize = 8 + 8 + 8 + 4
+	snapPrefix     = "snap-"
+	snapSuffix     = ".snap"
+)
+
+func snapshotName(lsn uint64) string {
+	return fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix)
+}
+
+// WriteSnapshot atomically persists a snapshot payload taken at lsn.
+func WriteSnapshot(dir string, lsn uint64, payload []byte) error {
+	hdr := make([]byte, snapHeaderSize)
+	copy(hdr, snapMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[24:28], crc32.Checksum(payload, crcTable))
+
+	tmp, err := os.CreateTemp(dir, snapPrefix+"*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(hdr); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: snapshot header: %w", err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: snapshot payload: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: snapshot fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	final := filepath.Join(dir, snapshotName(lsn))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// readSnapshot loads and verifies one snapshot file.
+func readSnapshot(path string) (lsn uint64, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < snapHeaderSize || string(data[:8]) != snapMagic {
+		return 0, nil, &CorruptError{Offset: 0, Reason: "bad snapshot header"}
+	}
+	lsn = binary.LittleEndian.Uint64(data[8:16])
+	plen := binary.LittleEndian.Uint64(data[16:24])
+	wantCRC := binary.LittleEndian.Uint32(data[24:28])
+	body := data[snapHeaderSize:]
+	if uint64(len(body)) != plen {
+		return 0, nil, &CorruptError{Offset: snapHeaderSize, Reason: "snapshot payload length mismatch"}
+	}
+	if crc32.Checksum(body, crcTable) != wantCRC {
+		return 0, nil, &CorruptError{Offset: snapHeaderSize, Reason: "snapshot crc mismatch"}
+	}
+	return lsn, body, nil
+}
+
+// listSnapshots returns snapshot file names sorted ascending by LSN.
+func listSnapshots(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), snapPrefix) && strings.HasSuffix(e.Name(), snapSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LatestSnapshot returns the newest CRC-valid snapshot in dir, skipping
+// (and counting) corrupt ones — a damaged latest snapshot falls back to
+// the previous one rather than failing recovery. found is false when no
+// valid snapshot exists.
+func LatestSnapshot(dir string) (lsn uint64, payload []byte, found bool, skippedCorrupt int, err error) {
+	names, err := listSnapshots(dir)
+	if err != nil {
+		return 0, nil, false, 0, fmt.Errorf("wal: listing snapshots: %w", err)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		l, p, rerr := readSnapshot(filepath.Join(dir, names[i]))
+		if rerr == nil {
+			return l, p, true, skippedCorrupt, nil
+		}
+		if truncatable(rerr) || os.IsNotExist(rerr) {
+			skippedCorrupt++
+			continue
+		}
+		return 0, nil, false, skippedCorrupt, fmt.Errorf("wal: reading snapshot %s: %w", names[i], rerr)
+	}
+	return 0, nil, false, skippedCorrupt, nil
+}
+
+// ReapSnapshots removes all but the newest keep snapshots.
+func ReapSnapshots(dir string, keep int) (removed int, err error) {
+	if keep < 1 {
+		keep = 1
+	}
+	names, err := listSnapshots(dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: listing snapshots: %w", err)
+	}
+	for i := 0; i < len(names)-keep; i++ {
+		if err := os.Remove(filepath.Join(dir, names[i])); err != nil {
+			return removed, fmt.Errorf("wal: reaping snapshot %s: %w", names[i], err)
+		}
+		removed++
+	}
+	return removed, nil
+}

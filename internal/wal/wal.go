@@ -1,0 +1,644 @@
+// Package wal is the durability layer behind powserved: a segmented,
+// CRC32C-framed write-ahead log with group-commit batching, plus atomic
+// point-in-time snapshots, so a crash loses nothing that was
+// acknowledged and recovery is snapshot + bounded replay.
+//
+// Guarantees and mechanics:
+//
+//   - every record is framed with a CRC32-C over its type and body; a
+//     record's LSN is its position in the log (segment first-LSN +
+//     index), assigned at append time;
+//   - Append writes under one mutex; durability waits are separate:
+//     with SyncBatch, concurrent appenders share fsyncs via a
+//     leader/follower group commit — one fsync acknowledges every
+//     record written before it;
+//   - segments rotate at a size threshold; rotation fsyncs and closes
+//     the old segment, so only the active segment ever has a volatile
+//     tail;
+//   - Open scans the log and *truncates* at the first torn or corrupt
+//     frame (dropping any later segments) instead of refusing to start —
+//     after a crash the longest valid prefix is the log;
+//   - Reap deletes segments fully covered by a snapshot, always keeping
+//     the active segment so the LSN sequence never restarts.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when appends become durable.
+type SyncPolicy int
+
+const (
+	// SyncBatch fsyncs before WaitDurable returns — group-committed, so
+	// concurrent appends amortize the fsync. The strongest policy:
+	// an acknowledged batch survives power loss.
+	SyncBatch SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer; WaitDurable returns
+	// immediately. Bounded loss window (≤ Interval) at ingest latency
+	// close to SyncNone.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; durability is whenever the OS
+	// writes back. Survives process crashes (the page cache persists),
+	// not power loss.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatch:
+		return "batch"
+	case SyncInterval:
+		return "interval"
+	default:
+		return "off"
+	}
+}
+
+// ParseSyncPolicy maps the powserved -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "batch":
+		return SyncBatch, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off", "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want batch, interval, or off)", s)
+}
+
+// Options parameterizes a Log.
+type Options struct {
+	// SegmentBytes is the rotation threshold. 0 means 64 MiB.
+	SegmentBytes int64
+	// Policy selects the fsync policy. Zero value is SyncBatch.
+	Policy SyncPolicy
+	// Interval is the SyncInterval period. 0 means 100 ms.
+	Interval time.Duration
+	// NextLSNFloor forces new appends to get LSNs strictly above it even
+	// if the log on disk ends earlier (e.g. the tail was truncated after
+	// a snapshot at this LSN was taken). 0 means no floor.
+	NextLSNFloor uint64
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	Appends        int64  // records appended this process
+	Fsyncs         int64  // fsync calls on segment files
+	Rotations      int64  // segment rotations
+	Segments       int    // live segment files
+	TruncatedBytes int64  // bytes discarded by Open's torn/corrupt truncation
+	DroppedSegments int   // whole segments discarded past a corrupt frame
+	RecoveredRecords int64 // valid records found by Open
+	LastLSN        uint64 // highest assigned LSN (0 = empty log)
+	SyncedLSN      uint64 // highest LSN known durable
+}
+
+// Log is an append-only write-ahead log over one directory. All methods
+// are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	// mu guards the active segment (writes, rotation) and LSN assignment.
+	mu       sync.Mutex
+	f        *os.File
+	fSize    int64
+	segFirst uint64
+	nextLSN  uint64 // next LSN to assign
+	err      error  // sticky write failure: the log is dead past it
+
+	// smu guards the group-commit state. Lock order: mu may be taken
+	// while holding nothing; smu may be taken while holding mu (rotation
+	// publishing its fsync); never mu while holding smu.
+	smu     sync.Mutex
+	scond   *sync.Cond
+	synced  uint64
+	syncing bool
+	syncErr error
+
+	stop chan struct{} // interval syncer + close
+	wg   sync.WaitGroup
+
+	appends, fsyncs, rotations atomic.Int64
+	truncatedBytes             int64
+	droppedSegments            int
+	recoveredRecords           int64
+
+	closed bool
+}
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = fmt.Errorf("wal: log is closed")
+
+const segPrefix = "wal-"
+
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%020d.seg", segPrefix, firstLSN)
+}
+
+// listSegments returns the segment file names in dir, sorted ascending
+// by first LSN (lexicographic over the zero-padded name).
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), segPrefix) && strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Open scans dir, truncates any torn or corrupt tail, and returns a Log
+// positioned to append after the last valid record. The caller must hold
+// the directory lock (LockDir) for the lifetime of the Log.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: data dir %s: %w", dir, err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("wal: data dir %s is not a directory", dir)
+	}
+	l := &Log{dir: dir, opts: opts, stop: make(chan struct{})}
+	l.scond = sync.NewCond(&l.smu)
+	if err := l.recoverSegments(); err != nil {
+		return nil, err
+	}
+	if opts.Policy == SyncInterval {
+		l.wg.Add(1)
+		go l.intervalSyncer()
+	}
+	return l, nil
+}
+
+// recoverSegments scans every segment in order, truncating the log at
+// the first torn/corrupt frame, and opens (or creates) the active
+// segment for appending.
+func (l *Log) recoverSegments() error {
+	names, err := listSegments(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: listing %s: %w", l.dir, err)
+	}
+	expect := uint64(0) // expected firstLSN of the next segment (0 = any)
+	lastIdx := -1
+	for i, name := range names {
+		path := filepath.Join(l.dir, name)
+		first, records, valid, scanErr := l.scanFile(path, nil)
+		nameLSN, nameOK := firstLSNFromName(name)
+		mismatch := scanErr == nil &&
+			(!nameOK || nameLSN != first || (expect != 0 && first != expect))
+		if scanErr != nil || mismatch {
+			if scanErr != nil && !truncatable(scanErr) {
+				return fmt.Errorf("wal: scanning %s: %w", name, scanErr)
+			}
+			// Truncate this segment at its valid prefix and drop
+			// everything after it — the log is its longest valid prefix.
+			if mismatch {
+				// A continuity break means this whole segment is not part
+				// of the valid prefix.
+				valid = 0
+			}
+			if err := l.truncateAt(path, valid, names[i+1:]); err != nil {
+				return err
+			}
+			if valid < segHeaderSize {
+				// Nothing usable: remove the husk entirely.
+				if err := os.Remove(path); err != nil {
+					return fmt.Errorf("wal: removing unusable segment %s: %w", name, err)
+				}
+				lastIdx = i - 1
+			} else {
+				l.recoveredRecords += int64(records)
+				l.nextLSN = first + uint64(records)
+				lastIdx = i
+			}
+			break
+		}
+		l.recoveredRecords += int64(records)
+		l.nextLSN = first + uint64(records)
+		expect = first + uint64(records)
+		lastIdx = i
+	}
+
+	floorNext := l.opts.NextLSNFloor + 1
+	switch {
+	case lastIdx < 0:
+		// Empty log: start at 1, or after the snapshot floor.
+		if l.nextLSN < floorNext {
+			l.nextLSN = floorNext
+		}
+		if l.nextLSN == 0 {
+			l.nextLSN = 1
+		}
+		return l.newSegment(l.nextLSN)
+	case l.nextLSN < floorNext:
+		// The surviving tail ends below an already-snapshotted LSN
+		// (the truncation bit into replayed territory). New records
+		// must not reuse those LSNs: rotate to a fresh segment.
+		l.nextLSN = floorNext
+		return l.newSegment(l.nextLSN)
+	default:
+		path := filepath.Join(l.dir, names[lastIdx])
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: reopening active segment: %w", err)
+		}
+		size, err := f.Seek(0, 2)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("wal: seeking active segment: %w", err)
+		}
+		l.f, l.fSize = f, size
+		first, _ := firstLSNFromName(names[lastIdx])
+		l.segFirst = first
+		l.publishSynced(l.nextLSN - 1) // everything on disk at open is as durable as it gets
+		return nil
+	}
+}
+
+// truncateAt truncates path to valid bytes and deletes the later
+// segments, accounting both in the recovery counters.
+func (l *Log) truncateAt(path string, valid int64, later []string) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	if st.Size() > valid {
+		if err := os.Truncate(path, valid); err != nil {
+			return fmt.Errorf("wal: truncating %s: %w", path, err)
+		}
+		l.truncatedBytes += st.Size() - valid
+	}
+	for _, name := range later {
+		p := filepath.Join(l.dir, name)
+		if st, err := os.Stat(p); err == nil {
+			l.truncatedBytes += st.Size()
+		}
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("wal: dropping segment %s past corruption: %w", name, err)
+		}
+		l.droppedSegments++
+	}
+	return nil
+}
+
+// scanFile scans one segment file.
+func (l *Log) scanFile(path string, fn func(typ RecordType, body []byte) error) (first uint64, records int, valid int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	return scanSegment(f, fn)
+}
+
+func firstLSNFromName(name string) (uint64, bool) {
+	var lsn uint64
+	_, err := fmt.Sscanf(name, segPrefix+"%020d.seg", &lsn)
+	return lsn, err == nil
+}
+
+// newSegment creates and activates a segment starting at firstLSN,
+// fsyncing the directory so the file itself survives a crash.
+func (l *Log) newSegment(firstLSN uint64) error {
+	path := filepath.Join(l.dir, segmentName(firstLSN))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	hdr := appendSegmentHeader(nil, firstLSN)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.fSize, l.segFirst = f, int64(len(hdr)), firstLSN
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing dir: %w", err)
+	}
+	return nil
+}
+
+// Append writes one data record and returns its LSN. The record is
+// buffered in the OS when Append returns; call WaitDurable (SyncBatch)
+// to block until it is fsynced.
+func (l *Log) Append(body []byte) (uint64, error) {
+	return l.append(RecordData, body)
+}
+
+// AppendTombstone logs a cancellation of the record at cancelled: it was
+// appended but then refused upstream (e.g. ingest queue full), so replay
+// must not apply it.
+func (l *Log) AppendTombstone(cancelled uint64) (uint64, error) {
+	return l.append(RecordTombstone, tombstoneBody(cancelled))
+}
+
+func (l *Log) append(typ RecordType, body []byte) (uint64, error) {
+	if int64(len(body)) > maxBody {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", len(body), maxBody)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.fSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.err = err
+			return 0, err
+		}
+	}
+	frame := appendFrame(nil, typ, body)
+	if _, err := l.f.Write(frame); err != nil {
+		// A partial frame write poisons the tail; refuse all later
+		// appends so recovery's truncation point is well defined.
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return 0, l.err
+	}
+	l.fSize += int64(len(frame))
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.appends.Add(1)
+	return lsn, nil
+}
+
+// rotateLocked fsyncs and retires the active segment and starts a new
+// one at the current nextLSN. Callers hold l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rotating fsync: %w", err)
+	}
+	l.fsyncs.Add(1)
+	// Everything in the old segment is durable now; tell any group-commit
+	// waiters before the file handle goes away under them.
+	l.publishSynced(l.nextLSN - 1)
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment: %w", err)
+	}
+	l.rotations.Add(1)
+	return l.newSegment(l.nextLSN)
+}
+
+// publishSynced advances the durable watermark and wakes waiters.
+func (l *Log) publishSynced(lsn uint64) {
+	l.smu.Lock()
+	if lsn > l.synced {
+		l.synced = lsn
+	}
+	l.scond.Broadcast()
+	l.smu.Unlock()
+}
+
+// WaitDurable blocks until the record at lsn is durable under the
+// configured policy: with SyncBatch it joins the group commit (one
+// leader fsyncs for every record written so far); with SyncInterval or
+// SyncNone it returns immediately — those policies trade the tail for
+// latency by design.
+func (l *Log) WaitDurable(lsn uint64) error {
+	if l.opts.Policy != SyncBatch {
+		return nil
+	}
+	return l.syncTo(lsn)
+}
+
+// Sync forces an fsync covering every record appended so far, regardless
+// of policy — the barrier snapshots use before persisting state that
+// references WAL contents.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	last := l.nextLSN - 1
+	l.mu.Unlock()
+	if last == 0 {
+		return nil
+	}
+	return l.syncTo(last)
+}
+
+// syncTo is the leader/follower group commit: the first waiter in
+// becomes the leader and fsyncs once for everyone queued behind it.
+func (l *Log) syncTo(lsn uint64) error {
+	l.smu.Lock()
+	defer l.smu.Unlock()
+	for l.synced < lsn {
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.syncing {
+			l.scond.Wait()
+			continue
+		}
+		l.syncing = true
+		l.smu.Unlock()
+
+		l.mu.Lock()
+		f := l.f
+		target := l.nextLSN - 1
+		werr := l.err
+		closed := l.closed
+		l.mu.Unlock()
+
+		var err error
+		switch {
+		case closed:
+			err = ErrClosed
+		case werr != nil:
+			err = werr
+		default:
+			err = f.Sync()
+			if err == nil {
+				l.fsyncs.Add(1)
+			}
+		}
+
+		l.smu.Lock()
+		l.syncing = false
+		if err == nil {
+			if target > l.synced {
+				l.synced = target
+			}
+		} else if l.synced < lsn {
+			// A rotation may have fsynced and closed the file under us, in
+			// which case synced already covers lsn and the error is benign;
+			// otherwise durability is genuinely broken — make it sticky so
+			// no later acknowledgement can lie.
+			l.syncErr = err
+		}
+		l.scond.Broadcast()
+	}
+	return nil
+}
+
+// intervalSyncer drives the SyncInterval policy.
+func (l *Log) intervalSyncer() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			_ = l.Sync()
+		}
+	}
+}
+
+// Replay streams every durable record in LSN order. It reads the
+// segment files directly and must not run concurrently with Append.
+func (l *Log) Replay(fn func(lsn uint64, typ RecordType, body []byte) error) error {
+	names, err := listSegments(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: listing %s: %w", l.dir, err)
+	}
+	for _, name := range names {
+		lsn := uint64(0)
+		setFirst := false
+		_, _, _, scanErr := l.scanFile(filepath.Join(l.dir, name), func(typ RecordType, body []byte) error {
+			if !setFirst {
+				// scanSegment validated the header before the first frame.
+				first, _ := firstLSNFromName(name)
+				lsn = first
+				setFirst = true
+			}
+			err := fn(lsn, typ, body)
+			lsn++
+			return err
+		})
+		if scanErr != nil && !truncatable(scanErr) {
+			return scanErr
+		}
+		// Open already truncated torn/corrupt tails; a residual torn error
+		// here (e.g. the active segment's fresh header only) is benign.
+	}
+	return nil
+}
+
+// Reap deletes segments whose records are all ≤ throughLSN (covered by a
+// snapshot), always keeping the active segment.
+func (l *Log) Reap(throughLSN uint64) (removed int, err error) {
+	names, err := listSegments(l.dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: listing %s: %w", l.dir, err)
+	}
+	l.mu.Lock()
+	activeFirst := l.segFirst
+	l.mu.Unlock()
+	for i := 0; i+1 < len(names); i++ {
+		first, ok := firstLSNFromName(names[i])
+		if !ok || first == activeFirst {
+			continue
+		}
+		next, ok := firstLSNFromName(names[i+1])
+		if !ok {
+			continue
+		}
+		// Segment i holds LSNs [first, next): fully covered iff next-1 ≤ through.
+		if next-1 <= throughLSN {
+			if err := os.Remove(filepath.Join(l.dir, names[i])); err != nil {
+				return removed, fmt.Errorf("wal: reaping %s: %w", names[i], err)
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// LastLSN returns the highest assigned LSN (0 if the log is empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	names, _ := listSegments(l.dir)
+	l.mu.Lock()
+	last := l.nextLSN - 1
+	l.mu.Unlock()
+	l.smu.Lock()
+	synced := l.synced
+	l.smu.Unlock()
+	return Stats{
+		Appends:          l.appends.Load(),
+		Fsyncs:           l.fsyncs.Load(),
+		Rotations:        l.rotations.Load(),
+		Segments:         len(names),
+		TruncatedBytes:   l.truncatedBytes,
+		DroppedSegments:  l.droppedSegments,
+		RecoveredRecords: l.recoveredRecords,
+		LastLSN:          last,
+		SyncedLSN:        synced,
+	}
+}
+
+// Close fsyncs the tail and closes the active segment. Waiters blocked
+// in WaitDurable are released.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	var syncErr error
+	if l.err == nil && l.f != nil {
+		if syncErr = l.f.Sync(); syncErr == nil {
+			l.fsyncs.Add(1)
+			l.publishSynced(l.nextLSN - 1)
+		}
+	}
+	closeErr := l.f.Close()
+	l.closed = true
+	l.mu.Unlock()
+
+	close(l.stop)
+	l.wg.Wait()
+
+	// Wake any stragglers so they observe the closed log.
+	l.smu.Lock()
+	if l.syncErr == nil && syncErr != nil {
+		l.syncErr = syncErr
+	}
+	l.scond.Broadcast()
+	l.smu.Unlock()
+
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
