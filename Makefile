@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke chaos-smoke crash-smoke fuzz-wal ci clean
+.PHONY: all build vet test race bench smoke chaos-smoke crash-smoke failover-smoke fuzz-wal fuzz-repl ci clean
 
 all: build
 
@@ -36,9 +36,20 @@ chaos-smoke:
 crash-smoke:
 	./scripts/crash_smoke.sh
 
+# Failover smoke: replicated primary/standby pair under ≥10% injected
+# faults; SIGKILL the primary mid-ingest, promote the standby, and
+# verify zero loss, byte-identical analytics, and stale-primary fencing.
+failover-smoke:
+	./scripts/failover_smoke.sh
+
 # Fuzz the WAL segment reader: arbitrary corruption must yield clean
 # truncation or a typed error, never a panic or a silently wrong record.
 fuzz-wal:
 	$(GO) test -run xxx -fuzz FuzzSegmentRead -fuzztime 30s ./internal/wal/
 
-ci: vet build race smoke crash-smoke
+# Fuzz the replication stream reader: arbitrary bytes must yield clean
+# frames, ErrTorn, or a typed corruption error — never a panic.
+fuzz-repl:
+	$(GO) test -run xxx -fuzz FuzzReplStream -fuzztime 30s ./internal/repl/
+
+ci: vet build race smoke crash-smoke failover-smoke

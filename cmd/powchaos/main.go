@@ -13,6 +13,16 @@
 // everything else is forwarded untouched. The injection PRNG is seeded,
 // so a chaos run is reproducible. SIGINT/SIGTERM stop the proxy and
 // print the injection counters.
+//
+// -partition starts the proxy inside an asymmetric network split:
+// "to-server" drops requests before the backend sees them,
+// "from-server" forwards them but drops the response. The mode can be
+// flipped at runtime without restarting:
+//
+//	curl -X POST 'http://127.0.0.1:9090/chaosctl/partition?mode=to-server'
+//	curl -X POST 'http://127.0.0.1:9090/chaosctl/partition?mode='
+//
+// /chaosctl/* is served by the proxy itself and never forwarded.
 package main
 
 import (
@@ -30,16 +40,17 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:0", "proxy listen address (:0 picks a free port)")
-		target   = flag.String("target", "", "backend base URL (required), e.g. http://127.0.0.1:8080")
-		drop     = flag.Float64("drop", 0, "probability of silently dropping a request (never forwarded)")
-		err5xx   = flag.Float64("err5xx", 0, "probability of answering 502 without forwarding")
-		reset    = flag.Float64("reset", 0, "probability of forwarding, then resetting the connection (response lost)")
-		truncate = flag.Float64("truncate", 0, "probability of forwarding, then truncating the response body")
-		latency  = flag.Duration("latency", 0, "added latency before forwarding")
-		jitter   = flag.Duration("jitter", 0, "uniform ± jitter on the added latency")
-		path     = flag.String("path", "", "inject faults only on this path prefix (\"\" = all)")
-		seed     = flag.Int64("seed", 1, "fault-injection PRNG seed")
+		listen    = flag.String("listen", "127.0.0.1:0", "proxy listen address (:0 picks a free port)")
+		target    = flag.String("target", "", "backend base URL (required), e.g. http://127.0.0.1:8080")
+		drop      = flag.Float64("drop", 0, "probability of silently dropping a request (never forwarded)")
+		err5xx    = flag.Float64("err5xx", 0, "probability of answering 502 without forwarding")
+		reset     = flag.Float64("reset", 0, "probability of forwarding, then resetting the connection (response lost)")
+		truncate  = flag.Float64("truncate", 0, "probability of forwarding, then truncating the response body")
+		latency   = flag.Duration("latency", 0, "added latency before forwarding")
+		jitter    = flag.Duration("jitter", 0, "uniform ± jitter on the added latency")
+		path      = flag.String("path", "", "inject faults only on this path prefix (\"\" = all)")
+		partition = flag.String("partition", "", `asymmetric partition mode: "", "to-server", or "from-server"`)
+		seed      = flag.Int64("seed", 1, "fault-injection PRNG seed")
 	)
 	flag.Parse()
 	if *target == "" {
@@ -53,6 +64,7 @@ func main() {
 		ResetRate: *reset, TruncateRate: *truncate,
 		Latency: *latency, Jitter: *jitter,
 		PathPrefix: *path,
+		Partition:  *partition,
 		Seed:       *seed,
 	})
 	if err != nil {

@@ -22,6 +22,12 @@
 // retries/redeliveries/duplicates, and verification demands the server
 // ingested *exactly* the samples sent — zero loss and zero
 // double-counting. The exit status is non-zero if any sample is lost.
+//
+// -failover lists standby base URLs (comma-separated). Every shipper
+// then delivers with replication-aware failover: a dead, fenced, or
+// follower-answering target rotates to the next, and verification
+// polls every listed server, accepting the highest ingested count —
+// after a mid-run promotion the surviving primary holds the total.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +61,7 @@ func main() {
 		faultTimeout = flag.Duration("fault-timeout", 5*time.Minute, "overall delivery deadline in -fault mode")
 		agentPrefix  = flag.String("agent", "powload", "agent ID prefix (one agent per pusher)")
 		verify       = flag.Bool("verify", true, "verify the server's ingested count via /healthz afterwards")
+		failover     = flag.String("failover", "", "comma-separated standby base URLs to fail over to")
 	)
 	flag.Parse()
 	if *dataset == "" {
@@ -83,12 +91,25 @@ func main() {
 		}
 		batches = append(batches, samples[off:end])
 	}
+	// The delivery target list: -addr first (preferred), then any
+	// -failover standbys. All verification polls every one of them.
+	baseURLs := []string{*addr}
+	for _, u := range strings.Split(*failover, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			baseURLs = append(baseURLs, u)
+		}
+	}
+	ingestURLs := make([]string, len(baseURLs))
+	for i, u := range baseURLs {
+		ingestURLs[i] = strings.TrimSuffix(u, "/") + "/v1/samples"
+	}
+
 	mode := "clean"
 	if *fault {
 		mode = "fault-injection"
 	}
 	fmt.Printf("powload: %d samples in %d batches of ≤%d against %s (%s mode)\n",
-		len(samples), len(batches), *batchSize, *addr, mode)
+		len(samples), len(batches), *batchSize, strings.Join(baseURLs, ", "), mode)
 
 	ctx := context.Background()
 	if *fault {
@@ -126,7 +147,7 @@ func main() {
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
 		shippers[w] = ship.New(ship.Config{
-			URL:         *addr + "/v1/samples",
+			URLs:        ingestURLs,
 			AgentID:     fmt.Sprintf("%s-%d", *agentPrefix, w),
 			Client:      client,
 			MaxAttempts: maxAttempts,
@@ -174,6 +195,8 @@ func main() {
 		total.ExhaustedBatch += st.ExhaustedBatch
 		total.PoisonedBatches += st.PoisonedBatches
 		total.BreakerOpens += st.BreakerOpens
+		total.Failovers += st.Failovers
+		total.Failbacks += st.Failbacks
 	}
 
 	sort.Float64s(latencies)
@@ -194,11 +217,14 @@ func main() {
 		1e3*q(0.50), 1e3*q(0.95), 1e3*q(0.99), 1e3*q(1))
 	fmt.Printf("powload: retries %d, redeliveries %d, duplicates absorbed %d, breaker opens %d\n",
 		total.Retries, total.Redeliveries, total.Duplicates, total.BreakerOpens)
+	if len(baseURLs) > 1 {
+		fmt.Printf("powload: failovers %d, failbacks %d\n", total.Failovers, total.Failbacks)
+	}
 	fmt.Printf("powload: lost samples %d (evicted batches %d, exhausted %d, poisoned %d)\n",
 		total.DroppedSamples, total.EvictedBatches, total.ExhaustedBatch, total.PoisonedBatches)
 
 	if *verify {
-		ingested, err := pollIngested(client, *addr, total.ShippedSamples)
+		ingested, err := pollIngested(client, baseURLs, total.ShippedSamples)
 		if err != nil {
 			fatal(err)
 		}
@@ -220,31 +246,39 @@ func main() {
 	}
 }
 
-// pollIngested reads /healthz until the (asynchronously draining) server
-// has absorbed want samples or a deadline passes, and returns the final
-// count. Transient errors are retried — the path may run through a
-// chaos proxy.
-func pollIngested(client *http.Client, addr string, want int64) (int64, error) {
+// pollIngested reads /healthz until some server has absorbed want
+// samples or a deadline passes, and returns the final count. With
+// multiple addrs (a failover run) every server is polled and the
+// highest count wins — after a promotion the surviving primary is the
+// one holding the total, and a dead old primary is simply skipped.
+// Transient errors are retried — the path may run through a chaos
+// proxy.
+func pollIngested(client *http.Client, addrs []string, want int64) (int64, error) {
 	deadline := time.Now().Add(15 * time.Second)
 	var ingested int64 = -1
+	var lastErr error
 	for {
-		resp, err := client.Get(addr + "/healthz")
-		if err == nil {
+		for _, addr := range addrs {
+			resp, err := client.Get(strings.TrimSuffix(addr, "/") + "/healthz")
+			if err != nil {
+				lastErr = err
+				continue
+			}
 			var health struct {
 				Ingested int64 `json:"ingested"`
 			}
 			derr := json.NewDecoder(resp.Body).Decode(&health)
 			resp.Body.Close()
-			if derr == nil {
+			if derr == nil && health.Ingested > ingested {
 				ingested = health.Ingested
-				if ingested >= want {
-					return ingested, nil
-				}
 			}
+		}
+		if ingested >= want {
+			return ingested, nil
 		}
 		if time.Now().After(deadline) {
 			if ingested < 0 {
-				return 0, fmt.Errorf("healthz unreachable: %v", err)
+				return 0, fmt.Errorf("healthz unreachable: %v", lastErr)
 			}
 			return ingested, nil
 		}

@@ -17,10 +17,28 @@
 // listener. The directory must exist; a second instance on the same
 // directory is refused (flock).
 //
+// A durable daemon can also replicate for high availability:
+//
+//	powserved -addr :8080 -data-dir /var/lib/pow-a                # primary
+//	powserved -addr :8081 -data-dir /var/lib/pow-b \
+//	          -role follower -follow http://127.0.0.1:8080        # standby
+//
+// The follower streams the primary's WAL (bootstrapping from a
+// snapshot when too far behind), replays it into its own WAL and
+// store, serves read-only queries, and reports replication lag on
+// /readyz and /metrics. Promote a follower with SIGUSR1 or
+// POST /v1/promote: it bumps the shared epoch and starts accepting
+// writes; a deposed primary that observes the newer epoch fences
+// itself and rejects further ingest with a distinct error. With
+// -repl-ack sync the primary acknowledges a batch only after every
+// registered follower has applied it.
+//
 // Endpoints: POST /v1/samples, GET /v1/nodes/{id}/series,
 // GET /v1/jobs/{id}/power, POST /v1/predict, GET /v1/summary,
-// GET /metrics, GET /healthz, GET /readyz. SIGINT/SIGTERM shut down
-// gracefully, draining the ingest queue first.
+// GET /metrics, GET /healthz, GET /readyz, POST /v1/promote, and the
+// replication plane GET /v1/repl/stream, GET /v1/repl/snapshot,
+// POST /v1/repl/ack. SIGINT/SIGTERM shut down gracefully, draining
+// the ingest queue first.
 package main
 
 import (
@@ -55,8 +73,21 @@ func main() {
 		segBytes   = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation size")
 		snapEvery  = flag.Duration("snapshot-interval", 20*time.Second, "time between snapshots")
 		snapBatch  = flag.Int64("snapshot-every", 4096, "also snapshot after this many WAL appends")
+
+		role       = flag.String("role", "primary", `replication role: "primary" or "follower" (needs -data-dir)`)
+		follow     = flag.String("follow", "", "primary base URL to replicate from (required with -role follower)")
+		followerID = flag.String("follower-id", "", "this follower's ID on the primary (default \"follower\")")
+		epochFile  = flag.String("epoch-file", "", "replication epoch file (default <data-dir>/EPOCH)")
+		replAck    = flag.String("repl-ack", "async", `ack mode: "async", or "sync" to ack ingest only after followers applied`)
+		replAckTO  = flag.Duration("repl-ack-timeout", 5*time.Second, "max wait for follower acks with -repl-ack sync")
 	)
 	flag.Parse()
+	if *role == serve.RoleFollower && *dataDir == "" {
+		fatal(fmt.Errorf("-role follower requires -data-dir (replication rides the WAL)"))
+	}
+	if *replAck != "async" && *replAck != "sync" {
+		fatal(fmt.Errorf("-repl-ack %q: want async or sync", *replAck))
+	}
 
 	var bdt *mlearn.BDT
 	switch {
@@ -105,6 +136,17 @@ func main() {
 			SegmentBytes:     *segBytes,
 			SnapshotInterval: *snapEvery,
 			SnapshotEvery:    *snapBatch,
+			Replication: &serve.ReplicationConfig{
+				Role:           *role,
+				PrimaryURL:     *follow,
+				FollowerID:     *followerID,
+				EpochFile:      *epochFile,
+				SyncAck:        *replAck == "sync",
+				SyncAckTimeout: *replAckTO,
+				Logf: func(format string, args ...any) {
+					fmt.Printf("powserved: repl: "+format+"\n", args...)
+				},
+			},
 		})
 		if err != nil {
 			fatal(err)
@@ -129,11 +171,30 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGUSR1 promotes a follower to primary (same as POST /v1/promote):
+	// bump the epoch, stop following, start accepting writes.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			epoch, err := srv.Promote()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "powserved: promote: %v\n", err)
+				continue
+			}
+			fmt.Printf("powserved: promoted to primary at epoch %d\n", epoch)
+		}
+	}()
+
 	bound, done, err := srv.ListenAndServe(ctx, *addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("powserved: listening on %s\n", bound)
+	if *dataDir != "" {
+		fmt.Printf("powserved: listening on %s (role %s)\n", bound, *role)
+	} else {
+		fmt.Printf("powserved: listening on %s\n", bound)
+	}
 
 	start := time.Now()
 	if err := <-done; err != nil {

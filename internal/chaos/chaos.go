@@ -11,10 +11,20 @@
 //     duplicates, the exact case idempotent ingest exists for.
 //
 // Injection is driven by a seeded PRNG, so a chaos run is reproducible.
+//
+// Beyond probabilistic faults, the proxy models asymmetric network
+// partitions: PartitionToServer drops every eligible request before the
+// backend sees it, PartitionFromServer forwards the request but drops
+// the response (the backend's effects stand, the client learns
+// nothing). The active mode can be flipped at runtime through the
+// /chaosctl/partition endpoint, which the proxy itself serves and never
+// forwards — a failover drill can cut the primary off mid-run without
+// restarting the proxy.
 package chaos
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -50,22 +60,50 @@ type Config struct {
 	// PathPrefix restricts injection to matching request paths; "" means
 	// every path. Non-matching requests are always forwarded cleanly.
 	PathPrefix string
+	// Partition is the initial asymmetric-partition mode: "",
+	// PartitionToServer, or PartitionFromServer. Runtime changes go
+	// through SetPartition or the /chaosctl/partition endpoint.
+	Partition string
 	// Seed seeds the injection PRNG. 0 means 1.
 	Seed int64
 	// Client is the forwarding client. nil means a 30 s-timeout client.
 	Client *http.Client
 }
 
+// Asymmetric partition modes. A partition drops traffic in exactly one
+// direction, which is how real network splits usually present.
+const (
+	// PartitionNone forwards both directions (no partition).
+	PartitionNone = ""
+	// PartitionToServer drops eligible requests before forwarding: the
+	// backend never sees them, the client sees a dead connection.
+	PartitionToServer = "to-server"
+	// PartitionFromServer forwards eligible requests but drops the
+	// response: the backend's effects stand, the client sees a reset —
+	// every retry is a duplicate by construction.
+	PartitionFromServer = "from-server"
+)
+
+func validPartition(mode string) bool {
+	switch mode {
+	case PartitionNone, PartitionToServer, PartitionFromServer:
+		return true
+	}
+	return false
+}
+
 // Stats counts what the proxy did.
 type Stats struct {
-	Requests  int64 `json:"requests"`
-	Forwarded int64 `json:"forwarded"` // reached the backend (incl. reset/truncated)
-	Clean     int64 `json:"clean"`     // relayed untouched
-	Dropped   int64 `json:"dropped"`
-	Injected5 int64 `json:"injected_5xx"`
-	Resets    int64 `json:"resets"`
-	Truncated int64 `json:"truncated"`
-	Delayed   int64 `json:"delayed"`
+	Requests    int64  `json:"requests"`
+	Forwarded   int64  `json:"forwarded"` // reached the backend (incl. reset/truncated)
+	Clean       int64  `json:"clean"`     // relayed untouched
+	Dropped     int64  `json:"dropped"`
+	Injected5   int64  `json:"injected_5xx"`
+	Resets      int64  `json:"resets"`
+	Truncated   int64  `json:"truncated"`
+	Delayed     int64  `json:"delayed"`
+	Partitioned int64  `json:"partitioned"` // dropped by the active partition
+	Partition   string `json:"partition"`   // active partition mode
 }
 
 // Proxy is the fault-injecting reverse proxy. It implements
@@ -77,8 +115,12 @@ type Proxy struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	partMu    sync.Mutex
+	partition string
+
 	requests, forwarded, clean                     atomic.Int64
 	dropped, injected5, resets, truncated, delayed atomic.Int64
+	partitioned                                    atomic.Int64
 }
 
 // New validates cfg and returns a Proxy.
@@ -97,26 +139,53 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.ResetRate+cfg.TruncateRate > 1 {
 		return nil, fmt.Errorf("chaos: reset+truncate rates sum to %v > 1", cfg.ResetRate+cfg.TruncateRate)
 	}
+	if !validPartition(cfg.Partition) {
+		return nil, fmt.Errorf("chaos: unknown partition mode %q (want %q, %q, or %q)",
+			cfg.Partition, PartitionNone, PartitionToServer, PartitionFromServer)
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Proxy{cfg: cfg, client: cfg.Client, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Proxy{cfg: cfg, client: cfg.Client, partition: cfg.Partition,
+		rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Partition returns the active asymmetric-partition mode.
+func (p *Proxy) Partition() string {
+	p.partMu.Lock()
+	defer p.partMu.Unlock()
+	return p.partition
+}
+
+// SetPartition switches the asymmetric-partition mode at runtime. It
+// affects requests that start after the call; in-flight requests finish
+// under the old mode.
+func (p *Proxy) SetPartition(mode string) error {
+	if !validPartition(mode) {
+		return fmt.Errorf("chaos: unknown partition mode %q", mode)
+	}
+	p.partMu.Lock()
+	p.partition = mode
+	p.partMu.Unlock()
+	return nil
 }
 
 // Stats returns a snapshot of the injection counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		Requests:  p.requests.Load(),
-		Forwarded: p.forwarded.Load(),
-		Clean:     p.clean.Load(),
-		Dropped:   p.dropped.Load(),
-		Injected5: p.injected5.Load(),
-		Resets:    p.resets.Load(),
-		Truncated: p.truncated.Load(),
-		Delayed:   p.delayed.Load(),
+		Requests:    p.requests.Load(),
+		Forwarded:   p.forwarded.Load(),
+		Clean:       p.clean.Load(),
+		Dropped:     p.dropped.Load(),
+		Injected5:   p.injected5.Load(),
+		Resets:      p.resets.Load(),
+		Truncated:   p.truncated.Load(),
+		Delayed:     p.delayed.Load(),
+		Partitioned: p.partitioned.Load(),
+		Partition:   p.Partition(),
 	}
 }
 
@@ -143,8 +212,22 @@ func (p *Proxy) jitteredLatency() time.Duration {
 }
 
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/chaosctl/partition" {
+		// Proxy control plane: served locally, never forwarded, and
+		// exempt from injection (chaos must not sever its own controls).
+		p.handlePartitionCtl(w, r)
+		return
+	}
 	p.requests.Add(1)
 	eligible := p.cfg.PathPrefix == "" || strings.HasPrefix(r.URL.Path, p.cfg.PathPrefix)
+	partition := p.Partition()
+
+	if eligible && partition == PartitionToServer {
+		// Asymmetric split, client side: the request never leaves "our"
+		// side of the partition. Deterministic, unlike DropRate.
+		p.partitioned.Add(1)
+		panic(http.ErrAbortHandler)
+	}
 
 	if eligible {
 		if d := p.jitteredLatency(); d > 0 {
@@ -178,6 +261,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer resp.Body.Close()
 	p.forwarded.Add(1)
 
+	if eligible && partition == PartitionFromServer {
+		// Asymmetric split, server side: the backend processed the
+		// request, the response never crosses back. The client's retry
+		// will be a duplicate by construction.
+		p.partitioned.Add(1)
+		panic(http.ErrAbortHandler)
+	}
+
 	if eligible {
 		post := p.roll()
 		switch {
@@ -198,6 +289,42 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 	p.clean.Add(1)
+}
+
+// handlePartitionCtl serves the runtime partition control endpoint:
+// GET reports the active mode, POST (?mode= or JSON {"mode": ...})
+// switches it.
+func (p *Proxy) handlePartitionCtl(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch r.Method {
+	case http.MethodGet:
+		fmt.Fprintf(w, `{"partition":%q}`+"\n", p.Partition())
+	case http.MethodPost:
+		mode, ok := r.URL.Query()["mode"]
+		var m string
+		if ok && len(mode) > 0 {
+			m = mode[0]
+		} else {
+			var body struct {
+				Mode string `json:"mode"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				fmt.Fprintf(w, `{"error":"chaos: bad partition body: %v"}`+"\n", err)
+				return
+			}
+			m = body.Mode
+		}
+		if err := p.SetPartition(m); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintf(w, `{"error":%q}`+"\n", err.Error())
+			return
+		}
+		fmt.Fprintf(w, `{"partition":%q}`+"\n", m)
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		io.WriteString(w, `{"error":"chaos: GET or POST"}`+"\n")
+	}
 }
 
 // truncate relays the status and headers but only half the body under

@@ -1,0 +1,92 @@
+package repl
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// EpochFile persists the fencing epoch: a monotonically increasing
+// counter bumped on every promotion. It is written with the same
+// tmp + fsync + rename discipline as snapshots, so a crash mid-bump
+// leaves either the old epoch or the new one — never a torn value — and
+// a restarted stale primary still knows it was fenced.
+type EpochFile struct {
+	path string
+
+	mu    sync.Mutex
+	epoch uint64
+}
+
+// OpenEpochFile loads (or initializes to 0) the epoch stored at path.
+func OpenEpochFile(path string) (*EpochFile, error) {
+	e := &EpochFile{path: path}
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		return e, nil
+	case err != nil:
+		return nil, fmt.Errorf("repl: reading epoch file %s: %w", path, err)
+	}
+	v, perr := strconv.ParseUint(string(bytes.TrimSpace(data)), 10, 64)
+	if perr != nil {
+		return nil, fmt.Errorf("repl: epoch file %s holds %q, want a decimal epoch", path, bytes.TrimSpace(data))
+	}
+	e.epoch = v
+	return e, nil
+}
+
+// Epoch returns the current epoch.
+func (e *EpochFile) Epoch() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch
+}
+
+// Store persists epoch if it is ahead of the current value; the epoch
+// is forward-only, so a delayed write can never un-fence a primary.
+func (e *EpochFile) Store(epoch uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if epoch <= e.epoch {
+		return nil
+	}
+	dir := filepath.Dir(e.path)
+	tmp, err := os.CreateTemp(dir, ".epoch-*.tmp")
+	if err != nil {
+		return fmt.Errorf("repl: epoch temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := fmt.Fprintf(tmp, "%d\n", epoch); err != nil {
+		cleanup()
+		return fmt.Errorf("repl: writing epoch: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("repl: syncing epoch: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("repl: closing epoch: %w", err)
+	}
+	if err := os.Rename(tmpName, e.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("repl: renaming epoch: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err == nil {
+		if serr := d.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		d.Close()
+	}
+	if err != nil {
+		return fmt.Errorf("repl: syncing epoch dir: %w", err)
+	}
+	e.epoch = epoch
+	return nil
+}

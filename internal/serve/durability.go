@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hpcpower/internal/repl"
 	"hpcpower/internal/trace"
 	"hpcpower/internal/tsdb"
 	"hpcpower/internal/wal"
@@ -37,6 +38,9 @@ type DurabilityConfig struct {
 	SnapshotEvery int64
 	// KeepSnapshots retains this many snapshot files. 0 means 3.
 	KeepSnapshots int
+	// Replication configures the node's replication role; nil means a
+	// standalone primary (streamable, never following).
+	Replication *ReplicationConfig
 }
 
 func (c *DurabilityConfig) withDefaults() DurabilityConfig {
@@ -68,6 +72,12 @@ type snapshotImage struct {
 	// applied out of order around in-flight neighbors).
 	AppliedLSN uint64   `json:"applied_lsn"`
 	Extras     []uint64 `json:"extras,omitempty"`
+	// ReplLSN is the highest primary LSN a follower had durably applied
+	// at capture time; recovery resumes the pull loop just after it.
+	// ReplExtras carries the bootstrap-extra set (see replState) so a
+	// follower crash after a bootstrap cannot double-apply them.
+	ReplLSN    uint64   `json:"repl_lsn,omitempty"`
+	ReplExtras []uint64 `json:"repl_extras,omitempty"`
 }
 
 // RecoveryReport summarizes one Recover call, for logs and /metrics.
@@ -115,6 +125,14 @@ func (t *applyTracker) markDone(lsn uint64) {
 	}
 }
 
+// frontierLSN returns just the watermark — the hot-path accessor the
+// replication watermark publisher uses (no extras allocation).
+func (t *applyTracker) frontierLSN() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.watermark
+}
+
 // frontier returns the watermark and the sorted extras above it.
 func (t *applyTracker) frontier() (uint64, []uint64) {
 	t.mu.Lock()
@@ -147,6 +165,18 @@ type durability struct {
 	seqMu   sync.Mutex
 	tracker *applyTracker
 
+	// tombstoned is the live set of cancelled LSNs (queue-full batches
+	// whose WAL record must never be applied or streamed). Seeded by the
+	// recovery tombstone scan, extended by the backpressure path before
+	// the LSN is marked done — so the replication stream, gated on the
+	// done watermark, always sees the cancellation first.
+	tombMu     sync.Mutex
+	tombstoned map[uint64]struct{}
+
+	// repl is the node's replication state; non-nil for every durable
+	// server (a standalone primary is just a primary with no followers).
+	repl *replState
+
 	appendsSinceSnap atomic.Int64
 	snapLSN          atomic.Uint64 // frontier watermark of the last snapshot
 	snapshots        atomic.Int64
@@ -168,12 +198,24 @@ func openDurability(cfg DurabilityConfig) (*durability, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &durability{
-		cfg:     cfg,
-		lock:    lock,
-		tracker: newApplyTracker(0),
-		stopc:   make(chan struct{}),
+	rcfg, err := cfg.Replication.withDefaults(cfg.Dir)
+	if err != nil {
+		lock.Unlock()
+		return nil, err
 	}
+	ep, err := repl.OpenEpochFile(rcfg.EpochFile)
+	if err != nil {
+		lock.Unlock()
+		return nil, err
+	}
+	d := &durability{
+		cfg:        cfg,
+		lock:       lock,
+		tracker:    newApplyTracker(0),
+		tombstoned: map[uint64]struct{}{},
+		stopc:      make(chan struct{}),
+	}
+	d.repl = newReplState(rcfg, ep, d)
 	return d, nil
 }
 
@@ -183,6 +225,10 @@ type walBody struct {
 	Agent   string              `json:"agent,omitempty"`
 	Seq     uint64              `json:"seq,omitempty"`
 	Samples []trace.PowerSample `json:"samples"`
+	// PLSN is the primary's LSN for a record a follower applied off the
+	// replication stream (0 on records ingested directly). Recovery
+	// takes the max to find where the pull loop resumes.
+	PLSN uint64 `json:"plsn,omitempty"`
 }
 
 func encodeWALBody(agent string, seq uint64, samples []trace.PowerSample) ([]byte, error) {
@@ -267,6 +313,7 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 	// re-recorded but never gate replay: a mark captured in the snapshot
 	// may belong to a record that was still in flight at capture time,
 	// and skipping it here would lose acknowledged data.
+	maxPLSN := uint64(0)
 	err = log.Replay(func(lsn uint64, typ wal.RecordType, body []byte) error {
 		if typ != wal.RecordData {
 			return nil
@@ -287,6 +334,9 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 		if err := json.Unmarshal(body, &wb); err != nil {
 			rep.DecodeErrors++
 			return nil
+		}
+		if wb.PLSN > maxPLSN {
+			maxPLSN = wb.PLSN
 		}
 		if wb.Agent != "" {
 			s.dedup.Mark(wb.Agent, wb.Seq)
@@ -311,6 +361,27 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 	}
 	d.tracker = newApplyTracker(wm)
 	d.snapLSN.Store(img.AppliedLSN)
+	d.tombMu.Lock()
+	d.tombstoned = tombstoned
+	d.tombMu.Unlock()
+
+	// Replication state rebuilds from the same artifacts: the snapshot's
+	// pull-loop watermark, raised by any primary-stamped records the WAL
+	// tail replayed past it.
+	rs := d.repl
+	// A primary claims epoch 1 on first boot (0 means "never led");
+	// promotion always lands at 2 or above, which a drill can assert.
+	if rs.cfg.Role == RolePrimary && rs.epoch.Epoch() == 0 {
+		if err := rs.epoch.Store(1); err != nil {
+			return nil, fmt.Errorf("serve: initializing epoch: %w", err)
+		}
+	}
+	ra := img.ReplLSN
+	if maxPLSN > ra {
+		ra = maxPLSN
+	}
+	storeMax(&rs.replApplied, ra)
+	rs.setBootExtras(img.ReplExtras)
 
 	st := log.Stats()
 	rep.TruncatedBytes = st.TruncatedBytes
@@ -320,8 +391,15 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 	d.recovered.Store(true)
 	s.ready.Store(true)
 
-	d.wg.Add(1)
+	d.advanceRepl()
+	d.wg.Add(2)
 	go d.snapshotLoop(s)
+	go d.advanceLoop()
+	if rs.cfg.Role == RoleFollower {
+		if err := rs.startFollower(s); err != nil {
+			return nil, fmt.Errorf("serve: starting follower pull loop: %w", err)
+		}
+	}
 	return &rep, nil
 }
 
@@ -363,6 +441,10 @@ func (d *durability) snapshotOnce(s *Server) error {
 		Dedup:      s.dedup.ExportState(),
 		AppliedLSN: wm,
 		Extras:     extras,
+	}
+	if rs := d.repl; rs != nil {
+		img.ReplLSN = rs.replApplied.Load()
+		img.ReplExtras = rs.bootExtraList(img.ReplLSN)
 	}
 	pending := d.appendsSinceSnap.Load()
 	d.applyMu.Unlock()
@@ -439,6 +521,9 @@ func (d *durability) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE powserved_recovery_seconds gauge\n")
 		fmt.Fprintf(w, "powserved_recovery_seconds %g\n", rep.Duration.Seconds())
 	}
+	if d.repl != nil {
+		d.repl.writeMetrics(&metricsWriter{w: w})
+	}
 }
 
 func b2i(b bool) int {
@@ -452,6 +537,12 @@ func b2i(b bool) int {
 // queue has fully drained (fast restart), closes the WAL, and releases
 // the data-dir lock. Called from Server.Close after the workers exit.
 func (d *durability) close(s *Server) {
+	// The pull loop and follower streams go first: both touch the WAL,
+	// which is about to close.
+	if d.repl != nil {
+		d.repl.stopStreams()
+		d.repl.stopFollower()
+	}
 	d.stopOnce.Do(func() { close(d.stopc) })
 	d.wg.Wait()
 	if d.log != nil {

@@ -53,6 +53,10 @@ func crash(t testing.TB, s *Server, ts *httptest.Server) {
 	t.Helper()
 	ts.Close()
 	d := s.dur
+	if d.repl != nil {
+		d.repl.stopStreams()
+		d.repl.stopFollower()
+	}
 	d.stopOnce.Do(func() { close(d.stopc) })
 	d.wg.Wait()
 	if d.log != nil {
@@ -347,14 +351,14 @@ func TestDurableBackpressureTombstones(t *testing.T) {
 		Samples: []trace.PowerSample{{Node: 1, JobID: 7, Unix: 60, PowerW: 123}},
 	}
 	rec := httptest.NewRecorder()
-	s.ingestDurable(rec, batch)
+	s.ingestDurable(rec, httptest.NewRequest(http.MethodPost, "/v1/samples", nil), batch)
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("full queue: got %d, want 503", rec.Code)
 	}
 
 	<-s.ingestQ // free the slot; the agent retries the same sequence
 	rec = httptest.NewRecorder()
-	s.ingestDurable(rec, batch)
+	s.ingestDurable(rec, httptest.NewRequest(http.MethodPost, "/v1/samples", nil), batch)
 	if rec.Code != http.StatusAccepted {
 		t.Fatalf("retry after 503: got %d, want 202 (dedup mark not rolled back?)", rec.Code)
 	}

@@ -1,0 +1,731 @@
+package serve
+
+// Replication wiring: every durable server is a replication-capable
+// node. A primary serves its WAL as a CRC-framed stream
+// (GET /v1/repl/stream), hands out bootstrap snapshots
+// (GET /v1/repl/snapshot), and collects follower acknowledgements
+// (POST /v1/repl/ack). A follower runs a pull loop (internal/repl)
+// that replays the stream through applyReplicated — local WAL append,
+// dedup mark, TSDB apply — so its analytics track the primary
+// byte-for-byte, and serves read-only queries meanwhile.
+//
+// Failover is epoch-fenced: POST /v1/promote stops the pull loop and
+// bumps the fsynced epoch past every epoch the primary ever reported.
+// Shippers carry the highest epoch they have seen in X-Repl-Epoch, so
+// the first write that reaches a stale primary fences it — it answers
+// 409 with code "stale_epoch" from then on, and the shipper fails over.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpcpower/internal/repl"
+	"hpcpower/internal/wal"
+)
+
+// Replication roles.
+const (
+	RolePrimary  = "primary"
+	RoleFollower = "follower"
+)
+
+// Replication headers. X-Repl-Epoch rides on every ingest and
+// replication exchange in both directions — it is how fencing
+// information propagates without a coordination service.
+const (
+	HeaderReplEpoch       = "X-Repl-Epoch"
+	HeaderReplRole        = "X-Repl-Role"
+	HeaderReplFenced      = "X-Repl-Fenced"
+	HeaderReplSnapshotLSN = "X-Repl-Snapshot-LSN"
+)
+
+// Machine-readable error codes carried in the JSON error body.
+const (
+	// CodeStaleEpoch: this node was a primary but a follower has been
+	// promoted past it; it refuses writes permanently (409).
+	CodeStaleEpoch = "stale_epoch"
+	// CodeNotPrimary: this node is a read-only follower (503).
+	CodeNotPrimary = "not_primary"
+	// CodeBootstrapRequired: the requested stream position was reaped;
+	// the follower must install a snapshot first (410).
+	CodeBootstrapRequired = "bootstrap_required"
+)
+
+// ReplicationConfig configures a durable server's replication role.
+// The zero value (and a nil pointer in DurabilityConfig) means a
+// standalone primary — always streamable, never following.
+type ReplicationConfig struct {
+	// Role is RolePrimary (default) or RoleFollower.
+	Role string
+	// PrimaryURL is the primary's base URL; required for RoleFollower.
+	PrimaryURL string
+	// FollowerID names this follower in the primary's registry and reap
+	// holds. Defaults to "follower".
+	FollowerID string
+	// EpochFile is the fsynced fencing-epoch file. Defaults to
+	// <Dir>/EPOCH.
+	EpochFile string
+	// SyncAck makes a primary acknowledge ingest (202) only after every
+	// registered follower has durably applied the batch — semi-sync
+	// replication: a promoted follower already holds everything the
+	// shipper saw acked. With no follower registered there is no wait.
+	SyncAck bool
+	// SyncAckTimeout bounds the SyncAck wait. 0 means 5 s. On timeout
+	// the batch is durable locally but unacknowledged (500), so the
+	// shipper re-sends and the dedup index absorbs the retry.
+	SyncAckTimeout time.Duration
+	// HeartbeatEvery is the stream heartbeat cadence. 0 means 500 ms.
+	HeartbeatEvery time.Duration
+	// AckEvery is the follower acknowledgement cadence. 0 means 200 ms.
+	AckEvery time.Duration
+	// StallTimeout kills a follower's stream connection that delivers
+	// nothing for this long (asymmetric partitions). 0 means 5 s.
+	StallTimeout time.Duration
+	// Logf, if set, receives one line per notable replication event.
+	Logf func(format string, args ...any)
+}
+
+func (c *ReplicationConfig) withDefaults(dir string) (ReplicationConfig, error) {
+	var r ReplicationConfig
+	if c != nil {
+		r = *c
+	}
+	switch r.Role {
+	case "":
+		r.Role = RolePrimary
+	case RolePrimary, RoleFollower:
+	default:
+		return r, fmt.Errorf("serve: unknown replication role %q (want %q or %q)", r.Role, RolePrimary, RoleFollower)
+	}
+	if r.Role == RoleFollower && r.PrimaryURL == "" {
+		return r, fmt.Errorf("serve: replication role %q needs a primary URL", RoleFollower)
+	}
+	if r.FollowerID == "" {
+		r.FollowerID = "follower"
+	}
+	if r.EpochFile == "" {
+		r.EpochFile = filepath.Join(dir, "EPOCH")
+	}
+	if r.SyncAckTimeout <= 0 {
+		r.SyncAckTimeout = 5 * time.Second
+	}
+	if r.Logf == nil {
+		r.Logf = func(string, ...any) {}
+	}
+	return r, nil
+}
+
+// replState is a durable server's replication state: role, fencing
+// epoch, the stream source (serving followers when primary), and the
+// pull loop (when follower).
+type replState struct {
+	cfg    ReplicationConfig
+	epoch  *repl.EpochFile
+	source *repl.Source
+
+	mu       sync.Mutex
+	follower *repl.Follower     // non-nil while the pull loop runs
+	lastFS   repl.FollowerStats // survives follower.Stop (promotion)
+
+	isFollower atomic.Bool
+	fenced     atomic.Bool
+	fencedBy   atomic.Uint64 // highest peer epoch that fenced us
+	promotions atomic.Int64
+
+	// replApplied is the highest primary LSN durably applied locally
+	// (follower side); reconnects resume just after it.
+	replApplied atomic.Uint64
+
+	// bootExtras are primary LSNs above the bootstrap snapshot's
+	// watermark that the installed image already contains; the stream
+	// will deliver them again and the apply path must skip them.
+	bootMu     sync.Mutex
+	bootExtras map[uint64]struct{}
+
+	// streamStop ends every in-flight stream connection — closed before
+	// graceful HTTP shutdown, which otherwise waits out the streams.
+	streamStop chan struct{}
+	streamOnce sync.Once
+}
+
+func newReplState(cfg ReplicationConfig, ep *repl.EpochFile, d *durability) *replState {
+	rs := &replState{
+		cfg:        cfg,
+		epoch:      ep,
+		bootExtras: map[uint64]struct{}{},
+		streamStop: make(chan struct{}),
+	}
+	rs.isFollower.Store(cfg.Role == RoleFollower)
+	rs.source = repl.NewSource(repl.SourceConfig{
+		Epoch: ep.Epoch,
+		Read:  d.readForRepl,
+		Hold: func(id string, lsn uint64) {
+			if d.log != nil {
+				d.log.SetReapHold(id, lsn)
+			}
+		},
+		HeartbeatEvery: cfg.HeartbeatEvery,
+	})
+	return rs
+}
+
+func (rs *replState) role() string {
+	if rs.isFollower.Load() {
+		return RoleFollower
+	}
+	return RolePrimary
+}
+
+// observeRequestEpoch folds a peer-reported epoch into the fencing
+// state: a primary that sees a higher epoch than its own has been
+// superseded by a promotion and fences itself — stickily, until
+// operator intervention (the process is restarted as a follower).
+func (rs *replState) observeRequestEpoch(r *http.Request) {
+	v := r.Header.Get(HeaderReplEpoch)
+	if v == "" {
+		return
+	}
+	e, err := strconv.ParseUint(v, 10, 64)
+	if err != nil || e <= rs.epoch.Epoch() {
+		return
+	}
+	if rs.isFollower.Load() {
+		return // a follower lagging the primary's epoch is normal
+	}
+	storeMax(&rs.fencedBy, e)
+	if !rs.fenced.Swap(true) {
+		rs.cfg.Logf("repl: fenced at epoch %d by peer epoch %d — refusing writes", rs.epoch.Epoch(), e)
+	}
+}
+
+func (rs *replState) setBootExtras(extras []uint64) {
+	m := make(map[uint64]struct{}, len(extras))
+	for _, e := range extras {
+		m[e] = struct{}{}
+	}
+	rs.bootMu.Lock()
+	rs.bootExtras = m
+	rs.bootMu.Unlock()
+}
+
+func (rs *replState) isBootExtra(plsn uint64) bool {
+	rs.bootMu.Lock()
+	defer rs.bootMu.Unlock()
+	_, ok := rs.bootExtras[plsn]
+	return ok
+}
+
+// bootExtraList returns the extras above lsn, sorted-free (callers
+// only persist them).
+func (rs *replState) bootExtraList(above uint64) []uint64 {
+	rs.bootMu.Lock()
+	defer rs.bootMu.Unlock()
+	var out []uint64
+	for e := range rs.bootExtras {
+		if e > above {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// followerStats returns the pull loop's counters, falling back to the
+// last snapshot taken before the loop was stopped by a promotion.
+func (rs *replState) followerStats() repl.FollowerStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.follower != nil {
+		rs.lastFS = rs.follower.Stats()
+	}
+	return rs.lastFS
+}
+
+// lagRecords is the readiness-facing replication lag: on a follower,
+// records behind the primary's watermark; on a primary, records the
+// slowest registered follower has yet to acknowledge.
+func (rs *replState) lagRecords() uint64 {
+	if rs.isFollower.Load() {
+		return rs.followerStats().Lag
+	}
+	minA, n := rs.source.MinAcked()
+	if n == 0 {
+		return 0
+	}
+	if wm := rs.source.Watermark(); wm > minA {
+		return wm - minA
+	}
+	return 0
+}
+
+func (rs *replState) stopStreams() {
+	rs.streamOnce.Do(func() { close(rs.streamStop) })
+}
+
+// startFollower wires and starts the pull loop against the serving
+// layer's apply path.
+func (rs *replState) startFollower(s *Server) error {
+	f, err := repl.StartFollower(repl.FollowerConfig{
+		PrimaryURL:   rs.cfg.PrimaryURL,
+		ID:           rs.cfg.FollowerID,
+		Epoch:        rs.epoch.Epoch,
+		ObserveEpoch: rs.epoch.Store,
+		Applied:      rs.replApplied.Load,
+		Apply:        s.applyReplicated,
+		Bootstrap:    s.installReplSnapshot,
+		AckEvery:     rs.cfg.AckEvery,
+		StallTimeout: rs.cfg.StallTimeout,
+		Logf:         rs.cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	rs.mu.Lock()
+	rs.follower = f
+	rs.mu.Unlock()
+	return nil
+}
+
+// stopFollower halts the pull loop (idempotent), keeping its final
+// counters for /metrics.
+func (rs *replState) stopFollower() {
+	rs.mu.Lock()
+	f := rs.follower
+	if f != nil {
+		rs.lastFS = f.Stats()
+		rs.follower = nil
+	}
+	rs.mu.Unlock()
+	if f != nil {
+		f.Stop()
+	}
+}
+
+// Promote turns a follower into the primary: stop the pull loop, bump
+// the fsynced epoch past every epoch the old primary ever reported,
+// and start taking writes. Idempotent — promoting a primary returns
+// its current epoch. The bumped epoch fences the old primary the
+// moment a shipper carries it there.
+func (s *Server) Promote() (epoch uint64, err error) {
+	d := s.dur
+	if d == nil || d.repl == nil {
+		return 0, fmt.Errorf("serve: promotion requires a durable server")
+	}
+	if !s.ready.Load() {
+		return 0, fmt.Errorf("serve: cannot promote before recovery completes")
+	}
+	rs := d.repl
+	if !rs.isFollower.Load() {
+		return rs.epoch.Epoch(), nil
+	}
+	rs.stopFollower()
+	next := rs.epoch.Epoch() + 1
+	if err := rs.epoch.Store(next); err != nil {
+		return 0, fmt.Errorf("serve: persisting promotion epoch %d: %w", next, err)
+	}
+	rs.isFollower.Store(false)
+	rs.promotions.Add(1)
+	d.advanceRepl()
+	rs.cfg.Logf("repl: promoted to primary at epoch %d (applied primary lsn %d)", next, rs.replApplied.Load())
+	return next, nil
+}
+
+// replGateIngest enforces role and fencing on the write path. It
+// stamps X-Repl-Epoch on every response so shippers accumulate the
+// highest epoch they have seen and carry it to other nodes.
+func (s *Server) replGateIngest(w http.ResponseWriter, r *http.Request) bool {
+	if s.dur == nil || s.dur.repl == nil {
+		return true
+	}
+	rs := s.dur.repl
+	rs.observeRequestEpoch(r)
+	w.Header().Set(HeaderReplEpoch, strconv.FormatUint(rs.epoch.Epoch(), 10))
+	if rs.isFollower.Load() {
+		w.Header().Set(HeaderReplRole, RoleFollower)
+		errJSONCode(w, http.StatusServiceUnavailable, CodeNotPrimary,
+			"this node is a read-only follower — send writes to the primary")
+		return false
+	}
+	if rs.fenced.Load() {
+		w.Header().Set(HeaderReplFenced, "1")
+		errJSONCode(w, http.StatusConflict, CodeStaleEpoch,
+			"write fenced: epoch %d is stale, a peer was promoted at epoch %d",
+			rs.epoch.Epoch(), rs.fencedBy.Load())
+		return false
+	}
+	return true
+}
+
+// replReady answers the common replication-endpoint preconditions,
+// writing the error response when they fail.
+func (s *Server) replReady(w http.ResponseWriter, r *http.Request) (*replState, bool) {
+	if s.dur == nil || s.dur.repl == nil {
+		errJSON(w, http.StatusNotImplemented, "replication requires a durable server (-data-dir)")
+		return nil, false
+	}
+	rs := s.dur.repl
+	rs.observeRequestEpoch(r)
+	w.Header().Set(HeaderReplEpoch, strconv.FormatUint(rs.epoch.Epoch(), 10))
+	if !s.ready.Load() {
+		errJSON(w, http.StatusServiceUnavailable, "server recovering")
+		return nil, false
+	}
+	return rs, true
+}
+
+// handleReplStream serves one follower's stream connection. It is
+// routed around the request-timeout wrapper: the connection is
+// long-lived by design and needs http.Flusher, which
+// http.TimeoutHandler does not provide.
+func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	rs, ok := s.replReady(w, r)
+	if !ok {
+		return
+	}
+	if rs.isFollower.Load() {
+		w.Header().Set(HeaderReplRole, RoleFollower)
+		errJSONCode(w, http.StatusServiceUnavailable, CodeNotPrimary,
+			"cascading replication is not supported — stream from the primary")
+		return
+	}
+	id := r.URL.Query().Get("follower")
+	if id == "" {
+		errJSON(w, http.StatusBadRequest, "missing follower id")
+		return
+	}
+	from := uint64(1)
+	if v := r.URL.Query().Get("from"); v != "" {
+		f, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || f == 0 {
+			errJSON(w, http.StatusBadRequest, "bad from %q", v)
+			return
+		}
+		from = f
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		errJSON(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	d := s.dur
+	// Register before the oldest-LSN check: registration pins WAL
+	// retention at from-1, so a reap between the check and the stream
+	// cannot strand the follower.
+	rs.source.Register(id, from-1)
+	first, err := d.log.FirstLSN()
+	if err != nil {
+		errJSON(w, http.StatusInternalServerError, "oldest wal lsn: %v", err)
+		return
+	}
+	if from < first {
+		errJSONCode(w, http.StatusGone, CodeBootstrapRequired,
+			"lsn %d was reaped (oldest is %d) — install a snapshot", from, first)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-rs.streamStop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	if err := rs.source.StreamTo(ctx, w, fl.Flush, from); err != nil && ctx.Err() == nil {
+		rs.cfg.Logf("repl: stream to follower %s: %v", id, err)
+	}
+}
+
+// handleReplSnapshot takes a fresh snapshot and serves it — the
+// follower-bootstrap payload, exactly the on-disk snapshot image.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	rs, ok := s.replReady(w, r)
+	if !ok {
+		return
+	}
+	if rs.isFollower.Load() {
+		w.Header().Set(HeaderReplRole, RoleFollower)
+		errJSONCode(w, http.StatusServiceUnavailable, CodeNotPrimary,
+			"cascading replication is not supported — bootstrap from the primary")
+		return
+	}
+	d := s.dur
+	if err := d.snapshotOnce(s); err != nil {
+		errJSON(w, http.StatusInternalServerError, "taking snapshot: %v", err)
+		return
+	}
+	lsn, payload, found, _, err := wal.LatestSnapshot(d.cfg.Dir)
+	if err != nil || !found {
+		errJSON(w, http.StatusInternalServerError, "reading snapshot: %v", err)
+		return
+	}
+	w.Header().Set(HeaderReplSnapshotLSN, strconv.FormatUint(lsn, 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+}
+
+// handleReplAck records a follower's durably-applied LSN, releasing
+// WAL retention below it and unblocking semi-sync ingest waits.
+func (s *Server) handleReplAck(w http.ResponseWriter, r *http.Request) {
+	rs, ok := s.replReady(w, r)
+	if !ok {
+		return
+	}
+	id := r.URL.Query().Get("follower")
+	lsn, err := strconv.ParseUint(r.URL.Query().Get("lsn"), 10, 64)
+	if id == "" || err != nil {
+		errJSON(w, http.StatusBadRequest, "ack needs follower and lsn")
+		return
+	}
+	rs.source.Ack(id, lsn)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePromote is the operator-facing failover trigger (the smoke
+// drill POSTs it after killing the primary; SIGUSR1 does the same).
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.replReady(w, r); !ok {
+		return
+	}
+	epoch, err := s.Promote()
+	if err != nil {
+		errJSON(w, http.StatusInternalServerError, "promote: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"role": RolePrimary, "epoch": epoch})
+}
+
+// applyReplicated is the follower's apply path for one streamed
+// record: dedup mark (so post-promotion redeliveries land as
+// duplicates), local WAL append stamped with the primary's LSN (so
+// reconnects resume exactly), TSDB apply, and a durability wait —
+// the pull loop only acks what would survive a follower crash.
+func (s *Server) applyReplicated(plsn uint64, body []byte) error {
+	d := s.dur
+	rs := d.repl
+	if rs.isBootExtra(plsn) {
+		// Already inside the installed bootstrap image: advance only.
+		storeMax(&rs.replApplied, plsn)
+		return nil
+	}
+	var wb walBody
+	if err := json.Unmarshal(body, &wb); err != nil {
+		return fmt.Errorf("decoding replicated record %d: %w", plsn, err)
+	}
+	d.applyMu.RLock()
+	if wb.Agent != "" {
+		// Mirror the primary's dedup decisions; the stream delivers each
+		// primary LSN at most once, so this never gates the apply.
+		s.dedup.Mark(wb.Agent, wb.Seq)
+	}
+	local, err := json.Marshal(walBody{Agent: wb.Agent, Seq: wb.Seq, Samples: wb.Samples, PLSN: plsn})
+	if err != nil {
+		d.applyMu.RUnlock()
+		return err
+	}
+	d.seqMu.Lock()
+	lsn, err := d.log.Append(local)
+	d.seqMu.Unlock()
+	if err != nil {
+		d.applyMu.RUnlock()
+		return fmt.Errorf("wal append: %w", err)
+	}
+	appendErr := s.store.Append(wb.Samples)
+	d.tracker.markDone(lsn)
+	storeMax(&rs.replApplied, plsn)
+	d.applyMu.RUnlock()
+	if appendErr != nil {
+		// Records are validated on the primary before they reach the WAL;
+		// a failure here is a programming error, not a stream hiccup.
+		return fmt.Errorf("store append: %w", appendErr)
+	}
+	d.appendsSinceSnap.Add(1)
+	s.metrics.samplesIngested.Add(int64(len(wb.Samples)))
+	if err := d.log.WaitDurable(lsn); err != nil {
+		return fmt.Errorf("wal sync: %w", err)
+	}
+	d.advanceRepl()
+	return nil
+}
+
+// installReplSnapshot is the follower's bootstrap path: replace the
+// live store and dedup index with the primary's snapshot image, then
+// persist a local snapshot immediately — the installed state exists
+// nowhere in the local WAL, so a crash before the next scheduled
+// snapshot would otherwise rewind the follower to its pre-bootstrap
+// past. If anything fails, the local disk still holds the old
+// consistent state and the bootstrap reruns after the reconnect.
+func (s *Server) installReplSnapshot(plsn uint64, payload []byte) error {
+	d := s.dur
+	rs := d.repl
+	var img snapshotImage
+	if err := json.Unmarshal(payload, &img); err != nil {
+		return fmt.Errorf("decoding snapshot payload: %w", err)
+	}
+	if img.Store == nil || img.Dedup == nil {
+		return fmt.Errorf("snapshot image is missing store or dedup state")
+	}
+	d.applyMu.Lock()
+	if err := s.store.InstallState(img.Store); err != nil {
+		d.applyMu.Unlock()
+		return err
+	}
+	if err := s.dedup.InstallState(img.Dedup); err != nil {
+		d.applyMu.Unlock()
+		return err
+	}
+	rs.setBootExtras(img.Extras)
+	storeMax(&rs.replApplied, img.AppliedLSN)
+	d.applyMu.Unlock()
+	if err := d.snapshotOnce(s); err != nil {
+		return fmt.Errorf("persisting bootstrap snapshot: %w", err)
+	}
+	return nil
+}
+
+// readForRepl adapts the WAL's range scan to the stream source,
+// filtering out tombstoned records (cancelled by backpressure — the
+// agent re-sent them under a fresh LSN).
+func (d *durability) readForRepl(from, to uint64, emit func(lsn uint64, body []byte) error) error {
+	return d.log.ReadRange(from, to, func(lsn uint64, typ wal.RecordType, body []byte) error {
+		if typ != wal.RecordData {
+			return nil
+		}
+		d.tombMu.Lock()
+		_, dead := d.tombstoned[lsn]
+		d.tombMu.Unlock()
+		if dead {
+			return nil
+		}
+		return emit(lsn, body)
+	})
+}
+
+// markTombstoned records a cancelled LSN so the stream skips it. It
+// must run before the LSN is marked applied — a streamer gated on the
+// watermark must already see the tombstone.
+func (d *durability) markTombstoned(lsn uint64) {
+	d.tombMu.Lock()
+	d.tombstoned[lsn] = struct{}{}
+	d.tombMu.Unlock()
+}
+
+// advanceRepl publishes the streamable watermark: records both applied
+// (tracker) and durable (fsynced — under SyncNone, merely written),
+// so a follower can never ack state the primary might lose that the
+// follower would not also lose. With SyncNone the operator has chosen
+// to trade that guarantee for speed on both ends.
+func (d *durability) advanceRepl() {
+	rs := d.repl
+	if rs == nil || d.log == nil || !d.recovered.Load() {
+		return
+	}
+	wm := d.tracker.frontierLSN()
+	var durable uint64
+	if d.cfg.Policy == wal.SyncNone {
+		durable = d.log.LastLSN()
+	} else {
+		durable = d.log.SyncedLSN()
+	}
+	if durable < wm {
+		wm = durable
+	}
+	rs.source.Advance(wm)
+}
+
+// advanceTick is the watermark-publication backstop cadence: the hot
+// paths advance inline, the ticker covers interval-fsync stragglers.
+const advanceTick = 100 * time.Millisecond
+
+func (d *durability) advanceLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(advanceTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopc:
+			return
+		case <-t.C:
+			d.advanceRepl()
+		}
+	}
+}
+
+// StopReplicationStreams ends every in-flight follower stream — called
+// before graceful HTTP shutdown, which would otherwise wait the
+// streams out. Followers reconnect (to this node or its successor).
+func (s *Server) StopReplicationStreams() {
+	if s.dur != nil && s.dur.repl != nil {
+		s.dur.repl.stopStreams()
+	}
+}
+
+// writeMetrics appends the repl_* series to the Prometheus exposition.
+func (rs *replState) writeMetrics(w *metricsWriter) {
+	w.gauge("powserved_repl_epoch", int64(rs.epoch.Epoch()))
+	roleVal := int64(1)
+	if rs.isFollower.Load() {
+		roleVal = 0
+	}
+	w.gauge("powserved_repl_role", roleVal)
+	w.gauge("powserved_repl_fenced", int64(b2i(rs.fenced.Load())))
+	w.gauge("powserved_repl_lag_records", int64(rs.lagRecords()))
+	w.gauge("powserved_repl_watermark", int64(rs.source.Watermark()))
+	w.counter("powserved_repl_promotions_total", rs.promotions.Load())
+	w.counter("powserved_repl_streamed_records_total", rs.source.Streamed())
+
+	fs := rs.followerStats()
+	w.gauge("powserved_repl_applied_lsn", int64(fs.AppliedLSN))
+	w.counter("powserved_repl_applied_records_total", fs.AppliedRecords)
+	w.counter("powserved_repl_snapshot_installs_total", fs.SnapshotInstalls)
+	w.counter("powserved_repl_reconnects_total", fs.Reconnects)
+
+	followers := rs.source.Followers()
+	w.gauge("powserved_repl_followers", int64(len(followers)))
+	if len(followers) > 0 {
+		fmt.Fprintf(w.w, "# TYPE powserved_repl_follower_acked_lsn gauge\n")
+		for _, f := range followers {
+			fmt.Fprintf(w.w, "powserved_repl_follower_acked_lsn{follower=%q} %d\n", f.ID, f.AckedLSN)
+		}
+	}
+}
+
+// metricsWriter emits TYPE-annotated single-value series.
+type metricsWriter struct{ w io.Writer }
+
+func (m *metricsWriter) gauge(name string, v int64) {
+	fmt.Fprintf(m.w, "# TYPE %s gauge\n%s %d\n", name, name, v)
+}
+
+func (m *metricsWriter) counter(name string, v int64) {
+	fmt.Fprintf(m.w, "# TYPE %s counter\n%s %d\n", name, name, v)
+}
+
+// storeMax raises a to v if v is higher (monotonic atomic max).
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// errJSONCode writes a JSON error body carrying a machine-readable
+// code alongside the human-readable message.
+func errJSONCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...), "code": code})
+}

@@ -145,13 +145,27 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/repl/stream", s.handleReplStream)
+	s.mux.HandleFunc("GET /v1/repl/snapshot", s.metrics.instrument("repl_snapshot", s.handleReplSnapshot))
+	s.mux.HandleFunc("POST /v1/repl/ack", s.metrics.instrument("repl_ack", s.handleReplAck))
+	s.mux.HandleFunc("POST /v1/promote", s.metrics.instrument("promote", s.handlePromote))
 }
 
 // Handler returns the fully instrumented root handler with the request
 // timeout applied (ingest and predict are fast; the timeout guards the
 // query endpoints against pathological windows).
 func (s *Server) Handler() http.Handler {
-	return timeoutJSON(s.mux, s.cfg.RequestTimeout)
+	timed := timeoutJSON(s.mux, s.cfg.RequestTimeout)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The replication stream is long-lived by design and needs
+		// http.Flusher — http.TimeoutHandler provides neither, so it is
+		// routed around the timeout wrapper.
+		if r.URL.Path == "/v1/repl/stream" {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		timed.ServeHTTP(w, r)
+	})
 }
 
 // timeoutJSON wraps h in http.TimeoutHandler with a JSON timeout body
@@ -180,6 +194,9 @@ func (s *Server) ingestWorker() {
 		if s.dur != nil {
 			s.dur.tracker.markDone(qb.lsn)
 			s.dur.applyMu.RUnlock()
+			// The record is applied; if it is also fsynced this makes it
+			// streamable to followers right away.
+			s.dur.advanceRepl()
 		}
 		if err != nil {
 			// Validated before enqueue; a failure here is a programming
@@ -262,6 +279,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		errJSON(w, http.StatusServiceUnavailable, "server recovering")
 		return
 	}
+	if !s.replGateIngest(w, r) {
+		return
+	}
 	var batch trace.SampleBatch
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes))
 	if err := dec.Decode(&batch); err != nil {
@@ -286,7 +306,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.metrics.observeAgent(batch.AgentID, r.Header)
 	}
 	if s.dur != nil {
-		s.ingestDurable(w, batch)
+		s.ingestDurable(w, r, batch)
 		return
 	}
 	if batch.AgentID != "" {
@@ -336,7 +356,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // it; seqMu keeps LSN order equal to queue order so replay applies
 // records exactly as the live server did. The 202 is only written after
 // WaitDurable, so an acknowledged batch survives a crash.
-func (s *Server) ingestDurable(w http.ResponseWriter, batch trace.SampleBatch) {
+func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, batch trace.SampleBatch) {
 	d := s.dur
 	d.applyMu.RLock()
 	if batch.AgentID != "" {
@@ -384,7 +404,10 @@ func (s *Server) ingestDurable(w http.ResponseWriter, batch trace.SampleBatch) {
 	if !enqueued {
 		// The record is in the WAL but will never be applied: cancel it
 		// with a tombstone so replay skips it, and free the agent to
-		// re-send the same sequence number.
+		// re-send the same sequence number. The in-memory set must grow
+		// before markDone — once the LSN is inside the done watermark the
+		// replication stream may read it.
+		d.markTombstoned(lsn)
 		if tlsn, terr := d.log.AppendTombstone(lsn); terr == nil {
 			d.tracker.markDone(tlsn)
 		}
@@ -408,6 +431,23 @@ func (s *Server) ingestDurable(w http.ResponseWriter, batch trace.SampleBatch) {
 		// turns that retry into a counted-once duplicate ack.
 		errJSON(w, http.StatusInternalServerError, "wal sync: %v", err)
 		return
+	}
+	if rs := d.repl; rs != nil && rs.cfg.SyncAck && !rs.isFollower.Load() {
+		// Semi-sync replication: hold the 202 until every registered
+		// follower has durably applied the record (no follower, no wait).
+		// The record is fsynced here, so publishing the watermark inline
+		// starts the stream hop immediately instead of on the next tick.
+		d.advanceRepl()
+		ctx, cancel := context.WithTimeout(r.Context(), rs.cfg.SyncAckTimeout)
+		err := rs.source.WaitReplicated(ctx, lsn)
+		cancel()
+		if err != nil {
+			// Durable locally but not replicated: refuse the ack so the
+			// shipper re-sends; the dedup index turns the retry into a
+			// counted-once duplicate once a follower is reachable again.
+			errJSON(w, http.StatusInternalServerError, "replication ack: %v", err)
+			return
+		}
 	}
 	s.metrics.batchesAccepted.Add(1)
 	writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(batch.Samples)})
@@ -516,15 +556,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleReadyz is the readiness probe: unlike /healthz (process up), it
 // answers 503 while the server cannot usefully take traffic — during
 // recovery replay, before Recover has run, and during graceful drain.
+// The body is machine-readable: besides "status", a replicated node
+// reports its role, fencing epoch, apply frontier, and replication lag,
+// so load balancers and failover drills can route on one probe.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, s.readyzBody("draining"))
 	case !s.ready.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+		writeJSON(w, http.StatusServiceUnavailable, s.readyzBody("recovering"))
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		writeJSON(w, http.StatusOK, s.readyzBody("ready"))
 	}
+}
+
+func (s *Server) readyzBody(status string) map[string]any {
+	body := map[string]any{"status": status}
+	d := s.dur
+	if d == nil || d.repl == nil {
+		return body
+	}
+	rs := d.repl
+	body["role"] = rs.role()
+	body["epoch"] = rs.epoch.Epoch()
+	body["fenced"] = rs.fenced.Load()
+	var applied uint64
+	if d.recovered.Load() {
+		applied = d.tracker.frontierLSN()
+	}
+	body["applied_lsn"] = applied
+	body["repl_applied_lsn"] = rs.replApplied.Load()
+	body["repl_lag_records"] = rs.lagRecords()
+	return body
 }
 
 // ListenAndServe runs the server on addr until ctx is cancelled, then
@@ -552,6 +615,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) (boundAddr str
 	go func() {
 		select {
 		case <-ctx.Done():
+			// Follower streams never end on their own; cut them so the
+			// graceful shutdown below does not wait out its full timeout.
+			s.StopReplicationStreams()
 			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			shutErr := hs.Shutdown(shutCtx)

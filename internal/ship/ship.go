@@ -16,7 +16,20 @@
 //     oldest batches are evicted and counted, never silently dropped;
 //   - a circuit breaker (closed → open → half-open) stops hammering a
 //     dead server: after Threshold consecutive failures sends fail fast
-//     for Cooldown, then a single probe decides re-close vs. re-open.
+//     for Cooldown, then a single probe decides re-close vs. re-open;
+//   - with multiple targets (Config.URLs) the shipper fails over: each
+//     target has its own breaker, a dead or fenced target rotates
+//     delivery to the next one, and while away from the preferred
+//     first target a periodic probe fails back as soon as it recovers.
+//
+// Failover is replication-aware. A server that answers 409 with
+// X-Repl-Fenced (a deposed primary) or 503 with X-Repl-Role: follower
+// (a warm standby) is healthy but authoritatively not the primary —
+// those answers rotate the target immediately instead of tripping the
+// breaker or poisoning the batch. The shipper also gossips the highest
+// replication epoch it has seen (X-Repl-Epoch) on every delivery, so a
+// stale primary learns of its deposition from the first agent that
+// reaches it.
 //
 // The Shipper self-reports its breaker state, cumulative retries, and
 // spill depth via request headers, which the server republishes on
@@ -41,7 +54,14 @@ import (
 // Config parameterizes a Shipper.
 type Config struct {
 	// URL is the full ingest endpoint, e.g. http://host:8080/v1/samples.
+	// Ignored when URLs is set.
 	URL string
+	// URLs is the failover list of ingest endpoints, most-preferred
+	// first. Empty means []string{URL}. Delivery sticks to one target
+	// until it dies (breaker opens) or disavows the primary role
+	// (fenced / follower answer), then rotates to the next; a probe
+	// every FailbackEvery returns to URLs[0] once it recovers.
+	URLs []string
 	// AgentID identifies this shipper to the server's dedup index.
 	AgentID string
 	// Client is the HTTP client. nil means a client with a 10 s timeout.
@@ -62,6 +82,10 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker fails fast before
 	// allowing a half-open probe. 0 means 2 s.
 	BreakerCooldown time.Duration
+	// FailbackEvery is how often, while delivering to a non-preferred
+	// target, one delivery is routed to the preferred URLs[0] as a
+	// failback probe. 0 means 3 s.
+	FailbackEvery time.Duration
 	// Seed seeds the jitter source; 0 means 1 (deterministic by default —
 	// distinct agents should pass distinct seeds).
 	Seed int64
@@ -82,9 +106,13 @@ type Stats struct {
 	DroppedSamples  int64  // samples lost to eviction or attempt exhaustion
 	ExhaustedBatch  int64  // batches dropped after MaxAttempts
 	PoisonedBatches int64  // batches rejected 4xx (never retried)
-	BreakerOpens    int64  // closed→open transitions
+	BreakerOpens    int64  // closed→open transitions, summed over targets
+	Failovers       int64  // switches away from the current target
+	Failbacks       int64  // returns to the preferred target
 	Pending         int    // batches currently in the spill buffer
-	Breaker         string // "closed", "half-open", "open"
+	Target          string // URL currently receiving deliveries
+	Breaker         string // current target: "closed", "half-open", "open"
+	Epoch           uint64 // highest replication epoch observed
 }
 
 type batchEntry struct {
@@ -110,11 +138,28 @@ type Shipper struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	breaker breaker
+	// Failover state: targets is the fixed endpoint list, cur indexes
+	// the one currently receiving deliveries, failbackAt schedules the
+	// next probe of the preferred targets[0] while cur != 0.
+	tmu        sync.Mutex
+	targets    []*target
+	cur        int
+	failbackAt time.Time
 
 	enqueued, shippedBatches, shippedSamples   atomic.Int64
 	duplicates, retries, redeliveries          atomic.Int64
 	evicted, droppedSamples, exhausted, poison atomic.Int64
+	failovers, failbacks                       atomic.Int64
+	maxEpoch                                   atomic.Uint64
+}
+
+// target is one ingest endpoint in the failover list. Each target gets
+// its own circuit breaker so one dead server's failure streak doesn't
+// charge against the others' health.
+type target struct {
+	idx     int
+	url     string
+	breaker breaker
 }
 
 // New returns a Shipper. Defaults are applied for zero Config fields.
@@ -137,8 +182,14 @@ func New(cfg Config) *Shipper {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 2 * time.Second
 	}
+	if cfg.FailbackEvery <= 0 {
+		cfg.FailbackEvery = 3 * time.Second
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if len(cfg.URLs) == 0 {
+		cfg.URLs = []string{cfg.URL}
 	}
 	s := &Shipper{
 		cfg:    cfg,
@@ -146,8 +197,12 @@ func New(cfg Config) *Shipper {
 		wake:   make(chan struct{}, 1),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
-	s.breaker.threshold = cfg.BreakerThreshold
-	s.breaker.cooldown = cfg.BreakerCooldown
+	for i, u := range cfg.URLs {
+		t := &target{idx: i, url: u}
+		t.breaker.threshold = cfg.BreakerThreshold
+		t.breaker.cooldown = cfg.BreakerCooldown
+		s.targets = append(s.targets, t)
+	}
 	return s
 }
 
@@ -190,6 +245,13 @@ func (s *Shipper) Pending() int {
 
 // Stats returns a snapshot of the delivery counters.
 func (s *Shipper) Stats() Stats {
+	s.tmu.Lock()
+	cur := s.targets[s.cur]
+	s.tmu.Unlock()
+	var opens int64
+	for _, t := range s.targets {
+		opens += t.breaker.opens.Load()
+	}
 	return Stats{
 		Enqueued:        s.enqueued.Load(),
 		ShippedBatches:  s.shippedBatches.Load(),
@@ -201,9 +263,13 @@ func (s *Shipper) Stats() Stats {
 		DroppedSamples:  s.droppedSamples.Load(),
 		ExhaustedBatch:  s.exhausted.Load(),
 		PoisonedBatches: s.poison.Load(),
-		BreakerOpens:    s.breaker.opens.Load(),
+		BreakerOpens:    opens,
+		Failovers:       s.failovers.Load(),
+		Failbacks:       s.failbacks.Load(),
 		Pending:         s.Pending(),
-		Breaker:         s.breaker.stateName(),
+		Target:          cur.url,
+		Breaker:         cur.breaker.stateName(),
+		Epoch:           s.maxEpoch.Load(),
 	}
 }
 
@@ -264,21 +330,37 @@ func (s *Shipper) remove(e *batchEntry) {
 	}
 }
 
+// postResult classifies one delivery attempt's response.
+type postResult struct {
+	status     int
+	retryAfter time.Duration
+	dup        bool
+	fenced     bool // 409 + X-Repl-Fenced: a deposed, fenced primary
+	wrongRole  bool // 503 + X-Repl-Role follower: a warm standby
+}
+
 // deliver attempts e until acknowledged, poisoned, exhausted, or ctx is
 // cancelled. Only a ctx error is returned — delivery failures are
 // absorbed into the counters and the retry loop.
 func (s *Shipper) deliver(ctx context.Context, e *batchEntry) error {
+	rotations := 0 // consecutive wrong-role answers without a backoff
 	for attempt := 0; ; attempt++ {
-		if err := s.waitBreaker(ctx); err != nil {
+		t, probe, err := s.pickTarget(ctx)
+		if err != nil {
 			return err
 		}
-		status, retryAfter, dup, err := s.post(ctx, e)
+		res, err := s.post(ctx, t, e)
 		switch {
-		case err == nil && status == http.StatusAccepted:
-			s.breaker.success()
+		case err == nil && res.status == http.StatusAccepted:
+			t.breaker.success()
+			if probe {
+				// Failback probe succeeded: the preferred target is
+				// primary again, make it current.
+				s.switchTo(0)
+			}
 			s.shippedBatches.Add(1)
 			s.shippedSamples.Add(int64(len(e.samples)))
-			if dup {
+			if res.dup {
 				s.duplicates.Add(1)
 			}
 			if e.redelivery {
@@ -286,8 +368,26 @@ func (s *Shipper) deliver(ctx context.Context, e *batchEntry) error {
 			}
 			s.remove(e)
 			return nil
-		case err == nil && status >= 400 && status < 500 &&
-			status != http.StatusTooManyRequests && status != http.StatusRequestTimeout:
+		case err == nil && (res.fenced || res.wrongRole):
+			// The server answered authoritatively that it is not (or no
+			// longer) the primary — the batch was definitively NOT
+			// counted. The server itself is healthy, so this is a
+			// routing miss, not a breaker failure and not poison:
+			// rotate to the next target and re-send immediately.
+			t.breaker.success()
+			if !probe {
+				s.switchTo((t.idx + 1) % len(s.targets))
+			}
+			if rotations++; rotations%len(s.targets) == 0 {
+				// A full lap found no primary (mid-promotion window):
+				// back off before lapping again.
+				if err := s.sleep(ctx, s.backoff(attempt, 0)); err != nil {
+					return err
+				}
+			}
+			continue
+		case err == nil && res.status >= 400 && res.status < 500 &&
+			res.status != http.StatusTooManyRequests && res.status != http.StatusRequestTimeout:
 			// The server deterministically refuses this batch; retrying
 			// cannot help (poison). Drop it and move on.
 			s.poison.Add(1)
@@ -298,26 +398,92 @@ func (s *Shipper) deliver(ctx context.Context, e *batchEntry) error {
 		// Transport error, 5xx, or retryable 4xx: ambiguous — the server
 		// may have counted the batch. Re-send with the same seq; the
 		// dedup window makes that safe.
+		rotations = 0
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		e.redelivery = true
 		s.retries.Add(1)
-		s.breaker.failure()
+		t.breaker.failure()
 		if s.cfg.MaxAttempts > 0 && attempt+1 >= s.cfg.MaxAttempts {
 			s.exhausted.Add(1)
 			s.droppedSamples.Add(int64(len(e.samples)))
 			s.remove(e)
 			return nil
 		}
-		if err := s.sleep(ctx, s.backoff(attempt, retryAfter)); err != nil {
+		if len(s.targets) > 1 {
+			if _, ok := t.breaker.allow(time.Now()); !ok {
+				// This failure left the target's breaker open: skip the
+				// backoff and let pickTarget fail over right away.
+				continue
+			}
+		}
+		if err := s.sleep(ctx, s.backoff(attempt, res.retryAfter)); err != nil {
 			return err
 		}
 	}
 }
 
-// post sends one delivery attempt and classifies the response.
-func (s *Shipper) post(ctx context.Context, e *batchEntry) (status int, retryAfter time.Duration, dup bool, err error) {
+// pickTarget chooses the endpoint for the next attempt: normally the
+// current target, scanning forward past any whose breaker is open
+// (failover); while the shipper has failed away from the preferred
+// targets[0], every FailbackEvery one delivery is routed there as a
+// failback probe. Blocks only when every target's breaker is open.
+func (s *Shipper) pickTarget(ctx context.Context) (t *target, probe bool, err error) {
+	for {
+		now := time.Now()
+		s.tmu.Lock()
+		cur := s.cur
+		probeDue := cur != 0 && now.After(s.failbackAt)
+		if probeDue {
+			s.failbackAt = now.Add(s.cfg.FailbackEvery)
+		}
+		s.tmu.Unlock()
+		if probeDue {
+			if _, ok := s.targets[0].breaker.allow(now); ok {
+				return s.targets[0], true, nil
+			}
+		}
+		minWait := time.Duration(-1)
+		for i := 0; i < len(s.targets); i++ {
+			idx := (cur + i) % len(s.targets)
+			wait, ok := s.targets[idx].breaker.allow(now)
+			if ok {
+				if idx != cur {
+					s.switchTo(idx)
+				}
+				return s.targets[idx], false, nil
+			}
+			if minWait < 0 || wait < minWait {
+				minWait = wait
+			}
+		}
+		if err := s.sleep(ctx, minWait); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// switchTo makes idx the current target, counting a failover (away from
+// the current target) or a failback (return to the preferred one) and
+// rearming the failback probe timer.
+func (s *Shipper) switchTo(idx int) {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if idx == s.cur {
+		return
+	}
+	if idx == 0 {
+		s.failbacks.Add(1)
+	} else {
+		s.failovers.Add(1)
+	}
+	s.cur = idx
+	s.failbackAt = time.Now().Add(s.cfg.FailbackEvery)
+}
+
+// post sends one delivery attempt to t and classifies the response.
+func (s *Shipper) post(ctx context.Context, t *target, e *batchEntry) (res postResult, err error) {
 	body, err := json.Marshal(trace.SampleBatch{
 		AgentID:    s.cfg.AgentID,
 		Seq:        e.seq,
@@ -325,16 +491,21 @@ func (s *Shipper) post(ctx context.Context, e *batchEntry) (status int, retryAft
 		Samples:    e.samples,
 	})
 	if err != nil {
-		return 0, 0, false, fmt.Errorf("ship: marshal batch %d: %w", e.seq, err)
+		return res, fmt.Errorf("ship: marshal batch %d: %w", e.seq, err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.cfg.URL, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.url, bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, false, err
+		return res, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("X-Breaker-State", s.breaker.stateName())
+	req.Header.Set("X-Breaker-State", t.breaker.stateName())
 	req.Header.Set("X-Agent-Retries", strconv.FormatInt(s.retries.Load(), 10))
 	req.Header.Set("X-Agent-Spill-Depth", strconv.Itoa(s.Pending()))
+	if ep := s.maxEpoch.Load(); ep > 0 {
+		// Gossip the highest replication epoch seen so far; a deposed
+		// primary fences itself on first contact with a newer epoch.
+		req.Header.Set("X-Repl-Epoch", strconv.FormatUint(ep, 10))
+	}
 
 	t0 := time.Now()
 	resp, err := s.client.Do(req)
@@ -346,9 +517,15 @@ func (s *Shipper) post(ctx context.Context, e *batchEntry) (status int, retryAft
 		s.cfg.Observe(time.Since(t0), st, err)
 	}
 	if err != nil {
-		return 0, 0, false, err
+		return res, err
 	}
 	defer resp.Body.Close()
+	if v := resp.Header.Get("X-Repl-Epoch"); v != "" {
+		if ep, perr := strconv.ParseUint(v, 10, 64); perr == nil {
+			storeMaxEpoch(&s.maxEpoch, ep)
+		}
+	}
+	res.status = resp.StatusCode
 	var ack struct {
 		Accepted  int  `json:"accepted"`
 		Duplicate bool `json:"duplicate"`
@@ -359,19 +536,37 @@ func (s *Shipper) post(ctx context.Context, e *batchEntry) (status int, retryAft
 		// the 202 status line arrived, so the batch was counted. Treat
 		// it as success — re-sending is also safe, but pointless.
 		_ = json.NewDecoder(resp.Body).Decode(&ack)
-		return resp.StatusCode, 0, ack.Duplicate, nil
+		res.dup = ack.Duplicate
+		return res, nil
+	case http.StatusConflict:
+		res.fenced = resp.Header.Get("X-Repl-Fenced") == "1"
+		return res, nil
 	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		if resp.Header.Get("X-Repl-Role") == "follower" {
+			res.wrongRole = true
+			return res, nil
+		}
 		if v := resp.Header.Get("Retry-After"); v != "" {
 			if secs, perr := strconv.Atoi(v); perr == nil && secs > 0 {
-				retryAfter = time.Duration(secs) * time.Second
-				if retryAfter > s.cfg.MaxBackoff {
-					retryAfter = s.cfg.MaxBackoff
+				res.retryAfter = time.Duration(secs) * time.Second
+				if res.retryAfter > s.cfg.MaxBackoff {
+					res.retryAfter = s.cfg.MaxBackoff
 				}
 			}
 		}
-		return resp.StatusCode, retryAfter, false, nil
+		return res, nil
 	default:
-		return resp.StatusCode, 0, false, nil
+		return res, nil
+	}
+}
+
+// storeMaxEpoch raises u to v if v is larger (CAS loop).
+func storeMaxEpoch(u *atomic.Uint64, v uint64) {
+	for {
+		cur := u.Load()
+		if v <= cur || u.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -390,19 +585,6 @@ func (s *Shipper) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	d := time.Duration(s.rng.Int63n(int64(ceil) + 1))
 	s.rngMu.Unlock()
 	return d
-}
-
-// waitBreaker blocks while the breaker is open and no probe is due.
-func (s *Shipper) waitBreaker(ctx context.Context) error {
-	for {
-		wait, ok := s.breaker.allow(time.Now())
-		if ok {
-			return nil
-		}
-		if err := s.sleep(ctx, wait); err != nil {
-			return err
-		}
-	}
 }
 
 func (s *Shipper) sleep(ctx context.Context, d time.Duration) error {

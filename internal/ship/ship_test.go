@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -179,10 +180,10 @@ func TestShipperBreakerOpensAndRecovers(t *testing.T) {
 	// Let it bang against the dead server long enough to trip the breaker,
 	// then heal the server and wait for delivery.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.breaker.opens.Load() == 0 && time.Now().Before(deadline) {
+	for s.targets[0].breaker.opens.Load() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if s.breaker.opens.Load() == 0 {
+	if s.targets[0].breaker.opens.Load() == 0 {
 		t.Fatal("breaker never opened against a dead server")
 	}
 	// While open, attempts must stall (fail-fast, no hammering).
@@ -299,5 +300,227 @@ func TestShipperConcurrentEnqueue(t *testing.T) {
 		if seen[seq] != 1 {
 			t.Fatalf("seq %d delivered %d times", seq, seen[seq])
 		}
+	}
+}
+
+// fencedServer answers like a deposed primary: 409 + X-Repl-Fenced.
+func fencedHandler(epoch string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Repl-Epoch", epoch)
+		w.Header().Set("X-Repl-Fenced", "1")
+		http.Error(w, `{"error":"stale epoch","code":"stale_epoch"}`, http.StatusConflict)
+	}
+}
+
+// followerHandler answers like a warm standby: 503 + X-Repl-Role.
+func followerHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Repl-Role", "follower")
+		http.Error(w, `{"error":"not primary","code":"not_primary"}`, http.StatusServiceUnavailable)
+	}
+}
+
+func TestShipperFailsOverOnFencedPrimary(t *testing.T) {
+	tsOld := httptest.NewServer(fencedHandler("7"))
+	defer tsOld.Close()
+	var srv ackServer
+	tsNew := httptest.NewServer(srv.handler())
+	defer tsNew.Close()
+
+	s := New(Config{URLs: []string{tsOld.URL, tsNew.URL}, AgentID: "a",
+		BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	s.Enqueue(samplesFor(3, 0))
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ShippedBatches != 1 || st.PoisonedBatches != 0 {
+		t.Fatalf("stats = %+v, want 1 shipped, 0 poisoned (fenced 409 must not poison)", st)
+	}
+	if st.Failovers != 1 || st.Target != tsNew.URL {
+		t.Errorf("failovers=%d target=%q, want 1 failover onto %q", st.Failovers, st.Target, tsNew.URL)
+	}
+	if st.Epoch != 7 {
+		t.Errorf("observed epoch = %d, want 7 (from the fenced answer)", st.Epoch)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.batches) != 1 {
+		t.Fatalf("new primary saw %d batches, want 1", len(srv.batches))
+	}
+}
+
+func TestShipperFailsOverOnFollowerAnswer(t *testing.T) {
+	tsF := httptest.NewServer(followerHandler())
+	defer tsF.Close()
+	var srv ackServer
+	tsP := httptest.NewServer(srv.handler())
+	defer tsP.Close()
+
+	s := New(Config{URLs: []string{tsF.URL, tsP.URL}, AgentID: "a",
+		BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	s.Enqueue(samplesFor(2, 0))
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ShippedBatches != 1 || st.Failovers != 1 || st.Target != tsP.URL {
+		t.Fatalf("stats = %+v, want delivery via failover to %q", st, tsP.URL)
+	}
+	// The follower answer is a routing miss, not a server fault: the
+	// first target's breaker must stay closed and nothing counts as a
+	// retry-path drop.
+	if st.DroppedSamples != 0 || st.BreakerOpens != 0 {
+		t.Errorf("stats = %+v, want no drops and no breaker opens", st)
+	}
+}
+
+func TestShipperBreakerOpenFailsOverImmediately(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer dead.Close()
+	var srv ackServer
+	alive := httptest.NewServer(srv.handler())
+	defer alive.Close()
+
+	s := New(Config{URLs: []string{dead.URL, alive.URL}, AgentID: "a",
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: time.Hour, // cooldown >> test: only failover can succeed
+		FailbackEvery: time.Hour})
+	s.Enqueue(samplesFor(1, 0))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ShippedBatches != 1 || st.BreakerOpens != 1 || st.Failovers != 1 {
+		t.Fatalf("stats = %+v, want breaker-open → failover → delivery", st)
+	}
+}
+
+func TestShipperFailbackToPreferred(t *testing.T) {
+	var healed atomic.Bool
+	var pref ackServer
+	tsPref := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healed.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		pref.handler()(w, r)
+	}))
+	defer tsPref.Close()
+	var alt ackServer
+	tsAlt := httptest.NewServer(alt.handler())
+	defer tsAlt.Close()
+
+	s := New(Config{URLs: []string{tsPref.URL, tsAlt.URL}, AgentID: "a",
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond,
+		FailbackEvery: 20 * time.Millisecond})
+
+	// Drive the shipper away from the dead preferred target.
+	s.Enqueue(samplesFor(1, 0))
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Target != tsAlt.URL {
+		t.Fatalf("target = %q, want failover to %q first", st.Target, tsAlt.URL)
+	}
+
+	// Heal the preferred target; within a few FailbackEvery periods a
+	// probe delivery must land there and make it current again.
+	healed.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Target != tsPref.URL && time.Now().Before(deadline) {
+		s.Enqueue(samplesFor(1, 0))
+		if err := s.Flush(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := s.Stats()
+	if st.Target != tsPref.URL || st.Failbacks == 0 {
+		t.Fatalf("stats = %+v, want failback onto %q", st, tsPref.URL)
+	}
+	pref.mu.Lock()
+	defer pref.mu.Unlock()
+	if len(pref.batches) == 0 {
+		t.Fatal("preferred target never received a post-failback delivery")
+	}
+}
+
+func TestShipperGossipsObservedEpoch(t *testing.T) {
+	var sawEpoch atomic.Int64
+	var srv ackServer
+	inner := srv.handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.Header.Get("X-Repl-Epoch"); v != "" {
+			n, _ := strconv.ParseInt(v, 10, 64)
+			sawEpoch.Store(n)
+		}
+		w.Header().Set("X-Repl-Epoch", "3")
+		inner(w, r)
+	}))
+	defer ts.Close()
+
+	s := New(Config{URL: ts.URL, AgentID: "a"})
+	s.Enqueue(samplesFor(1, 0))
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sawEpoch.Load(); got != 0 {
+		t.Fatalf("first delivery carried epoch %d, want none (nothing observed yet)", got)
+	}
+	s.Enqueue(samplesFor(1, 10))
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sawEpoch.Load(); got != 3 {
+		t.Fatalf("second delivery carried epoch %d, want 3 (gossiped from first answer)", got)
+	}
+	if st := s.Stats(); st.Epoch != 3 {
+		t.Errorf("Stats().Epoch = %d, want 3", st.Epoch)
+	}
+}
+
+func TestShipperAllFollowersBacksOff(t *testing.T) {
+	// Both targets answer "follower" (mid-promotion window): the
+	// shipper must keep lapping with backoff, then deliver as soon as
+	// one of them becomes primary.
+	var promoted atomic.Bool
+	var srv ackServer
+	inner := srv.handler()
+	mk := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if promoted.Load() {
+				inner(w, r)
+				return
+			}
+			followerHandler()(w, r)
+		}))
+	}
+	ts1, ts2 := mk(), mk()
+	defer ts1.Close()
+	defer ts2.Close()
+
+	s := New(Config{URLs: []string{ts1.URL, ts2.URL}, AgentID: "a",
+		BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	s.Enqueue(samplesFor(1, 0))
+	done := make(chan error, 1)
+	go func() { done <- s.Flush(context.Background()) }()
+	time.Sleep(30 * time.Millisecond)
+	promoted.Store(true)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush did not finish after promotion")
+	}
+	if st := s.Stats(); st.ShippedBatches != 1 || st.PoisonedBatches != 0 || st.DroppedSamples != 0 {
+		t.Fatalf("stats = %+v, want clean delivery after promotion", st)
 	}
 }

@@ -162,6 +162,29 @@ func (d *Deduper) RestoreState(st *DeduperState) error {
 	if len(d.agents) != 0 {
 		return fmt.Errorf("tsdb: dedup restore into a non-empty index (%d agents)", len(d.agents))
 	}
+	return d.restoreLocked(st)
+}
+
+// InstallState replaces a live dedup index with a captured one — the
+// follower-bootstrap path. The snapshot's windows subsume whatever the
+// local index knew: every (agent, seq) marked locally before the
+// bootstrap is also marked in a snapshot taken at a later LSN, so
+// swapping wholesale keeps redelivered batches counting as duplicates.
+func (d *Deduper) InstallState(st *DeduperState) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.agents
+	d.agents = make(map[string]*agentWindow, len(st.Agents))
+	if err := d.restoreLocked(st); err != nil {
+		d.agents = old
+		return err
+	}
+	return nil
+}
+
+// restoreLocked validates st and loads it into d.agents. Callers hold
+// d.mu and guarantee d.agents is the map to fill.
+func (d *Deduper) restoreLocked(st *DeduperState) error {
 	if st.Window != d.window {
 		return fmt.Errorf("tsdb: snapshot dedup window %d does not match configured window %d — restart with -dedup-window %d",
 			st.Window, d.window, st.Window)

@@ -150,6 +150,64 @@ func (s *Store) RestoreState(st *StoreState) error {
 	return nil
 }
 
+// InstallState replaces a live store's contents with a captured state —
+// the follower-bootstrap path, where a standby that has fallen behind
+// the primary's reaped WAL installs a full snapshot over whatever it
+// has. Everything is validated and built off to the side first, then
+// swapped in under the stripe locks, so a failed install leaves the
+// store untouched. Callers wanting a consistent cut for concurrent
+// readers must quiesce writers around the call (the serving layer holds
+// its apply lock).
+func (s *Store) InstallState(st *StoreState) error {
+	if st.Shards != len(s.shards) {
+		return fmt.Errorf("tsdb: snapshot has %d shards, store is configured for %d — restart with -shards %d",
+			st.Shards, len(s.shards), st.Shards)
+	}
+	if len(st.ShardAccs) != st.Shards {
+		return fmt.Errorf("tsdb: snapshot has %d shard accumulators for %d shards", len(st.ShardAccs), st.Shards)
+	}
+	nodes := make([]map[int]*ring, len(s.shards))
+	for i := range nodes {
+		nodes[i] = map[int]*ring{}
+	}
+	for _, ns := range st.Nodes {
+		if ns.Node < 0 {
+			return fmt.Errorf("tsdb: snapshot has negative node %d", ns.Node)
+		}
+		r := newRing(s.ringLen)
+		for _, p := range ns.Points {
+			r.append(p)
+		}
+		nodes[mix(uint64(ns.Node))&s.mask][ns.Node] = r
+	}
+	jobs := make([]map[uint64]*jobState, len(s.jobShards))
+	for i := range jobs {
+		jobs[i] = map[uint64]*jobState{}
+	}
+	for _, je := range st.Jobs {
+		j, err := restoreJob(je)
+		if err != nil {
+			return fmt.Errorf("tsdb: job %d: %w", je.ID, err)
+		}
+		jobs[mix(je.ID)&s.jobMask][je.ID] = j
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.nodes = nodes[i]
+		sh.acc = stats.AccumFromState(st.ShardAccs[i])
+		sh.mu.Unlock()
+	}
+	for i := range s.jobShards {
+		js := &s.jobShards[i]
+		js.mu.Lock()
+		js.jobs = jobs[i]
+		js.mu.Unlock()
+	}
+	s.ingested.Store(st.Ingested)
+	return nil
+}
+
 func restoreJob(e JobStateExport) (*jobState, error) {
 	med, err := stats.P2FromState(e.Med)
 	if err != nil {

@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+)
+
+// This file is the replication-facing surface of the log: a bounded
+// range reader that a primary uses to stream already-durable records to
+// followers, plus retention holds that keep segments on disk until
+// every registered follower has acknowledged them.
+//
+// ReadRange is safe to run concurrently with Append as long as the
+// caller never asks for records past the durable watermark: a frame's
+// bytes are fully written (single write call under the append mutex)
+// before its LSN can be observed via SyncedLSN/LastLSN, and the scan
+// stops at `to` before it can touch an in-flight tail.
+
+// ReapedError reports that a requested LSN has already been reaped: the
+// oldest record still on disk is First. Callers recover by bootstrapping
+// from a snapshot instead of the log.
+type ReapedError struct {
+	// Requested is the LSN the caller asked for.
+	Requested uint64
+	// First is the oldest LSN still readable from the log.
+	First uint64
+}
+
+func (e *ReapedError) Error() string {
+	return fmt.Sprintf("wal: lsn %d already reaped (oldest on disk is %d)", e.Requested, e.First)
+}
+
+// errStopScan is the sentinel a range scan returns through scanSegment's
+// callback once it has emitted its last requested record.
+var errStopScan = errors.New("wal: stop scan")
+
+// FirstLSN returns the first LSN of the oldest segment still on disk —
+// the lower bound of what ReadRange can serve. Note an empty active
+// segment yields its would-be first LSN (nothing readable yet, but
+// nothing missing either).
+func (l *Log) FirstLSN() (uint64, error) {
+	names, err := listSegments(l.dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: listing %s: %w", l.dir, err)
+	}
+	if len(names) == 0 {
+		return 0, fmt.Errorf("wal: no segments in %s", l.dir)
+	}
+	first, ok := firstLSNFromName(names[0])
+	if !ok {
+		return 0, fmt.Errorf("wal: unparsable segment name %s", names[0])
+	}
+	return first, nil
+}
+
+// SyncedLSN returns the highest LSN known durable (fsynced, or as
+// durable as the policy gets). Replication gates its stream at this
+// watermark so a follower never acknowledges a record the primary could
+// still lose to a crash.
+func (l *Log) SyncedLSN() uint64 {
+	l.smu.Lock()
+	defer l.smu.Unlock()
+	return l.synced
+}
+
+// ReadRange invokes fn for every record with from ≤ LSN ≤ to, in LSN
+// order, reading the segment files directly. It returns a *ReapedError
+// if from predates the oldest segment (the caller must bootstrap from a
+// snapshot), fn's error if fn fails, and an error if the log ends before
+// `to` — callers are expected to bound `to` by LastLSN/SyncedLSN.
+func (l *Log) ReadRange(from, to uint64, fn func(lsn uint64, typ RecordType, body []byte) error) error {
+	if from == 0 {
+		return fmt.Errorf("wal: read range from lsn 0 (lsns start at 1)")
+	}
+	if to < from {
+		return nil
+	}
+	names, err := listSegments(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: listing %s: %w", l.dir, err)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("wal: no segments in %s", l.dir)
+	}
+	oldest, ok := firstLSNFromName(names[0])
+	if !ok {
+		return fmt.Errorf("wal: unparsable segment name %s", names[0])
+	}
+	if from < oldest {
+		return &ReapedError{Requested: from, First: oldest}
+	}
+
+	last := from - 1 // highest LSN delivered so far
+	for i, name := range names {
+		first, ok := firstLSNFromName(name)
+		if !ok {
+			return fmt.Errorf("wal: unparsable segment name %s", name)
+		}
+		if first > to {
+			break
+		}
+		// Skip segments that end at or before `from`.
+		if i+1 < len(names) {
+			if next, ok := firstLSNFromName(names[i+1]); ok && next <= from {
+				continue
+			}
+		}
+		lsn := first
+		_, _, _, scanErr := l.scanFile(filepath.Join(l.dir, name), func(typ RecordType, body []byte) error {
+			cur := lsn
+			lsn++
+			if cur < from {
+				return nil
+			}
+			if cur > to {
+				return errStopScan
+			}
+			if err := fn(cur, typ, body); err != nil {
+				return err
+			}
+			last = cur
+			if cur == to {
+				return errStopScan
+			}
+			return nil
+		})
+		if scanErr == errStopScan {
+			return nil
+		}
+		if scanErr != nil && !truncatable(scanErr) {
+			return scanErr
+		}
+		if last == to {
+			return nil
+		}
+	}
+	if last < to {
+		return fmt.Errorf("wal: read range [%d,%d] ended early at %d", from, to, last)
+	}
+	return nil
+}
+
+// SetReapHold registers (or moves) a retention hold: Reap will keep
+// every record with LSN > lsn on disk regardless of the snapshot
+// coverage it is asked to reap through. Holds are how replication pins
+// segments a registered follower has not acknowledged yet, so a slow
+// standby catches up from the log instead of a full snapshot.
+func (l *Log) SetReapHold(id string, lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.holds == nil {
+		l.holds = make(map[string]uint64)
+	}
+	l.holds[id] = lsn
+}
+
+// ReleaseReapHold removes the hold registered under id.
+func (l *Log) ReleaseReapHold(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.holds, id)
+}
+
+// reapCeiling caps a requested reap-through LSN by the registered holds.
+func (l *Log) reapCeiling(throughLSN uint64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, h := range l.holds {
+		if h < throughLSN {
+			throughLSN = h
+		}
+	}
+	return throughLSN
+}

@@ -91,15 +91,15 @@ type Options struct {
 
 // Stats is a point-in-time snapshot of the log's counters.
 type Stats struct {
-	Appends        int64  // records appended this process
-	Fsyncs         int64  // fsync calls on segment files
-	Rotations      int64  // segment rotations
-	Segments       int    // live segment files
-	TruncatedBytes int64  // bytes discarded by Open's torn/corrupt truncation
-	DroppedSegments int   // whole segments discarded past a corrupt frame
-	RecoveredRecords int64 // valid records found by Open
-	LastLSN        uint64 // highest assigned LSN (0 = empty log)
-	SyncedLSN      uint64 // highest LSN known durable
+	Appends          int64  // records appended this process
+	Fsyncs           int64  // fsync calls on segment files
+	Rotations        int64  // segment rotations
+	Segments         int    // live segment files
+	TruncatedBytes   int64  // bytes discarded by Open's torn/corrupt truncation
+	DroppedSegments  int    // whole segments discarded past a corrupt frame
+	RecoveredRecords int64  // valid records found by Open
+	LastLSN          uint64 // highest assigned LSN (0 = empty log)
+	SyncedLSN        uint64 // highest LSN known durable
 }
 
 // Log is an append-only write-ahead log over one directory. All methods
@@ -127,6 +127,10 @@ type Log struct {
 
 	stop chan struct{} // interval syncer + close
 	wg   sync.WaitGroup
+
+	// holds pins records above a per-holder LSN against reaping (see
+	// SetReapHold). Guarded by mu.
+	holds map[string]uint64
 
 	appends, fsyncs, rotations atomic.Int64
 	truncatedBytes             int64
@@ -549,8 +553,11 @@ func (l *Log) Replay(fn func(lsn uint64, typ RecordType, body []byte) error) err
 }
 
 // Reap deletes segments whose records are all ≤ throughLSN (covered by a
-// snapshot), always keeping the active segment.
+// snapshot), always keeping the active segment. Registered reap holds
+// (SetReapHold) lower the effective threshold so records a follower has
+// not acknowledged stay streamable.
 func (l *Log) Reap(throughLSN uint64) (removed int, err error) {
+	throughLSN = l.reapCeiling(throughLSN)
 	names, err := listSegments(l.dir)
 	if err != nil {
 		return 0, fmt.Errorf("wal: listing %s: %w", l.dir, err)
