@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke chaos-smoke crash-smoke failover-smoke fuzz-wal fuzz-repl ci clean
+.PHONY: all build vet test race bench smoke chaos-smoke crash-smoke failover-smoke fuzz-wal fuzz-repl obs-check ci clean
 
 all: build
 
@@ -52,4 +52,12 @@ fuzz-wal:
 fuzz-repl:
 	$(GO) test -run xxx -fuzz FuzzReplStream -fuzztime 30s ./internal/repl/
 
-ci: vet build race smoke crash-smoke failover-smoke
+# Observability gate: vet, the obs package under the race detector
+# (lock-free histogram Observe vs. concurrent /metrics scrapes), and
+# the serving layer's exposition-format lint + legacy-name regression.
+obs-check:
+	$(GO) vet ./...
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -count=1 -run 'TestMetrics|TestIngestTrace|TestTracePropagates' ./internal/serve/
+
+ci: vet build race obs-check smoke crash-smoke failover-smoke

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"hpcpower/internal/chaos"
+	"hpcpower/internal/obs"
 )
 
 func main() {
@@ -51,12 +52,20 @@ func main() {
 		path      = flag.String("path", "", "inject faults only on this path prefix (\"\" = all)")
 		partition = flag.String("partition", "", `asymmetric partition mode: "", "to-server", or "from-server"`)
 		seed      = flag.Int64("seed", 1, "fault-injection PRNG seed")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", `structured log format: "text" or "json"`)
 	)
 	flag.Parse()
 	if *target == "" {
 		fmt.Fprintln(os.Stderr, "usage: powchaos -target http://host:port [-listen addr] [-drop p] [-err5xx p] [-reset p] [-truncate p] [-latency d] [-path prefix]")
 		os.Exit(2)
 	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger := obs.NewLogger(obs.LogConfig{Level: level, Format: *logFormat, Output: os.Stderr})
 
 	p, err := chaos.New(chaos.Config{
 		Target:   *target,
@@ -66,6 +75,7 @@ func main() {
 		PathPrefix: *path,
 		Partition:  *partition,
 		Seed:       *seed,
+		Logger:     logger,
 	})
 	if err != nil {
 		fatal(err)

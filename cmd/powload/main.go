@@ -37,13 +37,13 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hpcpower"
+	"hpcpower/internal/obs"
 	"hpcpower/internal/ship"
 	"hpcpower/internal/trace"
 )
@@ -123,11 +123,11 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	var (
-		next      atomic.Int64
-		mu        sync.Mutex
-		latencies []float64 // seconds, accepted requests only
-	)
+	// One histogram shared by every pusher: Observe is lock-free, so the
+	// shippers never serialize on latency accounting (the sorted-slice
+	// approach this replaces took a mutex per request).
+	latency := obs.NewHistogram(obs.DefaultLatencyBuckets)
+	var next atomic.Int64
 	// Token-bucket pacing shared by all pushers (when -rate > 0).
 	var pace func(n int)
 	if *rate > 0 {
@@ -154,9 +154,7 @@ func main() {
 			Seed:        int64(w + 1),
 			Observe: func(d time.Duration, status int, err error) {
 				if err == nil && status == http.StatusAccepted {
-					mu.Lock()
-					latencies = append(latencies, d.Seconds())
-					mu.Unlock()
+					latency.ObserveDuration(d)
 				}
 			},
 		})
@@ -199,22 +197,11 @@ func main() {
 		total.Failbacks += st.Failbacks
 	}
 
-	sort.Float64s(latencies)
-	q := func(p float64) float64 {
-		if len(latencies) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(latencies)))
-		if i >= len(latencies) {
-			i = len(latencies) - 1
-		}
-		return latencies[i]
-	}
 	fmt.Printf("powload: pushed %d samples in %.2fs\n", total.ShippedSamples, elapsed.Seconds())
 	fmt.Printf("powload: throughput %.0f samples/s, %.0f req/s\n",
-		float64(total.ShippedSamples)/elapsed.Seconds(), float64(len(latencies))/elapsed.Seconds())
-	fmt.Printf("powload: ingest latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
-		1e3*q(0.50), 1e3*q(0.95), 1e3*q(0.99), 1e3*q(1))
+		float64(total.ShippedSamples)/elapsed.Seconds(), float64(latency.Count())/elapsed.Seconds())
+	fmt.Printf("powload: ingest latency p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		1e3*latency.Quantile(0.50), 1e3*latency.Quantile(0.90), 1e3*latency.Quantile(0.99), 1e3*latency.Max())
 	fmt.Printf("powload: retries %d, redeliveries %d, duplicates absorbed %d, breaker opens %d\n",
 		total.Retries, total.Redeliveries, total.Duplicates, total.BreakerOpens)
 	if len(baseURLs) > 1 {

@@ -52,6 +52,7 @@ import (
 
 	"hpcpower"
 	"hpcpower/internal/mlearn"
+	"hpcpower/internal/obs"
 	"hpcpower/internal/serve"
 	"hpcpower/internal/tsdb"
 	"hpcpower/internal/wal"
@@ -80,8 +81,19 @@ func main() {
 		epochFile  = flag.String("epoch-file", "", "replication epoch file (default <data-dir>/EPOCH)")
 		replAck    = flag.String("repl-ack", "async", `ack mode: "async", or "sync" to ack ingest only after followers applied`)
 		replAckTO  = flag.Duration("repl-ack-timeout", 5*time.Second, "max wait for follower acks with -repl-ack sync")
+
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", `structured log format: "text" or "json"`)
+		debugAddr = flag.String("debug-addr", "", "separate listener for /debug/pprof, /debug/traces/recent, and /metrics (empty = disabled)")
+		slowReq   = flag.Duration("slow-request", time.Second, "log a warning for requests at or over this duration (negative disables)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger := obs.NewLogger(obs.LogConfig{Level: level, Format: *logFormat, Output: os.Stderr})
 	if *role == serve.RoleFollower && *dataDir == "" {
 		fatal(fmt.Errorf("-role follower requires -data-dir (replication rides the WAL)"))
 	}
@@ -120,6 +132,8 @@ func main() {
 	cfg := serve.Config{
 		QueueDepth:    *queue,
 		IngestWorkers: *workers,
+		Logger:        logger,
+		SlowRequest:   *slowReq,
 	}
 	var srv *serve.Server
 	if *dataDir != "" {
@@ -145,6 +159,7 @@ func main() {
 				SyncAckTimeout: *replAckTO,
 				Logf: func(format string, args ...any) {
 					fmt.Printf("powserved: repl: "+format+"\n", args...)
+					obs.Component(logger, "repl").Info(fmt.Sprintf(format, args...))
 				},
 			},
 		})
@@ -185,6 +200,17 @@ func main() {
 			fmt.Printf("powserved: promoted to primary at epoch %d\n", epoch)
 		}
 	}()
+
+	if *debugAddr != "" {
+		// Opt-in debug listener, separate from the serving port: pprof
+		// profiles, the recent-trace ring, and a second /metrics scrape
+		// point that stays responsive when the main listener is saturated.
+		dbound, err := obs.ServeDebug(*debugAddr, srv.Registry(), srv.Traces())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("powserved: debug listener on %s (pprof, traces, metrics)\n", dbound)
+	}
 
 	bound, done, err := srv.ListenAndServe(ctx, *addr)
 	if err != nil {

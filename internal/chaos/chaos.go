@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -35,6 +36,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hpcpower/internal/obs"
 )
 
 // Config parameterizes the proxy. The rates are independent
@@ -68,6 +71,10 @@ type Config struct {
 	Seed int64
 	// Client is the forwarding client. nil means a 30 s-timeout client.
 	Client *http.Client
+	// Logger receives one structured record per injected fault and
+	// partition flip, carrying the request's trace ID when the client
+	// sent one. nil means discard.
+	Logger *slog.Logger
 }
 
 // Asymmetric partition modes. A partition drops traffic in exactly one
@@ -111,6 +118,7 @@ type Stats struct {
 type Proxy struct {
 	cfg    Config
 	client *http.Client
+	logger *slog.Logger
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -150,7 +158,8 @@ func New(cfg Config) (*Proxy, error) {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
 	}
 	return &Proxy{cfg: cfg, client: cfg.Client, partition: cfg.Partition,
-		rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+		logger: obs.Component(cfg.Logger, "chaos"),
+		rng:    rand.New(rand.NewSource(cfg.Seed))}, nil
 }
 
 // Partition returns the active asymmetric-partition mode.
@@ -168,8 +177,13 @@ func (p *Proxy) SetPartition(mode string) error {
 		return fmt.Errorf("chaos: unknown partition mode %q", mode)
 	}
 	p.partMu.Lock()
+	prev := p.partition
 	p.partition = mode
 	p.partMu.Unlock()
+	if prev != mode {
+		p.logger.Info("partition mode changed",
+			slog.String("from", prev), slog.String("to", mode))
+	}
 	return nil
 }
 
@@ -226,6 +240,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// Asymmetric split, client side: the request never leaves "our"
 		// side of the partition. Deterministic, unlike DropRate.
 		p.partitioned.Add(1)
+		p.logFault(r, "partition_to_server")
 		panic(http.ErrAbortHandler)
 	}
 
@@ -241,9 +256,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			// sees a closed connection. ErrAbortHandler closes without a
 			// response and without log noise.
 			p.dropped.Add(1)
+			p.logFault(r, "drop")
 			panic(http.ErrAbortHandler)
 		case pre < p.cfg.DropRate+p.cfg.Err5xxRate:
 			p.injected5.Add(1)
+			p.logFault(r, "injected_5xx")
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusBadGateway)
 			io.WriteString(w, `{"error":"chaos: injected 502"}`)
@@ -266,6 +283,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// request, the response never crosses back. The client's retry
 		// will be a duplicate by construction.
 		p.partitioned.Add(1)
+		p.logFault(r, "partition_from_server")
 		panic(http.ErrAbortHandler)
 	}
 
@@ -276,9 +294,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			// The backend already processed the request; the client learns
 			// nothing. Its retry is a duplicate by construction.
 			p.resets.Add(1)
+			p.logFault(r, "reset")
 			panic(http.ErrAbortHandler)
 		case post < p.cfg.ResetRate+p.cfg.TruncateRate:
 			if p.truncate(w, resp) {
+				p.logFault(r, "truncate")
 				return
 			}
 			// Body too short to truncate meaningfully: fall through clean.
@@ -289,6 +309,16 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 	p.clean.Add(1)
+}
+
+// logFault records one injected fault, keyed by the shipper's trace ID
+// when the request carried one — the link between a chaos injection and
+// the retry it forces.
+func (p *Proxy) logFault(r *http.Request, kind string) {
+	p.logger.Debug("fault injected",
+		slog.String("kind", kind),
+		slog.String("path", r.URL.Path),
+		slog.String("trace_id", r.Header.Get(obs.HeaderTraceID)))
 }
 
 // handlePartitionCtl serves the runtime partition control endpoint:

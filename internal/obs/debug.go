@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugMux builds the introspection mux served on the opt-in
+// -debug-addr listener: net/http/pprof under /debug/pprof/, the trace
+// ring under /debug/traces/recent, and the registry under /metrics.
+// It is a separate mux (and in powserved a separate listener) so
+// profiling endpoints are never reachable on the ingest port.
+func DebugMux(reg *Registry, ring *TraceRing) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if ring != nil {
+		mux.Handle("/debug/traces/recent", ring.Handler())
+	}
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WritePrometheus(w)
+		})
+	}
+	return mux
+}
+
+// ServeDebug binds addr and serves DebugMux on it in a background
+// goroutine, returning the bound address (addr may use port 0). The
+// listener lives until the process exits — debug introspection has no
+// graceful-drain requirement.
+func ServeDebug(addr string, reg *Registry, ring *TraceRing) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{
+		Handler:           DebugMux(reg, ring),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text-format exposition (the
+// invariants a scraper relies on):
+//
+//   - every series' family has a # TYPE line, emitted before the
+//     family's first series;
+//   - no family is TYPE-declared twice;
+//   - no series (name + label set) appears twice;
+//   - every value parses as a float;
+//   - each histogram ends in an le="+Inf" bucket, its cumulative
+//     bucket counts are monotone in le, and _count equals the +Inf
+//     bucket.
+//
+// It returns the first violation found, or nil for a clean exposition.
+func LintExposition(r io.Reader) error {
+	types := map[string]string{}  // family -> type
+	seen := map[string]struct{}{} // full series key -> present
+	// histogram family -> label-prefix -> buckets / count seen
+	buckets := map[string][]bucketObs{}
+	counts := map[string]float64{}
+	hasCount := map[string]struct{}{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			name, typ, ok := parseTypeLine(line)
+			if !ok {
+				continue // HELP and other comments are fine
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate # TYPE for family %q", lineNo, name)
+			}
+			types[name] = typ
+			continue
+		}
+
+		name, labels, value, err := parseSeries(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: series %s has non-numeric value %q", lineNo, name, value)
+		}
+		key := name + "{" + canonicalLabels(labels) + "}"
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = struct{}{}
+
+		family, isHist := familyOf(name, types)
+		if _, declared := types[family]; !declared {
+			return fmt.Errorf("line %d: series %s has no preceding # TYPE for family %q", lineNo, name, family)
+		}
+		if !isHist {
+			continue
+		}
+		// Histogram bookkeeping, keyed by family + non-le labels so
+		// labeled histogram children are each checked independently.
+		rest := labelsWithout(labels, "le")
+		hkey := family + "{" + rest + "}"
+		v, _ := strconv.ParseFloat(value, 64)
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: %s_bucket series without an le label", lineNo, family)
+			}
+			buckets[hkey] = append(buckets[hkey], bucketObs{le: le, count: v, line: lineNo})
+		case strings.HasSuffix(name, "_count"):
+			counts[hkey] = v
+			hasCount[hkey] = struct{}{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	// Keys sorted for deterministic error messages.
+	hkeys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, hkey := range hkeys {
+		obs := buckets[hkey]
+		var prev float64
+		var inf float64
+		var hasInf bool
+		for i, b := range obs {
+			if b.le == "+Inf" {
+				hasInf = true
+				inf = b.count
+			}
+			if i > 0 && b.count < prev {
+				return fmt.Errorf("line %d: histogram %s buckets not monotone (le=%q count %g < previous %g)",
+					b.line, hkey, b.le, b.count, prev)
+			}
+			prev = b.count
+		}
+		if !hasInf {
+			return fmt.Errorf("histogram %s lacks an le=\"+Inf\" bucket", hkey)
+		}
+		if _, ok := hasCount[hkey]; !ok {
+			return fmt.Errorf("histogram %s lacks a _count series", hkey)
+		}
+		if counts[hkey] != inf {
+			return fmt.Errorf("histogram %s: _count %g != le=\"+Inf\" bucket %g", hkey, counts[hkey], inf)
+		}
+	}
+	return nil
+}
+
+type bucketObs struct {
+	le    string
+	count float64
+	line  int
+}
+
+var typeRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+
+func parseTypeLine(line string) (name, typ string, ok bool) {
+	m := typeRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", "", false
+	}
+	return m[1], m[2], true
+}
+
+var seriesRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+
+func parseSeries(line string) (name string, labels map[string]string, value string, err error) {
+	m := seriesRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", nil, "", fmt.Errorf("malformed series line %q", line)
+	}
+	name, value = m[1], m[3]
+	labels = map[string]string{}
+	if m[2] != "" {
+		body := strings.Trim(m[2], "{}")
+		for _, pair := range splitLabelPairs(body) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("malformed label pair %q in %q", pair, line)
+			}
+			k := pair[:eq]
+			v := pair[eq+1:]
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, "", fmt.Errorf("unquoted label value %q in %q", v, line)
+			}
+			uq, uerr := strconv.Unquote(v)
+			if uerr != nil {
+				return "", nil, "", fmt.Errorf("bad label value %q in %q", v, line)
+			}
+			if _, dup := labels[k]; dup {
+				return "", nil, "", fmt.Errorf("duplicate label %q in %q", k, line)
+			}
+			labels[k] = uq
+		}
+	}
+	return name, labels, value, nil
+}
+
+// splitLabelPairs splits a=\"b\",c=\"d\" on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	var start int
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// familyOf maps a series name to its declared family: the exact name
+// if TYPE-declared, else the name with a histogram suffix stripped
+// when that base is a declared histogram.
+func familyOf(name string, types map[string]string) (family string, isHistogramSeries bool) {
+	if t, ok := types[name]; ok {
+		return name, t == "histogram"
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" {
+				return base, true
+			}
+		}
+	}
+	return name, false
+}
+
+func canonicalLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+func labelsWithout(labels map[string]string, drop string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	rest := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != drop {
+			rest[k] = v
+		}
+	}
+	return canonicalLabels(rest)
+}

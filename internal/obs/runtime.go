@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime adds Go runtime introspection gauges to r:
+// goroutine count, heap bytes/objects, cumulative GC pause seconds,
+// and completed GC cycles. runtime.ReadMemStats stops the world
+// briefly, so reads are memoized for a second — scrapers hammering
+// /metrics cannot turn introspection into a perf problem.
+func RegisterRuntime(r *Registry) {
+	var (
+		mu   sync.Mutex
+		mem  runtime.MemStats
+		last time.Time
+	)
+	read := func() runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(last) > time.Second {
+			runtime.ReadMemStats(&mem)
+			last = time.Now()
+		}
+		return mem
+	}
+	r.GaugeFunc("go_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", func() float64 {
+		return float64(read().HeapAlloc)
+	})
+	r.GaugeFunc("go_heap_objects", func() float64 {
+		return float64(read().HeapObjects)
+	})
+	r.GaugeFunc("go_gc_pause_seconds_total", func() float64 {
+		return float64(read().PauseTotalNs) / 1e9
+	})
+	r.GaugeFunc("go_gc_cycles_total", func() float64 {
+		return float64(read().NumGC)
+	})
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// HeaderTraceID carries a batch's trace ID across the wire: the
+// shipper mints one per batch, ingest echoes it on the response and
+// stamps it into the WAL body, and replication carries that body to
+// the follower — so one grep for the ID walks the whole path.
+const HeaderTraceID = "X-Trace-Id"
+
+// NewTraceID returns a 16-hex-char random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; a constant
+		// keeps tracing degraded-but-functional rather than panicking.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceEvent is one stage a traced batch passed through. Stages in
+// this pipeline: ship_send, ship_retry, ingest, wal_append, apply,
+// repl_apply.
+type TraceEvent struct {
+	Trace   string  `json:"trace"`
+	Stage   string  `json:"stage"`
+	Agent   string  `json:"agent,omitempty"`
+	Seq     int64   `json:"seq,omitempty"`
+	LSN     int64   `json:"lsn,omitempty"`
+	PLSN    int64   `json:"plsn,omitempty"`
+	Samples int     `json:"samples,omitempty"`
+	DurMS   float64 `json:"dur_ms,omitempty"`
+	Unix    int64   `json:"unix,omitempty"`
+	Status  string  `json:"status,omitempty"`
+}
+
+// TraceRing is a fixed-capacity ring of recent trace events backing
+// /debug/traces/recent. Record is mutex-guarded but off the
+// latency-critical path (it runs after the response is committed or
+// alongside background apply), and holds the lock only to copy one
+// small struct.
+type TraceRing struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	next   int
+	filled bool
+}
+
+// DefaultTraceRingSize is the capacity used when none is given.
+const DefaultTraceRingSize = 1024
+
+// NewTraceRing returns a ring holding the last n events (n ≤ 0 uses
+// DefaultTraceRingSize).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = DefaultTraceRingSize
+	}
+	return &TraceRing{events: make([]TraceEvent, n)}
+}
+
+// Record appends an event, evicting the oldest once full. Events
+// without a trace ID are dropped (untraced internal writes).
+func (r *TraceRing) Record(ev TraceEvent) {
+	if ev.Trace == "" {
+		return
+	}
+	r.mu.Lock()
+	r.events[r.next] = ev
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+// Recent returns up to n events, newest first (n ≤ 0 returns all held).
+func (r *TraceRing) Recent(n int) []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.filled {
+		size = len(r.events)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]TraceEvent, 0, n)
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.events)
+		}
+		out = append(out, r.events[idx])
+	}
+	return out
+}
+
+// Handler serves the ring as JSON: {"traces":[...]} newest first.
+// ?n=K limits the count; ?trace=ID filters to one trace.
+func (r *TraceRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		events := r.Recent(n)
+		if id := req.URL.Query().Get("trace"); id != "" {
+			kept := events[:0]
+			for _, ev := range events {
+				if ev.Trace == id {
+					kept = append(kept, ev)
+				}
+			}
+			events = kept
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string][]TraceEvent{"traces": events})
+	})
+}

@@ -47,6 +47,10 @@ type FollowerConfig struct {
 	// Logf, if set, receives one line per notable event (reconnect,
 	// bootstrap, epoch change).
 	Logf func(format string, args ...any)
+	// ObserveApply, if set, receives the wall time of each successful
+	// Apply call — the per-record replication apply latency. It runs on
+	// the stream loop, so it must be cheap.
+	ObserveApply func(d time.Duration)
 }
 
 // FollowerStats is a point-in-time snapshot of the pull loop.
@@ -259,8 +263,12 @@ func (f *Follower) streamOnce() (progressed bool, err error) {
 			if fr.LSN <= applied {
 				break // duplicate delivery after a reconnect race
 			}
+			applyStart := time.Now()
 			if err := f.cfg.Apply(fr.LSN, fr.Body); err != nil {
 				return progressed, fmt.Errorf("applying lsn %d: %w", fr.LSN, err)
+			}
+			if f.cfg.ObserveApply != nil {
+				f.cfg.ObserveApply(time.Since(applyStart))
 			}
 			applied = fr.LSN
 			f.appliedRecords.Add(1)

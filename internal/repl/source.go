@@ -22,6 +22,10 @@ type SourceConfig struct {
 	Hold func(id string, lsn uint64)
 	// HeartbeatEvery is the idle heartbeat cadence. 0 means 500 ms.
 	HeartbeatEvery time.Duration
+	// ObserveSend, if set, receives the record count of each catch-up
+	// burst written to a follower connection (only bursts that sent at
+	// least one record). It runs on the stream loop; keep it cheap.
+	ObserveSend func(records int64)
 }
 
 // FollowerState is one registered follower's replication progress.
@@ -240,6 +244,9 @@ func (s *Source) StreamTo(ctx context.Context, w io.Writer, flush func(), from u
 			s.mu.Lock()
 			s.streamed += sent
 			s.mu.Unlock()
+			if sent > 0 && s.cfg.ObserveSend != nil {
+				s.cfg.ObserveSend(sent)
+			}
 			if err != nil {
 				return err
 			}

@@ -3,12 +3,12 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hpcpower/internal/obs"
 	"hpcpower/internal/repl"
 	"hpcpower/internal/trace"
 	"hpcpower/internal/tsdb"
@@ -229,10 +229,14 @@ type walBody struct {
 	// replication stream (0 on records ingested directly). Recovery
 	// takes the max to find where the pull loop resumes.
 	PLSN uint64 `json:"plsn,omitempty"`
+	// Trace is the shipper-minted trace ID; it rides the WAL body (and
+	// therefore the replication stream, which carries bodies verbatim)
+	// so follower apply logs carry the same ID as the primary's ingest.
+	Trace string `json:"trace,omitempty"`
 }
 
-func encodeWALBody(agent string, seq uint64, samples []trace.PowerSample) ([]byte, error) {
-	return json.Marshal(walBody{Agent: agent, Seq: seq, Samples: samples})
+func encodeWALBody(agent string, seq uint64, samples []trace.PowerSample, traceID string) ([]byte, error) {
+	return json.Marshal(walBody{Agent: agent, Seq: seq, Samples: samples, Trace: traceID})
 }
 
 // Recover restores the latest valid snapshot into the store and dedup
@@ -286,6 +290,11 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 		Policy:       d.cfg.Policy,
 		Interval:     d.cfg.SyncInterval,
 		NextLSNFloor: floor,
+		// Latency hooks feed the serving registry: append and fsync
+		// distributions, plus records-per-fsync (group-commit size).
+		ObserveAppend:      s.metrics.walAppend.ObserveDuration,
+		ObserveFsync:       s.metrics.walFsync.ObserveDuration,
+		ObserveGroupCommit: func(records int64) { s.metrics.groupCommit.Observe(float64(records)) },
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening wal: %w", err)
@@ -470,59 +479,39 @@ func (d *durability) snapshotOnce(s *Server) error {
 	return nil
 }
 
-// writeMetrics appends the wal_*, snapshot_*, and recovery_* series to
-// the Prometheus exposition.
-func (d *durability) writeMetrics(w io.Writer) {
+// collect emits the wal_*, snapshot_*, recovery_*, and repl_* series
+// into the registry's exposition — the durability half of /metrics,
+// registered as a collector by NewDurable.
+func (d *durability) collect(e *obs.Exposition) {
 	if d.log != nil {
 		st := d.log.Stats()
-		fmt.Fprintf(w, "# TYPE powserved_wal_appends_total counter\n")
-		fmt.Fprintf(w, "powserved_wal_appends_total %d\n", st.Appends)
-		fmt.Fprintf(w, "# TYPE powserved_wal_fsyncs_total counter\n")
-		fmt.Fprintf(w, "powserved_wal_fsyncs_total %d\n", st.Fsyncs)
-		fmt.Fprintf(w, "# TYPE powserved_wal_rotations_total counter\n")
-		fmt.Fprintf(w, "powserved_wal_rotations_total %d\n", st.Rotations)
-		fmt.Fprintf(w, "# TYPE powserved_wal_segments gauge\n")
-		fmt.Fprintf(w, "powserved_wal_segments %d\n", st.Segments)
-		fmt.Fprintf(w, "# TYPE powserved_wal_last_lsn gauge\n")
-		fmt.Fprintf(w, "powserved_wal_last_lsn %d\n", st.LastLSN)
-		fmt.Fprintf(w, "# TYPE powserved_wal_synced_lsn gauge\n")
-		fmt.Fprintf(w, "powserved_wal_synced_lsn %d\n", st.SyncedLSN)
-		fmt.Fprintf(w, "# TYPE powserved_wal_truncated_bytes_total counter\n")
-		fmt.Fprintf(w, "powserved_wal_truncated_bytes_total %d\n", st.TruncatedBytes)
-		fmt.Fprintf(w, "# TYPE powserved_wal_dropped_segments_total counter\n")
-		fmt.Fprintf(w, "powserved_wal_dropped_segments_total %d\n", st.DroppedSegments)
+		e.Counter("powserved_wal_appends_total", float64(st.Appends))
+		e.Counter("powserved_wal_fsyncs_total", float64(st.Fsyncs))
+		e.Counter("powserved_wal_rotations_total", float64(st.Rotations))
+		e.Gauge("powserved_wal_segments", float64(st.Segments))
+		e.Gauge("powserved_wal_last_lsn", float64(st.LastLSN))
+		e.Gauge("powserved_wal_synced_lsn", float64(st.SyncedLSN))
+		e.Counter("powserved_wal_truncated_bytes_total", float64(st.TruncatedBytes))
+		e.Counter("powserved_wal_dropped_segments_total", float64(st.DroppedSegments))
 	}
-	fmt.Fprintf(w, "# TYPE powserved_snapshots_total counter\n")
-	fmt.Fprintf(w, "powserved_snapshots_total %d\n", d.snapshots.Load())
-	fmt.Fprintf(w, "# TYPE powserved_snapshot_errors_total counter\n")
-	fmt.Fprintf(w, "powserved_snapshot_errors_total %d\n", d.snapshotErrors.Load())
-	fmt.Fprintf(w, "# TYPE powserved_snapshot_last_lsn gauge\n")
-	fmt.Fprintf(w, "powserved_snapshot_last_lsn %d\n", d.snapLSN.Load())
+	e.Counter("powserved_snapshots_total", float64(d.snapshots.Load()))
+	e.Counter("powserved_snapshot_errors_total", float64(d.snapshotErrors.Load()))
+	e.Gauge("powserved_snapshot_last_lsn", float64(d.snapLSN.Load()))
 	if d.recovered.Load() {
 		rep := d.report
-		fmt.Fprintf(w, "# TYPE powserved_recovery_snapshot_found gauge\n")
-		fmt.Fprintf(w, "powserved_recovery_snapshot_found %d\n", b2i(rep.SnapshotFound))
-		fmt.Fprintf(w, "# TYPE powserved_recovery_snapshot_lsn gauge\n")
-		fmt.Fprintf(w, "powserved_recovery_snapshot_lsn %d\n", rep.SnapshotLSN)
-		fmt.Fprintf(w, "# TYPE powserved_recovery_snapshots_skipped gauge\n")
-		fmt.Fprintf(w, "powserved_recovery_snapshots_skipped %d\n", rep.SnapshotsSkipped)
-		fmt.Fprintf(w, "# TYPE powserved_recovery_records_replayed gauge\n")
-		fmt.Fprintf(w, "powserved_recovery_records_replayed %d\n", rep.RecordsReplayed)
-		fmt.Fprintf(w, "# TYPE powserved_recovery_samples_replayed gauge\n")
-		fmt.Fprintf(w, "powserved_recovery_samples_replayed %d\n", rep.SamplesReplayed)
-		fmt.Fprintf(w, "# TYPE powserved_recovery_records_skipped gauge\n")
-		fmt.Fprintf(w, "powserved_recovery_records_skipped %d\n", rep.RecordsSkipped)
-		fmt.Fprintf(w, "# TYPE powserved_recovery_tombstoned gauge\n")
-		fmt.Fprintf(w, "powserved_recovery_tombstoned %d\n", rep.Tombstoned)
-		fmt.Fprintf(w, "# TYPE powserved_recovery_truncated_bytes gauge\n")
-		fmt.Fprintf(w, "powserved_recovery_truncated_bytes %d\n", rep.TruncatedBytes)
-		fmt.Fprintf(w, "# TYPE powserved_recovery_stale_lock gauge\n")
-		fmt.Fprintf(w, "powserved_recovery_stale_lock %d\n", b2i(rep.StaleLock))
-		fmt.Fprintf(w, "# TYPE powserved_recovery_seconds gauge\n")
-		fmt.Fprintf(w, "powserved_recovery_seconds %g\n", rep.Duration.Seconds())
+		e.Gauge("powserved_recovery_snapshot_found", float64(b2i(rep.SnapshotFound)))
+		e.Gauge("powserved_recovery_snapshot_lsn", float64(rep.SnapshotLSN))
+		e.Gauge("powserved_recovery_snapshots_skipped", float64(rep.SnapshotsSkipped))
+		e.Gauge("powserved_recovery_records_replayed", float64(rep.RecordsReplayed))
+		e.Gauge("powserved_recovery_samples_replayed", float64(rep.SamplesReplayed))
+		e.Gauge("powserved_recovery_records_skipped", float64(rep.RecordsSkipped))
+		e.Gauge("powserved_recovery_tombstoned", float64(rep.Tombstoned))
+		e.Gauge("powserved_recovery_truncated_bytes", float64(rep.TruncatedBytes))
+		e.Gauge("powserved_recovery_stale_lock", float64(b2i(rep.StaleLock)))
+		e.Gauge("powserved_recovery_seconds", rep.Duration.Seconds())
 	}
 	if d.repl != nil {
-		d.repl.writeMetrics(&metricsWriter{w: w})
+		d.repl.collect(e)
 	}
 }
 

@@ -1,53 +1,54 @@
 package serve
 
 import (
-	"fmt"
-	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"hpcpower/internal/obs"
 )
 
-// endpointStats is the per-endpoint request accounting: counts, errors,
-// and latency sum/max — all atomics, so the hot path never takes a lock.
-type endpointStats struct {
-	requests atomic.Int64
-	errors   atomic.Int64 // responses with status ≥ 400
-	nanosSum atomic.Int64
-	nanosMax atomic.Int64
-}
-
-func (e *endpointStats) observe(d time.Duration, status int) {
-	e.requests.Add(1)
-	if status >= 400 {
-		e.errors.Add(1)
-	}
-	n := d.Nanoseconds()
-	e.nanosSum.Add(n)
-	for {
-		cur := e.nanosMax.Load()
-		if n <= cur || e.nanosMax.CompareAndSwap(cur, n) {
-			return
-		}
-	}
-}
-
-// metrics aggregates server-wide counters for GET /metrics.
+// metrics is the server's observability surface, built on obs.Registry:
+// one WritePrometheus call renders everything (the ad-hoc emitters this
+// replaces were two divergent hand-rolled paths). Legacy powserved_*
+// series keep their exact names and shapes — they are emitted from the
+// same underlying counters/histograms via collectors — while the new
+// latency histograms add distribution data the old counters could not
+// express.
 type metrics struct {
-	mu        sync.Mutex
-	endpoints map[string]*endpointStats
+	reg *obs.Registry
 
-	samplesIngested  atomic.Int64
-	batchesAccepted  atomic.Int64
-	batchesRejected  atomic.Int64 // backpressure: queue full
-	batchesInvalid   atomic.Int64 // malformed body or samples
-	batchesDuplicate atomic.Int64 // (agent, seq) already counted — dedup hit
-	batchesStale     atomic.Int64 // duplicate because older than the dedup window
-	redeliveries     atomic.Int64 // batches flagged as re-sent by the agent
-	queueDepth       func() int
+	samplesIngested  *obs.Counter // powserved_samples_ingested_total
+	batchesAccepted  *obs.Counter
+	batchesRejected  *obs.Counter // backpressure: queue full
+	batchesInvalid   *obs.Counter // malformed body or samples
+	batchesDuplicate *obs.Counter // (agent, seq) already counted — dedup hit
+	batchesStale     *obs.Counter // duplicate because older than the dedup window
+	redeliveries     *obs.Counter // batches flagged as re-sent by the agent
+
+	// requestLatency is the per-endpoint request distribution; the
+	// legacy powserved_requests_total / _request_seconds_sum /
+	// _request_seconds_max series are derived from its children, so one
+	// Observe on the hot path feeds both the histogram and the
+	// backward-compatible counters.
+	requestLatency *obs.HistogramVec // powserved_request_latency_seconds{endpoint}
+	requestErrors  *obs.CounterVec   // powserved_request_errors_total{endpoint}
+
+	ingestE2E   *obs.Histogram // powserved_ingest_e2e_seconds: accept → durable ack
+	walAppend   *obs.Histogram // powserved_wal_append_seconds
+	walFsync    *obs.Histogram // powserved_wal_fsync_seconds
+	groupCommit *obs.Histogram // powserved_group_commit_records per fsync
+	replApply   *obs.Histogram // powserved_repl_apply_seconds per streamed record
+	replSend    *obs.Histogram // powserved_repl_send_records per catch-up burst
+
+	// Slow-request accounting: requests at or over slowThreshold log a
+	// Warn with the endpoint, duration, and trace ID.
+	slowThreshold time.Duration
+	logger        *slog.Logger
+	traces        *obs.TraceRing
 
 	agentMu sync.Mutex
 	agents  map[string]*agentReport
@@ -63,11 +64,38 @@ type agentReport struct {
 }
 
 func newMetrics(queueDepth func() int) *metrics {
-	return &metrics{
-		endpoints:  map[string]*endpointStats{},
-		queueDepth: queueDepth,
-		agents:     map[string]*agentReport{},
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:    reg,
+		agents: map[string]*agentReport{},
+		logger: obs.Component(nil, "serve"),
+		traces: obs.NewTraceRing(0),
+
+		samplesIngested:  reg.Counter("powserved_samples_ingested_total"),
+		batchesAccepted:  reg.Counter("powserved_batches_accepted_total"),
+		batchesRejected:  reg.Counter("powserved_batches_rejected_total"),
+		batchesInvalid:   reg.Counter("powserved_batches_invalid_total"),
+		batchesDuplicate: reg.Counter("powserved_batches_duplicate_total"),
+		batchesStale:     reg.Counter("powserved_batches_stale_total"),
+		redeliveries:     reg.Counter("powserved_redeliveries_total"),
+
+		requestLatency: reg.HistogramVec("powserved_request_latency_seconds", "endpoint", obs.DefaultLatencyBuckets),
+		requestErrors:  reg.CounterVec("powserved_request_errors_total", "endpoint"),
+		ingestE2E:      reg.Histogram("powserved_ingest_e2e_seconds", obs.DefaultLatencyBuckets),
+		walAppend:      reg.Histogram("powserved_wal_append_seconds", obs.DefaultLatencyBuckets),
+		walFsync:       reg.Histogram("powserved_wal_fsync_seconds", obs.DefaultLatencyBuckets),
+		groupCommit:    reg.Histogram("powserved_group_commit_records", obs.SizeBuckets),
+		replApply:      reg.Histogram("powserved_repl_apply_seconds", obs.DefaultLatencyBuckets),
+		replSend:       reg.Histogram("powserved_repl_send_records", obs.SizeBuckets),
 	}
+	if queueDepth != nil {
+		reg.GaugeFunc("powserved_ingest_queue_depth", func() float64 { return float64(queueDepth()) })
+	}
+	// Legacy per-endpoint and per-agent families, derived at scrape time.
+	reg.AddCollector(m.collectLegacyRequests)
+	reg.AddCollector(m.collectAgents)
+	obs.RegisterRuntime(reg)
+	return m
 }
 
 // Agent-report headers set by ship.Shipper on every delivery.
@@ -109,26 +137,29 @@ func (m *metrics) observeAgent(agent string, h http.Header) {
 	}
 }
 
-func (m *metrics) endpoint(name string) *endpointStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.endpoints[name]
-	if e == nil {
-		e = &endpointStats{}
-		m.endpoints[name] = e
-	}
-	return e
-}
-
-// instrument wraps a handler with latency/throughput accounting under the
-// given endpoint label.
+// instrument wraps a handler with latency/throughput accounting under
+// the given endpoint label. The child histogram is resolved at wrap
+// time, so the request path is a lock-free Observe; slow requests
+// (≥ slowThreshold) additionally log a Warn carrying the trace ID.
 func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
-	e := m.endpoint(name)
+	hist := m.requestLatency.With(name)
+	errs := m.requestErrors.With(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
-		e.observe(time.Since(start), sw.status)
+		d := time.Since(start)
+		hist.ObserveDuration(d)
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+		if m.slowThreshold > 0 && d >= m.slowThreshold {
+			m.logger.Warn("slow request",
+				slog.String("endpoint", name),
+				slog.Int("status", sw.status),
+				slog.Float64("dur_ms", float64(d)/float64(time.Millisecond)),
+				slog.String("trace_id", r.Header.Get(obs.HeaderTraceID)))
+		}
 	}
 }
 
@@ -143,84 +174,51 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// write renders the counters in the Prometheus text exposition format
-// (hand-rolled: the repo is stdlib-only by design).
-func (m *metrics) write(w io.Writer) {
-	fmt.Fprintf(w, "# TYPE powserved_samples_ingested_total counter\n")
-	fmt.Fprintf(w, "powserved_samples_ingested_total %d\n", m.samplesIngested.Load())
-	fmt.Fprintf(w, "# TYPE powserved_batches_accepted_total counter\n")
-	fmt.Fprintf(w, "powserved_batches_accepted_total %d\n", m.batchesAccepted.Load())
-	fmt.Fprintf(w, "# TYPE powserved_batches_rejected_total counter\n")
-	fmt.Fprintf(w, "powserved_batches_rejected_total %d\n", m.batchesRejected.Load())
-	fmt.Fprintf(w, "# TYPE powserved_batches_invalid_total counter\n")
-	fmt.Fprintf(w, "powserved_batches_invalid_total %d\n", m.batchesInvalid.Load())
-	fmt.Fprintf(w, "# TYPE powserved_batches_duplicate_total counter\n")
-	fmt.Fprintf(w, "powserved_batches_duplicate_total %d\n", m.batchesDuplicate.Load())
-	fmt.Fprintf(w, "# TYPE powserved_batches_stale_total counter\n")
-	fmt.Fprintf(w, "powserved_batches_stale_total %d\n", m.batchesStale.Load())
-	fmt.Fprintf(w, "# TYPE powserved_redeliveries_total counter\n")
-	fmt.Fprintf(w, "powserved_redeliveries_total %d\n", m.redeliveries.Load())
-	if m.queueDepth != nil {
-		fmt.Fprintf(w, "# TYPE powserved_ingest_queue_depth gauge\n")
-		fmt.Fprintf(w, "powserved_ingest_queue_depth %d\n", m.queueDepth())
+// collectLegacyRequests derives the pre-histogram per-endpoint series
+// from the request-latency children: requests_total is the child count,
+// request_seconds_sum its sum, request_seconds_max its max.
+func (m *metrics) collectLegacyRequests(e *obs.Exposition) {
+	names, hists := m.requestLatency.Children()
+	byName := make(map[string]*obs.Histogram, len(names))
+	for i, n := range names {
+		byName[n] = hists[i]
 	}
+	sort.Strings(names)
+	for _, n := range names {
+		e.CounterL("powserved_requests_total", "endpoint", n, float64(byName[n].Count()))
+	}
+	for _, n := range names {
+		e.CounterL("powserved_request_seconds_sum", "endpoint", n, byName[n].Sum())
+	}
+	for _, n := range names {
+		e.GaugeL("powserved_request_seconds_max", "endpoint", n, byName[n].Max())
+	}
+}
 
-	m.mu.Lock()
-	names := make([]string, 0, len(m.endpoints))
-	for name := range m.endpoints {
+// collectAgents emits the last self-reported delivery-health gauges.
+func (m *metrics) collectAgents(e *obs.Exposition) {
+	m.agentMu.Lock()
+	names := make([]string, 0, len(m.agents))
+	for name := range m.agents {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	eps := make([]*endpointStats, len(names))
+	reps := make([]agentReport, len(names))
 	for i, name := range names {
-		eps[i] = m.endpoints[name]
-	}
-	m.mu.Unlock()
-
-	fmt.Fprintf(w, "# TYPE powserved_requests_total counter\n")
-	for i, name := range names {
-		fmt.Fprintf(w, "powserved_requests_total{endpoint=%q} %d\n", name, eps[i].requests.Load())
-	}
-	fmt.Fprintf(w, "# TYPE powserved_request_errors_total counter\n")
-	for i, name := range names {
-		fmt.Fprintf(w, "powserved_request_errors_total{endpoint=%q} %d\n", name, eps[i].errors.Load())
-	}
-	fmt.Fprintf(w, "# TYPE powserved_request_seconds_sum counter\n")
-	for i, name := range names {
-		fmt.Fprintf(w, "powserved_request_seconds_sum{endpoint=%q} %g\n",
-			name, float64(eps[i].nanosSum.Load())/1e9)
-	}
-	fmt.Fprintf(w, "# TYPE powserved_request_seconds_max gauge\n")
-	for i, name := range names {
-		fmt.Fprintf(w, "powserved_request_seconds_max{endpoint=%q} %g\n",
-			name, float64(eps[i].nanosMax.Load())/1e9)
-	}
-
-	m.agentMu.Lock()
-	agentNames := make([]string, 0, len(m.agents))
-	for name := range m.agents {
-		agentNames = append(agentNames, name)
-	}
-	sort.Strings(agentNames)
-	reps := make([]agentReport, len(agentNames))
-	for i, name := range agentNames {
 		reps[i] = *m.agents[name]
 	}
 	m.agentMu.Unlock()
-	if len(agentNames) > 0 {
-		fmt.Fprintf(w, "# TYPE powserved_agent_breaker_state gauge\n")
-		for i, name := range agentNames {
-			fmt.Fprintf(w, "powserved_agent_breaker_state{agent=%q} %d\n",
-				name, breakerStateValue(reps[i].breaker))
-		}
-		fmt.Fprintf(w, "# TYPE powserved_agent_retries gauge\n")
-		for i, name := range agentNames {
-			fmt.Fprintf(w, "powserved_agent_retries{agent=%q} %d\n", name, reps[i].retries)
-		}
-		fmt.Fprintf(w, "# TYPE powserved_agent_spill_depth gauge\n")
-		for i, name := range agentNames {
-			fmt.Fprintf(w, "powserved_agent_spill_depth{agent=%q} %d\n", name, reps[i].spillDepth)
-		}
+	if len(names) == 0 {
+		return
+	}
+	for i, name := range names {
+		e.GaugeL("powserved_agent_breaker_state", "agent", name, float64(breakerStateValue(reps[i].breaker)))
+	}
+	for i, name := range names {
+		e.GaugeL("powserved_agent_retries", "agent", name, float64(reps[i].retries))
+	}
+	for i, name := range names {
+		e.GaugeL("powserved_agent_spill_depth", "agent", name, float64(reps[i].spillDepth))
 	}
 }
 

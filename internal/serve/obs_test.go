@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hpcpower/internal/obs"
+)
+
+// legacyMetricNames is every powserved_* series the pre-registry
+// emitters produced. The obs.Registry rewrite must keep each one
+// byte-compatible so existing scrapes and dashboards survive.
+// (powserved_repl_follower_acked_lsn is omitted: it only appears once a
+// follower has registered, which TestTracePropagatesToFollower covers.)
+var legacyMetricNames = []string{
+	"powserved_samples_ingested_total",
+	"powserved_batches_accepted_total",
+	"powserved_batches_rejected_total",
+	"powserved_batches_invalid_total",
+	"powserved_batches_duplicate_total",
+	"powserved_batches_stale_total",
+	"powserved_redeliveries_total",
+	"powserved_requests_total",
+	"powserved_request_seconds_sum",
+	"powserved_request_seconds_max",
+	"powserved_request_errors_total",
+	"powserved_ingest_queue_depth",
+	"powserved_agent_breaker_state",
+	"powserved_agent_retries",
+	"powserved_agent_spill_depth",
+	"powserved_wal_appends_total",
+	"powserved_wal_fsyncs_total",
+	"powserved_wal_rotations_total",
+	"powserved_wal_segments",
+	"powserved_wal_last_lsn",
+	"powserved_wal_synced_lsn",
+	"powserved_wal_truncated_bytes_total",
+	"powserved_wal_dropped_segments_total",
+	"powserved_snapshots_total",
+	"powserved_snapshot_errors_total",
+	"powserved_snapshot_last_lsn",
+	"powserved_recovery_seconds",
+	"powserved_recovery_snapshot_found",
+	"powserved_recovery_snapshot_lsn",
+	"powserved_recovery_records_replayed",
+	"powserved_recovery_samples_replayed",
+	"powserved_recovery_records_skipped",
+	"powserved_recovery_tombstoned",
+	"powserved_recovery_truncated_bytes",
+	"powserved_recovery_snapshots_skipped",
+	"powserved_recovery_stale_lock",
+	"powserved_repl_epoch",
+	"powserved_repl_role",
+	"powserved_repl_fenced",
+	"powserved_repl_lag_records",
+	"powserved_repl_watermark",
+	"powserved_repl_promotions_total",
+	"powserved_repl_streamed_records_total",
+	"powserved_repl_applied_lsn",
+	"powserved_repl_applied_records_total",
+	"powserved_repl_snapshot_installs_total",
+	"powserved_repl_reconnects_total",
+	"powserved_repl_followers",
+}
+
+// scrapeMetrics exercises the ingest and query paths, then returns one
+// /metrics scrape with every family populated.
+func scrapeMetrics(t *testing.T) string {
+	t.Helper()
+	s, ts := newDurableServer(t, t.TempDir(), DurabilityConfig{})
+	defer func() { ts.Close(); s.Close() }()
+
+	total := sendAll(t, ts.URL, stampedBatches(7, 8))
+	waitIngested(t, s, total)
+	get(t, ts.URL+"/v1/summary")
+	_, body := get(t, ts.URL+"/metrics")
+	return string(body)
+}
+
+func TestMetricsLegacyNamesPreserved(t *testing.T) {
+	body := scrapeMetrics(t)
+	for _, name := range legacyMetricNames {
+		if !strings.Contains(body, "\n"+name+"{") && !strings.Contains(body, "\n"+name+" ") {
+			t.Errorf("/metrics lost legacy series %s", name)
+		}
+	}
+}
+
+func TestMetricsHistogramFamiliesPresent(t *testing.T) {
+	body := scrapeMetrics(t)
+	for _, name := range []string{
+		"powserved_request_latency_seconds_bucket",
+		"powserved_ingest_e2e_seconds_bucket",
+		"powserved_wal_append_seconds_bucket",
+		"powserved_wal_fsync_seconds_bucket",
+		"powserved_group_commit_records_bucket",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics lacks histogram series %s", name)
+		}
+	}
+	// The ingest and WAL histograms must have actually observed the
+	// batches sent above, not just expose empty bucket scaffolding.
+	for _, count := range []string{
+		"powserved_ingest_e2e_seconds_count 8",
+		"powserved_wal_append_seconds_count 8",
+	} {
+		if !strings.Contains(body, count) {
+			t.Errorf("/metrics lacks %q (histogram not fed by the hot path)", count)
+		}
+	}
+	if strings.Contains(body, "powserved_wal_fsync_seconds_count 0") {
+		t.Error("WAL fsync histogram is empty after acknowledged durable ingest")
+	}
+}
+
+// TestMetricsExpositionLint holds every scrape to the Prometheus text
+// exposition rules (TYPE before series, no duplicates, monotone
+// cumulative buckets with an +Inf bound).
+func TestMetricsExpositionLint(t *testing.T) {
+	body := scrapeMetrics(t)
+	if err := obs.LintExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics violates the exposition format: %v\n%s", err, body)
+	}
+}
+
+// postTraced POSTs a batch with an X-Trace-Id header, returning the
+// response.
+func postTraced(t *testing.T, url, traceID string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/samples", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.HeaderTraceID, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// waitTraceStages polls url's trace ring until the trace shows every
+// wanted stage (or times out).
+func waitTraceStages(t *testing.T, url, traceID string, stages ...string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := get(t, url+"/debug/traces/recent?trace="+traceID)
+		var out struct {
+			Traces []obs.TraceEvent `json:"traces"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("trace ring body %q: %v", body, err)
+		}
+		seen := map[string]bool{}
+		for _, ev := range out.Traces {
+			if ev.Trace == traceID {
+				seen[ev.Stage] = true
+			}
+		}
+		missing := ""
+		for _, st := range stages {
+			if !seen[st] {
+				missing = st
+				break
+			}
+		}
+		if missing == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never reached stage %q (ring: %s)", traceID, missing, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestIngestTraceRoundTrip: an X-Trace-Id sent with a durable ingest is
+// echoed on the ack and lands in the trace ring with both the ingest
+// and apply stages.
+func TestIngestTraceRoundTrip(t *testing.T) {
+	s, ts := newDurableServer(t, t.TempDir(), DurabilityConfig{})
+	defer func() { ts.Close(); s.Close() }()
+
+	traceID := obs.NewTraceID()
+	batch := stampedBatches(3, 1)[0]
+	resp := postTraced(t, ts.URL, traceID, batch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d, want 202", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.HeaderTraceID); got != traceID {
+		t.Fatalf("ack trace header = %q, want %q", got, traceID)
+	}
+	waitTraceStages(t, ts.URL, traceID, "ingest", "apply")
+}
+
+// TestTracePropagatesToFollower: the trace ID rides the WAL body across
+// the replication stream, so the follower's ring holds a repl_apply
+// event under the same ID the shipper minted.
+func TestTracePropagatesToFollower(t *testing.T) {
+	primary, tsP := newDurableServer(t, t.TempDir(), DurabilityConfig{})
+	defer func() { tsP.Close(); primary.Close() }()
+	follower, tsF := newFollowerServer(t, t.TempDir(), tsP.URL, DurabilityConfig{})
+	defer func() { tsF.Close(); follower.Close() }()
+
+	traceID := obs.NewTraceID()
+	batch := stampedBatches(5, 1)[0]
+	if resp := postTraced(t, tsP.URL, traceID, batch); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d, want 202", resp.StatusCode)
+	}
+	waitIngested(t, follower, int64(len(batch.Samples)))
+	waitTraceStages(t, tsP.URL, traceID, "ingest", "apply")
+	waitTraceStages(t, tsF.URL, traceID, "repl_apply")
+
+	// The follower registered on the primary, so the one legacy series
+	// the standalone scrape cannot show must be live now.
+	_, mp := get(t, tsP.URL+"/metrics")
+	if !strings.Contains(string(mp), "powserved_repl_follower_acked_lsn{") {
+		t.Error("primary /metrics lacks powserved_repl_follower_acked_lsn after follower attach")
+	}
+	if err := obs.LintExposition(bytes.NewReader(mp)); err != nil {
+		t.Errorf("primary /metrics with follower violates exposition format: %v", err)
+	}
+}

@@ -19,7 +19,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"strconv"
@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hpcpower/internal/obs"
 	"hpcpower/internal/repl"
 	"hpcpower/internal/wal"
 )
@@ -154,6 +155,10 @@ type replState struct {
 	// graceful HTTP shutdown, which otherwise waits out the streams.
 	streamStop chan struct{}
 	streamOnce sync.Once
+
+	// onSend receives each catch-up burst's record count (primary side).
+	// Set once by NewDurable before the server accepts connections.
+	onSend func(records int64)
 }
 
 func newReplState(cfg ReplicationConfig, ep *repl.EpochFile, d *durability) *replState {
@@ -173,6 +178,11 @@ func newReplState(cfg ReplicationConfig, ep *repl.EpochFile, d *durability) *rep
 			}
 		},
 		HeartbeatEvery: cfg.HeartbeatEvery,
+		ObserveSend: func(records int64) {
+			if rs.onSend != nil {
+				rs.onSend(records)
+			}
+		},
 	})
 	return rs
 }
@@ -283,6 +293,7 @@ func (rs *replState) startFollower(s *Server) error {
 		AckEvery:     rs.cfg.AckEvery,
 		StallTimeout: rs.cfg.StallTimeout,
 		Logf:         rs.cfg.Logf,
+		ObserveApply: s.metrics.replApply.ObserveDuration,
 	})
 	if err != nil {
 		return err
@@ -512,6 +523,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 // reconnects resume exactly), TSDB apply, and a durability wait —
 // the pull loop only acks what would survive a follower crash.
 func (s *Server) applyReplicated(plsn uint64, body []byte) error {
+	start := time.Now()
 	d := s.dur
 	rs := d.repl
 	if rs.isBootExtra(plsn) {
@@ -529,7 +541,7 @@ func (s *Server) applyReplicated(plsn uint64, body []byte) error {
 		// primary LSN at most once, so this never gates the apply.
 		s.dedup.Mark(wb.Agent, wb.Seq)
 	}
-	local, err := json.Marshal(walBody{Agent: wb.Agent, Seq: wb.Seq, Samples: wb.Samples, PLSN: plsn})
+	local, err := json.Marshal(walBody{Agent: wb.Agent, Seq: wb.Seq, Samples: wb.Samples, PLSN: plsn, Trace: wb.Trace})
 	if err != nil {
 		d.applyMu.RUnlock()
 		return err
@@ -556,6 +568,24 @@ func (s *Server) applyReplicated(plsn uint64, body []byte) error {
 		return fmt.Errorf("wal sync: %w", err)
 	}
 	d.advanceRepl()
+	// The repl.Follower's ObserveApply hook feeds the replApply
+	// histogram; here we only stamp the trace ring and debug log.
+	dur := time.Since(start)
+	if wb.Trace != "" {
+		s.metrics.traces.Record(obs.TraceEvent{
+			Trace: wb.Trace, Stage: "repl_apply", Agent: wb.Agent, Seq: int64(wb.Seq),
+			LSN: int64(lsn), PLSN: int64(plsn), Samples: len(wb.Samples),
+			DurMS: float64(dur) / float64(time.Millisecond),
+			Unix:  time.Now().Unix(), Status: "applied",
+		})
+		s.metrics.logger.Debug("replicated batch applied",
+			slog.String("trace_id", wb.Trace),
+			slog.String("agent", wb.Agent),
+			slog.Uint64("seq", wb.Seq),
+			slog.Uint64("plsn", plsn),
+			slog.Uint64("lsn", lsn),
+			slog.Int("samples", len(wb.Samples)))
+	}
 	return nil
 }
 
@@ -671,45 +701,31 @@ func (s *Server) StopReplicationStreams() {
 	}
 }
 
-// writeMetrics appends the repl_* series to the Prometheus exposition.
-func (rs *replState) writeMetrics(w *metricsWriter) {
-	w.gauge("powserved_repl_epoch", int64(rs.epoch.Epoch()))
-	roleVal := int64(1)
+// collect emits the repl_* series into the registry's exposition.
+func (rs *replState) collect(e *obs.Exposition) {
+	e.Gauge("powserved_repl_epoch", float64(rs.epoch.Epoch()))
+	roleVal := float64(1)
 	if rs.isFollower.Load() {
 		roleVal = 0
 	}
-	w.gauge("powserved_repl_role", roleVal)
-	w.gauge("powserved_repl_fenced", int64(b2i(rs.fenced.Load())))
-	w.gauge("powserved_repl_lag_records", int64(rs.lagRecords()))
-	w.gauge("powserved_repl_watermark", int64(rs.source.Watermark()))
-	w.counter("powserved_repl_promotions_total", rs.promotions.Load())
-	w.counter("powserved_repl_streamed_records_total", rs.source.Streamed())
+	e.Gauge("powserved_repl_role", roleVal)
+	e.Gauge("powserved_repl_fenced", float64(b2i(rs.fenced.Load())))
+	e.Gauge("powserved_repl_lag_records", float64(rs.lagRecords()))
+	e.Gauge("powserved_repl_watermark", float64(rs.source.Watermark()))
+	e.Counter("powserved_repl_promotions_total", float64(rs.promotions.Load()))
+	e.Counter("powserved_repl_streamed_records_total", float64(rs.source.Streamed()))
 
 	fs := rs.followerStats()
-	w.gauge("powserved_repl_applied_lsn", int64(fs.AppliedLSN))
-	w.counter("powserved_repl_applied_records_total", fs.AppliedRecords)
-	w.counter("powserved_repl_snapshot_installs_total", fs.SnapshotInstalls)
-	w.counter("powserved_repl_reconnects_total", fs.Reconnects)
+	e.Gauge("powserved_repl_applied_lsn", float64(fs.AppliedLSN))
+	e.Counter("powserved_repl_applied_records_total", float64(fs.AppliedRecords))
+	e.Counter("powserved_repl_snapshot_installs_total", float64(fs.SnapshotInstalls))
+	e.Counter("powserved_repl_reconnects_total", float64(fs.Reconnects))
 
 	followers := rs.source.Followers()
-	w.gauge("powserved_repl_followers", int64(len(followers)))
-	if len(followers) > 0 {
-		fmt.Fprintf(w.w, "# TYPE powserved_repl_follower_acked_lsn gauge\n")
-		for _, f := range followers {
-			fmt.Fprintf(w.w, "powserved_repl_follower_acked_lsn{follower=%q} %d\n", f.ID, f.AckedLSN)
-		}
+	e.Gauge("powserved_repl_followers", float64(len(followers)))
+	for _, f := range followers {
+		e.GaugeL("powserved_repl_follower_acked_lsn", "follower", f.ID, float64(f.AckedLSN))
 	}
-}
-
-// metricsWriter emits TYPE-annotated single-value series.
-type metricsWriter struct{ w io.Writer }
-
-func (m *metricsWriter) gauge(name string, v int64) {
-	fmt.Fprintf(m.w, "# TYPE %s gauge\n%s %d\n", name, name, v)
-}
-
-func (m *metricsWriter) counter(name string, v int64) {
-	fmt.Fprintf(m.w, "# TYPE %s counter\n%s %d\n", name, name, v)
 }
 
 // storeMax raises a to v if v is higher (monotonic atomic max).

@@ -305,8 +305,15 @@ func TestFollowerBootstrapFromSnapshot(t *testing.T) {
 	if got, want := analyticsDump(t, tsF.URL), analyticsDump(t, tsP.URL); got != want {
 		t.Fatal("bootstrapped follower analytics differ from primary")
 	}
-	if got := follower.dur.repl.followerStats().SnapshotInstalls; got != 1 {
-		t.Fatalf("snapshot installs = %d, want 1", got)
+	// The store state lands (satisfying waitIngested) before the
+	// install's own bookkeeping finishes — poll the counter briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for follower.dur.repl.followerStats().SnapshotInstalls != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot installs = %d, want 1",
+				follower.dur.repl.followerStats().SnapshotInstalls)
+		}
+		time.Sleep(time.Millisecond)
 	}
 
 	if _, err := follower.Promote(); err != nil {
@@ -324,7 +331,7 @@ func TestFollowerBootstrapFromSnapshot(t *testing.T) {
 	if got := follower.store.Ingested(); got != total {
 		t.Fatalf("double-counted: ingested %d, want %d", got, total)
 	}
-	if got := follower.metrics.batchesDuplicate.Load(); got != int64(len(batches)) {
+	if got := follower.metrics.batchesDuplicate.Value(); got != int64(len(batches)) {
 		t.Fatalf("duplicate counter = %d, want %d", got, len(batches))
 	}
 }

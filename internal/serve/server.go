@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"hpcpower/internal/mlearn"
+	"hpcpower/internal/obs"
 	"hpcpower/internal/trace"
 	"hpcpower/internal/tsdb"
 )
@@ -52,6 +54,13 @@ type Config struct {
 	// DedupWindow is the per-agent reordering tolerance (batches) of the
 	// idempotent-ingest index. 0 means 4096.
 	DedupWindow int
+	// Logger receives the server's structured logs (per-component via
+	// obs.Component). nil discards — tests and embedders stay silent.
+	Logger *slog.Logger
+	// SlowRequest is the slow-request log threshold: any instrumented
+	// request at or over it logs a Warn with its endpoint, status,
+	// duration, and trace ID. 0 means 1 s; negative disables.
+	SlowRequest time.Duration
 }
 
 // DefaultConfig returns the sizing powserved starts with.
@@ -81,10 +90,12 @@ type Server struct {
 }
 
 // queuedBatch is one ingest-queue entry: the samples plus the WAL
-// sequence number that recorded them (0 when durability is off).
+// sequence number that recorded them (0 when durability is off) and
+// the batch's trace ID for the apply-stage trace event.
 type queuedBatch struct {
 	lsn     uint64
 	samples []trace.PowerSample
+	trace   string
 }
 
 // New builds a server around a store and an optional prediction model,
@@ -112,6 +123,13 @@ func New(store *tsdb.Store, model *mlearn.BDT, cfg Config) *Server {
 	}
 	s.ready.Store(true) // nothing to recover
 	s.metrics = newMetrics(func() int { return len(s.ingestQ) })
+	s.metrics.logger = obs.Component(cfg.Logger, "serve")
+	switch {
+	case cfg.SlowRequest > 0:
+		s.metrics.slowThreshold = cfg.SlowRequest
+	case cfg.SlowRequest == 0:
+		s.metrics.slowThreshold = time.Second
+	}
 	for i := 0; i < cfg.IngestWorkers; i++ {
 		s.workerWG.Add(1)
 		go s.ingestWorker()
@@ -131,6 +149,8 @@ func NewDurable(store *tsdb.Store, model *mlearn.BDT, cfg Config, dcfg Durabilit
 	}
 	s := New(store, model, cfg)
 	s.dur = dur
+	s.metrics.reg.AddCollector(dur.collect)
+	dur.repl.onSend = func(records int64) { s.metrics.replSend.Observe(float64(records)) }
 	s.ready.Store(false) // Recover flips it
 	return s, nil
 }
@@ -143,6 +163,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/predict", s.metrics.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("GET /v1/summary", s.metrics.instrument("summary", s.handleSummary))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /debug/traces/recent", s.metrics.traces.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/repl/stream", s.handleReplStream)
@@ -190,6 +211,7 @@ func (s *Server) ingestWorker() {
 		if s.dur != nil {
 			s.dur.applyMu.RLock()
 		}
+		applyStart := time.Now()
 		err := s.store.Append(qb.samples)
 		if s.dur != nil {
 			s.dur.tracker.markDone(qb.lsn)
@@ -205,7 +227,41 @@ func (s *Server) ingestWorker() {
 			continue
 		}
 		s.metrics.samplesIngested.Add(int64(len(qb.samples)))
+		if qb.trace != "" {
+			d := time.Since(applyStart)
+			s.metrics.traces.Record(obs.TraceEvent{
+				Trace: qb.trace, Stage: "apply", LSN: int64(qb.lsn),
+				Samples: len(qb.samples), DurMS: float64(d) / float64(time.Millisecond),
+				Unix: time.Now().Unix(), Status: "applied",
+			})
+			s.metrics.logger.Debug("batch applied",
+				slog.String("trace_id", qb.trace),
+				slog.Uint64("lsn", qb.lsn),
+				slog.Int("samples", len(qb.samples)))
+		}
 	}
+}
+
+// traceIngest records the ingest-stage trace event and its debug log
+// line after a successful accept; lsn is 0 on the memory-only path.
+func (s *Server) traceIngest(traceID string, batch trace.SampleBatch, lsn uint64, d time.Duration) {
+	s.metrics.ingestE2E.ObserveDuration(d)
+	if traceID == "" {
+		return
+	}
+	s.metrics.traces.Record(obs.TraceEvent{
+		Trace: traceID, Stage: "ingest", Agent: batch.AgentID, Seq: int64(batch.Seq),
+		LSN: int64(lsn), Samples: len(batch.Samples),
+		DurMS: float64(d) / float64(time.Millisecond),
+		Unix:  time.Now().Unix(), Status: "accepted",
+	})
+	s.metrics.logger.Debug("batch ingested",
+		slog.String("trace_id", traceID),
+		slog.String("agent", batch.AgentID),
+		slog.Uint64("seq", batch.Seq),
+		slog.Uint64("lsn", lsn),
+		slog.Int("samples", len(batch.Samples)),
+		slog.Duration("dur", d))
 }
 
 // Close stops accepting ingest work and drains the queue. Safe against
@@ -305,10 +361,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if batch.AgentID != "" {
 		s.metrics.observeAgent(batch.AgentID, r.Header)
 	}
+	// Propagate the shipper-minted trace ID: echo it on the response and
+	// carry it through the WAL and apply stages so one grep follows the
+	// batch end to end.
+	traceID := r.Header.Get(obs.HeaderTraceID)
+	if traceID != "" {
+		w.Header().Set(obs.HeaderTraceID, traceID)
+	}
 	if s.dur != nil {
 		s.ingestDurable(w, r, batch)
 		return
 	}
+	start := time.Now()
 	if batch.AgentID != "" {
 		// Mark before enqueue so two racing deliveries of the same
 		// (agent, seq) cannot both be counted; rolled back below if the
@@ -333,10 +397,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	select {
-	case s.ingestQ <- queuedBatch{samples: batch.Samples}:
+	case s.ingestQ <- queuedBatch{samples: batch.Samples, trace: traceID}:
 		s.ingestMu.RUnlock()
 		s.metrics.batchesAccepted.Add(1)
 		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(batch.Samples)})
+		s.traceIngest(traceID, batch, 0, time.Since(start))
 	default:
 		s.ingestMu.RUnlock()
 		// Backpressure: bounded queue full. The agent owns the retry — and
@@ -357,6 +422,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // records exactly as the live server did. The 202 is only written after
 // WaitDurable, so an acknowledged batch survives a crash.
 func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, batch trace.SampleBatch) {
+	start := time.Now()
+	traceID := r.Header.Get(obs.HeaderTraceID)
 	d := s.dur
 	d.applyMu.RLock()
 	if batch.AgentID != "" {
@@ -370,7 +437,7 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, batch tra
 			return
 		}
 	}
-	body, err := encodeWALBody(batch.AgentID, batch.Seq, batch.Samples)
+	body, err := encodeWALBody(batch.AgentID, batch.Seq, batch.Samples, traceID)
 	if err != nil {
 		if batch.AgentID != "" {
 			s.dedup.Forget(batch.AgentID, batch.Seq)
@@ -394,7 +461,7 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, batch tra
 	s.ingestMu.RLock()
 	if !s.draining.Load() {
 		select {
-		case s.ingestQ <- queuedBatch{lsn: lsn, samples: batch.Samples}:
+		case s.ingestQ <- queuedBatch{lsn: lsn, samples: batch.Samples, trace: traceID}:
 			enqueued = true
 		default:
 		}
@@ -451,6 +518,7 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, batch tra
 	}
 	s.metrics.batchesAccepted.Add(1)
 	writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(batch.Samples)})
+	s.traceIngest(traceID, batch, lsn, time.Since(start))
 }
 
 func (s *Server) handleNodeSeries(w http.ResponseWriter, r *http.Request) {
@@ -540,11 +608,15 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w)
-	if s.dur != nil {
-		s.dur.writeMetrics(w)
-	}
+	s.metrics.reg.WritePrometheus(w)
 }
+
+// Registry exposes the server's metrics registry, e.g. for serving the
+// same exposition on a separate debug listener.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// Traces exposes the server's recent-trace ring for the debug listener.
+func (s *Server) Traces() *obs.TraceRing { return s.metrics.traces }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{

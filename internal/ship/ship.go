@@ -41,6 +41,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -48,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hpcpower/internal/obs"
 	"hpcpower/internal/trace"
 )
 
@@ -92,6 +94,9 @@ type Config struct {
 	// Observe, when set, is called after every delivery attempt with the
 	// attempt latency, HTTP status (0 on transport error), and error.
 	Observe func(d time.Duration, status int, err error)
+	// Logger receives structured delivery events (send, retry, failover)
+	// carrying the batch's trace ID. nil means discard.
+	Logger *slog.Logger
 }
 
 // Stats is a snapshot of the shipper's delivery counters.
@@ -120,6 +125,10 @@ type batchEntry struct {
 	samples    []trace.PowerSample
 	redelivery bool
 	inflight   bool
+	// trace is the batch's delivery trace ID, minted at Enqueue and sent
+	// as X-Trace-Id on every attempt — the key that links shipper retry
+	// logs to the server's ingest, WAL, and follower-apply records.
+	trace string
 }
 
 // Shipper delivers sample batches with retries, spill buffering, and a
@@ -129,6 +138,7 @@ type batchEntry struct {
 type Shipper struct {
 	cfg    Config
 	client *http.Client
+	logger *slog.Logger
 
 	mu      sync.Mutex
 	pending []*batchEntry // FIFO: pending[0] is next to ship
@@ -194,6 +204,7 @@ func New(cfg Config) *Shipper {
 	s := &Shipper{
 		cfg:    cfg,
 		client: cfg.Client,
+		logger: obs.Component(cfg.Logger, "ship"),
 		wake:   make(chan struct{}, 1),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
@@ -211,10 +222,11 @@ func New(cfg Config) *Shipper {
 // It returns the assigned sequence number. The samples slice is retained
 // until delivered — callers must not mutate it afterwards.
 func (s *Shipper) Enqueue(samples []trace.PowerSample) uint64 {
+	traceID := obs.NewTraceID()
 	s.mu.Lock()
 	s.seq++
 	seq := s.seq
-	s.pending = append(s.pending, &batchEntry{seq: seq, samples: samples})
+	s.pending = append(s.pending, &batchEntry{seq: seq, samples: samples, trace: traceID})
 	if len(s.pending) > s.cfg.MaxPending {
 		// Oldest-first eviction, skipping an entry the delivery loop is
 		// currently sending (it is about to leave the buffer anyway).
@@ -367,6 +379,13 @@ func (s *Shipper) deliver(ctx context.Context, e *batchEntry) error {
 				s.redeliveries.Add(1)
 			}
 			s.remove(e)
+			s.logger.Debug("batch shipped",
+				slog.String("trace_id", e.trace),
+				slog.Uint64("seq", e.seq),
+				slog.Int("samples", len(e.samples)),
+				slog.Int("attempts", attempt+1),
+				slog.String("target", t.url),
+				slog.Bool("duplicate", res.dup))
 			return nil
 		case err == nil && (res.fenced || res.wrongRole):
 			// The server answered authoritatively that it is not (or no
@@ -375,6 +394,11 @@ func (s *Shipper) deliver(ctx context.Context, e *batchEntry) error {
 			// routing miss, not a breaker failure and not poison:
 			// rotate to the next target and re-send immediately.
 			t.breaker.success()
+			s.logger.Debug("target is not the primary — rotating",
+				slog.String("trace_id", e.trace),
+				slog.Uint64("seq", e.seq),
+				slog.String("target", t.url),
+				slog.Bool("fenced", res.fenced))
 			if !probe {
 				s.switchTo((t.idx + 1) % len(s.targets))
 			}
@@ -393,6 +417,10 @@ func (s *Shipper) deliver(ctx context.Context, e *batchEntry) error {
 			s.poison.Add(1)
 			s.droppedSamples.Add(int64(len(e.samples)))
 			s.remove(e)
+			s.logger.Warn("batch poisoned",
+				slog.String("trace_id", e.trace),
+				slog.Uint64("seq", e.seq),
+				slog.Int("status", res.status))
 			return nil
 		}
 		// Transport error, 5xx, or retryable 4xx: ambiguous — the server
@@ -405,10 +433,27 @@ func (s *Shipper) deliver(ctx context.Context, e *batchEntry) error {
 		e.redelivery = true
 		s.retries.Add(1)
 		t.breaker.failure()
+		if s.logger.Enabled(ctx, slog.LevelDebug) {
+			errStr := ""
+			if err != nil {
+				errStr = err.Error()
+			}
+			s.logger.Debug("delivery retry",
+				slog.String("trace_id", e.trace),
+				slog.Uint64("seq", e.seq),
+				slog.Int("attempt", attempt+1),
+				slog.Int("status", res.status),
+				slog.String("error", errStr),
+				slog.String("target", t.url))
+		}
 		if s.cfg.MaxAttempts > 0 && attempt+1 >= s.cfg.MaxAttempts {
 			s.exhausted.Add(1)
 			s.droppedSamples.Add(int64(len(e.samples)))
 			s.remove(e)
+			s.logger.Warn("batch exhausted after max attempts",
+				slog.String("trace_id", e.trace),
+				slog.Uint64("seq", e.seq),
+				slog.Int("attempts", attempt+1))
 			return nil
 		}
 		if len(s.targets) > 1 {
@@ -498,6 +543,9 @@ func (s *Shipper) post(ctx context.Context, t *target, e *batchEntry) (res postR
 		return res, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if e.trace != "" {
+		req.Header.Set(obs.HeaderTraceID, e.trace)
+	}
 	req.Header.Set("X-Breaker-State", t.breaker.stateName())
 	req.Header.Set("X-Agent-Retries", strconv.FormatInt(s.retries.Load(), 10))
 	req.Header.Set("X-Agent-Spill-Depth", strconv.Itoa(s.Pending()))

@@ -87,6 +87,17 @@ type Options struct {
 	// if the log on disk ends earlier (e.g. the tail was truncated after
 	// a snapshot at this LSN was taken). 0 means no floor.
 	NextLSNFloor uint64
+	// ObserveAppend, if set, receives the wall time of each record write
+	// (frame encode + file write, excluding lock wait). Must be cheap
+	// and non-blocking — it runs under the log's write lock.
+	ObserveAppend func(time.Duration)
+	// ObserveFsync, if set, receives the wall time of every segment
+	// fsync (group commits, rotations, and explicit Syncs).
+	ObserveFsync func(time.Duration)
+	// ObserveGroupCommit, if set, receives the number of records each
+	// group-commit fsync made durable — the batch size one leader's
+	// fsync amortized over.
+	ObserveGroupCommit func(records int64)
 }
 
 // Stats is a point-in-time snapshot of the log's counters.
@@ -387,12 +398,16 @@ func (l *Log) append(typ RecordType, body []byte) (uint64, error) {
 			return 0, err
 		}
 	}
+	start := time.Now()
 	frame := appendFrame(nil, typ, body)
 	if _, err := l.f.Write(frame); err != nil {
 		// A partial frame write poisons the tail; refuse all later
 		// appends so recovery's truncation point is well defined.
 		l.err = fmt.Errorf("wal: append: %w", err)
 		return 0, l.err
+	}
+	if l.opts.ObserveAppend != nil {
+		l.opts.ObserveAppend(time.Since(start))
 	}
 	l.fSize += int64(len(frame))
 	lsn := l.nextLSN
@@ -404,8 +419,12 @@ func (l *Log) append(typ RecordType, body []byte) (uint64, error) {
 // rotateLocked fsyncs and retires the active segment and starts a new
 // one at the current nextLSN. Callers hold l.mu.
 func (l *Log) rotateLocked() error {
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: rotating fsync: %w", err)
+	}
+	if l.opts.ObserveFsync != nil {
+		l.opts.ObserveFsync(time.Since(start))
 	}
 	l.fsyncs.Add(1)
 	// Everything in the old segment is durable now; tell any group-commit
@@ -467,6 +486,7 @@ func (l *Log) syncTo(lsn uint64) error {
 			continue
 		}
 		l.syncing = true
+		prevSynced := l.synced
 		l.smu.Unlock()
 
 		l.mu.Lock()
@@ -483,8 +503,15 @@ func (l *Log) syncTo(lsn uint64) error {
 		case werr != nil:
 			err = werr
 		default:
+			start := time.Now()
 			err = f.Sync()
 			if err == nil {
+				if l.opts.ObserveFsync != nil {
+					l.opts.ObserveFsync(time.Since(start))
+				}
+				if l.opts.ObserveGroupCommit != nil && target > prevSynced {
+					l.opts.ObserveGroupCommit(int64(target - prevSynced))
+				}
 				l.fsyncs.Add(1)
 			}
 		}

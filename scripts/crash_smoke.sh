@@ -137,13 +137,27 @@ dump_state "http://$crash_addr" "$workdir/crashed"
 echo "crash-smoke: checking wal/recovery counters on /metrics"
 curl -sf "http://$crash_addr/metrics" >"$workdir/metrics.txt"
 for metric in powserved_wal_appends_total powserved_wal_fsyncs_total \
-    powserved_snapshots_total powserved_recovery_records_replayed \
-    powserved_recovery_truncated_bytes; do
-    grep -q "$metric" "$workdir/metrics.txt" || {
+    powserved_snapshots_total \
+    powserved_recovery_seconds powserved_recovery_snapshot_found \
+    powserved_recovery_snapshot_lsn powserved_recovery_records_replayed \
+    powserved_recovery_samples_replayed powserved_recovery_records_skipped \
+    powserved_recovery_tombstoned powserved_recovery_truncated_bytes \
+    powserved_recovery_snapshots_skipped powserved_recovery_stale_lock; do
+    grep -q "^$metric " "$workdir/metrics.txt" || {
         echo "crash-smoke: /metrics missing $metric"; exit 1; }
 done
 trunc=$(sed -n 's/^powserved_recovery_truncated_bytes \([0-9]*\)$/\1/p' "$workdir/metrics.txt")
 [ "${trunc:-0}" -gt 0 ] || { echo "crash-smoke: torn frame was not truncated"; exit 1; }
+# The recovered instance's WAL fsync latency histogram must be live:
+# post-restart ingest went through the durable path, so the histogram
+# count is non-zero and the bucket series are present.
+fsyncs=$(sed -n 's/^powserved_wal_fsync_seconds_count \([0-9]*\)$/\1/p' "$workdir/metrics.txt")
+[ "${fsyncs:-0}" -gt 0 ] || {
+    echo "crash-smoke: WAL fsync histogram empty after recovery"; exit 1; }
+grep -q '^powserved_wal_fsync_seconds_bucket{le="+Inf"}' "$workdir/metrics.txt" || {
+    echo "crash-smoke: WAL fsync histogram lacks +Inf bucket"; exit 1; }
+grep -q '^powserved_ingest_e2e_seconds_bucket{le="+Inf"}' "$workdir/metrics.txt" || {
+    echo "crash-smoke: ingest e2e histogram missing"; exit 1; }
 ls "$workdir/crash-data"/snap-*.snap >/dev/null 2>&1 || {
     echo "crash-smoke: no snapshot was written"; exit 1; }
 

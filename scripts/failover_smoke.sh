@@ -37,7 +37,9 @@ MAX_SAMPLES=60000
 KILL_AT=$((MAX_SAMPLES / 3))
 # One pusher and one ingest worker keep apply order identical across
 # runs (WAL order = sequence order), so state is byte-reproducible.
-SRV_FLAGS="-workers 1 -snapshot-interval 1s -snapshot-every 64"
+# Debug-level structured logs carry the shipper-minted trace IDs, which
+# the trace-propagation checks below grep across both nodes.
+SRV_FLAGS="-workers 1 -snapshot-interval 1s -snapshot-every 64 -log-level debug"
 
 # wait_addr <logfile>: echo the bound address once the daemon reports it.
 wait_addr() {
@@ -159,6 +161,35 @@ mepoch=$(sed -n 's/^powserved_repl_epoch \([0-9]*\)$/\1/p' "$workdir/metrics.txt
     echo "failover-smoke: powserved_repl_epoch=$mepoch, want >= 2"; exit 1; }
 grep -q '^powserved_repl_role 1$' "$workdir/metrics.txt" || {
     echo "failover-smoke: promoted standby does not report the primary role"; exit 1; }
+# Replication lag must have drained to zero: the promoted node holds
+# everything the shipper saw acknowledged, nothing is still in flight.
+grep -q '^powserved_repl_lag_records 0$' "$workdir/metrics.txt" || {
+    echo "failover-smoke: replication lag did not return to 0"; exit 1; }
+# No request on the promoted node breached the slow-request threshold.
+if grep -q "slow request" "$workdir/fol.log"; then
+    echo "failover-smoke: promoted node logged slow requests:"
+    grep "slow request" "$workdir/fol.log"
+    exit 1
+fi
+
+# ---- trace propagation: one ID across both nodes and the ring -------
+# The shipper mints one X-Trace-Id per batch; it must appear in the
+# primary's ingest log, ride the WAL body over the replication stream
+# into the follower's apply log, and land in the follower's trace ring.
+echo "failover-smoke: checking trace-id propagation primary -> follower"
+trace_id=$(sed -n 's/.*msg="batch ingested".*trace_id=\([0-9a-f]\{16\}\).*/\1/p' \
+    "$workdir/pri.log" | head -n1)
+[ -n "$trace_id" ] || {
+    echo "failover-smoke: no trace_id in the primary's ingest log"; exit 1; }
+grep -q "trace_id=$trace_id" "$workdir/fol.log" || {
+    echo "failover-smoke: trace $trace_id never reached the follower's apply log"; exit 1; }
+curl -sf "http://$fol_addr/debug/traces/recent?trace=$trace_id" >"$workdir/trace.json"
+grep -q "\"trace\":\"$trace_id\"" "$workdir/trace.json" || {
+    echo "failover-smoke: trace $trace_id missing from the follower's trace ring"
+    cat "$workdir/trace.json"; exit 1; }
+grep -q '"stage":"repl_apply"' "$workdir/trace.json" || {
+    echo "failover-smoke: follower's ring lacks the repl_apply stage for $trace_id"; exit 1; }
+echo "failover-smoke: trace $trace_id followed ingest -> WAL -> stream -> follower apply"
 
 # ---- compare: promoted standby must equal the control byte-for-byte -
 echo "failover-smoke: comparing promoted-standby analytics against the control"
