@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke chaos-smoke crash-smoke failover-smoke fuzz-wal fuzz-repl obs-check ci clean
+.PHONY: all build vet test race bench bench-block smoke chaos-smoke crash-smoke failover-smoke fuzz-wal fuzz-repl fuzz-block block-check obs-check ci clean
 
 all: build
 
@@ -19,6 +19,11 @@ race:
 # Serving-layer benchmarks (tsdb write hot path + predict handler).
 bench:
 	$(GO) test -run xxx -bench 'IngestBatch|PredictEndpoint' -benchtime=1s .
+
+# Block-store benchmarks: Gorilla encode cost + bytes/sample, and the
+# merged range-scan hot path behind /v1/query/range.
+bench-block:
+	$(GO) test -run xxx -bench 'BlockEncode|RangeScan' -benchtime=1s ./internal/block/
 
 # End-to-end smoke: generate a small dataset, export a model, start
 # powserved on a random port, replay the dataset with powload, and check
@@ -52,6 +57,19 @@ fuzz-wal:
 fuzz-repl:
 	$(GO) test -run xxx -fuzz FuzzReplStream -fuzztime 30s ./internal/repl/
 
+# Fuzz the block chunk decoder and the block-file index/read path:
+# arbitrary bytes must decode or error — never panic or over-read.
+fuzz-block:
+	$(GO) test -run xxx -fuzz FuzzChunkDecode -fuzztime 30s ./internal/block/
+	$(GO) test -run xxx -fuzz FuzzBlockIndex -fuzztime 30s ./internal/block/
+
+# Block-store gate: vet plus the block and tsdb packages (encode/decode
+# losslessness, rollup exactness, head/block merge, crash frontier)
+# under the race detector.
+block-check:
+	$(GO) vet ./...
+	$(GO) test -race -count=1 ./internal/block/ ./internal/tsdb/
+
 # Observability gate: vet, the obs package under the race detector
 # (lock-free histogram Observe vs. concurrent /metrics scrapes), and
 # the serving layer's exposition-format lint + legacy-name regression.
@@ -60,4 +78,4 @@ obs-check:
 	$(GO) test -race -count=1 ./internal/obs/
 	$(GO) test -count=1 -run 'TestMetrics|TestIngestTrace|TestTracePropagates' ./internal/serve/
 
-ci: vet build race obs-check smoke crash-smoke failover-smoke
+ci: vet build race obs-check block-check smoke crash-smoke failover-smoke

@@ -5,9 +5,18 @@
 //
 //	powanalyze traces/emmy
 //	powanalyze -csv figures/ traces/emmy traces/meggie
+//	powanalyze -source http://127.0.0.1:8080            # live store over HTTP
+//	powanalyze -live-control traces/emmy                 # same analytics, in-process replay
 //
 // With two dataset arguments it additionally prints the cross-system
 // comparison (Fig. 4 ranking flips). -csv exports each figure's series.
+//
+// -source drives the paper's distribution/overshoot analytics from a
+// running powserved's query API (blocks + head); -live-control replays
+// a dataset through the identical in-process machinery. Fed the same
+// samples (single-worker server, single-pusher loader, equal ring
+// size), the two reports are byte-identical — the live store reproduces
+// the CSV-path numbers exactly.
 package main
 
 import (
@@ -18,15 +27,31 @@ import (
 
 	"hpcpower"
 	"hpcpower/internal/core"
+	"hpcpower/internal/live"
 	"hpcpower/internal/report"
 	"hpcpower/internal/stats"
+	"hpcpower/internal/trace"
 )
 
 func main() {
-	csvDir := flag.String("csv", "", "directory to export figure series as CSV (optional)")
+	var (
+		csvDir      = flag.String("csv", "", "directory to export figure series as CSV (optional)")
+		source      = flag.String("source", "", "powserved base URL: run the live distribution/overshoot analytics from the query API")
+		liveControl = flag.String("live-control", "", "dataset directory: run the live analytics via in-process replay (parity control for -source)")
+		system      = flag.String("system", "live", "system label for the live report")
+		nodeTDP     = flag.Float64("tdp", 0, "node TDP in watts for the live report's TDP fractions (0 = omit)")
+		liveRing    = flag.Int("live-ring", 16384, "retained samples per node in -live-control replay (must match the server's -ring)")
+		liveShards  = flag.Int("live-shards", 16, "store shards in -live-control replay (must match the server's -shards)")
+	)
 	flag.Parse()
+	if *source != "" || *liveControl != "" {
+		if err := runLive(*source, *liveControl, *system, *nodeTDP, *liveShards, *liveRing); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if flag.NArg() < 1 || flag.NArg() > 2 {
-		fmt.Fprintln(os.Stderr, "usage: powanalyze [-csv dir] <dataset-dir> [<dataset-dir>]")
+		fmt.Fprintln(os.Stderr, "usage: powanalyze [-csv dir] <dataset-dir> [<dataset-dir>] | -source <url> | -live-control <dataset-dir>")
 		os.Exit(2)
 	}
 
@@ -91,6 +116,36 @@ func exportCSV(dir string, r *core.Report) error {
 		}
 	}
 	return nil
+}
+
+// runLive executes the live-store analytics: pull from a running
+// powserved (-source) or replay a dataset in process (-live-control).
+func runLive(source, controlDir, system string, nodeTDP float64, shards, ring int) error {
+	var (
+		in  core.LiveInput
+		err error
+	)
+	switch {
+	case source != "" && controlDir != "":
+		return fmt.Errorf("use -source or -live-control, not both")
+	case source != "":
+		in, err = live.Pull(source, system, nodeTDP)
+	default:
+		var ds *trace.Dataset
+		ds, err = hpcpower.Load(controlDir)
+		if err != nil {
+			return err
+		}
+		in, err = live.Replay(ds, system, nodeTDP, live.ReplayConfig{Shards: shards, RingLen: ring})
+	}
+	if err != nil {
+		return err
+	}
+	r, err := core.AnalyzeLive(in)
+	if err != nil {
+		return err
+	}
+	return report.WriteLive(os.Stdout, r)
 }
 
 func fatal(err error) {

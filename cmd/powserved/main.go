@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"hpcpower"
+	"hpcpower/internal/block"
 	"hpcpower/internal/mlearn"
 	"hpcpower/internal/obs"
 	"hpcpower/internal/serve"
@@ -67,6 +68,15 @@ func main() {
 		ring    = flag.Int("ring", 1440, "retained samples per node (1440 = one day of minutes)")
 		queue   = flag.Int("queue", 256, "ingest queue depth in batches (backpressure threshold)")
 		workers = flag.Int("workers", 4, "ingest worker goroutines")
+
+		blocksDir    = flag.String("blocks-dir", "", "directory for the on-disk block store (empty = head-only, rings are the whole store)")
+		blockWindow  = flag.Int64("block-window", 7200, "block file time span in seconds")
+		flushEvery   = flag.Duration("flush-interval", time.Minute, "head→block flush cadence (0 = manual via POST /v1/admin/flush)")
+		flushGrace   = flag.Duration("flush-grace", 5*time.Minute, "hold the flush cut this far behind wall clock for late samples")
+		compactEvery = flag.Duration("compact-interval", 30*time.Second, "block compactor + retention cadence")
+		retainRaw    = flag.Duration("retention-raw", 0, "raw-tier (1m) block retention (0 = keep forever)")
+		retain5m     = flag.Duration("retention-5m", 0, "5m rollup retention (0 = keep forever)")
+		retain1h     = flag.Duration("retention-1h", 0, "1h rollup retention (0 = keep forever)")
 
 		dataDir    = flag.String("data-dir", "", "data directory for the write-ahead log and snapshots (empty = memory-only)")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch (fsync before every ack), interval, off")
@@ -129,11 +139,42 @@ func main() {
 	}
 
 	store := tsdb.New(tsdb.Config{Shards: *shards, RingLen: *ring})
+	var blocks *block.Store
+	if *blocksDir != "" {
+		if err := os.MkdirAll(*blocksDir, 0o755); err != nil {
+			fatal(err)
+		}
+		// The block store is attached before the server exists, so both
+		// the flush loop and crash recovery see the on-disk frontier.
+		bs, err := block.Open(block.Config{
+			Dir:             *blocksDir,
+			WindowSeconds:   *blockWindow,
+			RetentionRaw:    *retainRaw,
+			Retention5m:     *retain5m,
+			Retention1h:     *retain1h,
+			CompactInterval: *compactEvery,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		blocks = bs
+		store.AttachBlocks(bs)
+		bs.Start()
+		defer bs.Stop()
+		st := bs.Stats()
+		fmt.Printf("powserved: block store %s: %d raw / %d 5m / %d 1h blocks, frontier %d\n",
+			*blocksDir, st.Raw.Blocks, st.Rollup5m.Blocks, st.Rollup1h.Blocks, st.FrontierUnix)
+	}
 	cfg := serve.Config{
-		QueueDepth:    *queue,
-		IngestWorkers: *workers,
-		Logger:        logger,
-		SlowRequest:   *slowReq,
+		QueueDepth:         *queue,
+		IngestWorkers:      *workers,
+		Logger:             logger,
+		SlowRequest:        *slowReq,
+		BlockFlushInterval: *flushEvery,
+		BlockFlushGrace:    *flushGrace,
+	}
+	if blocks == nil {
+		cfg.BlockFlushInterval = 0
 	}
 	var srv *serve.Server
 	if *dataDir != "" {

@@ -1,0 +1,91 @@
+// Package block is the on-disk columnar storage engine behind the
+// powserved TSDB: time-partitioned immutable block files holding one
+// Gorilla-compressed chunk per node series (delta-of-delta timestamps,
+// XOR-compressed float values), tiered rollups (raw 1m → 5m → 1h, each
+// rollup point carrying count/sum/min/max so downsampled aggregates stay
+// exact), per-tier retention, and a windowed range-query API that scans
+// compressed chunks without materializing whole series.
+//
+// The hot in-memory rings of internal/tsdb stay the head of the store;
+// sealed 2h windows flush here and reads merge head + blocks. Everything
+// is stdlib-only.
+package block
+
+import (
+	"io"
+)
+
+// bitWriter appends bits MSB-first into a byte slice.
+type bitWriter struct {
+	b     []byte
+	avail uint // unused low bits in the last byte (0 when byte-aligned)
+}
+
+func (w *bitWriter) writeBit(bit uint64) {
+	if w.avail == 0 {
+		w.b = append(w.b, 0)
+		w.avail = 8
+	}
+	w.avail--
+	if bit != 0 {
+		w.b[len(w.b)-1] |= 1 << w.avail
+	}
+}
+
+// writeBits appends the low n bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.avail == 0 {
+			w.b = append(w.b, 0)
+			w.avail = 8
+		}
+		take := n
+		if take > w.avail {
+			take = w.avail
+		}
+		chunk := (v >> (n - take)) & ((1 << take) - 1)
+		w.avail -= take
+		w.b[len(w.b)-1] |= byte(chunk << w.avail)
+		n -= take
+	}
+}
+
+// bitReader consumes bits MSB-first from a byte slice. Every read is
+// bounds-checked: decoding truncated or corrupt input returns
+// io.ErrUnexpectedEOF instead of panicking or over-reading — the
+// property the chunk-decode fuzzer locks in.
+type bitReader struct {
+	b   []byte
+	pos uint64 // bit cursor
+}
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if r.pos+uint64(n) > uint64(len(r.b))*8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	var v uint64
+	for n > 0 {
+		byteIdx := r.pos >> 3
+		bitOff := uint(r.pos & 7)
+		avail := 8 - bitOff
+		take := n
+		if take > avail {
+			take = avail
+		}
+		chunk := uint64(r.b[byteIdx]>>(avail-take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		r.pos += uint64(take)
+		n -= take
+	}
+	return v, nil
+}
+
+func (r *bitReader) readBit() (uint64, error) { return r.readBits(1) }
+
+// zigzag maps signed to unsigned so small-magnitude deltas of either
+// sign encode in few bits.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,422 @@
+package block
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+)
+
+// Point is one raw sample of a series: a unix-seconds timestamp and a
+// power reading in watts.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"w"`
+}
+
+// AggPoint is one rollup point: the exact count/sum/min/max of the raw
+// points inside its bucket. Carrying the full quartet (not a lossy mean)
+// is what keeps downsampled aggregates exact: any re-aggregation over
+// rollup points reproduces the brute-force aggregate over the raw points
+// they cover.
+type AggPoint struct {
+	T     int64   `json:"t"` // bucket start, unix seconds
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Mean is Sum/Count — within 1 ULP of the brute-force mean because Sum
+// accumulates the raw points in time order, exactly as a direct scan
+// would.
+func (a AggPoint) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// corruptf wraps a chunk/file corruption condition; all decode errors
+// are regular errors (never panics), so a torn or bit-flipped block is
+// an operational event, not a crash.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("block: corrupt: "+format, args...)
+}
+
+// ---- timestamp delta-of-delta codec -------------------------------------
+
+// tsEncoder emits delta-of-delta timestamps. Regular one-minute cadence
+// costs one bit per sample after the first two.
+type tsEncoder struct {
+	n         int
+	prevT     int64
+	prevDelta int64
+}
+
+func (e *tsEncoder) write(w *bitWriter, t int64) {
+	switch e.n {
+	case 0:
+		w.writeBits(uint64(t), 64)
+	default:
+		delta := t - e.prevT
+		dod := delta - e.prevDelta
+		writeVarBits(w, zigzag(dod))
+		e.prevDelta = delta
+	}
+	e.prevT = t
+	e.n++
+}
+
+type tsDecoder struct {
+	n         int
+	prevT     int64
+	prevDelta int64
+}
+
+func (d *tsDecoder) read(r *bitReader) (int64, error) {
+	if d.n == 0 {
+		u, err := r.readBits(64)
+		if err != nil {
+			return 0, err
+		}
+		d.prevT = int64(u)
+		d.n++
+		return d.prevT, nil
+	}
+	u, err := readVarBits(r)
+	if err != nil {
+		return 0, err
+	}
+	d.prevDelta += unzigzag(u)
+	d.prevT += d.prevDelta
+	d.n++
+	return d.prevT, nil
+}
+
+// writeVarBits encodes an unsigned value on an exponential bit ladder:
+//
+//	0                  → '0'
+//	< 2^8              → '10'   + 8 bits
+//	< 2^16             → '110'  + 16 bits
+//	< 2^32             → '1110' + 32 bits
+//	otherwise          → '1111' + 64 bits
+func writeVarBits(w *bitWriter, u uint64) {
+	switch {
+	case u == 0:
+		w.writeBit(0)
+	case u < 1<<8:
+		w.writeBits(0b10, 2)
+		w.writeBits(u, 8)
+	case u < 1<<16:
+		w.writeBits(0b110, 3)
+		w.writeBits(u, 16)
+	case u < 1<<32:
+		w.writeBits(0b1110, 4)
+		w.writeBits(u, 32)
+	default:
+		w.writeBits(0b1111, 4)
+		w.writeBits(u, 64)
+	}
+}
+
+func readVarBits(r *bitReader) (uint64, error) {
+	b, err := r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	if b == 0 {
+		return 0, nil
+	}
+	for _, n := range []uint{8, 16, 32} {
+		b, err = r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return r.readBits(n)
+		}
+	}
+	return r.readBits(64)
+}
+
+// ---- XOR float codec (Gorilla §4.1.2) -----------------------------------
+
+// xorEncoder compresses a float64 stream by XOR-ing consecutive bit
+// patterns: identical values cost one bit, values sharing the previous
+// meaningful-bit window cost 2 + window bits, anything else re-declares
+// the window (leading-zero count + significant-bit count + bits).
+type xorEncoder struct {
+	n        int
+	prev     uint64
+	leading  uint
+	trailing uint
+}
+
+func (e *xorEncoder) write(w *bitWriter, v float64) {
+	cur := math.Float64bits(v)
+	if e.n == 0 {
+		w.writeBits(cur, 64)
+		e.prev = cur
+		e.leading = 65 // sentinel: no window yet
+		e.n++
+		return
+	}
+	xor := cur ^ e.prev
+	e.prev = cur
+	e.n++
+	if xor == 0 {
+		w.writeBit(0)
+		return
+	}
+	leading := uint(bits.LeadingZeros64(xor))
+	trailing := uint(bits.TrailingZeros64(xor))
+	if leading > 31 {
+		leading = 31 // 5-bit field
+	}
+	if e.leading <= 64 && leading >= e.leading && trailing >= e.trailing {
+		// Reuse the previous window.
+		w.writeBits(0b10, 2)
+		w.writeBits(xor>>e.trailing, 64-e.leading-e.trailing)
+		return
+	}
+	e.leading, e.trailing = leading, trailing
+	sig := 64 - leading - trailing
+	w.writeBits(0b11, 2)
+	w.writeBits(uint64(leading), 5)
+	w.writeBits(uint64(sig)&0x3f, 6) // 64 encodes as 0
+	w.writeBits(xor>>trailing, sig)
+}
+
+type xorDecoder struct {
+	n        int
+	prev     uint64
+	leading  uint
+	trailing uint
+}
+
+func (d *xorDecoder) read(r *bitReader) (float64, error) {
+	if d.n == 0 {
+		u, err := r.readBits(64)
+		if err != nil {
+			return 0, err
+		}
+		d.prev = u
+		d.leading = 65
+		d.n++
+		return math.Float64frombits(u), nil
+	}
+	d.n++
+	b, err := r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	if b == 0 {
+		return math.Float64frombits(d.prev), nil
+	}
+	b, err = r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	if b != 0 {
+		lead, err := r.readBits(5)
+		if err != nil {
+			return 0, err
+		}
+		sig, err := r.readBits(6)
+		if err != nil {
+			return 0, err
+		}
+		if sig == 0 {
+			sig = 64
+		}
+		if uint(lead)+uint(sig) > 64 {
+			return 0, corruptf("xor window %d+%d exceeds 64 bits", lead, sig)
+		}
+		d.leading = uint(lead)
+		d.trailing = 64 - uint(lead) - uint(sig)
+	} else if d.leading > 64 {
+		return 0, corruptf("xor window reuse before any window was declared")
+	}
+	mant, err := r.readBits(64 - d.leading - d.trailing)
+	if err != nil {
+		return 0, err
+	}
+	d.prev ^= mant << d.trailing
+	return math.Float64frombits(d.prev), nil
+}
+
+// ---- raw chunk ----------------------------------------------------------
+
+// EncodeChunk compresses a raw series chunk: a uvarint point count
+// followed by one bitstream interleaving delta-of-delta timestamps and
+// XOR-compressed values. Decoding returns exactly the input — the codec
+// is lossless at the float64 bit level (property-tested).
+func EncodeChunk(points []Point) []byte {
+	hdr := binary.AppendUvarint(nil, uint64(len(points)))
+	w := &bitWriter{b: hdr}
+	var ts tsEncoder
+	var xe xorEncoder
+	for _, p := range points {
+		ts.write(w, p.T)
+		xe.write(w, p.V)
+	}
+	return w.b
+}
+
+// maxChunkPoints bounds a single chunk; a decoded count beyond it (or
+// beyond what the payload could possibly hold) is corruption, not an
+// allocation request.
+const maxChunkPoints = 1 << 24
+
+// DecodeChunk decompresses a raw chunk. It never panics and never reads
+// past the payload: truncation and bit flips yield an error.
+func DecodeChunk(payload []byte) ([]Point, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, corruptf("chunk header: bad point count")
+	}
+	body := payload[n:]
+	// Each point costs ≥ 2 bits after the first; a count that could not
+	// fit in the payload is rejected before any allocation.
+	if count > maxChunkPoints || count > 64+uint64(len(body))*8 {
+		return nil, corruptf("chunk claims %d points in %d bytes", count, len(body))
+	}
+	r := &bitReader{b: body}
+	var ts tsDecoder
+	var xd xorDecoder
+	out := make([]Point, 0, count)
+	for i := uint64(0); i < count; i++ {
+		t, err := ts.read(r)
+		if err != nil {
+			return nil, chunkErr(err)
+		}
+		v, err := xd.read(r)
+		if err != nil {
+			return nil, chunkErr(err)
+		}
+		out = append(out, Point{T: t, V: v})
+	}
+	return out, nil
+}
+
+func chunkErr(err error) error {
+	if err == io.ErrUnexpectedEOF {
+		return corruptf("chunk truncated")
+	}
+	return err
+}
+
+// ---- rollup chunk -------------------------------------------------------
+
+// EncodeAggChunk compresses a rollup chunk: uvarint point count, then a
+// bitstream of (dod timestamp, varbits count, XOR sum, XOR min, XOR max)
+// per point — five columns sharing one stream, each with its own
+// predictor state.
+func EncodeAggChunk(points []AggPoint) []byte {
+	hdr := binary.AppendUvarint(nil, uint64(len(points)))
+	w := &bitWriter{b: hdr}
+	var ts tsEncoder
+	var prevCount int64
+	var xsum, xmin, xmax xorEncoder
+	for _, p := range points {
+		ts.write(w, p.T)
+		writeVarBits(w, zigzag(p.Count-prevCount))
+		prevCount = p.Count
+		xsum.write(w, p.Sum)
+		xmin.write(w, p.Min)
+		xmax.write(w, p.Max)
+	}
+	return w.b
+}
+
+// DecodeAggChunk decompresses a rollup chunk with the same corruption
+// guarantees as DecodeChunk.
+func DecodeAggChunk(payload []byte) ([]AggPoint, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, corruptf("agg chunk header: bad point count")
+	}
+	body := payload[n:]
+	if count > maxChunkPoints || count > 64+uint64(len(body))*8 {
+		return nil, corruptf("agg chunk claims %d points in %d bytes", count, len(body))
+	}
+	r := &bitReader{b: body}
+	var ts tsDecoder
+	var prevCount int64
+	var xsum, xmin, xmax xorDecoder
+	out := make([]AggPoint, 0, count)
+	for i := uint64(0); i < count; i++ {
+		t, err := ts.read(r)
+		if err != nil {
+			return nil, chunkErr(err)
+		}
+		cu, err := readVarBits(r)
+		if err != nil {
+			return nil, chunkErr(err)
+		}
+		prevCount += unzigzag(cu)
+		if prevCount < 0 {
+			return nil, corruptf("agg chunk has negative count")
+		}
+		sum, err := xsum.read(r)
+		if err != nil {
+			return nil, chunkErr(err)
+		}
+		mn, err := xmin.read(r)
+		if err != nil {
+			return nil, chunkErr(err)
+		}
+		mx, err := xmax.read(r)
+		if err != nil {
+			return nil, chunkErr(err)
+		}
+		out = append(out, AggPoint{T: t, Count: prevCount, Sum: sum, Min: mn, Max: mx})
+	}
+	return out, nil
+}
+
+// Rollup downsamples raw points into step-second buckets. Points are
+// consumed in slice order (the flusher writes chunks in time order), so
+// each bucket's Sum is the left-to-right sum a brute-force scan over the
+// same raw points would compute — count/sum/min/max are exact, not
+// approximations. Buckets are emitted in first-seen order; callers that
+// need sorted output sort by T (the flusher's input is time-sorted, so
+// its output already is).
+func Rollup(points []Point, step int64) []AggPoint {
+	if step <= 0 || len(points) == 0 {
+		return nil
+	}
+	var out []AggPoint
+	idx := map[int64]int{}
+	for _, p := range points {
+		b := p.T - mod(p.T, step)
+		i, ok := idx[b]
+		if !ok {
+			idx[b] = len(out)
+			out = append(out, AggPoint{T: b, Count: 1, Sum: p.V, Min: p.V, Max: p.V})
+			continue
+		}
+		a := &out[i]
+		a.Count++
+		a.Sum += p.V
+		if p.V < a.Min {
+			a.Min = p.V
+		}
+		if p.V > a.Max {
+			a.Max = p.V
+		}
+	}
+	return out
+}
+
+// mod is a floored modulo (non-negative for negative t), so bucket
+// alignment is stable across the epoch.
+func mod(t, step int64) int64 {
+	m := t % step
+	if m < 0 {
+		m += step
+	}
+	return m
+}

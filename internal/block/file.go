@@ -1,0 +1,338 @@
+package block
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Tier identifies a resolution level of the store.
+type Tier uint8
+
+const (
+	TierRaw Tier = iota // 1m raw samples
+	Tier5m              // 5-minute rollups
+	Tier1h              // 1-hour rollups
+	tierCount
+)
+
+// Step returns the rollup bucket width in seconds (0 for raw).
+func (t Tier) Step() int64 {
+	switch t {
+	case Tier5m:
+		return 300
+	case Tier1h:
+		return 3600
+	}
+	return 0
+}
+
+func (t Tier) String() string {
+	switch t {
+	case TierRaw:
+		return "raw"
+	case Tier5m:
+		return "5m"
+	case Tier1h:
+		return "1h"
+	}
+	return fmt.Sprintf("tier(%d)", uint8(t))
+}
+
+// On-disk layout of one block file (all integers little-endian):
+//
+//	header  (24 B): magic "PBLK" | version u8 | tier u8 | reserved u16
+//	                | windowStart i64 | windowLen i64
+//	chunks:         per series, a frame: payloadLen u32 | crc32c u32 | payload
+//	index frame:    same framing; payload = seriesCount u32 then per series
+//	                node u64 | frameOff u64 | payloadLen u32 | count u32
+//	                | minT i64 | maxT i64 | minV f64 | maxV f64
+//	                | samples u64                              (64 B each)
+//	trailer (20 B): indexFrameOff u64 | indexFrameLen u32
+//	                | crc32c(first 12 trailer bytes) u32 | magic "KLBP"
+//
+// A reader trusts nothing: trailer magic + CRC gate the index offset,
+// the index frame CRC gates the entries, every entry is bounds-checked
+// against the file, and each chunk frame re-verifies its own CRC on
+// read. Files are immutable after the atomic tmp+rename publish.
+const (
+	fileVersion   = 1
+	headerLen     = 24
+	trailerLen    = 20
+	frameHdrLen   = 8
+	indexEntryLen = 64
+)
+
+var (
+	magicHeader  = [4]byte{'P', 'B', 'L', 'K'}
+	magicTrailer = [4]byte{'K', 'L', 'B', 'P'}
+	castagnoli   = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// IndexEntry locates and summarizes one series chunk inside a block
+// file: the footer's per-series time range and value min/max let range
+// queries and distribution pulls skip chunks without decoding them.
+type IndexEntry struct {
+	Node    int
+	Off     int64 // file offset of the chunk frame
+	Len     int   // chunk payload length
+	Count   int
+	MinT    int64
+	MaxT    int64
+	MinV    float64
+	MaxV    float64
+	Samples int64 // raw samples covered (== Count on raw tier; summed counts on rollups)
+}
+
+// BlockInfo is the in-memory catalog record of one published block file.
+type BlockInfo struct {
+	Path        string
+	Tier        Tier
+	WindowStart int64
+	WindowLen   int64
+	Bytes       int64
+	Series      []IndexEntry // sorted by Node
+}
+
+// End returns the exclusive end of the block's time window.
+func (b *BlockInfo) End() int64 { return b.WindowStart + b.WindowLen }
+
+// Samples returns the raw samples covered by the block.
+func (b *BlockInfo) Samples() int64 {
+	var n int64
+	for _, e := range b.Series {
+		n += e.Samples
+	}
+	return n
+}
+
+func (b *BlockInfo) entry(node int) (IndexEntry, bool) {
+	i := sort.Search(len(b.Series), func(i int) bool { return b.Series[i].Node >= node })
+	if i < len(b.Series) && b.Series[i].Node == node {
+		return b.Series[i], true
+	}
+	return IndexEntry{}, false
+}
+
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// encodedSeries is one series' chunk ready for writing, with the footer
+// summary already computed.
+type encodedSeries struct {
+	node    int
+	payload []byte
+	count   int
+	samples int64
+	minT    int64
+	maxT    int64
+	minV    float64
+	maxV    float64
+}
+
+// writeBlockFile assembles and atomically publishes one block file.
+func writeBlockFile(path string, tier Tier, windowStart, windowLen int64, series []encodedSeries) (*BlockInfo, error) {
+	sort.Slice(series, func(a, b int) bool { return series[a].node < series[b].node })
+
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, magicHeader[:]...)
+	buf = append(buf, fileVersion, byte(tier), 0, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(windowStart))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(windowLen))
+
+	info := &BlockInfo{Path: path, Tier: tier, WindowStart: windowStart, WindowLen: windowLen}
+	for _, s := range series {
+		off := int64(len(buf))
+		buf = appendFrame(buf, s.payload)
+		info.Series = append(info.Series, IndexEntry{
+			Node: s.node, Off: off, Len: len(s.payload), Count: s.count,
+			MinT: s.minT, MaxT: s.maxT, MinV: s.minV, MaxV: s.maxV, Samples: s.samples,
+		})
+	}
+
+	idx := binary.LittleEndian.AppendUint32(nil, uint32(len(info.Series)))
+	for _, e := range info.Series {
+		idx = binary.LittleEndian.AppendUint64(idx, uint64(e.Node))
+		idx = binary.LittleEndian.AppendUint64(idx, uint64(e.Off))
+		idx = binary.LittleEndian.AppendUint32(idx, uint32(e.Len))
+		idx = binary.LittleEndian.AppendUint32(idx, uint32(e.Count))
+		idx = binary.LittleEndian.AppendUint64(idx, uint64(e.MinT))
+		idx = binary.LittleEndian.AppendUint64(idx, uint64(e.MaxT))
+		idx = binary.LittleEndian.AppendUint64(idx, math.Float64bits(e.MinV))
+		idx = binary.LittleEndian.AppendUint64(idx, math.Float64bits(e.MaxV))
+		idx = binary.LittleEndian.AppendUint64(idx, uint64(e.Samples))
+	}
+	idxOff := int64(len(buf))
+	buf = appendFrame(buf, idx)
+	idxFrameLen := int64(len(buf)) - idxOff
+
+	trailer := binary.LittleEndian.AppendUint64(nil, uint64(idxOff))
+	trailer = binary.LittleEndian.AppendUint32(trailer, uint32(idxFrameLen))
+	trailer = binary.LittleEndian.AppendUint32(trailer, crc32.Checksum(trailer, castagnoli))
+	buf = append(buf, trailer...)
+	buf = append(buf, magicTrailer[:]...)
+
+	// Atomic publish: tmp file in the same directory, fsync, rename,
+	// fsync the directory — a crash leaves either no file or a complete
+	// one, never a torn block.
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	info.Bytes = int64(len(buf))
+	return info, nil
+}
+
+// OpenBlock validates a block file's trailer, index, and header and
+// returns its catalog record. Chunk payloads are not read (and not CRC
+// checked) here — readChunk verifies each on access.
+func OpenBlock(path string) (*BlockInfo, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < headerLen+frameHdrLen+4+trailerLen {
+		return nil, corruptf("%s: %d bytes is too small for a block", filepath.Base(path), size)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// The 20-byte trailer ends the file: 12 bytes of index location, its
+	// CRC, then the closing magic.
+	tail := make([]byte, trailerLen)
+	if _, err := f.ReadAt(tail, size-int64(len(tail))); err != nil {
+		return nil, err
+	}
+	if [4]byte(tail[16:20]) != magicTrailer {
+		return nil, corruptf("%s: bad trailer magic", filepath.Base(path))
+	}
+	if crc32.Checksum(tail[:12], castagnoli) != binary.LittleEndian.Uint32(tail[12:16]) {
+		return nil, corruptf("%s: trailer checksum mismatch", filepath.Base(path))
+	}
+	idxOff := int64(binary.LittleEndian.Uint64(tail[0:8]))
+	idxFrameLen := int64(binary.LittleEndian.Uint32(tail[8:12]))
+	if idxOff < headerLen || idxFrameLen < frameHdrLen+4 || idxOff+idxFrameLen != size-int64(len(tail)) {
+		return nil, corruptf("%s: index frame out of bounds", filepath.Base(path))
+	}
+
+	hdr := make([]byte, headerLen)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[:4]) != magicHeader {
+		return nil, corruptf("%s: bad header magic", filepath.Base(path))
+	}
+	if hdr[4] != fileVersion {
+		return nil, corruptf("%s: unsupported version %d", filepath.Base(path), hdr[4])
+	}
+	tier := Tier(hdr[5])
+	if tier >= tierCount {
+		return nil, corruptf("%s: unknown tier %d", filepath.Base(path), hdr[5])
+	}
+	info := &BlockInfo{
+		Path:        path,
+		Tier:        tier,
+		WindowStart: int64(binary.LittleEndian.Uint64(hdr[8:16])),
+		WindowLen:   int64(binary.LittleEndian.Uint64(hdr[16:24])),
+		Bytes:       size,
+	}
+	if info.WindowLen <= 0 {
+		return nil, corruptf("%s: non-positive window length", filepath.Base(path))
+	}
+
+	frame := make([]byte, idxFrameLen)
+	if _, err := f.ReadAt(frame, idxOff); err != nil {
+		return nil, err
+	}
+	payloadLen := int64(binary.LittleEndian.Uint32(frame[0:4]))
+	if payloadLen != idxFrameLen-frameHdrLen {
+		return nil, corruptf("%s: index frame length mismatch", filepath.Base(path))
+	}
+	payload := frame[frameHdrLen:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:8]) {
+		return nil, corruptf("%s: index checksum mismatch", filepath.Base(path))
+	}
+	n := int64(binary.LittleEndian.Uint32(payload[0:4]))
+	if int64(len(payload)-4) != n*indexEntryLen {
+		return nil, corruptf("%s: index claims %d series in %d bytes", filepath.Base(path), n, len(payload)-4)
+	}
+	prevNode := int64(-1)
+	for i := int64(0); i < n; i++ {
+		rec := payload[4+i*indexEntryLen:]
+		e := IndexEntry{
+			Node:    int(int64(binary.LittleEndian.Uint64(rec[0:8]))),
+			Off:     int64(binary.LittleEndian.Uint64(rec[8:16])),
+			Len:     int(binary.LittleEndian.Uint32(rec[16:20])),
+			Count:   int(binary.LittleEndian.Uint32(rec[20:24])),
+			MinT:    int64(binary.LittleEndian.Uint64(rec[24:32])),
+			MaxT:    int64(binary.LittleEndian.Uint64(rec[32:40])),
+			MinV:    math.Float64frombits(binary.LittleEndian.Uint64(rec[40:48])),
+			MaxV:    math.Float64frombits(binary.LittleEndian.Uint64(rec[48:56])),
+			Samples: int64(binary.LittleEndian.Uint64(rec[56:64])),
+		}
+		if e.Node < 0 || int64(e.Node) <= prevNode {
+			return nil, corruptf("%s: index nodes not strictly ascending", filepath.Base(path))
+		}
+		prevNode = int64(e.Node)
+		if e.Off < headerLen || e.Len < 0 || e.Off+frameHdrLen+int64(e.Len) > idxOff || e.Samples < 0 {
+			return nil, corruptf("%s: series %d chunk out of bounds", filepath.Base(path), e.Node)
+		}
+		info.Series = append(info.Series, e)
+	}
+	return info, nil
+}
+
+// readChunk reads and CRC-verifies one series' chunk payload.
+func readChunk(info *BlockInfo, e IndexEntry) ([]byte, error) {
+	f, err := os.Open(info.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	frame := make([]byte, frameHdrLen+e.Len)
+	if _, err := f.ReadAt(frame, e.Off); err != nil {
+		return nil, corruptf("%s: series %d: %v", filepath.Base(info.Path), e.Node, err)
+	}
+	if int(binary.LittleEndian.Uint32(frame[0:4])) != e.Len {
+		return nil, corruptf("%s: series %d frame length mismatch", filepath.Base(info.Path), e.Node)
+	}
+	payload := frame[frameHdrLen:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:8]) {
+		return nil, corruptf("%s: series %d chunk checksum mismatch", filepath.Base(info.Path), e.Node)
+	}
+	return payload, nil
+}

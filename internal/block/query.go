@@ -1,0 +1,227 @@
+package block
+
+import (
+	"math"
+	"sort"
+)
+
+// Querier is the read API over a Store. All reads operate on the
+// immutable published blocks, so they never contend with flushes.
+type Querier struct {
+	s *Store
+}
+
+// Querier returns the store's read API.
+func (s *Store) Querier() *Querier { return &Querier{s: s} }
+
+// Range returns the node's raw points with from ≤ t ≤ to (to ≤ 0 means
+// unbounded above), in time order, decoded from raw-tier chunks. Window
+// bounds in the index let whole blocks and whole chunks be skipped
+// without decoding.
+func (q *Querier) Range(node int, from, to int64) ([]Point, error) {
+	var out []Point
+	for _, b := range q.s.tierBlocks(TierRaw, from, to) {
+		e, ok := b.entry(node)
+		if !ok || e.MaxT < from || (to > 0 && e.MinT > to) {
+			continue
+		}
+		payload, err := readChunk(b, e)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := DecodeChunk(payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			if p.T < from || (to > 0 && p.T > to) {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// tierFor picks the coarsest tier whose step divides the requested one —
+// a 1h query reads 1h rollups, a 5m query reads 5m rollups, anything
+// finer reads raw.
+func tierFor(step int64) Tier {
+	switch {
+	case step >= 3600 && step%3600 == 0:
+		return Tier1h
+	case step >= 300 && step%300 == 0:
+		return Tier5m
+	default:
+		return TierRaw
+	}
+}
+
+// RangeAgg returns step-aligned aggregate buckets for the node over
+// [from, to]. It reads the coarsest rollup tier compatible with step and
+// falls back tier-by-tier to raw for windows whose rollups are not yet
+// compacted, so results are complete (and exact — rollup points carry
+// count/sum/min/max) even mid-compaction.
+func (q *Querier) RangeAgg(node int, from, to, step int64) ([]AggPoint, error) {
+	if step <= 0 {
+		step = 60
+	}
+	pref := tierFor(step)
+	idx := map[int64]int{}
+	var out []AggPoint
+	merge := func(aggs []AggPoint) {
+		for _, a := range aggs {
+			if a.T < from-mod(from, step) || (to > 0 && a.T > to) {
+				continue
+			}
+			b := a.T - mod(a.T, step)
+			i, ok := idx[b]
+			if !ok {
+				idx[b] = len(out)
+				a.T = b
+				out = append(out, a)
+				continue
+			}
+			dst := &out[i]
+			dst.Count += a.Count
+			dst.Sum += a.Sum
+			if a.Min < dst.Min {
+				dst.Min = a.Min
+			}
+			if a.Max > dst.Max {
+				dst.Max = a.Max
+			}
+		}
+	}
+	// Walk raw windows as the ground truth of what exists; for each, read
+	// the preferred tier if compacted, else a finer one, else raw.
+	for _, raw := range q.s.tierBlocks(TierRaw, from, to) {
+		aggs, err := q.windowAggs(raw, node, pref, step)
+		if err != nil {
+			return nil, err
+		}
+		merge(aggs)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].T < out[b].T })
+	// Drop partial leading bucket when from is unaligned.
+	for len(out) > 0 && out[0].T < from {
+		out = out[1:]
+	}
+	return out, nil
+}
+
+// windowAggs produces step-bucketed aggregates for one window, reading
+// the best available tier ≤ pref.
+func (q *Querier) windowAggs(raw *BlockInfo, node int, pref Tier, step int64) ([]AggPoint, error) {
+	for tier := pref; tier > TierRaw; tier-- {
+		if tier.Step() > step {
+			continue
+		}
+		q.s.mu.RLock()
+		b := q.s.blocks[tier][raw.WindowStart]
+		q.s.mu.RUnlock()
+		if b == nil {
+			continue
+		}
+		e, ok := b.entry(node)
+		if !ok {
+			return nil, nil
+		}
+		payload, err := readChunk(b, e)
+		if err != nil {
+			return nil, err
+		}
+		return DecodeAggChunk(payload)
+	}
+	e, ok := raw.entry(node)
+	if !ok {
+		return nil, nil
+	}
+	payload, err := readChunk(raw, e)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := DecodeChunk(payload)
+	if err != nil {
+		return nil, err
+	}
+	return Rollup(pts, step), nil
+}
+
+// EachValue streams every raw value of the given nodes inside [from, to]
+// (to ≤ 0 unbounded) to fn, one chunk at a time — ECDF and quantile
+// extraction over months of data without materializing whole series.
+// A nil or empty nodes slice means all nodes.
+func (q *Querier) EachValue(nodes []int, from, to int64, fn func(node int, t int64, v float64)) error {
+	want := map[int]struct{}{}
+	for _, n := range nodes {
+		want[n] = struct{}{}
+	}
+	for _, b := range q.s.tierBlocks(TierRaw, from, to) {
+		for i := range b.Series {
+			e := b.Series[i]
+			if len(want) > 0 {
+				if _, ok := want[e.Node]; !ok {
+					continue
+				}
+			}
+			if e.MaxT < from || (to > 0 && e.MinT > to) {
+				continue
+			}
+			payload, err := readChunk(b, e)
+			if err != nil {
+				return err
+			}
+			pts, err := DecodeChunk(payload)
+			if err != nil {
+				return err
+			}
+			for _, p := range pts {
+				if p.T < from || (to > 0 && p.T > to) {
+					continue
+				}
+				fn(e.Node, p.T, p.V)
+			}
+		}
+	}
+	return nil
+}
+
+// Quantiles returns the requested quantiles (each in [0,1]) of all raw
+// values of the given nodes in [from, to], using the same nearest-rank
+// convention as internal/stats: q of n sorted values is the element at
+// ceil(q·n)−1. The value set is collected chunk-by-chunk; only the
+// float64 values (8 bytes each) are held, never the decoded points.
+func (q *Querier) Quantiles(nodes []int, from, to int64, qs []float64) ([]float64, error) {
+	var vals []float64
+	err := q.EachValue(nodes, from, to, func(_ int, _ int64, v float64) {
+		vals = append(vals, v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(qs))
+	if len(vals) == 0 {
+		return out, nil
+	}
+	sort.Float64s(vals)
+	for i, qq := range qs {
+		if qq <= 0 {
+			out[i] = vals[0]
+			continue
+		}
+		if qq >= 1 {
+			out[i] = vals[len(vals)-1]
+			continue
+		}
+		k := int(math.Ceil(qq*float64(len(vals)))) - 1
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(vals) {
+			k = len(vals) - 1
+		}
+		out[i] = vals[k]
+	}
+	return out, nil
+}

@@ -1,0 +1,486 @@
+package block
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultWindowSeconds is the time span of one block file: two hours,
+// matching the 2h partitioning of production TSDBs — long enough that
+// per-chunk overhead amortizes, short enough that a flush is cheap.
+const DefaultWindowSeconds = 2 * 60 * 60
+
+// ErrExists reports an attempt to re-write an already-published window.
+// Blocks are immutable: the flusher treats this as "already sealed" and
+// advances its frontier — the mechanism that prevents double-ingest
+// when WAL replay rebuilds head state that was already flushed.
+var ErrExists = errors.New("block: window already sealed")
+
+// Config parameterizes a Store.
+type Config struct {
+	// Dir is the block directory. It must exist and be writable.
+	Dir string
+	// WindowSeconds is the block time span. 0 means DefaultWindowSeconds.
+	WindowSeconds int64
+	// RetentionRaw/Retention5m/Retention1h bound each tier's history;
+	// 0 keeps a tier forever. Blocks whose window end is older than
+	// now−retention are deleted by EnforceRetention.
+	RetentionRaw time.Duration
+	Retention5m  time.Duration
+	Retention1h  time.Duration
+	// CompactInterval is the cadence of the background compact+retention
+	// loop started by Start. 0 means 30s.
+	CompactInterval time.Duration
+	// ObserveFlush, if set, receives the duration of each WriteRaw.
+	ObserveFlush func(time.Duration)
+	// ObserveCompact, if set, receives the duration of each rollup build.
+	ObserveCompact func(time.Duration)
+}
+
+// Store is the on-disk block store: an immutable set of time-partitioned
+// block files per tier, with an in-memory catalog of their index
+// footers. All methods are safe for concurrent use; files are immutable
+// once published, so readers never lock against each other.
+type Store struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	blocks [tierCount]map[int64]*BlockInfo // windowStart → block
+
+	compactions atomic.Int64
+	gcDeleted   atomic.Int64
+	flushes     atomic.Int64
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	loopWG   sync.WaitGroup
+	started  atomic.Bool
+}
+
+// Open scans dir for published blocks (ignoring unknown and corrupt
+// files — a torn .tmp from a crash is swept away) and returns the store.
+func Open(cfg Config) (*Store, error) {
+	if cfg.WindowSeconds <= 0 {
+		cfg.WindowSeconds = DefaultWindowSeconds
+	}
+	if cfg.CompactInterval <= 0 {
+		cfg.CompactInterval = 30 * time.Second
+	}
+	st, err := os.Stat(cfg.Dir)
+	switch {
+	case os.IsNotExist(err):
+		return nil, fmt.Errorf("block: dir %s does not exist (create it first)", cfg.Dir)
+	case err != nil:
+		return nil, fmt.Errorf("block: dir %s: %w", cfg.Dir, err)
+	case !st.IsDir():
+		return nil, fmt.Errorf("block: %s is not a directory", cfg.Dir)
+	}
+	s := &Store{cfg: cfg, stopc: make(chan struct{})}
+	for t := range s.blocks {
+		s.blocks[t] = map[int64]*BlockInfo{}
+	}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("block: scanning %s: %w", cfg.Dir, err)
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(cfg.Dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".blk") {
+			continue
+		}
+		info, err := OpenBlock(filepath.Join(cfg.Dir, name))
+		if err != nil {
+			// A corrupt block is skipped, not fatal: the store serves what
+			// it can and the operator keeps the evidence on disk.
+			continue
+		}
+		s.blocks[info.Tier][info.WindowStart] = info
+	}
+	return s, nil
+}
+
+// Window returns the block time span in seconds.
+func (s *Store) Window() int64 { return s.cfg.WindowSeconds }
+
+// Dir returns the block directory.
+func (s *Store) Dir() string { return s.cfg.Dir }
+
+func blockName(tier Tier, windowStart int64) string {
+	return fmt.Sprintf("%s-%016d.blk", tier, windowStart)
+}
+
+// parseBlockName is the inverse of blockName, used only as a sweep aid.
+func parseBlockName(name string) (Tier, int64, bool) {
+	base, ok := strings.CutSuffix(name, ".blk")
+	if !ok {
+		return 0, 0, false
+	}
+	for t := TierRaw; t < tierCount; t++ {
+		if rest, ok := strings.CutPrefix(base, t.String()+"-"); ok {
+			start, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return 0, 0, false
+			}
+			return t, start, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Frontier returns the exclusive end of the newest sealed window across
+// all tiers — the timestamp below which reads are served from blocks.
+// Derived from the published files themselves, it survives any crash:
+// a restarted flusher resumes exactly after the last sealed block.
+func (s *Store) Frontier() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var f int64
+	for t := range s.blocks {
+		for _, b := range s.blocks[t] {
+			if end := b.End(); end > f {
+				f = end
+			}
+		}
+	}
+	return f
+}
+
+// WriteRaw seals one window: it encodes every series' points into a
+// Gorilla chunk and publishes the raw-tier block file atomically.
+// Points must lie inside [windowStart, windowStart+Window()) and be
+// time-sorted per series. Re-sealing a published window returns
+// ErrExists without touching the file.
+func (s *Store) WriteRaw(windowStart int64, series map[int][]Point) (*BlockInfo, error) {
+	start := time.Now()
+	win := s.cfg.WindowSeconds
+	s.mu.RLock()
+	_, dup := s.blocks[TierRaw][windowStart]
+	s.mu.RUnlock()
+	if dup {
+		return nil, ErrExists
+	}
+	var enc []encodedSeries
+	for node, pts := range series {
+		if node < 0 {
+			return nil, fmt.Errorf("block: negative node %d", node)
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		es := encodedSeries{node: node, count: len(pts), samples: int64(len(pts))}
+		es.minT, es.maxT = pts[0].T, pts[0].T
+		es.minV, es.maxV = pts[0].V, pts[0].V
+		for _, p := range pts {
+			if p.T < windowStart || p.T >= windowStart+win {
+				return nil, fmt.Errorf("block: point t=%d outside window [%d,%d)", p.T, windowStart, windowStart+win)
+			}
+			if p.T < es.minT {
+				es.minT = p.T
+			}
+			if p.T > es.maxT {
+				es.maxT = p.T
+			}
+			if p.V < es.minV {
+				es.minV = p.V
+			}
+			if p.V > es.maxV {
+				es.maxV = p.V
+			}
+		}
+		es.payload = EncodeChunk(pts)
+		enc = append(enc, es)
+	}
+	if len(enc) == 0 {
+		return nil, fmt.Errorf("block: window %d has no points", windowStart)
+	}
+	path := filepath.Join(s.cfg.Dir, blockName(TierRaw, windowStart))
+	info, err := writeBlockFile(path, TierRaw, windowStart, win, enc)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if _, dup := s.blocks[TierRaw][windowStart]; dup {
+		s.mu.Unlock()
+		return nil, ErrExists
+	}
+	s.blocks[TierRaw][windowStart] = info
+	s.mu.Unlock()
+	s.flushes.Add(1)
+	if s.cfg.ObserveFlush != nil {
+		s.cfg.ObserveFlush(time.Since(start))
+	}
+	return info, nil
+}
+
+// CompactPending builds every missing rollup block: for each sealed
+// raw window without a 5m or 1h sibling, the raw chunks are decoded
+// once and downsampled into both tiers. Rollups are built from raw (not
+// from the finer rollup) so each tier's count/sum/min/max is exactly
+// the brute-force aggregate of the raw points it covers. Returns the
+// number of rollup blocks published.
+func (s *Store) CompactPending() (int, error) {
+	s.mu.RLock()
+	var pending []*BlockInfo
+	for start, raw := range s.blocks[TierRaw] {
+		_, have5m := s.blocks[Tier5m][start]
+		_, have1h := s.blocks[Tier1h][start]
+		if !have5m || !have1h {
+			pending = append(pending, raw)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(pending, func(a, b int) bool { return pending[a].WindowStart < pending[b].WindowStart })
+
+	built := 0
+	for _, raw := range pending {
+		n, err := s.compactWindow(raw)
+		built += n
+		if err != nil {
+			return built, err
+		}
+	}
+	return built, nil
+}
+
+// compactWindow decodes one raw block and publishes its missing rollup
+// siblings.
+func (s *Store) compactWindow(raw *BlockInfo) (int, error) {
+	start := time.Now()
+	s.mu.RLock()
+	_, have5m := s.blocks[Tier5m][raw.WindowStart]
+	_, have1h := s.blocks[Tier1h][raw.WindowStart]
+	s.mu.RUnlock()
+	if have5m && have1h {
+		return 0, nil
+	}
+	type decoded struct {
+		node int
+		pts  []Point
+	}
+	series := make([]decoded, 0, len(raw.Series))
+	for _, e := range raw.Series {
+		payload, err := readChunk(raw, e)
+		if err != nil {
+			return 0, err
+		}
+		pts, err := DecodeChunk(payload)
+		if err != nil {
+			return 0, err
+		}
+		series = append(series, decoded{node: e.Node, pts: pts})
+	}
+	built := 0
+	for _, tier := range []Tier{Tier5m, Tier1h} {
+		s.mu.RLock()
+		_, have := s.blocks[tier][raw.WindowStart]
+		s.mu.RUnlock()
+		if have {
+			continue
+		}
+		var enc []encodedSeries
+		for _, d := range series {
+			aggs := Rollup(d.pts, tier.Step())
+			if len(aggs) == 0 {
+				continue
+			}
+			sort.Slice(aggs, func(a, b int) bool { return aggs[a].T < aggs[b].T })
+			es := encodedSeries{node: d.node, count: len(aggs), samples: int64(len(d.pts))}
+			es.minT, es.maxT = aggs[0].T, aggs[len(aggs)-1].T
+			es.minV, es.maxV = aggs[0].Min, aggs[0].Max
+			for _, a := range aggs {
+				if a.Min < es.minV {
+					es.minV = a.Min
+				}
+				if a.Max > es.maxV {
+					es.maxV = a.Max
+				}
+			}
+			es.payload = EncodeAggChunk(aggs)
+			enc = append(enc, es)
+		}
+		if len(enc) == 0 {
+			continue
+		}
+		path := filepath.Join(s.cfg.Dir, blockName(tier, raw.WindowStart))
+		info, err := writeBlockFile(path, tier, raw.WindowStart, raw.WindowLen, enc)
+		if err != nil {
+			return built, err
+		}
+		s.mu.Lock()
+		s.blocks[tier][raw.WindowStart] = info
+		s.mu.Unlock()
+		s.compactions.Add(1)
+		built++
+	}
+	if s.cfg.ObserveCompact != nil {
+		s.cfg.ObserveCompact(time.Since(start))
+	}
+	return built, nil
+}
+
+// EnforceRetention deletes blocks whose window end has aged past their
+// tier's retention, returning the number removed. A tier with zero
+// retention is kept forever.
+func (s *Store) EnforceRetention(now time.Time) (int, error) {
+	limits := map[Tier]time.Duration{
+		TierRaw: s.cfg.RetentionRaw,
+		Tier5m:  s.cfg.Retention5m,
+		Tier1h:  s.cfg.Retention1h,
+	}
+	removed := 0
+	var firstErr error
+	for tier, keep := range limits {
+		if keep <= 0 {
+			continue
+		}
+		cutoff := now.Add(-keep).Unix()
+		s.mu.Lock()
+		var victims []*BlockInfo
+		for start, b := range s.blocks[tier] {
+			if b.End() <= cutoff {
+				victims = append(victims, b)
+				delete(s.blocks[tier], start)
+			}
+		}
+		s.mu.Unlock()
+		for _, b := range victims {
+			if err := os.Remove(b.Path); err != nil && !os.IsNotExist(err) && firstErr == nil {
+				firstErr = err
+			}
+			removed++
+			s.gcDeleted.Add(1)
+		}
+	}
+	return removed, firstErr
+}
+
+// Start launches the background compactor + retention loop. Safe to
+// call once; Stop terminates it.
+func (s *Store) Start() {
+	if s.started.Swap(true) {
+		return
+	}
+	s.loopWG.Add(1)
+	go func() {
+		defer s.loopWG.Done()
+		t := time.NewTicker(s.cfg.CompactInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopc:
+				return
+			case <-t.C:
+				s.CompactPending()
+				s.EnforceRetention(time.Now())
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop started by Start.
+func (s *Store) Stop() {
+	s.stopOnce.Do(func() { close(s.stopc) })
+	s.loopWG.Wait()
+}
+
+// TierStats summarizes one tier of the store.
+type TierStats struct {
+	Blocks  int   `json:"blocks"`
+	Bytes   int64 `json:"bytes"`
+	Points  int64 `json:"points"`  // stored points (rollup points on rollup tiers)
+	Samples int64 `json:"samples"` // raw samples covered
+}
+
+// Stats is the store-wide accounting surfaced on /metrics.
+type Stats struct {
+	Raw               TierStats `json:"raw"`
+	Rollup5m          TierStats `json:"rollup_5m"`
+	Rollup1h          TierStats `json:"rollup_1h"`
+	Flushes           int64     `json:"flushes"`
+	Compactions       int64     `json:"compactions"`
+	RetentionUnlinked int64     `json:"retention_unlinked"`
+	FrontierUnix      int64     `json:"frontier_unix"`
+	// BytesPerSample is the raw tier's storage cost per sample — the
+	// headline number against the in-memory ring's 16 bytes/point.
+	BytesPerSample float64 `json:"bytes_per_sample"`
+}
+
+// Stats reduces the catalog.
+func (s *Store) Stats() Stats {
+	var out Stats
+	s.mu.RLock()
+	tiers := [tierCount]*TierStats{&out.Raw, &out.Rollup5m, &out.Rollup1h}
+	var frontier int64
+	for t := range s.blocks {
+		for _, b := range s.blocks[t] {
+			ts := tiers[t]
+			ts.Blocks++
+			ts.Bytes += b.Bytes
+			for _, e := range b.Series {
+				ts.Points += int64(e.Count)
+				ts.Samples += e.Samples
+			}
+			if end := b.End(); end > frontier {
+				frontier = end
+			}
+		}
+	}
+	s.mu.RUnlock()
+	out.Flushes = s.flushes.Load()
+	out.Compactions = s.compactions.Load()
+	out.RetentionUnlinked = s.gcDeleted.Load()
+	out.FrontierUnix = frontier
+	if out.Raw.Samples > 0 {
+		out.BytesPerSample = float64(out.Raw.Bytes) / float64(out.Raw.Samples)
+	}
+	return out
+}
+
+// Nodes returns every node with at least one chunk in any tier,
+// ascending.
+func (s *Store) Nodes() []int {
+	set := map[int]struct{}{}
+	s.mu.RLock()
+	for t := range s.blocks {
+		for _, b := range s.blocks[t] {
+			for _, e := range b.Series {
+				set[e.Node] = struct{}{}
+			}
+		}
+	}
+	s.mu.RUnlock()
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// tierBlocks returns the tier's blocks overlapping [from, to] sorted by
+// window start (to ≤ 0 means unbounded above).
+func (s *Store) tierBlocks(tier Tier, from, to int64) []*BlockInfo {
+	s.mu.RLock()
+	out := make([]*BlockInfo, 0, len(s.blocks[tier]))
+	for _, b := range s.blocks[tier] {
+		if b.End() <= from || (to > 0 && b.WindowStart > to) {
+			continue
+		}
+		out = append(out, b)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].WindowStart < out[b].WindowStart })
+	return out
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"hpcpower/internal/stats"
+)
+
+// Live analytics: the paper's distribution/overshoot characterization
+// (Figs. 3, 7a, 9b) computed from a *running* store — either over HTTP
+// from powserved's query API (powanalyze -source) or from an in-process
+// replay (powanalyze -live-control). Both producers feed the same
+// AnalyzeLive, and every reduction here is order-independent (ECDF sorts
+// its sample), so the two paths render byte-identical reports from the
+// same underlying samples.
+
+// LiveJob is the per-job live characterization consumed by AnalyzeLive —
+// the JSON shape of powserved's GET /v1/jobs/{id}/power.
+type LiveJob struct {
+	JobID   uint64 `json:"job"`
+	Samples int64  `json:"samples"`
+	Nodes   int    `json:"nodes"`
+
+	MeanW float64 `json:"mean_w"`
+	StdW  float64 `json:"std_w"`
+	MinW  float64 `json:"min_w"`
+	MaxW  float64 `json:"max_w"`
+
+	PeakOvershootPct  float64 `json:"peak_overshoot_pct"`
+	AvgSpatialSpreadW float64 `json:"avg_spatial_spread_w"`
+	SpatialSpreadPct  float64 `json:"spatial_spread_pct"`
+}
+
+// LiveDist is one live distribution: the ECDF reduction of a value set.
+type LiveDist struct {
+	N    int64         `json:"n"`
+	Mean float64       `json:"mean"`
+	Min  float64       `json:"min"`
+	Max  float64       `json:"max"`
+	P50  float64       `json:"p50"`
+	P80  float64       `json:"p80"`
+	P95  float64       `json:"p95"`
+	CDF  []stats.Point `json:"cdf"`
+}
+
+// DistFromValues reduces a value set to its LiveDist. The ECDF sorts a
+// copy of the input, so the result does not depend on value order — the
+// property that makes HTTP-pulled and in-process-replayed analytics
+// byte-identical.
+func DistFromValues(values []float64) LiveDist {
+	if len(values) == 0 {
+		return LiveDist{}
+	}
+	e := stats.NewECDF(values)
+	return LiveDist{
+		N:    int64(e.N()),
+		Mean: e.Mean(),
+		Min:  e.Quantile(0),
+		Max:  e.Quantile(1),
+		P50:  e.Quantile(0.50),
+		P80:  e.Quantile(0.80),
+		P95:  e.Quantile(0.95),
+		CDF:  e.Points(CDFPoints),
+	}
+}
+
+// LiveInput is everything the live analytics need, assembled by the CLI
+// adapters (HTTP pull or in-process replay).
+type LiveInput struct {
+	System   string
+	NodeTDPW float64 // 0: TDP fractions are omitted
+	Jobs     []LiveJob
+	// SamplePower is the distribution of every retained raw per-node
+	// sample (head + blocks), as computed by the store's distribution
+	// query — months of data reduced without materializing the series.
+	SamplePower LiveDist
+	Frontier    int64
+}
+
+// LiveReport is the live counterpart of the paper's distribution and
+// overshoot figures.
+type LiveReport struct {
+	System string
+	Jobs   int
+	// JobPower is Fig. 3 live: distribution of per-job mean per-node
+	// power across all observed jobs.
+	JobPower       LiveDist
+	MeanTDPFracPct float64 // 0 when NodeTDPW unknown
+	// SamplePower is the sample-level power distribution over the whole
+	// retained window (blocks + head), straight from LiveInput.
+	SamplePower LiveDist
+	// Overshoot is Fig. 7a live: peak overshoot ECDF over jobs.
+	Overshoot LiveDist
+	// SpreadPct is Fig. 9b live: spatial spread (% of job mean) over
+	// multi-node jobs.
+	SpreadPct LiveDist
+	Frontier  int64
+}
+
+// AnalyzeLive reduces the live inputs to the paper's distribution and
+// overshoot views.
+func AnalyzeLive(in LiveInput) (*LiveReport, error) {
+	if len(in.Jobs) == 0 {
+		return nil, fmt.Errorf("core: no live jobs to analyze")
+	}
+	r := &LiveReport{
+		System:      in.System,
+		Jobs:        len(in.Jobs),
+		SamplePower: in.SamplePower,
+		Frontier:    in.Frontier,
+	}
+	var jobPower, overshoot, spread []float64
+	for _, j := range in.Jobs {
+		jobPower = append(jobPower, j.MeanW)
+		if j.Samples >= 2 {
+			overshoot = append(overshoot, j.PeakOvershootPct)
+		}
+		if j.Nodes >= 2 {
+			spread = append(spread, j.SpatialSpreadPct)
+		}
+	}
+	r.JobPower = DistFromValues(jobPower)
+	if in.NodeTDPW > 0 {
+		r.MeanTDPFracPct = 100 * r.JobPower.Mean / in.NodeTDPW
+	}
+	r.Overshoot = DistFromValues(overshoot)
+	r.SpreadPct = DistFromValues(spread)
+	return r, nil
+}

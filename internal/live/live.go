@@ -1,0 +1,170 @@
+// Package live assembles core.LiveInput — the feed of the paper's live
+// distribution/overshoot analytics — from either a running powserved
+// (Pull, over the query API) or an in-process replay of a dataset
+// through the same tsdb+block machinery (Replay, the control path).
+//
+// Both producers run identical reductions over identical sample sets,
+// so their AnalyzeLive reports are byte-identical: the parity oracle of
+// scripts/smoke.sh's block pass, proving the live store reproduces the
+// CSV-derived numbers exactly.
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"hpcpower/internal/block"
+	"hpcpower/internal/core"
+	"hpcpower/internal/trace"
+	"hpcpower/internal/tsdb"
+)
+
+// Pull assembles the live input from a running powserved instance: the
+// job list and per-job characterizations from /v1/jobs, and the
+// sample-power distribution — reduced server-side over blocks + head —
+// from /v1/query/distribution.
+func Pull(baseURL, system string, nodeTDPW float64) (core.LiveInput, error) {
+	base := strings.TrimSuffix(baseURL, "/")
+	client := &http.Client{Timeout: 2 * time.Minute}
+	in := core.LiveInput{System: system, NodeTDPW: nodeTDPW}
+
+	var jl struct {
+		Jobs []uint64 `json:"jobs"`
+	}
+	if err := getJSON(client, base+"/v1/jobs", &jl); err != nil {
+		return in, err
+	}
+	for _, id := range jl.Jobs {
+		var j core.LiveJob
+		if err := getJSON(client, fmt.Sprintf("%s/v1/jobs/%d/power", base, id), &j); err != nil {
+			return in, err
+		}
+		in.Jobs = append(in.Jobs, j)
+	}
+	var dr struct {
+		Distribution core.LiveDist `json:"distribution"`
+		Frontier     int64         `json:"frontier"`
+	}
+	if err := getJSON(client, base+"/v1/query/distribution", &dr); err != nil {
+		return in, err
+	}
+	in.SamplePower = dr.Distribution
+	in.Frontier = dr.Frontier
+	return in, nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("live: GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("live: GET %s: decoding: %w", url, err)
+	}
+	return nil
+}
+
+// ReplayConfig sizes the control-path store. The defaults must match
+// the powserved instance being compared against: JobStats are
+// order-dependent streams (so the server needs -workers 1 and a
+// single-pusher loader), and the sample distribution covers exactly the
+// retained points (so RingLen must match).
+type ReplayConfig struct {
+	Shards  int // 0 = 16
+	RingLen int // 0 = 16384
+	// WindowSeconds is the block window. 0 = block.DefaultWindowSeconds.
+	WindowSeconds int64
+	// BatchSize slices the flattened sample stream. 0 = 512. Boundaries
+	// do not affect the result (appends are order-preserving); the knob
+	// exists to mirror the loader exactly anyway.
+	BatchSize int
+}
+
+// Replay drives a dataset's flattened sample stream through an
+// in-process tsdb.Store with a temporary block store attached, flushes
+// and compacts, and collects the live input — the same code path a
+// powserved instance runs, minus HTTP.
+func Replay(ds *trace.Dataset, system string, nodeTDPW float64, cfg ReplayConfig) (core.LiveInput, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.RingLen <= 0 {
+		cfg.RingLen = 16384
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	samples := trace.FlattenSeries(ds)
+	if len(samples) == 0 {
+		return core.LiveInput{}, fmt.Errorf("live: dataset has no time-resolved series")
+	}
+	store := tsdb.New(tsdb.Config{Shards: cfg.Shards, RingLen: cfg.RingLen})
+	dir, err := os.MkdirTemp("", "powblocks-control-*")
+	if err != nil {
+		return core.LiveInput{}, err
+	}
+	defer os.RemoveAll(dir)
+	bs, err := block.Open(block.Config{Dir: dir, WindowSeconds: cfg.WindowSeconds})
+	if err != nil {
+		return core.LiveInput{}, err
+	}
+	store.AttachBlocks(bs)
+	for off := 0; off < len(samples); off += cfg.BatchSize {
+		end := off + cfg.BatchSize
+		if end > len(samples) {
+			end = len(samples)
+		}
+		if err := store.Append(samples[off:end]); err != nil {
+			return core.LiveInput{}, err
+		}
+	}
+	if _, err := store.FlushBlocks(time.Now().Unix()); err != nil {
+		return core.LiveInput{}, err
+	}
+	if _, err := bs.CompactPending(); err != nil {
+		return core.LiveInput{}, err
+	}
+	return Collect(store, system, nodeTDPW)
+}
+
+// Collect reduces a live store to the analytics input: per-job stats in
+// ascending job order plus the merged sample-power distribution — the
+// in-process equivalent of what Pull fetches over HTTP.
+func Collect(store *tsdb.Store, system string, nodeTDPW float64) (core.LiveInput, error) {
+	in := core.LiveInput{System: system, NodeTDPW: nodeTDPW, Frontier: store.BlockFrontier()}
+	for _, id := range store.Jobs() {
+		st, ok := store.JobPower(id)
+		if !ok {
+			continue
+		}
+		in.Jobs = append(in.Jobs, core.LiveJob{
+			JobID:             st.JobID,
+			Samples:           st.Samples,
+			Nodes:             st.Nodes,
+			MeanW:             st.MeanW,
+			StdW:              st.StdW,
+			MinW:              st.MinW,
+			MaxW:              st.MaxW,
+			PeakOvershootPct:  st.PeakOvershootPct,
+			AvgSpatialSpreadW: st.AvgSpatialSpreadW,
+			SpatialSpreadPct:  st.SpatialSpreadPct,
+		})
+	}
+	var values []float64
+	err := store.EachValueMerged(nil, 0, 0, func(_ int, _ int64, v float64) {
+		values = append(values, v)
+	})
+	if err != nil {
+		return in, err
+	}
+	in.SamplePower = core.DistFromValues(values)
+	return in, nil
+}

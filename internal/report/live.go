@@ -1,0 +1,56 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"hpcpower/internal/core"
+)
+
+// WriteLive renders the live distribution/overshoot report. Floats are
+// printed with strconv's shortest round-trip formatting, so two reports
+// are byte-identical exactly when every underlying float64 is — the
+// property the live-vs-CSV parity checks diff on.
+func WriteLive(w io.Writer, r *core.LiveReport) error {
+	fmt.Fprintf(w, "==== %s (live store): %d jobs ====\n\n", r.System, r.Jobs)
+	if r.Frontier > 0 {
+		fmt.Fprintf(w, "block frontier: %d\n\n", r.Frontier)
+	}
+	dists := []struct {
+		title string
+		d     core.LiveDist
+	}{
+		{"Fig 3 (live): per-job mean node power [W]", r.JobPower},
+		{"sample-level node power, full retained window [W]", r.SamplePower},
+		{"Fig 7a (live): peak overshoot over job mean [%]", r.Overshoot},
+		{"Fig 9b (live): spatial spread over job mean [%]", r.SpreadPct},
+	}
+	for _, x := range dists {
+		fmt.Fprintf(w, "== %s ==\n", x.title)
+		if err := writeLiveDist(w, x.d); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if r.MeanTDPFracPct > 0 {
+		fmt.Fprintf(w, "mean per-node power as %% of TDP: %s\n", G(r.MeanTDPFracPct))
+	}
+	return nil
+}
+
+func writeLiveDist(w io.Writer, d core.LiveDist) error {
+	if d.N == 0 {
+		_, err := fmt.Fprintln(w, "(no samples)")
+		return err
+	}
+	return Table(w,
+		[]string{"n", "mean", "min", "p50", "p80", "p95", "max"},
+		[][]string{{
+			strconv.FormatInt(d.N, 10),
+			G(d.Mean), G(d.Min), G(d.P50), G(d.P80), G(d.P95), G(d.Max),
+		}})
+}
+
+// G formats a float with the shortest representation that round-trips.
+func G(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

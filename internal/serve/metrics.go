@@ -37,6 +37,8 @@ type metrics struct {
 	requestLatency *obs.HistogramVec // powserved_request_latency_seconds{endpoint}
 	requestErrors  *obs.CounterVec   // powserved_request_errors_total{endpoint}
 
+	blockFlush *obs.Histogram // powserved_block_flush_seconds per head→block flush pass
+
 	ingestE2E   *obs.Histogram // powserved_ingest_e2e_seconds: accept → durable ack
 	walAppend   *obs.Histogram // powserved_wal_append_seconds
 	walFsync    *obs.Histogram // powserved_wal_fsync_seconds
@@ -81,6 +83,7 @@ func newMetrics(queueDepth func() int) *metrics {
 
 		requestLatency: reg.HistogramVec("powserved_request_latency_seconds", "endpoint", obs.DefaultLatencyBuckets),
 		requestErrors:  reg.CounterVec("powserved_request_errors_total", "endpoint"),
+		blockFlush:     reg.Histogram("powserved_block_flush_seconds", obs.DefaultLatencyBuckets),
 		ingestE2E:      reg.Histogram("powserved_ingest_e2e_seconds", obs.DefaultLatencyBuckets),
 		walAppend:      reg.Histogram("powserved_wal_append_seconds", obs.DefaultLatencyBuckets),
 		walFsync:       reg.Histogram("powserved_wal_fsync_seconds", obs.DefaultLatencyBuckets),

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"hpcpower/internal/core"
+	"hpcpower/internal/obs"
+)
+
+// Block-store query surface and flush plumbing.
+//
+//	GET  /v1/query/range?node=&from=&to=[&step=]  merged head+block range read
+//	GET  /v1/query/nodes                          all known nodes + flush frontier
+//	GET  /v1/query/distribution?from=&to=         sample-power distribution (ECDF reduction)
+//	POST /v1/admin/flush                          seal complete windows + compact now
+//
+// The range read merges transparently: timestamps below the flush
+// frontier come from compressed block files, at or above it from the hot
+// rings — callers see one seamless series regardless of where the data
+// lives.
+
+// hasBlocks reports whether the store has a block store attached; the
+// query endpoints degrade gracefully (head-only) without one, but
+// /v1/admin/flush requires it.
+func (s *Server) hasBlocks() bool { return s.store.Blocks() != nil }
+
+func parseUnixParam(r *http.Request, name string) (int64, bool, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, false, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	return n, true, err
+}
+
+func (s *Server) handleQueryRange(w http.ResponseWriter, r *http.Request) {
+	node, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil || node < 0 {
+		errJSON(w, http.StatusBadRequest, "bad node %q", r.URL.Query().Get("node"))
+		return
+	}
+	from, _, err := parseUnixParam(r, "from")
+	if err != nil {
+		errJSON(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	to, _, err := parseUnixParam(r, "to")
+	if err != nil {
+		errJSON(w, http.StatusBadRequest, "bad to: %v", err)
+		return
+	}
+	step, hasStep, err := parseUnixParam(r, "step")
+	if err != nil || (hasStep && step <= 0) {
+		errJSON(w, http.StatusBadRequest, "bad step %q", r.URL.Query().Get("step"))
+		return
+	}
+	frontier := s.store.BlockFrontier()
+	if hasStep {
+		aggs, err := s.store.QueryAgg(node, from, to, step)
+		if err != nil {
+			errJSON(w, http.StatusInternalServerError, "aggregate query: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"node": node, "step": step, "frontier": frontier, "points": aggs,
+		})
+		return
+	}
+	points, err := s.store.QueryRange(node, from, to)
+	if err != nil {
+		errJSON(w, http.StatusInternalServerError, "range query: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node": node, "frontier": frontier, "points": points,
+	})
+}
+
+func (s *Server) handleQueryNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":    s.store.NodeIDs(),
+		"frontier": s.store.BlockFrontier(),
+	})
+}
+
+func (s *Server) handleQueryDistribution(w http.ResponseWriter, r *http.Request) {
+	from, _, err := parseUnixParam(r, "from")
+	if err != nil {
+		errJSON(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	to, _, err := parseUnixParam(r, "to")
+	if err != nil {
+		errJSON(w, http.StatusBadRequest, "bad to: %v", err)
+		return
+	}
+	var values []float64
+	err = s.store.EachValueMerged(nil, from, to, func(_ int, _ int64, v float64) {
+		values = append(values, v)
+	})
+	if err != nil {
+		errJSON(w, http.StatusInternalServerError, "distribution scan: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"distribution": core.DistFromValues(values),
+		"frontier":     s.store.BlockFrontier(),
+	})
+}
+
+// flushResponse is the body of POST /v1/admin/flush.
+type flushResponse struct {
+	Sealed    int   `json:"sealed"`
+	Compacted int   `json:"compacted"`
+	Frontier  int64 `json:"frontier"`
+}
+
+// handleAdminFlush seals every window that is complete as of now and
+// compacts rollups synchronously — the manual counterpart of the
+// background flush loop, used after historical replays (the smoke test)
+// and in operational drills.
+func (s *Server) handleAdminFlush(w http.ResponseWriter, r *http.Request) {
+	bs := s.store.Blocks()
+	if bs == nil {
+		errJSON(w, http.StatusServiceUnavailable, "no block store attached")
+		return
+	}
+	start := time.Now()
+	sealed, err := s.store.FlushBlocks(time.Now().Unix())
+	if err != nil {
+		errJSON(w, http.StatusInternalServerError, "flush: %v", err)
+		return
+	}
+	s.metrics.blockFlush.ObserveDuration(time.Since(start))
+	compacted, err := bs.CompactPending()
+	if err != nil {
+		errJSON(w, http.StatusInternalServerError, "compact: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, flushResponse{
+		Sealed: sealed, Compacted: compacted, Frontier: s.store.BlockFrontier(),
+	})
+}
+
+// startBlockLoop launches the background flush loop (and registers the
+// block gauges) when a block store is attached. The loop seals windows a
+// grace period behind wall clock, so stragglers within the grace window
+// still land in their block.
+func (s *Server) startBlockLoop() {
+	if !s.hasBlocks() {
+		return
+	}
+	s.metrics.reg.AddCollector(s.collectBlocks)
+	if s.cfg.BlockFlushInterval <= 0 {
+		return
+	}
+	grace := s.cfg.BlockFlushGrace
+	if grace <= 0 {
+		grace = 5 * time.Minute
+	}
+	s.flushWG.Add(1)
+	go func() {
+		defer s.flushWG.Done()
+		t := time.NewTicker(s.cfg.BlockFlushInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.flushStop:
+				return
+			case <-t.C:
+				if !s.ready.Load() || s.draining.Load() {
+					continue
+				}
+				start := time.Now()
+				if _, err := s.store.FlushBlocks(time.Now().Add(-grace).Unix()); err != nil {
+					s.metrics.logger.Warn("block flush failed", "err", err)
+					continue
+				}
+				s.metrics.blockFlush.ObserveDuration(time.Since(start))
+			}
+		}
+	}()
+}
+
+// collectBlocks emits the block-store gauges on every scrape.
+func (s *Server) collectBlocks(e *obs.Exposition) {
+	bs := s.store.Blocks()
+	if bs == nil {
+		return
+	}
+	st := bs.Stats()
+	emit := func(label string, blocks int, bytes, points, samples int64) {
+		e.GaugeL("powserved_block_files", "tier", label, float64(blocks))
+		e.GaugeL("powserved_block_bytes", "tier", label, float64(bytes))
+		e.GaugeL("powserved_block_points", "tier", label, float64(points))
+		e.GaugeL("powserved_block_samples", "tier", label, float64(samples))
+	}
+	emit("raw", st.Raw.Blocks, st.Raw.Bytes, st.Raw.Points, st.Raw.Samples)
+	emit("5m", st.Rollup5m.Blocks, st.Rollup5m.Bytes, st.Rollup5m.Points, st.Rollup5m.Samples)
+	emit("1h", st.Rollup1h.Blocks, st.Rollup1h.Bytes, st.Rollup1h.Points, st.Rollup1h.Samples)
+	e.Gauge("powserved_block_bytes_per_sample", st.BytesPerSample)
+	e.Gauge("powserved_block_frontier_unix", float64(s.store.BlockFrontier()))
+	e.Counter("powserved_block_flushes_total", float64(st.Flushes))
+	e.Counter("powserved_block_compactions_total", float64(st.Compactions))
+	e.Counter("powserved_block_retention_unlinked_total", float64(st.RetentionUnlinked))
+}

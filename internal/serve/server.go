@@ -61,6 +61,13 @@ type Config struct {
 	// request at or over it logs a Warn with its endpoint, status,
 	// duration, and trace ID. 0 means 1 s; negative disables.
 	SlowRequest time.Duration
+	// BlockFlushInterval is the cadence of the background head→block
+	// flush loop (only with a block store attached to the tsdb store).
+	// 0 disables the loop — windows seal only via POST /v1/admin/flush.
+	BlockFlushInterval time.Duration
+	// BlockFlushGrace holds the flush cut this far behind wall clock so
+	// late samples still land in their window. 0 means 5 m.
+	BlockFlushGrace time.Duration
 }
 
 // DefaultConfig returns the sizing powserved starts with.
@@ -81,6 +88,9 @@ type Server struct {
 	ready   atomic.Bool // false until recovery completes
 
 	ingestQ chan queuedBatch
+	// flushStop terminates the background block-flush loop (see query.go).
+	flushStop chan struct{}
+	flushWG   sync.WaitGroup
 	// ingestMu makes enqueue-vs-Close safe: handlers send under RLock,
 	// Close flips draining and closes the channel under Lock, so a send
 	// can never race a close (send on closed channel panics).
@@ -114,12 +124,13 @@ func New(store *tsdb.Store, model *mlearn.BDT, cfg Config) *Server {
 		cfg.RequestTimeout = 10 * time.Second
 	}
 	s := &Server{
-		store:   store,
-		model:   model,
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		dedup:   tsdb.NewDeduper(tsdb.DedupConfig{Window: cfg.DedupWindow}),
-		ingestQ: make(chan queuedBatch, cfg.QueueDepth),
+		store:     store,
+		model:     model,
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		dedup:     tsdb.NewDeduper(tsdb.DedupConfig{Window: cfg.DedupWindow}),
+		ingestQ:   make(chan queuedBatch, cfg.QueueDepth),
+		flushStop: make(chan struct{}),
 	}
 	s.ready.Store(true) // nothing to recover
 	s.metrics = newMetrics(func() int { return len(s.ingestQ) })
@@ -135,6 +146,7 @@ func New(store *tsdb.Store, model *mlearn.BDT, cfg Config) *Server {
 		go s.ingestWorker()
 	}
 	s.routes()
+	s.startBlockLoop()
 	return s
 }
 
@@ -162,6 +174,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/power", s.metrics.instrument("job_power", s.handleJobPower))
 	s.mux.HandleFunc("POST /v1/predict", s.metrics.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("GET /v1/summary", s.metrics.instrument("summary", s.handleSummary))
+	s.mux.HandleFunc("GET /v1/query/range", s.metrics.instrument("query_range", s.handleQueryRange))
+	s.mux.HandleFunc("GET /v1/query/nodes", s.metrics.instrument("query_nodes", s.handleQueryNodes))
+	s.mux.HandleFunc("GET /v1/query/distribution", s.metrics.instrument("query_distribution", s.handleQueryDistribution))
+	s.mux.HandleFunc("POST /v1/admin/flush", s.metrics.instrument("admin_flush", s.handleAdminFlush))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/traces/recent", s.metrics.traces.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -276,6 +292,8 @@ func (s *Server) Close() {
 	}
 	close(s.ingestQ)
 	s.ingestMu.Unlock()
+	close(s.flushStop)
+	s.flushWG.Wait()
 	s.workerWG.Wait()
 	if s.dur != nil {
 		s.dur.close(s)

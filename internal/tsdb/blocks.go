@@ -1,0 +1,301 @@
+package tsdb
+
+import (
+	"errors"
+	"sort"
+
+	"hpcpower/internal/block"
+)
+
+// Head/block split: the sharded rings stay the hot head of the store;
+// an attached block.Store receives sealed time windows and serves the
+// long tail. The flush frontier F divides the two worlds — merged reads
+// take t < F from blocks and t ≥ F from the rings, so no sample is ever
+// served twice. F is derived from the published block files themselves
+// (and raised by a recovered snapshot's recorded frontier), which is
+// what makes crash recovery double-ingest-proof: WAL replay may rebuild
+// ring points below F, but the flusher never re-seals a window below F
+// and block.Store.WriteRaw refuses existing windows outright.
+
+// AttachBlocks wires a block store under the head. The flush frontier
+// starts at the newest sealed window already on disk.
+func (s *Store) AttachBlocks(bs *block.Store) {
+	s.blocks = bs
+	s.raiseFrontier(bs.Frontier())
+}
+
+// Blocks returns the attached block store (nil if running head-only).
+func (s *Store) Blocks() *block.Store { return s.blocks }
+
+// BlockFrontier returns the flush frontier: reads below it are served
+// from blocks, at or above it from the head rings. Zero when no window
+// was ever sealed.
+func (s *Store) BlockFrontier() int64 { return s.frontier.Load() }
+
+// raiseFrontier lifts the frontier monotonically (it never moves back).
+func (s *Store) raiseFrontier(f int64) {
+	for {
+		cur := s.frontier.Load()
+		if f <= cur || s.frontier.CompareAndSwap(cur, f) {
+			return
+		}
+	}
+}
+
+// FlushBlocks seals every whole window that ends at or before cutUnix,
+// starting at the current frontier, and publishes each as a raw-tier
+// block. Empty windows advance the frontier without producing a file.
+// Returns the number of blocks published. Safe to call concurrently
+// with appends: a sample landing in a window mid-seal stays in the ring
+// and is indistinguishable from a late sample (served by the head until
+// its window would be re-sealed — which never happens — so callers
+// should pick cutUnix a grace period behind the ingest watermark).
+func (s *Store) FlushBlocks(cutUnix int64) (int, error) {
+	bs := s.blocks
+	if bs == nil {
+		return 0, nil
+	}
+	win := bs.Window()
+	start := s.frontier.Load()
+	minT, maxT, ok := s.headSpan()
+	if !ok {
+		return 0, nil
+	}
+	if start == 0 {
+		start = minT - floorMod(minT, win)
+	}
+	sealed := 0
+	for ws := start; ws+win <= cutUnix && ws <= maxT; ws += win {
+		series := s.collectWindow(ws, ws+win-1)
+		if len(series) > 0 {
+			if _, err := bs.WriteRaw(ws, series); err != nil && !errors.Is(err, block.ErrExists) {
+				return sealed, err
+			} else if err == nil {
+				sealed++
+			}
+		}
+		s.raiseFrontier(ws + win)
+	}
+	return sealed, nil
+}
+
+// headSpan reports the min and max sample timestamps currently held in
+// the rings.
+func (s *Store) headSpan() (minT, maxT int64, ok bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, r := range sh.nodes {
+			r.scan(func(p Point) {
+				if !ok || p.Unix < minT {
+					minT = p.Unix
+				}
+				if !ok || p.Unix > maxT {
+					maxT = p.Unix
+				}
+				ok = true
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	return minT, maxT, ok
+}
+
+// collectWindow gathers every ring's points inside [from, to] as
+// time-sorted block points, keyed by node.
+func (s *Store) collectWindow(from, to int64) map[int][]block.Point {
+	out := map[int][]block.Point{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for node, r := range sh.nodes {
+			pts := r.window(from, to)
+			if len(pts) == 0 {
+				continue
+			}
+			bp := make([]block.Point, len(pts))
+			for j, p := range pts {
+				bp[j] = block.Point{T: p.Unix, V: p.PowerW}
+			}
+			out[node] = bp
+		}
+		sh.mu.RUnlock()
+	}
+	for _, bp := range out {
+		sort.SliceStable(bp, func(a, b int) bool { return bp[a].T < bp[b].T })
+	}
+	return out
+}
+
+func floorMod(t, step int64) int64 {
+	m := t % step
+	if m < 0 {
+		m += step
+	}
+	return m
+}
+
+// QueryRange is the merged range read: raw points of the node with
+// from ≤ t ≤ to (to ≤ 0 unbounded), blocks below the frontier, head at
+// or above it, in time order.
+func (s *Store) QueryRange(node int, from, to int64) ([]Point, error) {
+	f := s.frontier.Load()
+	var out []Point
+	if s.blocks != nil && f > 0 && from < f {
+		bto := f - 1
+		if to > 0 && to < bto {
+			bto = to
+		}
+		pts, err := s.blocks.Querier().Range(node, from, bto)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			out = append(out, Point{Unix: p.T, PowerW: p.V})
+		}
+	}
+	hfrom := from
+	if f > hfrom {
+		hfrom = f
+	}
+	if to <= 0 || to >= hfrom {
+		for _, p := range s.NodeSeries(node, hfrom, to) {
+			if p.Unix < f {
+				continue // replayed below the frontier: blocks own it
+			}
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Unix < out[b].Unix })
+	return out, nil
+}
+
+// QueryAgg is the merged aggregate read: step-aligned count/sum/min/max
+// buckets over [from, to], rollup tiers below the frontier, head points
+// bucketed on the fly above it. to must be positive (aggregates need a
+// closed window).
+func (s *Store) QueryAgg(node int, from, to, step int64) ([]block.AggPoint, error) {
+	if step <= 0 {
+		step = 60
+	}
+	f := s.frontier.Load()
+	var out []block.AggPoint
+	if s.blocks != nil && f > 0 && from < f {
+		bto := f - 1
+		if to > 0 && to < bto {
+			bto = to
+		}
+		aggs, err := s.blocks.Querier().RangeAgg(node, from, bto, step)
+		if err != nil {
+			return nil, err
+		}
+		out = aggs
+	}
+	hfrom := from
+	if f > hfrom {
+		hfrom = f
+	}
+	if to <= 0 || to >= hfrom {
+		var head []block.Point
+		for _, p := range s.NodeSeries(node, hfrom, to) {
+			if p.Unix < f {
+				continue
+			}
+			head = append(head, block.Point{T: p.Unix, V: p.PowerW})
+		}
+		sort.SliceStable(head, func(a, b int) bool { return head[a].T < head[b].T })
+		out = mergeAggs(out, block.Rollup(head, step), step)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].T < out[b].T })
+	return out, nil
+}
+
+// mergeAggs folds extra buckets into base (same step alignment). A
+// bucket split across the frontier merges head-side into block-side.
+func mergeAggs(base, extra []block.AggPoint, step int64) []block.AggPoint {
+	if len(extra) == 0 {
+		return base
+	}
+	idx := make(map[int64]int, len(base))
+	for i, a := range base {
+		idx[a.T] = i
+	}
+	for _, a := range extra {
+		if i, ok := idx[a.T]; ok {
+			dst := &base[i]
+			dst.Count += a.Count
+			dst.Sum += a.Sum
+			if a.Min < dst.Min {
+				dst.Min = a.Min
+			}
+			if a.Max > dst.Max {
+				dst.Max = a.Max
+			}
+			continue
+		}
+		idx[a.T] = len(base)
+		base = append(base, a)
+	}
+	return base
+}
+
+// EachValueMerged streams every raw value of the given nodes in
+// [from, to] (nil nodes = all known nodes, to ≤ 0 unbounded) across
+// blocks and head — the substrate for live ECDF/distribution pulls over
+// months of data. Values arrive grouped per source, not globally time
+// sorted; distribution consumers sort or bin anyway.
+func (s *Store) EachValueMerged(nodes []int, from, to int64, fn func(node int, t int64, v float64)) error {
+	f := s.frontier.Load()
+	if s.blocks != nil && f > 0 && from < f {
+		bto := f - 1
+		if to > 0 && to < bto {
+			bto = to
+		}
+		if err := s.blocks.Querier().EachValue(nodes, from, bto, fn); err != nil {
+			return err
+		}
+	}
+	hfrom := from
+	if f > hfrom {
+		hfrom = f
+	}
+	if to > 0 && to < hfrom {
+		return nil
+	}
+	if nodes == nil {
+		nodes = s.NodeIDs()
+	}
+	for _, node := range nodes {
+		for _, p := range s.NodeSeries(node, hfrom, to) {
+			if p.Unix < f {
+				continue
+			}
+			fn(node, p.Unix, p.PowerW)
+		}
+	}
+	return nil
+}
+
+// NodeIDs returns every node known to head or blocks, ascending.
+func (s *Store) NodeIDs() []int {
+	set := map[int]struct{}{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for node := range sh.nodes {
+			set[node] = struct{}{}
+		}
+		sh.mu.RUnlock()
+	}
+	if s.blocks != nil {
+		for _, n := range s.blocks.Nodes() {
+			set[n] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

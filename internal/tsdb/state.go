@@ -18,6 +18,13 @@ type StoreState struct {
 	RingLen  int   `json:"ring_len"`
 	Ingested int64 `json:"ingested"`
 
+	// BlockFrontier is the block-store flush frontier at snapshot time.
+	// Restore raises the live frontier to max(snapshot, on-disk blocks),
+	// so WAL replay after a crash that landed between a flush and the
+	// next snapshot cannot double-ingest already-sealed windows into the
+	// block store.
+	BlockFrontier int64 `json:"block_frontier,omitempty"`
+
 	// ShardAccs is indexed by node-shard; Summarize merges them in index
 	// order, so restoring them positionally preserves the summary bits.
 	ShardAccs []stats.AccumState `json:"shard_accs"`
@@ -58,10 +65,11 @@ type JobStateExport struct {
 // quiesce writers first.
 func (s *Store) ExportState() *StoreState {
 	st := &StoreState{
-		Shards:    len(s.shards),
-		RingLen:   s.ringLen,
-		Ingested:  s.ingested.Load(),
-		ShardAccs: make([]stats.AccumState, len(s.shards)),
+		Shards:        len(s.shards),
+		RingLen:       s.ringLen,
+		Ingested:      s.ingested.Load(),
+		BlockFrontier: s.frontier.Load(),
+		ShardAccs:     make([]stats.AccumState, len(s.shards)),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -147,6 +155,7 @@ func (s *Store) RestoreState(st *StoreState) error {
 		s.jobShard(je.ID).jobs[je.ID] = j
 	}
 	s.ingested.Store(st.Ingested)
+	s.raiseFrontier(st.BlockFrontier)
 	return nil
 }
 
@@ -205,6 +214,7 @@ func (s *Store) InstallState(st *StoreState) error {
 		js.mu.Unlock()
 	}
 	s.ingested.Store(st.Ingested)
+	s.raiseFrontier(st.BlockFrontier)
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hpcpower/internal/block"
 	"hpcpower/internal/stats"
 	"hpcpower/internal/trace"
 )
@@ -50,6 +51,11 @@ type Store struct {
 
 	ringLen  int
 	ingested atomic.Int64 // total samples accepted
+
+	// Head/block split (see blocks.go): sealed windows flush to blocks,
+	// frontier divides block-served from ring-served time.
+	blocks   *block.Store
+	frontier atomic.Int64
 }
 
 // shard holds the node rings of one partition plus the shard's sample

@@ -3,6 +3,12 @@
 # model export → powserved on a random port → powload replay.
 # Fails on any dropped batch, on an ingest shortfall, or if the served
 # prediction diverges from the offline model.
+#
+# A second pass exercises the block store: replay into a server with
+# -blocks-dir, seal windows via POST /v1/admin/flush, SIGKILL, restart,
+# and require (a) no re-sealed blocks, (b) the live analytics report
+# (powanalyze -source) byte-identical before and after the restart AND
+# to an in-process replay control (powanalyze -live-control).
 set -eu
 
 workdir=$(mktemp -d)
@@ -13,6 +19,7 @@ go build -o "$workdir/powsim" ./cmd/powsim
 go build -o "$workdir/powpredict" ./cmd/powpredict
 go build -o "$workdir/powserved" ./cmd/powserved
 go build -o "$workdir/powload" ./cmd/powload
+go build -o "$workdir/powanalyze" ./cmd/powanalyze
 
 echo "smoke: generating dataset (emmy, 2% scale)"
 "$workdir/powsim" -system emmy -scale 0.02 -seed 42 -out "$workdir/traces" >/dev/null
@@ -63,5 +70,79 @@ curl -sf "$base/metrics" | grep -q "powserved_samples_ingested_total" || {
 echo "smoke: graceful shutdown"
 kill -TERM $server_pid
 wait $server_pid
+server_pid=""
+
+# ---- block-store pass: flush → SIGKILL → restart → parity -----------
+
+# wait_addr <logfile>: echo the bound address once the daemon reports it.
+wait_addr() {
+    i=0
+    while [ $i -lt 150 ]; do
+        a=$(sed -n 's/^powserved: listening on \([^ ]*\).*/\1/p' "$1" | head -n1)
+        [ -n "$a" ] && { echo "$a"; return 0; }
+        sleep 0.1
+        i=$((i + 1))
+    done
+    echo "smoke: block server did not report its address" >&2
+    cat "$1" >&2
+    return 1
+}
+
+# Single worker + single pusher keep the JobStats streams byte-
+# reproducible; the ring must match powanalyze -live-ring (16384), and
+# -flush-interval 0 disables the wall-clock loop (the replayed data is
+# historical — only the explicit admin flush should seal it).
+BLK_FLAGS="-workers 1 -ring 16384 -blocks-dir $workdir/blocks -flush-interval 0 -data-dir $workdir/blkdata"
+mkdir -p "$workdir/blkdata"
+
+echo "smoke: block pass — replaying into powserved -blocks-dir"
+# shellcheck disable=SC2086
+"$workdir/powserved" -addr 127.0.0.1:0 $BLK_FLAGS >"$workdir/blk1.log" 2>&1 &
+server_pid=$!
+blk_base="http://$(wait_addr "$workdir/blk1.log")"
+"$workdir/powload" -addr "$blk_base" -dataset "$workdir/traces/emmy" -batch 512 -concurrency 1 >/dev/null
+
+echo "smoke: sealing windows via /v1/admin/flush"
+flush1=$(curl -sf -X POST "$blk_base/v1/admin/flush")
+case "$flush1" in
+    *'"sealed":0'*) echo "smoke: flush sealed nothing: $flush1"; exit 1 ;;
+esac
+raw_before=$(ls "$workdir/blocks"/raw-*.blk | wc -l)
+[ "$raw_before" -gt 0 ] || { echo "smoke: no raw block files"; exit 1; }
+curl -sf "$blk_base/metrics" | grep -q 'powserved_block_files{tier="raw"}' || {
+    echo "smoke: /metrics missing block gauges"; exit 1; }
+
+echo "smoke: live report A (server) vs in-process replay control"
+"$workdir/powanalyze" -source "$blk_base" >"$workdir/live_a.txt"
+"$workdir/powanalyze" -live-control "$workdir/traces/emmy" >"$workdir/live_ctl.txt"
+cmp "$workdir/live_a.txt" "$workdir/live_ctl.txt" || {
+    echo "smoke: live report differs from in-process control"; exit 1; }
+
+echo "smoke: SIGKILL + restart on the same dirs"
+kill -9 $server_pid
+wait $server_pid 2>/dev/null || true
+# shellcheck disable=SC2086
+"$workdir/powserved" -addr 127.0.0.1:0 $BLK_FLAGS >"$workdir/blk2.log" 2>&1 &
+server_pid=$!
+blk_base="http://$(wait_addr "$workdir/blk2.log")"
+
+echo "smoke: re-flush must seal nothing (frontier from block files)"
+flush2=$(curl -sf -X POST "$blk_base/v1/admin/flush")
+case "$flush2" in
+    *'"sealed":0'*) : ;;
+    *) echo "smoke: post-restart flush re-sealed windows: $flush2"; exit 1 ;;
+esac
+raw_after=$(ls "$workdir/blocks"/raw-*.blk | wc -l)
+[ "$raw_after" -eq "$raw_before" ] || {
+    echo "smoke: raw block count changed across restart: $raw_before → $raw_after"; exit 1; }
+
+echo "smoke: live report after restart must be byte-identical"
+"$workdir/powanalyze" -source "$blk_base" >"$workdir/live_b.txt"
+cmp "$workdir/live_a.txt" "$workdir/live_b.txt" || {
+    echo "smoke: restarted live report differs (head+block merge broken)"; exit 1; }
+
+kill -TERM $server_pid
+wait $server_pid
+server_pid=""
 
 echo "smoke: OK"
