@@ -270,6 +270,19 @@ func EncodeChunk(points []Point) []byte {
 // allocation request.
 const maxChunkPoints = 1 << 24
 
+// maxChunkPrealloc caps the capacity allocated up front from a decoded
+// point count: a corrupt header that survives the minimum-size check
+// can still claim millions of points, and the pre-allocation must stay
+// proportional to the payload actually decoded, not to the claim.
+const maxChunkPrealloc = 1 << 16
+
+func preallocCount(count uint64) int {
+	if count > maxChunkPrealloc {
+		return maxChunkPrealloc
+	}
+	return int(count)
+}
+
 // DecodeChunk decompresses a raw chunk. It never panics and never reads
 // past the payload: truncation and bit flips yield an error.
 func DecodeChunk(payload []byte) ([]Point, error) {
@@ -278,15 +291,16 @@ func DecodeChunk(payload []byte) ([]Point, error) {
 		return nil, corruptf("chunk header: bad point count")
 	}
 	body := payload[n:]
-	// Each point costs ≥ 2 bits after the first; a count that could not
-	// fit in the payload is rejected before any allocation.
-	if count > maxChunkPoints || count > 64+uint64(len(body))*8 {
+	// The first point costs 64+64 bits, every later one ≥ 1+1; a count
+	// that could not fit in the payload is rejected before any
+	// allocation or decoding.
+	if count > maxChunkPoints || (count > 0 && uint64(len(body))*8 < 128+(count-1)*2) {
 		return nil, corruptf("chunk claims %d points in %d bytes", count, len(body))
 	}
 	r := &bitReader{b: body}
 	var ts tsDecoder
 	var xd xorDecoder
-	out := make([]Point, 0, count)
+	out := make([]Point, 0, preallocCount(count))
 	for i := uint64(0); i < count; i++ {
 		t, err := ts.read(r)
 		if err != nil {
@@ -339,14 +353,16 @@ func DecodeAggChunk(payload []byte) ([]AggPoint, error) {
 		return nil, corruptf("agg chunk header: bad point count")
 	}
 	body := payload[n:]
-	if count > maxChunkPoints || count > 64+uint64(len(body))*8 {
+	// First point: 64-bit timestamp + ≥1-bit count + three 64-bit XOR
+	// seeds = 257 bits; every later point ≥ 5 bits (one per column).
+	if count > maxChunkPoints || (count > 0 && uint64(len(body))*8 < 257+(count-1)*5) {
 		return nil, corruptf("agg chunk claims %d points in %d bytes", count, len(body))
 	}
 	r := &bitReader{b: body}
 	var ts tsDecoder
 	var prevCount int64
 	var xsum, xmin, xmax xorDecoder
-	out := make([]AggPoint, 0, count)
+	out := make([]AggPoint, 0, preallocCount(count))
 	for i := uint64(0); i < count; i++ {
 		t, err := ts.read(r)
 		if err != nil {

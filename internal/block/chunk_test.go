@@ -1,6 +1,7 @@
 package block
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -194,5 +195,34 @@ func TestDecodeChunkRejectsAbsurdCount(t *testing.T) {
 	enc = append([]byte{0xff, 0xff, 0xff, 0x7f}, enc[1:]...)
 	if _, err := DecodeChunk(enc); err == nil {
 		t.Fatal("absurd count accepted")
+	}
+}
+
+// claimChunk builds a payload whose uvarint header claims `count`
+// points over a zeroed body. All-zero bits form a valid stream (first
+// point 0/0.0, then 1-bit "repeat" codes), so a claim inside the
+// minimum-size bound decodes and one past it must be rejected by the
+// bound itself, not by a later decode error.
+func claimChunk(count uint64, bodyBytes int) []byte {
+	return append(binary.AppendUvarint(nil, count), make([]byte, bodyBytes)...)
+}
+
+func TestDecodeBoundsTightPerPointCost(t *testing.T) {
+	const bodyBytes = 1000 // 8000 bits
+	// Raw: 128 bits for the first point, ≥2 per later point →
+	// at most 1+(8000−128)/2 = 3937 points.
+	if _, err := DecodeChunk(claimChunk(3937, bodyBytes)); err != nil {
+		t.Fatalf("densest possible raw claim rejected: %v", err)
+	}
+	if _, err := DecodeChunk(claimChunk(3938, bodyBytes)); err == nil {
+		t.Fatal("raw claim past the 2-bit-per-point minimum accepted")
+	}
+	// Agg: 257 bits for the first point, ≥5 per later point →
+	// at most 1+(8000−257)/5 = 1549 points.
+	if _, err := DecodeAggChunk(claimChunk(1549, bodyBytes)); err != nil {
+		t.Fatalf("densest possible agg claim rejected: %v", err)
+	}
+	if _, err := DecodeAggChunk(claimChunk(1550, bodyBytes)); err == nil {
+		t.Fatal("agg claim past the 5-bit-per-point minimum accepted")
 	}
 }

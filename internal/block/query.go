@@ -58,10 +58,16 @@ func tierFor(step int64) Tier {
 }
 
 // RangeAgg returns step-aligned aggregate buckets for the node over
-// [from, to]. It reads the coarsest rollup tier compatible with step and
-// falls back tier-by-tier to raw for windows whose rollups are not yet
-// compacted, so results are complete (and exact — rollup points carry
-// count/sum/min/max) even mid-compaction.
+// [from, to] (to ≤ 0 unbounded). Every bucket aggregates exactly the
+// raw samples with from ≤ t ≤ to — the same contract as bucketing head
+// samples on the fly, so results are identical on either side of the
+// flush frontier. Windows fully inside the range are read from the
+// coarsest rollup tier compatible with step (exact — rollup points
+// carry count/sum/min/max), falling back tier-by-tier to raw for
+// windows not yet compacted; windows straddling from/to are re-rolled
+// from raw so edge buckets never include out-of-range samples. The
+// walk covers the union of windows across all tiers, so aggregates
+// keep serving from rollups after raw blocks age out of retention.
 func (q *Querier) RangeAgg(node int, from, to, step int64) ([]AggPoint, error) {
 	if step <= 0 {
 		step = 60
@@ -71,9 +77,6 @@ func (q *Querier) RangeAgg(node int, from, to, step int64) ([]AggPoint, error) {
 	var out []AggPoint
 	merge := func(aggs []AggPoint) {
 		for _, a := range aggs {
-			if a.T < from-mod(from, step) || (to > 0 && a.T > to) {
-				continue
-			}
 			b := a.T - mod(a.T, step)
 			i, ok := idx[b]
 			if !ok {
@@ -93,33 +96,78 @@ func (q *Querier) RangeAgg(node int, from, to, step int64) ([]AggPoint, error) {
 			}
 		}
 	}
-	// Walk raw windows as the ground truth of what exists; for each, read
-	// the preferred tier if compacted, else a finer one, else raw.
-	for _, raw := range q.s.tierBlocks(TierRaw, from, to) {
-		aggs, err := q.windowAggs(raw, node, pref, step)
+	for _, w := range q.s.windows(from, to) {
+		aggs, err := q.windowAggs(w, node, pref, step, from, to)
 		if err != nil {
 			return nil, err
 		}
 		merge(aggs)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].T < out[b].T })
-	// Drop partial leading bucket when from is unaligned.
-	for len(out) > 0 && out[0].T < from {
-		out = out[1:]
-	}
 	return out, nil
 }
 
-// windowAggs produces step-bucketed aggregates for one window, reading
+// windowAggs produces range-filtered aggregates for one window, reading
 // the best available tier ≤ pref.
-func (q *Querier) windowAggs(raw *BlockInfo, node int, pref Tier, step int64) ([]AggPoint, error) {
-	for tier := pref; tier > TierRaw; tier-- {
-		if tier.Step() > step {
-			continue
+func (q *Querier) windowAggs(w windowBlocks, node int, pref Tier, step, from, to int64) ([]AggPoint, error) {
+	// A window fully inside [from, to] can be served straight from a
+	// rollup chunk: every rollup point covers only in-range samples.
+	interior := w.start >= from && (to <= 0 || w.end-1 <= to)
+	if interior {
+		for tier := pref; tier > TierRaw; tier-- {
+			if tier.Step() > step {
+				continue
+			}
+			b := w.tiers[tier]
+			if b == nil {
+				continue
+			}
+			e, ok := b.entry(node)
+			if !ok {
+				return nil, nil
+			}
+			payload, err := readChunk(b, e)
+			if err != nil {
+				return nil, err
+			}
+			return DecodeAggChunk(payload)
 		}
-		q.s.mu.RLock()
-		b := q.s.blocks[tier][raw.WindowStart]
-		q.s.mu.RUnlock()
+	}
+	// Raw path: not yet compacted, or a boundary window whose edge
+	// buckets must be rebuilt from per-sample filtering.
+	if raw := w.tiers[TierRaw]; raw != nil {
+		e, ok := raw.entry(node)
+		if !ok {
+			return nil, nil
+		}
+		payload, err := readChunk(raw, e)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := DecodeChunk(payload)
+		if err != nil {
+			return nil, err
+		}
+		if !interior {
+			kept := pts[:0]
+			for _, p := range pts {
+				if p.T < from || (to > 0 && p.T > to) {
+					continue
+				}
+				kept = append(kept, p)
+			}
+			pts = kept
+		}
+		return Rollup(pts, step), nil
+	}
+	// Boundary window whose raw block has aged out of retention: serve
+	// the surviving rollup points clipped to whole in-range buckets —
+	// a trailing/leading rollup bucket straddling from/to is dropped
+	// rather than reported with out-of-range samples folded in. The
+	// finest tier ≤ pref clips the least at the edges (every tier ≤
+	// pref step-aligns with the query, so any of them is exact).
+	for tier := Tier5m; tier <= pref; tier++ {
+		b := w.tiers[tier]
 		if b == nil {
 			continue
 		}
@@ -131,21 +179,20 @@ func (q *Querier) windowAggs(raw *BlockInfo, node int, pref Tier, step int64) ([
 		if err != nil {
 			return nil, err
 		}
-		return DecodeAggChunk(payload)
+		aggs, err := DecodeAggChunk(payload)
+		if err != nil {
+			return nil, err
+		}
+		kept := aggs[:0]
+		for _, a := range aggs {
+			if a.T < from || (to > 0 && a.T+tier.Step()-1 > to) {
+				continue
+			}
+			kept = append(kept, a)
+		}
+		return kept, nil
 	}
-	e, ok := raw.entry(node)
-	if !ok {
-		return nil, nil
-	}
-	payload, err := readChunk(raw, e)
-	if err != nil {
-		return nil, err
-	}
-	pts, err := DecodeChunk(payload)
-	if err != nil {
-		return nil, err
-	}
-	return Rollup(pts, step), nil
+	return nil, nil
 }
 
 // EachValue streams every raw value of the given nodes inside [from, to]

@@ -52,6 +52,15 @@ type Config struct {
 type Store struct {
 	cfg Config
 
+	// sealMu serializes every publish of a block file (flush and
+	// compaction): the dup-check, the tmp+rename write, and the catalog
+	// insert happen as one unit. Without it, two concurrent flushes of
+	// the same window (background loop + POST /v1/admin/flush) could
+	// both pass the dup check and race O_TRUNC writes on the same .tmp
+	// path — publishing a torn file or a catalog entry whose offsets
+	// and CRCs describe the loser's bytes.
+	sealMu sync.Mutex
+
 	mu     sync.RWMutex
 	blocks [tierCount]map[int64]*BlockInfo // windowStart → block
 
@@ -205,16 +214,25 @@ func (s *Store) WriteRaw(windowStart int64, series map[int][]Point) (*BlockInfo,
 	if len(enc) == 0 {
 		return nil, fmt.Errorf("block: window %d has no points", windowStart)
 	}
+	// Seal under the publish lock: the re-check is authoritative because
+	// every writer holds sealMu from its dup-check through its catalog
+	// insert — a concurrent sealer of the same window either published
+	// before us (we return ErrExists without touching the file) or waits
+	// until our file is renamed and visible.
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
+	s.mu.RLock()
+	_, dup = s.blocks[TierRaw][windowStart]
+	s.mu.RUnlock()
+	if dup {
+		return nil, ErrExists
+	}
 	path := filepath.Join(s.cfg.Dir, blockName(TierRaw, windowStart))
 	info, err := writeBlockFile(path, TierRaw, windowStart, win, enc)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
-	if _, dup := s.blocks[TierRaw][windowStart]; dup {
-		s.mu.Unlock()
-		return nil, ErrExists
-	}
 	s.blocks[TierRaw][windowStart] = info
 	s.mu.Unlock()
 	s.flushes.Add(1)
@@ -313,14 +331,27 @@ func (s *Store) compactWindow(raw *BlockInfo) (int, error) {
 		if len(enc) == 0 {
 			continue
 		}
+		// Same publish-lock discipline as WriteRaw: the background
+		// compactor and a synchronous /v1/admin/flush compaction can
+		// race on the same rollup path.
+		s.sealMu.Lock()
+		s.mu.RLock()
+		_, have = s.blocks[tier][raw.WindowStart]
+		s.mu.RUnlock()
+		if have {
+			s.sealMu.Unlock()
+			continue
+		}
 		path := filepath.Join(s.cfg.Dir, blockName(tier, raw.WindowStart))
 		info, err := writeBlockFile(path, tier, raw.WindowStart, raw.WindowLen, enc)
 		if err != nil {
+			s.sealMu.Unlock()
 			return built, err
 		}
 		s.mu.Lock()
 		s.blocks[tier][raw.WindowStart] = info
 		s.mu.Unlock()
+		s.sealMu.Unlock()
 		s.compactions.Add(1)
 		built++
 	}
@@ -466,6 +497,43 @@ func (s *Store) Nodes() []int {
 		out = append(out, n)
 	}
 	sort.Ints(out)
+	return out
+}
+
+// windowBlocks gathers every tier's block for one time window.
+type windowBlocks struct {
+	start int64
+	end   int64 // exclusive
+	tiers [tierCount]*BlockInfo
+}
+
+// windows returns the union of sealed windows across all tiers
+// overlapping [from, to] (to ≤ 0 unbounded), sorted by start. Using the
+// union — not the raw tier alone — is what keeps aggregate queries
+// serving after raw blocks age out of a shorter raw retention while
+// their rollup siblings survive.
+func (s *Store) windows(from, to int64) []windowBlocks {
+	m := map[int64]*windowBlocks{}
+	s.mu.RLock()
+	for t := range s.blocks {
+		for ws, b := range s.blocks[t] {
+			if b.End() <= from || (to > 0 && ws > to) {
+				continue
+			}
+			w := m[ws]
+			if w == nil {
+				w = &windowBlocks{start: ws, end: b.End()}
+				m[ws] = w
+			}
+			w.tiers[t] = b
+		}
+	}
+	s.mu.RUnlock()
+	out := make([]windowBlocks, 0, len(m))
+	for _, w := range m {
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].start < out[b].start })
 	return out
 }
 

@@ -145,6 +145,30 @@ func TestMergedReadsMatchControl(t *testing.T) {
 		}
 	}
 
+	// A `to` landing mid-bucket below the frontier: the block-served
+	// trailing bucket must contain exactly the samples ≤ to, as head-side
+	// bucketing would — not the whole rollup bucket.
+	for _, n := range nodes {
+		to := cut - 450
+		got, err := s.QueryAgg(n, 0, to, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cp []block.Point
+		for _, p := range control.NodeSeries(n, 0, to) {
+			cp = append(cp, block.Point{T: p.Unix, V: p.PowerW})
+		}
+		want := block.Rollup(cp, 300)
+		if len(got) != len(want) {
+			t.Fatalf("mid-bucket to node %d: %d buckets, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("mid-bucket to node %d bucket %d: %+v want %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+
 	// Merged value stream covers every sample exactly once.
 	var streamed int
 	if err := s.EachValueMerged(nil, 0, 0, func(_ int, _ int64, _ float64) { streamed++ }); err != nil {
