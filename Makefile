@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-block smoke chaos-smoke crash-smoke failover-smoke fuzz-wal fuzz-repl fuzz-block block-check obs-check ci clean
+.PHONY: all build vet test race bench bench-block smoke chaos-smoke crash-smoke failover-smoke disk-smoke fuzz-wal fuzz-repl fuzz-block fuzz-vfs block-check obs-check ci clean
 
 all: build
 
@@ -47,6 +47,14 @@ crash-smoke:
 failover-smoke:
 	./scripts/failover_smoke.sh
 
+# Disk-fault smoke: powserved under an injected filesystem (vfs.FaultFS)
+# — an ENOSPC window mid-ingest, probe EIO, and an offline bit flip of a
+# sealed block. Verifies 503 storage_degraded backpressure with zero
+# loss, self-clearing degraded mode, and scrub quarantine with
+# bit-exact rollup fallback.
+disk-smoke:
+	./scripts/disk_smoke.sh
+
 # Fuzz the WAL segment reader: arbitrary corruption must yield clean
 # truncation or a typed error, never a panic or a silently wrong record.
 fuzz-wal:
@@ -63,6 +71,14 @@ fuzz-block:
 	$(GO) test -run xxx -fuzz FuzzChunkDecode -fuzztime 30s ./internal/block/
 	$(GO) test -run xxx -fuzz FuzzBlockIndex -fuzztime 30s ./internal/block/
 
+# Fuzz the fault-injection layer and WAL recovery under it: the
+# -fault-disk spec parser must never panic, and a single-byte flip
+# anywhere in a sealed segment must recover to an exact prefix of the
+# original records.
+fuzz-vfs:
+	$(GO) test -run xxx -fuzz FuzzParseFaultSpec -fuzztime 15s ./internal/vfs/
+	$(GO) test -run xxx -fuzz FuzzWALBitFlip -fuzztime 30s ./internal/wal/
+
 # Block-store gate: vet plus the block and tsdb packages (encode/decode
 # losslessness, rollup exactness, head/block merge, crash frontier)
 # under the race detector.
@@ -78,4 +94,4 @@ obs-check:
 	$(GO) test -race -count=1 ./internal/obs/
 	$(GO) test -count=1 -run 'TestMetrics|TestIngestTrace|TestTracePropagates' ./internal/serve/
 
-ci: vet build race obs-check block-check smoke crash-smoke failover-smoke
+ci: vet build race obs-check block-check smoke crash-smoke failover-smoke disk-smoke

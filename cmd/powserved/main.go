@@ -56,6 +56,7 @@ import (
 	"hpcpower/internal/obs"
 	"hpcpower/internal/serve"
 	"hpcpower/internal/tsdb"
+	"hpcpower/internal/vfs"
 	"hpcpower/internal/wal"
 )
 
@@ -77,6 +78,7 @@ func main() {
 		retainRaw    = flag.Duration("retention-raw", 0, "raw-tier (1m) block retention (0 = keep forever)")
 		retain5m     = flag.Duration("retention-5m", 0, "5m rollup retention (0 = keep forever)")
 		retain1h     = flag.Duration("retention-1h", 0, "1h rollup retention (0 = keep forever)")
+		scrubEvery   = flag.Duration("scrub-interval", 0, "background integrity scrub cadence for sealed blocks (0 = manual via POST /v1/admin/scrub)")
 
 		dataDir    = flag.String("data-dir", "", "data directory for the write-ahead log and snapshots (empty = memory-only)")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch (fsync before every ack), interval, off")
@@ -84,6 +86,10 @@ func main() {
 		segBytes   = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation size")
 		snapEvery  = flag.Duration("snapshot-interval", 20*time.Second, "time between snapshots")
 		snapBatch  = flag.Int64("snapshot-every", 4096, "also snapshot after this many WAL appends")
+		diskCheck  = flag.Duration("disk-check-interval", 2*time.Second, "storage-health monitor cadence (write probe + free-space watermark)")
+		diskLow    = flag.Int64("disk-low-bytes", 0, "degrade ingest when data-dir free space falls below this (0 = probe-only)")
+		diskResume = flag.Int64("disk-resume-bytes", 0, "clear a space-triggered degrade above this free-space level (0 = 2x -disk-low-bytes)")
+		faultDisk  = flag.String("fault-disk", "", `inject disk faults for drills, e.g. "seed=1,write-eio=0.01,enospc-after=1048576,enospc-for=10s" (keys: seed, read-eio, write-eio, sync-eio, bitflip, torn, enospc-after, enospc-for, latency, path)`)
 
 		role       = flag.String("role", "primary", `replication role: "primary" or "follower" (needs -data-dir)`)
 		follow     = flag.String("follow", "", "primary base URL to replicate from (required with -role follower)")
@@ -138,6 +144,18 @@ func main() {
 		fmt.Println("powserved: no model (-model/-train); POST /v1/predict will answer 503")
 	}
 
+	// All WAL, snapshot, and block file I/O flows through one vfs.FS so a
+	// single -fault-disk spec exercises every durability path at once.
+	var fsys vfs.FS = vfs.OS
+	if *faultDisk != "" {
+		fcfg, err := vfs.ParseFaultSpec(*faultDisk)
+		if err != nil {
+			fatal(err)
+		}
+		fsys = vfs.NewFault(vfs.OS, fcfg)
+		fmt.Printf("powserved: DISK FAULT INJECTION ACTIVE: %s\n", *faultDisk)
+	}
+
 	store := tsdb.New(tsdb.Config{Shards: *shards, RingLen: *ring})
 	var blocks *block.Store
 	if *blocksDir != "" {
@@ -153,6 +171,8 @@ func main() {
 			Retention5m:     *retain5m,
 			Retention1h:     *retain1h,
 			CompactInterval: *compactEvery,
+			ScrubInterval:   *scrubEvery,
+			FS:              fsys,
 		})
 		if err != nil {
 			fatal(err)
@@ -185,12 +205,16 @@ func main() {
 		// Fail fast: a missing, unwritable, or already-locked data dir is
 		// refused here, before any listener exists.
 		srv, err = serve.NewDurable(store, bdt, cfg, serve.DurabilityConfig{
-			Dir:              *dataDir,
-			Policy:           policy,
-			SyncInterval:     *fsyncEvery,
-			SegmentBytes:     *segBytes,
-			SnapshotInterval: *snapEvery,
-			SnapshotEvery:    *snapBatch,
+			Dir:               *dataDir,
+			Policy:            policy,
+			SyncInterval:      *fsyncEvery,
+			SegmentBytes:      *segBytes,
+			SnapshotInterval:  *snapEvery,
+			SnapshotEvery:     *snapBatch,
+			FS:                fsys,
+			DiskCheckInterval: *diskCheck,
+			DiskLowBytes:      *diskLow,
+			DiskResumeBytes:   *diskResume,
 			Replication: &serve.ReplicationConfig{
 				Role:           *role,
 				PrimaryURL:     *follow,

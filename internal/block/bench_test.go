@@ -139,7 +139,7 @@ func BenchmarkRangeScan(b *testing.B) {
 	var pts []Point
 	for i := 0; i < b.N; i++ {
 		day := int64(i%6) * 86400
-		pts, err = q.Range(0, day, day+86400-1)
+		pts, _, err = q.Range(0, day, day+86400-1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -38,11 +38,18 @@ func (a AggPoint) Mean() float64 {
 	return a.Sum / float64(a.Count)
 }
 
+// ErrCorrupt is the sentinel every corruption condition wraps — failed
+// chunk CRCs, impossible lengths, damaged trailers. The query path
+// matches it with errors.Is to tell bit rot (quarantine the block and
+// fall back to surviving tiers) from transient I/O errors (fail the
+// read, touch nothing).
+var ErrCorrupt = fmt.Errorf("block: corrupt")
+
 // corruptf wraps a chunk/file corruption condition; all decode errors
 // are regular errors (never panics), so a torn or bit-flipped block is
 // an operational event, not a crash.
 func corruptf(format string, args ...any) error {
-	return fmt.Errorf("block: corrupt: "+format, args...)
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
 }
 
 // ---- timestamp delta-of-delta codec -------------------------------------

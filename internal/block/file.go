@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"hpcpower/internal/vfs"
 )
 
 // Tier identifies a resolution level of the store.
@@ -138,7 +140,7 @@ type encodedSeries struct {
 }
 
 // writeBlockFile assembles and atomically publishes one block file.
-func writeBlockFile(path string, tier Tier, windowStart, windowLen int64, series []encodedSeries) (*BlockInfo, error) {
+func writeBlockFile(fsys vfs.FS, path string, tier Tier, windowStart, windowLen int64, series []encodedSeries) (*BlockInfo, error) {
 	sort.Slice(series, func(a, b int) bool { return series[a].node < series[b].node })
 
 	buf := make([]byte, 0, 4096)
@@ -183,32 +185,29 @@ func writeBlockFile(path string, tier Tier, windowStart, windowLen int64, series
 	// fsync the directory — a crash leaves either no file or a complete
 	// one, never a torn block.
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return nil, err
 	}
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync()
-		dir.Close()
-	}
+	_ = fsys.SyncDir(filepath.Dir(path))
 	info.Bytes = int64(len(buf))
 	return info, nil
 }
@@ -216,8 +215,8 @@ func writeBlockFile(path string, tier Tier, windowStart, windowLen int64, series
 // OpenBlock validates a block file's trailer, index, and header and
 // returns its catalog record. Chunk payloads are not read (and not CRC
 // checked) here — readChunk verifies each on access.
-func OpenBlock(path string) (*BlockInfo, error) {
-	st, err := os.Stat(path)
+func OpenBlock(fsys vfs.FS, path string) (*BlockInfo, error) {
+	st, err := fsys.Stat(path)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +224,7 @@ func OpenBlock(path string) (*BlockInfo, error) {
 	if size < headerLen+frameHdrLen+4+trailerLen {
 		return nil, corruptf("%s: %d bytes is too small for a block", filepath.Base(path), size)
 	}
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -316,16 +315,19 @@ func OpenBlock(path string) (*BlockInfo, error) {
 	return info, nil
 }
 
-// readChunk reads and CRC-verifies one series' chunk payload.
-func readChunk(info *BlockInfo, e IndexEntry) ([]byte, error) {
-	f, err := os.Open(info.Path)
+// readChunk reads and CRC-verifies one series' chunk payload. Only
+// wrong bytes (CRC/length mismatches) classify as ErrCorrupt; a failed
+// ReadAt is a transient I/O error and must not get a good block
+// quarantined.
+func readChunk(fsys vfs.FS, info *BlockInfo, e IndexEntry) ([]byte, error) {
+	f, err := fsys.Open(info.Path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	frame := make([]byte, frameHdrLen+e.Len)
 	if _, err := f.ReadAt(frame, e.Off); err != nil {
-		return nil, corruptf("%s: series %d: %v", filepath.Base(info.Path), e.Node, err)
+		return nil, fmt.Errorf("block: %s: series %d: %w", filepath.Base(info.Path), e.Node, err)
 	}
 	if int(binary.LittleEndian.Uint32(frame[0:4])) != e.Len {
 		return nil, corruptf("%s: series %d frame length mismatch", filepath.Base(info.Path), e.Node)

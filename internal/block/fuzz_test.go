@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"hpcpower/internal/vfs"
 )
 
 var (
@@ -116,12 +118,12 @@ func FuzzBlockIndex(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		info, err := OpenBlock(path)
+		info, err := OpenBlock(vfs.OS, path)
 		if err != nil {
 			return // rejected: the only acceptable alternative to success
 		}
 		for _, e := range info.Series {
-			payload, err := readChunk(info, e)
+			payload, err := readChunk(vfs.OS, info, e)
 			if err != nil {
 				continue
 			}

@@ -1,12 +1,21 @@
 package block
 
 import (
+	"errors"
 	"math"
 	"sort"
 )
 
 // Querier is the read API over a Store. All reads operate on the
 // immutable published blocks, so they never contend with flushes.
+//
+// Every method returns a degraded flag alongside its result: false
+// means the answer covers everything the catalog held when the query
+// started; true means corruption was detected mid-read — the damaged
+// block was quarantined, the query retried against the surviving tiers
+// (rollups are exact, so an interior window answers identically), and
+// the result is the best the remaining bytes can prove. Callers surface
+// the flag instead of failing the query.
 type Querier struct {
 	s *Store
 }
@@ -14,33 +23,73 @@ type Querier struct {
 // Querier returns the store's read API.
 func (s *Store) Querier() *Querier { return &Querier{s: s} }
 
+// healRetries bounds the quarantine-and-retry loop. Each retry removes
+// one corrupt block from the catalog, so the loop terminates on its
+// own; the bound is a backstop against a pathological catalog.
+const healRetries = 64
+
+// heal runs fn, and when it trips over a provably corrupt block,
+// quarantines that block and retries — the read path is the scrubber of
+// last resort. Transient I/O errors pass through untouched.
+func (q *Querier) heal(fn func() error) (degraded bool, err error) {
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		var ce *CorruptBlockError
+		if err == nil || !errors.As(err, &ce) || attempt >= healRetries {
+			return degraded, err
+		}
+		degraded = true
+		q.s.scrubCorrupt.Add(1)
+		q.s.quarantine(ce.Block, ce.Reason)
+	}
+}
+
+// corruptIn ties a corruption error to the block it surfaced in so heal
+// knows what to quarantine.
+func corruptIn(b *BlockInfo, err error) error {
+	if err != nil && errors.Is(err, ErrCorrupt) {
+		var ce *CorruptBlockError
+		if !errors.As(err, &ce) {
+			return &CorruptBlockError{Block: b, Reason: err.Error()}
+		}
+	}
+	return err
+}
+
 // Range returns the node's raw points with from ≤ t ≤ to (to ≤ 0 means
 // unbounded above), in time order, decoded from raw-tier chunks. Window
 // bounds in the index let whole blocks and whole chunks be skipped
 // without decoding.
-func (q *Querier) Range(node int, from, to int64) ([]Point, error) {
+func (q *Querier) Range(node int, from, to int64) ([]Point, bool, error) {
 	var out []Point
-	for _, b := range q.s.tierBlocks(TierRaw, from, to) {
-		e, ok := b.entry(node)
-		if !ok || e.MaxT < from || (to > 0 && e.MinT > to) {
-			continue
-		}
-		payload, err := readChunk(b, e)
-		if err != nil {
-			return nil, err
-		}
-		pts, err := DecodeChunk(payload)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range pts {
-			if p.T < from || (to > 0 && p.T > to) {
+	degraded, err := q.heal(func() error {
+		out = out[:0]
+		for _, b := range q.s.tierBlocks(TierRaw, from, to) {
+			e, ok := b.entry(node)
+			if !ok || e.MaxT < from || (to > 0 && e.MinT > to) {
 				continue
 			}
-			out = append(out, p)
+			payload, err := readChunk(q.s.fsys, b, e)
+			if err != nil {
+				return corruptIn(b, err)
+			}
+			pts, err := DecodeChunk(payload)
+			if err != nil {
+				return corruptIn(b, err)
+			}
+			for _, p := range pts {
+				if p.T < from || (to > 0 && p.T > to) {
+					continue
+				}
+				out = append(out, p)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, degraded, err
 	}
-	return out, nil
+	return out, degraded, nil
 }
 
 // tierFor picks the coarsest tier whose step divides the requested one —
@@ -67,44 +116,53 @@ func tierFor(step int64) Tier {
 // windows not yet compacted; windows straddling from/to are re-rolled
 // from raw so edge buckets never include out-of-range samples. The
 // walk covers the union of windows across all tiers, so aggregates
-// keep serving from rollups after raw blocks age out of retention.
-func (q *Querier) RangeAgg(node int, from, to, step int64) ([]AggPoint, error) {
+// keep serving from rollups after raw blocks age out of retention —
+// and, via the same fallback, after a corrupt block is quarantined
+// mid-query (degraded reports that).
+func (q *Querier) RangeAgg(node int, from, to, step int64) ([]AggPoint, bool, error) {
 	if step <= 0 {
 		step = 60
 	}
 	pref := tierFor(step)
-	idx := map[int64]int{}
 	var out []AggPoint
-	merge := func(aggs []AggPoint) {
-		for _, a := range aggs {
-			b := a.T - mod(a.T, step)
-			i, ok := idx[b]
-			if !ok {
-				idx[b] = len(out)
-				a.T = b
-				out = append(out, a)
-				continue
-			}
-			dst := &out[i]
-			dst.Count += a.Count
-			dst.Sum += a.Sum
-			if a.Min < dst.Min {
-				dst.Min = a.Min
-			}
-			if a.Max > dst.Max {
-				dst.Max = a.Max
+	degraded, err := q.heal(func() error {
+		idx := map[int64]int{}
+		out = out[:0]
+		merge := func(aggs []AggPoint) {
+			for _, a := range aggs {
+				b := a.T - mod(a.T, step)
+				i, ok := idx[b]
+				if !ok {
+					idx[b] = len(out)
+					a.T = b
+					out = append(out, a)
+					continue
+				}
+				dst := &out[i]
+				dst.Count += a.Count
+				dst.Sum += a.Sum
+				if a.Min < dst.Min {
+					dst.Min = a.Min
+				}
+				if a.Max > dst.Max {
+					dst.Max = a.Max
+				}
 			}
 		}
-	}
-	for _, w := range q.s.windows(from, to) {
-		aggs, err := q.windowAggs(w, node, pref, step, from, to)
-		if err != nil {
-			return nil, err
+		for _, w := range q.s.windows(from, to) {
+			aggs, err := q.windowAggs(w, node, pref, step, from, to)
+			if err != nil {
+				return err
+			}
+			merge(aggs)
 		}
-		merge(aggs)
+		return nil
+	})
+	if err != nil {
+		return nil, degraded, err
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].T < out[b].T })
-	return out, nil
+	return out, degraded, nil
 }
 
 // windowAggs produces range-filtered aggregates for one window, reading
@@ -126,11 +184,12 @@ func (q *Querier) windowAggs(w windowBlocks, node int, pref Tier, step, from, to
 			if !ok {
 				return nil, nil
 			}
-			payload, err := readChunk(b, e)
+			payload, err := readChunk(q.s.fsys, b, e)
 			if err != nil {
-				return nil, err
+				return nil, corruptIn(b, err)
 			}
-			return DecodeAggChunk(payload)
+			aggs, err := DecodeAggChunk(payload)
+			return aggs, corruptIn(b, err)
 		}
 	}
 	// Raw path: not yet compacted, or a boundary window whose edge
@@ -140,13 +199,13 @@ func (q *Querier) windowAggs(w windowBlocks, node int, pref Tier, step, from, to
 		if !ok {
 			return nil, nil
 		}
-		payload, err := readChunk(raw, e)
+		payload, err := readChunk(q.s.fsys, raw, e)
 		if err != nil {
-			return nil, err
+			return nil, corruptIn(raw, err)
 		}
 		pts, err := DecodeChunk(payload)
 		if err != nil {
-			return nil, err
+			return nil, corruptIn(raw, err)
 		}
 		if !interior {
 			kept := pts[:0]
@@ -175,13 +234,13 @@ func (q *Querier) windowAggs(w windowBlocks, node int, pref Tier, step, from, to
 		if !ok {
 			return nil, nil
 		}
-		payload, err := readChunk(b, e)
+		payload, err := readChunk(q.s.fsys, b, e)
 		if err != nil {
-			return nil, err
+			return nil, corruptIn(b, err)
 		}
 		aggs, err := DecodeAggChunk(payload)
 		if err != nil {
-			return nil, err
+			return nil, corruptIn(b, err)
 		}
 		kept := aggs[:0]
 		for _, a := range aggs {
@@ -198,40 +257,49 @@ func (q *Querier) windowAggs(w windowBlocks, node int, pref Tier, step, from, to
 // EachValue streams every raw value of the given nodes inside [from, to]
 // (to ≤ 0 unbounded) to fn, one chunk at a time — ECDF and quantile
 // extraction over months of data without materializing whole series.
-// A nil or empty nodes slice means all nodes.
-func (q *Querier) EachValue(nodes []int, from, to int64, fn func(node int, t int64, v float64)) error {
+// A nil or empty nodes slice means all nodes. On corruption the damaged
+// block is quarantined and the whole stream restarts (degraded=true),
+// so fn must be restartable — reset accumulated state when it is called
+// after an error-free prefix. Callers below buffer values and reset the
+// buffer via the restart callback.
+func (q *Querier) EachValue(nodes []int, from, to int64, restart func(), fn func(node int, t int64, v float64)) (bool, error) {
 	want := map[int]struct{}{}
 	for _, n := range nodes {
 		want[n] = struct{}{}
 	}
-	for _, b := range q.s.tierBlocks(TierRaw, from, to) {
-		for i := range b.Series {
-			e := b.Series[i]
-			if len(want) > 0 {
-				if _, ok := want[e.Node]; !ok {
+	return q.heal(func() error {
+		if restart != nil {
+			restart()
+		}
+		for _, b := range q.s.tierBlocks(TierRaw, from, to) {
+			for i := range b.Series {
+				e := b.Series[i]
+				if len(want) > 0 {
+					if _, ok := want[e.Node]; !ok {
+						continue
+					}
+				}
+				if e.MaxT < from || (to > 0 && e.MinT > to) {
 					continue
 				}
-			}
-			if e.MaxT < from || (to > 0 && e.MinT > to) {
-				continue
-			}
-			payload, err := readChunk(b, e)
-			if err != nil {
-				return err
-			}
-			pts, err := DecodeChunk(payload)
-			if err != nil {
-				return err
-			}
-			for _, p := range pts {
-				if p.T < from || (to > 0 && p.T > to) {
-					continue
+				payload, err := readChunk(q.s.fsys, b, e)
+				if err != nil {
+					return corruptIn(b, err)
 				}
-				fn(e.Node, p.T, p.V)
+				pts, err := DecodeChunk(payload)
+				if err != nil {
+					return corruptIn(b, err)
+				}
+				for _, p := range pts {
+					if p.T < from || (to > 0 && p.T > to) {
+						continue
+					}
+					fn(e.Node, p.T, p.V)
+				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Quantiles returns the requested quantiles (each in [0,1]) of all raw
@@ -239,17 +307,17 @@ func (q *Querier) EachValue(nodes []int, from, to int64, fn func(node int, t int
 // convention as internal/stats: q of n sorted values is the element at
 // ceil(q·n)−1. The value set is collected chunk-by-chunk; only the
 // float64 values (8 bytes each) are held, never the decoded points.
-func (q *Querier) Quantiles(nodes []int, from, to int64, qs []float64) ([]float64, error) {
+func (q *Querier) Quantiles(nodes []int, from, to int64, qs []float64) ([]float64, bool, error) {
 	var vals []float64
-	err := q.EachValue(nodes, from, to, func(_ int, _ int64, v float64) {
-		vals = append(vals, v)
-	})
+	degraded, err := q.EachValue(nodes, from, to,
+		func() { vals = vals[:0] },
+		func(_ int, _ int64, v float64) { vals = append(vals, v) })
 	if err != nil {
-		return nil, err
+		return nil, degraded, err
 	}
 	out := make([]float64, len(qs))
 	if len(vals) == 0 {
-		return out, nil
+		return out, degraded, nil
 	}
 	sort.Float64s(vals)
 	for i, qq := range qs {
@@ -270,5 +338,5 @@ func (q *Querier) Quantiles(nodes []int, from, to int64, qs []float64) ([]float6
 		}
 		out[i] = vals[k]
 	}
-	return out, nil
+	return out, degraded, nil
 }

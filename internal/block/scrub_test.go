@@ -1,0 +1,142 @@
+package block
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// flipByte corrupts one byte of a file in place, bypassing the vfs so
+// the damage looks like silent media rot.
+func flipByte(t *testing.T, path string, off int) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off += len(b)
+	}
+	b[off] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubCleanPass(t *testing.T) {
+	s := newTestStore(t, Config{WindowSeconds: 7200})
+	fillStore(t, s, []int{0, 1}, 2)
+	if _, err := s.CompactPending(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Scrub()
+	if rep.Blocks != 6 { // 2 windows × 3 tiers
+		t.Fatalf("scrubbed %d blocks, want 6", rep.Blocks)
+	}
+	if rep.Chunks == 0 {
+		t.Fatal("scrub verified no chunks")
+	}
+	if rep.Corrupt != 0 || rep.Quarantined != 0 {
+		t.Fatalf("clean store reported corrupt=%d quarantined=%d", rep.Corrupt, rep.Quarantined)
+	}
+	st := s.Stats()
+	if st.ScrubRuns != 1 || st.ScrubLastUnix == 0 {
+		t.Fatalf("scrub accounting wrong: %+v", st)
+	}
+}
+
+func TestScrubQuarantinesCorruptBlockAndRollupsStillServe(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, Config{Dir: dir, WindowSeconds: 7200})
+	truth := fillStore(t, s, []int{4}, 2)
+	if _, err := s.CompactPending(); err != nil {
+		t.Fatal(err)
+	}
+	// Rot a chunk payload byte in the first raw block — index stays
+	// valid, so only a CRC re-check can see it.
+	victim := filepath.Join(dir, blockName(TierRaw, 0))
+	flipByte(t, victim, headerLen+frameHdrLen+2)
+
+	rep := s.Scrub()
+	if rep.Corrupt != 1 || rep.Quarantined != 1 {
+		t.Fatalf("scrub found corrupt=%d quarantined=%d, want 1/1", rep.Corrupt, rep.Quarantined)
+	}
+	if _, err := os.Stat(victim + quarantineSuffix); err != nil {
+		t.Fatalf("corrupt block not renamed aside: %v", err)
+	}
+	if got := s.Stats().Raw.Blocks; got != 1 {
+		t.Fatalf("catalog still holds %d raw blocks, want 1", got)
+	}
+
+	// Aggregates keep answering exactly: the quarantined window falls
+	// back to its surviving 5m rollup, which carries the same counts.
+	aggs, degraded, err := s.Querier().RangeAgg(4, 0, 0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded {
+		t.Fatal("post-scrub query reported degraded (rollups should be healthy)")
+	}
+	want := Rollup(truth[4], 300)
+	sort.Slice(want, func(a, b int) bool { return want[a].T < want[b].T })
+	if len(aggs) != len(want) {
+		t.Fatalf("%d buckets, want %d", len(aggs), len(want))
+	}
+	for i := range want {
+		if aggs[i] != want[i] {
+			t.Fatalf("bucket %d: %+v want %+v", i, aggs[i], want[i])
+		}
+	}
+
+	// A second pass has nothing left to find.
+	if rep := s.Scrub(); rep.Corrupt != 0 {
+		t.Fatalf("second scrub re-found %d corrupt blocks", rep.Corrupt)
+	}
+}
+
+func TestOpenQuarantinesRottedBlock(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, Config{Dir: dir, WindowSeconds: 7200})
+	fillStore(t, s, []int{1}, 2)
+	// Damage the index region: OpenBlock itself must reject the file.
+	victim := filepath.Join(dir, blockName(TierRaw, 0))
+	flipByte(t, victim, -30)
+
+	s2 := newTestStore(t, Config{Dir: dir, WindowSeconds: 7200})
+	if got := s2.Stats().Raw.Blocks; got != 1 {
+		t.Fatalf("rotted block not dropped: %d raw blocks, want 1", got)
+	}
+	if _, err := os.Stat(victim + quarantineSuffix); err != nil {
+		t.Fatalf("rotted block not quarantined at open: %v", err)
+	}
+	// A third open counts the quarantine file without re-quarantining.
+	s3 := newTestStore(t, Config{Dir: dir, WindowSeconds: 7200})
+	if st := s3.Stats(); st.QuarantineFiles != 1 || st.Quarantined != 0 {
+		t.Fatalf("reopen accounting wrong: files=%d renamed=%d", st.QuarantineFiles, st.Quarantined)
+	}
+}
+
+func TestCompactSkipsCorruptRawWindow(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, Config{Dir: dir, WindowSeconds: 7200})
+	fillStore(t, s, []int{2}, 2)
+	victim := filepath.Join(dir, blockName(TierRaw, 0))
+	flipByte(t, victim, headerLen+frameHdrLen+2)
+
+	// The corrupt window is quarantined and skipped; the healthy window
+	// still gets both rollups and the compactor does not wedge.
+	n, err := s.CompactPending()
+	if err != nil {
+		t.Fatalf("compact errored on corrupt window: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("built %d rollups, want 2 (healthy window only)", n)
+	}
+	if _, err := os.Stat(victim + quarantineSuffix); err != nil {
+		t.Fatalf("corrupt raw block not quarantined by compactor: %v", err)
+	}
+	if n, err := s.CompactPending(); err != nil || n != 0 {
+		t.Fatalf("second compact: built=%d err=%v, want 0/nil", n, err)
+	}
+}

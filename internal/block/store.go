@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hpcpower/internal/vfs"
 )
 
 // DefaultWindowSeconds is the time span of one block file: two hours,
@@ -43,6 +45,13 @@ type Config struct {
 	ObserveFlush func(time.Duration)
 	// ObserveCompact, if set, receives the duration of each rollup build.
 	ObserveCompact func(time.Duration)
+	// ScrubInterval is the cadence of the background integrity scrubber
+	// started by Start. 0 disables background scrubbing (Scrub stays
+	// callable).
+	ScrubInterval time.Duration
+	// FS is the filesystem blocks are written and read through. Nil
+	// means vfs.OS; tests and fault drills inject a vfs.FaultFS here.
+	FS vfs.FS
 }
 
 // Store is the on-disk block store: an immutable set of time-partitioned
@@ -50,7 +59,8 @@ type Config struct {
 // footers. All methods are safe for concurrent use; files are immutable
 // once published, so readers never lock against each other.
 type Store struct {
-	cfg Config
+	cfg  Config
+	fsys vfs.FS
 
 	// sealMu serializes every publish of a block file (flush and
 	// compaction): the dup-check, the tmp+rename write, and the catalog
@@ -68,6 +78,13 @@ type Store struct {
 	gcDeleted   atomic.Int64
 	flushes     atomic.Int64
 
+	// Integrity-scrubber accounting (see scrub.go).
+	scrubRuns     atomic.Int64
+	scrubLastUnix atomic.Int64
+	scrubCorrupt  atomic.Int64 // corrupt blocks found by scrubs + read-path detection
+	quarantined   atomic.Int64 // blocks renamed to *.quarantine this process
+	quarantineNow atomic.Int64 // *.quarantine files currently in the dir
+
 	stopc    chan struct{}
 	stopOnce sync.Once
 	loopWG   sync.WaitGroup
@@ -83,7 +100,10 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.CompactInterval <= 0 {
 		cfg.CompactInterval = 30 * time.Second
 	}
-	st, err := os.Stat(cfg.Dir)
+	if cfg.FS == nil {
+		cfg.FS = vfs.OS
+	}
+	st, err := cfg.FS.Stat(cfg.Dir)
 	switch {
 	case os.IsNotExist(err):
 		return nil, fmt.Errorf("block: dir %s does not exist (create it first)", cfg.Dir)
@@ -92,27 +112,39 @@ func Open(cfg Config) (*Store, error) {
 	case !st.IsDir():
 		return nil, fmt.Errorf("block: %s is not a directory", cfg.Dir)
 	}
-	s := &Store{cfg: cfg, stopc: make(chan struct{})}
+	s := &Store{cfg: cfg, fsys: cfg.FS, stopc: make(chan struct{})}
 	for t := range s.blocks {
 		s.blocks[t] = map[int64]*BlockInfo{}
 	}
-	entries, err := os.ReadDir(cfg.Dir)
+	entries, err := s.fsys.ReadDir(cfg.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("block: scanning %s: %w", cfg.Dir, err)
 	}
 	for _, de := range entries {
 		name := de.Name()
 		if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(cfg.Dir, name))
+			s.fsys.Remove(filepath.Join(cfg.Dir, name))
+			continue
+		}
+		if strings.HasSuffix(name, quarantineSuffix) {
+			s.quarantineNow.Add(1)
 			continue
 		}
 		if !strings.HasSuffix(name, ".blk") {
 			continue
 		}
-		info, err := OpenBlock(filepath.Join(cfg.Dir, name))
+		path := filepath.Join(cfg.Dir, name)
+		info, err := OpenBlock(s.fsys, path)
 		if err != nil {
-			// A corrupt block is skipped, not fatal: the store serves what
-			// it can and the operator keeps the evidence on disk.
+			if errors.Is(err, ErrCorrupt) {
+				// Damaged on disk while we were away: quarantine it now so
+				// the catalog only ever holds servable blocks and the
+				// evidence survives under a name no reader trusts.
+				s.quarantinePath(path)
+				s.scrubCorrupt.Add(1)
+			}
+			// Unreadable blocks (transient I/O errors) are skipped, not
+			// fatal: the store serves what it can.
 			continue
 		}
 		s.blocks[info.Tier][info.WindowStart] = info
@@ -228,7 +260,7 @@ func (s *Store) WriteRaw(windowStart int64, series map[int][]Point) (*BlockInfo,
 		return nil, ErrExists
 	}
 	path := filepath.Join(s.cfg.Dir, blockName(TierRaw, windowStart))
-	info, err := writeBlockFile(path, TierRaw, windowStart, win, enc)
+	info, err := writeBlockFile(s.fsys, path, TierRaw, windowStart, win, enc)
 	if err != nil {
 		return nil, err
 	}
@@ -289,15 +321,23 @@ func (s *Store) compactWindow(raw *BlockInfo) (int, error) {
 	}
 	series := make([]decoded, 0, len(raw.Series))
 	for _, e := range raw.Series {
-		payload, err := readChunk(raw, e)
-		if err != nil {
-			return 0, err
+		payload, err := readChunk(s.fsys, raw, e)
+		if err == nil {
+			var pts []Point
+			if pts, err = DecodeChunk(payload); err == nil {
+				series = append(series, decoded{node: e.Node, pts: pts})
+				continue
+			}
 		}
-		pts, err := DecodeChunk(payload)
-		if err != nil {
-			return 0, err
+		if errors.Is(err, ErrCorrupt) {
+			// The raw block rotted before its rollups were built:
+			// quarantine it and skip the window — the data this rollup
+			// would have carried is gone either way, and leaving the
+			// corrupt block cataloged would wedge the compactor forever.
+			s.quarantine(raw, err.Error())
+			return 0, nil
 		}
-		series = append(series, decoded{node: e.Node, pts: pts})
+		return 0, err
 	}
 	built := 0
 	for _, tier := range []Tier{Tier5m, Tier1h} {
@@ -343,7 +383,7 @@ func (s *Store) compactWindow(raw *BlockInfo) (int, error) {
 			continue
 		}
 		path := filepath.Join(s.cfg.Dir, blockName(tier, raw.WindowStart))
-		info, err := writeBlockFile(path, tier, raw.WindowStart, raw.WindowLen, enc)
+		info, err := writeBlockFile(s.fsys, path, tier, raw.WindowStart, raw.WindowLen, enc)
 		if err != nil {
 			s.sealMu.Unlock()
 			return built, err
@@ -387,7 +427,7 @@ func (s *Store) EnforceRetention(now time.Time) (int, error) {
 		}
 		s.mu.Unlock()
 		for _, b := range victims {
-			if err := os.Remove(b.Path); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			if err := s.fsys.Remove(b.Path); err != nil && !os.IsNotExist(err) && firstErr == nil {
 				firstErr = err
 			}
 			removed++
@@ -418,6 +458,22 @@ func (s *Store) Start() {
 			}
 		}
 	}()
+	if s.cfg.ScrubInterval > 0 {
+		s.loopWG.Add(1)
+		go func() {
+			defer s.loopWG.Done()
+			t := time.NewTicker(s.cfg.ScrubInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stopc:
+					return
+				case <-t.C:
+					s.Scrub()
+				}
+			}
+		}()
+	}
 }
 
 // Stop terminates the background loop started by Start.
@@ -443,6 +499,11 @@ type Stats struct {
 	Compactions       int64     `json:"compactions"`
 	RetentionUnlinked int64     `json:"retention_unlinked"`
 	FrontierUnix      int64     `json:"frontier_unix"`
+	ScrubRuns         int64     `json:"scrub_runs"`
+	ScrubLastUnix     int64     `json:"scrub_last_unix"` // 0 = never scrubbed
+	ScrubCorrupt      int64     `json:"scrub_corrupt"`
+	Quarantined       int64     `json:"quarantined"`      // renamed this process
+	QuarantineFiles   int64     `json:"quarantine_files"` // *.quarantine now on disk
 	// BytesPerSample is the raw tier's storage cost per sample — the
 	// headline number against the in-memory ring's 16 bytes/point.
 	BytesPerSample float64 `json:"bytes_per_sample"`
@@ -473,6 +534,11 @@ func (s *Store) Stats() Stats {
 	out.Compactions = s.compactions.Load()
 	out.RetentionUnlinked = s.gcDeleted.Load()
 	out.FrontierUnix = frontier
+	out.ScrubRuns = s.scrubRuns.Load()
+	out.ScrubLastUnix = s.scrubLastUnix.Load()
+	out.ScrubCorrupt = s.scrubCorrupt.Load()
+	out.Quarantined = s.quarantined.Load()
+	out.QuarantineFiles = s.quarantineNow.Load()
 	if out.Raw.Samples > 0 {
 		out.BytesPerSample = float64(out.Raw.Bytes) / float64(out.Raw.Samples)
 	}

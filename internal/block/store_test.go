@@ -83,7 +83,7 @@ func TestStoreRoundTripAndRescan(t *testing.T) {
 	check := func(s *Store, label string) {
 		t.Helper()
 		for node, want := range truth {
-			got, err := s.Querier().Range(node, 0, 0)
+			got, _, err := s.Querier().Range(node, 0, 0)
 			if err != nil {
 				t.Fatalf("%s: range node %d: %v", label, node, err)
 			}
@@ -183,8 +183,24 @@ func TestChunkCRCVerifiedOnRead(t *testing.T) {
 	if s2.Stats().Raw.Blocks != 1 {
 		t.Fatal("block with corrupt chunk should still open (index is intact)")
 	}
-	if _, err := s2.Querier().Range(1, 0, 0); err == nil {
-		t.Fatal("corrupt chunk served without error")
+	// Read-time detection self-heals: the corrupt block is quarantined,
+	// the query retries against what survives, and the degraded flag —
+	// not an error — reports the loss.
+	pts, degraded, err := s2.Querier().Range(1, 0, 0)
+	if err != nil {
+		t.Fatalf("corrupt chunk should degrade, not fail: %v", err)
+	}
+	if !degraded {
+		t.Fatal("corrupt chunk read did not set degraded")
+	}
+	if len(pts) != 0 {
+		t.Fatalf("quarantined block still served %d points", len(pts))
+	}
+	if _, err := os.Stat(path + quarantineSuffix); err != nil {
+		t.Fatalf("corrupt block not quarantined: %v", err)
+	}
+	if st := s2.Stats(); st.Quarantined < 1 || st.QuarantineFiles < 1 {
+		t.Fatalf("quarantine counters not bumped: %+v", st)
 	}
 }
 
@@ -201,7 +217,7 @@ func TestCompactionRollupsExact(t *testing.T) {
 	q := s.Querier()
 	for node, raw := range truth {
 		for _, step := range []int64{300, 3600} {
-			aggs, err := q.RangeAgg(node, 0, 0, step)
+			aggs, _, err := q.RangeAgg(node, 0, 0, step)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -224,7 +240,7 @@ func TestRangeAggFallsBackToRawBeforeCompaction(t *testing.T) {
 	truth := fillStore(t, s, []int{3}, 2)
 	// No CompactPending: RangeAgg must still produce exact buckets by
 	// rolling up the raw chunks on the fly.
-	aggs, err := s.Querier().RangeAgg(3, 0, 0, 300)
+	aggs, _, err := s.Querier().RangeAgg(3, 0, 0, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +260,7 @@ func TestRangeWindowFiltering(t *testing.T) {
 	truth := fillStore(t, s, []int{0}, 3)
 	q := s.Querier()
 	from, to := int64(7200+600), int64(2*7200+900)
-	got, err := q.Range(0, from, to)
+	got, _, err := q.Range(0, from, to)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +278,7 @@ func TestRangeWindowFiltering(t *testing.T) {
 			t.Fatalf("point %d: %+v want %+v", i, got[i], want[i])
 		}
 	}
-	if pts, err := q.Range(42, 0, 0); err != nil || len(pts) != 0 {
+	if pts, _, err := q.Range(42, 0, 0); err != nil || len(pts) != 0 {
 		t.Fatalf("unknown node returned %d points (%v)", len(pts), err)
 	}
 }
@@ -277,14 +293,14 @@ func TestEachValueAndQuantiles(t *testing.T) {
 		}
 	}
 	var streamed int
-	err := s.Querier().EachValue(nil, 0, 0, func(_ int, _ int64, _ float64) { streamed++ })
+	_, err := s.Querier().EachValue(nil, 0, 0, func() { streamed = 0 }, func(_ int, _ int64, _ float64) { streamed++ })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if streamed != len(all) {
 		t.Fatalf("streamed %d values, want %d", streamed, len(all))
 	}
-	qs, err := s.Querier().Quantiles(nil, 0, 0, []float64{0, 0.5, 0.95, 1})
+	qs, _, err := s.Querier().Quantiles(nil, 0, 0, []float64{0, 0.5, 0.95, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +319,7 @@ func TestEachValueAndQuantiles(t *testing.T) {
 
 	// Single-node filter.
 	var nodeOnly int
-	err = s.Querier().EachValue([]int{1}, 0, 0, func(n int, _ int64, _ float64) {
+	_, err = s.Querier().EachValue([]int{1}, 0, 0, func() { nodeOnly = 0 }, func(n int, _ int64, _ float64) {
 		if n != 1 {
 			t.Fatalf("filter leaked node %d", n)
 		}
@@ -349,7 +365,7 @@ func TestEnforceRetention(t *testing.T) {
 	// Aggregate queries keep serving — exactly — from the surviving
 	// rollup tiers: that is the point of per-tier retention (drop raw
 	// after 30 days, keep rollups for years).
-	aggs, err := s.Querier().RangeAgg(0, 0, 0, 300)
+	aggs, _, err := s.Querier().RangeAgg(0, 0, 0, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +446,7 @@ func TestWriteRawConcurrentSealSingleWinner(t *testing.T) {
 	// the winner's data back CRC-clean.
 	reopened := newTestStore(t, Config{Dir: dir, WindowSeconds: 7200})
 	for _, st := range []*Store{s, reopened} {
-		pts, err := st.Querier().Range(0, 0, 0)
+		pts, _, err := st.Querier().Range(0, 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -459,7 +475,7 @@ func TestRangeAggEdgeBucketsMatchRawFilter(t *testing.T) {
 		{7200, 2*7200 - 1}, // exactly one interior window
 	} {
 		for _, step := range []int64{300, 3600} {
-			got, err := s.Querier().RangeAgg(3, tc.from, tc.to, step)
+			got, _, err := s.Querier().RangeAgg(3, tc.from, tc.to, step)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -505,7 +521,7 @@ func TestRangeAggClipsRollupEdgesAfterRawRetention(t *testing.T) {
 		t.Fatal("raw tier survived retention — test is vacuous")
 	}
 	to := int64(450) // middle of the second 5m bucket
-	aggs, err := s.Querier().RangeAgg(0, 0, to, 300)
+	aggs, _, err := s.Querier().RangeAgg(0, 0, to, 300)
 	if err != nil {
 		t.Fatal(err)
 	}

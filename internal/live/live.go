@@ -159,7 +159,7 @@ func Collect(store *tsdb.Store, system string, nodeTDPW float64) (core.LiveInput
 		})
 	}
 	var values []float64
-	err := store.EachValueMerged(nil, 0, 0, func(_ int, _ int64, v float64) {
+	_, err := store.EachValueMerged(nil, 0, 0, func() { values = values[:0] }, func(_ int, _ int64, v float64) {
 		values = append(values, v)
 	})
 	if err != nil {

@@ -1,0 +1,7 @@
+//go:build !(linux || darwin)
+
+package serve
+
+// diskUsage is unavailable on this platform; the watermark check is
+// skipped and degraded mode relies on the write probe alone.
+func diskUsage(path string) (free, total uint64, ok bool) { return 0, 0, false }

@@ -1,0 +1,16 @@
+//go:build linux || darwin
+
+package serve
+
+import "syscall"
+
+// diskUsage reports the filesystem's free (unprivileged) and total
+// bytes for the given path.
+func diskUsage(path string) (free, total uint64, ok bool) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil {
+		return 0, 0, false
+	}
+	bsize := uint64(st.Bsize)
+	return uint64(st.Bavail) * bsize, uint64(st.Blocks) * bsize, true
+}

@@ -12,6 +12,7 @@ import (
 	"hpcpower/internal/repl"
 	"hpcpower/internal/trace"
 	"hpcpower/internal/tsdb"
+	"hpcpower/internal/vfs"
 	"hpcpower/internal/wal"
 )
 
@@ -41,6 +42,21 @@ type DurabilityConfig struct {
 	// Replication configures the node's replication role; nil means a
 	// standalone primary (streamable, never following).
 	Replication *ReplicationConfig
+	// FS is the filesystem every durable artifact (WAL segments,
+	// snapshots, lock file, disk probe) goes through. Nil means vfs.OS;
+	// fault drills inject a vfs.FaultFS here.
+	FS vfs.FS
+	// DiskCheckInterval is the cadence of the storage-health monitor
+	// that flips ingest into degraded mode. 0 means 2 s.
+	DiskCheckInterval time.Duration
+	// DiskLowBytes degrades ingest when the data filesystem's free
+	// space falls below it. 0 disables the watermark check (the write
+	// probe still runs).
+	DiskLowBytes int64
+	// DiskResumeBytes is the hysteresis level: once degraded on space,
+	// ingest reopens only when free space exceeds it. 0 means
+	// 2×DiskLowBytes.
+	DiskResumeBytes int64
 }
 
 func (c *DurabilityConfig) withDefaults() DurabilityConfig {
@@ -56,6 +72,12 @@ func (c *DurabilityConfig) withDefaults() DurabilityConfig {
 	}
 	if d.KeepSnapshots <= 0 {
 		d.KeepSnapshots = 3
+	}
+	if d.FS == nil {
+		d.FS = vfs.OS
+	}
+	if d.DiskCheckInterval <= 0 {
+		d.DiskCheckInterval = 2 * time.Second
 	}
 	return d
 }
@@ -149,8 +171,12 @@ func (t *applyTracker) frontier() (uint64, []uint64) {
 // lock, the WAL, the apply tracker, and the snapshot scheduler.
 type durability struct {
 	cfg  DurabilityConfig
+	fsys vfs.FS
 	lock *wal.FileLock
 	log  *wal.Log
+
+	// disk is the storage-health monitor state (see disk.go).
+	disk diskState
 
 	// applyMu is the snapshot-consistency lock. Readers: the ingest
 	// accept path (dedup mark → WAL append → enqueue, one atomic unit)
@@ -194,7 +220,7 @@ type durability struct {
 // locked by a live instance) and opens the WAL without replaying it.
 func openDurability(cfg DurabilityConfig) (*durability, error) {
 	cfg = cfg.withDefaults()
-	lock, err := wal.LockDir(cfg.Dir)
+	lock, err := wal.LockDirFS(cfg.FS, cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +236,7 @@ func openDurability(cfg DurabilityConfig) (*durability, error) {
 	}
 	d := &durability{
 		cfg:        cfg,
+		fsys:       cfg.FS,
 		lock:       lock,
 		tracker:    newApplyTracker(0),
 		tombstoned: map[uint64]struct{}{},
@@ -254,7 +281,7 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 	start := time.Now()
 	rep := RecoveryReport{StaleLock: d.lock.Stale()}
 
-	snapLSN, payload, found, skipped, err := wal.LatestSnapshot(d.cfg.Dir)
+	snapLSN, payload, found, skipped, err := wal.LatestSnapshotFS(d.fsys, d.cfg.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("serve: reading snapshots: %w", err)
 	}
@@ -290,6 +317,7 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 		Policy:       d.cfg.Policy,
 		Interval:     d.cfg.SyncInterval,
 		NextLSNFloor: floor,
+		FS:           d.fsys,
 		// Latency hooks feed the serving registry: append and fsync
 		// distributions, plus records-per-fsync (group-commit size).
 		ObserveAppend:      s.metrics.walAppend.ObserveDuration,
@@ -401,9 +429,10 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 	s.ready.Store(true)
 
 	d.advanceRepl()
-	d.wg.Add(2)
+	d.wg.Add(3)
 	go d.snapshotLoop(s)
 	go d.advanceLoop()
+	go d.diskLoop()
 	if rs.cfg.Role == RoleFollower {
 		if err := rs.startFollower(s); err != nil {
 			return nil, fmt.Errorf("serve: starting follower pull loop: %w", err)
@@ -468,14 +497,14 @@ func (d *durability) snapshotOnce(s *Server) error {
 	if err != nil {
 		return err
 	}
-	if err := wal.WriteSnapshot(d.cfg.Dir, wm, payload); err != nil {
+	if err := wal.WriteSnapshotFS(d.fsys, d.cfg.Dir, wm, payload); err != nil {
 		return err
 	}
 	d.snapshots.Add(1)
 	d.snapLSN.Store(wm)
 	d.appendsSinceSnap.Add(-pending)
 	d.log.Reap(wm)
-	wal.ReapSnapshots(d.cfg.Dir, d.cfg.KeepSnapshots)
+	wal.ReapSnapshotsFS(d.fsys, d.cfg.Dir, d.cfg.KeepSnapshots)
 	return nil
 }
 
@@ -493,7 +522,13 @@ func (d *durability) collect(e *obs.Exposition) {
 		e.Gauge("powserved_wal_synced_lsn", float64(st.SyncedLSN))
 		e.Counter("powserved_wal_truncated_bytes_total", float64(st.TruncatedBytes))
 		e.Counter("powserved_wal_dropped_segments_total", float64(st.DroppedSegments))
+		e.Gauge("powserved_wal_poisoned", float64(b2i(st.Poisoned)))
 	}
+	e.Gauge("powserved_disk_degraded", float64(b2i(d.disk.degraded.Load())))
+	e.Gauge("powserved_disk_free_bytes", float64(d.disk.freeBytes.Load()))
+	e.Gauge("powserved_disk_total_bytes", float64(d.disk.totalBytes.Load()))
+	e.Counter("powserved_disk_transitions_total", float64(d.disk.transitions.Load()))
+	e.Counter("powserved_disk_probe_errors_total", float64(d.disk.probeErrors.Load()))
 	e.Counter("powserved_snapshots_total", float64(d.snapshots.Load()))
 	e.Counter("powserved_snapshot_errors_total", float64(d.snapshotErrors.Load()))
 	e.Gauge("powserved_snapshot_last_lsn", float64(d.snapLSN.Load()))

@@ -178,6 +178,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/query/nodes", s.metrics.instrument("query_nodes", s.handleQueryNodes))
 	s.mux.HandleFunc("GET /v1/query/distribution", s.metrics.instrument("query_distribution", s.handleQueryDistribution))
 	s.mux.HandleFunc("POST /v1/admin/flush", s.metrics.instrument("admin_flush", s.handleAdminFlush))
+	s.mux.HandleFunc("POST /v1/admin/scrub", s.metrics.instrument("admin_scrub", s.handleAdminScrub))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/traces/recent", s.metrics.traces.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -334,6 +335,15 @@ func (s *Server) retryAfter() int {
 	return retryAfterSeconds(len(s.ingestQ), cap(s.ingestQ))
 }
 
+// storageUnavailable answers a write request with the storage-degraded
+// 503: machine-readable code, Retry-After, and the marker header that
+// lets shippers tell "disk trouble, stay put" from "follower, rotate".
+func (s *Server) storageUnavailable(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+	w.Header().Set(HeaderStorageDegraded, "1")
+	errJSONCode(w, http.StatusServiceUnavailable, CodeStorageDegraded, "storage degraded: %s", reason)
+}
+
 // ingestResponse is the body of a 202 from POST /v1/samples. Duplicate
 // deliveries are acknowledged (the data is already counted — re-sending
 // would be wrong) with accepted=0 and duplicate=true.
@@ -354,6 +364,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.replGateIngest(w, r) {
+		return
+	}
+	if d := s.dur; d != nil && d.storageDegraded() {
+		// Reads keep serving; only the write path refuses while the data
+		// dir cannot make bytes durable. Shippers spill and retry.
+		s.metrics.batchesRejected.Add(1)
+		s.storageUnavailable(w, d.degradeReason())
 		return
 	}
 	var batch trace.SampleBatch
@@ -472,7 +489,11 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, batch tra
 			s.dedup.Forget(batch.AgentID, batch.Seq)
 		}
 		d.applyMu.RUnlock()
-		errJSON(w, http.StatusInternalServerError, "wal append: %v", err)
+		// A failing WAL (transient ENOSPC/EIO or a poisoned log) is
+		// storage trouble, not a client error: 503 + Retry-After tells
+		// the shipper to spill and come back, exactly like backpressure.
+		s.metrics.batchesRejected.Add(1)
+		s.storageUnavailable(w, fmt.Sprintf("wal append: %v", err))
 		return
 	}
 	enqueued := false
@@ -511,10 +532,13 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, batch tra
 	// Fsync wait happens outside every lock: group-commit latency never
 	// blocks snapshots or other accepts.
 	if err := d.log.WaitDurable(lsn); err != nil {
-		// The batch is queued and will be applied; only its durability is
-		// in doubt. A 5xx makes the agent re-send, and the dedup mark
-		// turns that retry into a counted-once duplicate ack.
-		errJSON(w, http.StatusInternalServerError, "wal sync: %v", err)
+		// Fsyncgate: the fsync covering this LSN failed, so the record's
+		// durability is unknowable and the WAL has sealed itself — no
+		// later fsync can retroactively save it. Never ack. The 503 makes
+		// the agent re-send; the batch is queued and will be applied, and
+		// the dedup mark turns the retry into a counted-once duplicate
+		// ack once a recovered (restarted) node can make it durable.
+		s.storageUnavailable(w, fmt.Sprintf("wal sync: %v", err))
 		return
 	}
 	if rs := d.repl; rs != nil && rs.cfg.SyncAck && !rs.isFollower.Load() {
@@ -663,7 +687,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) readyzBody(status string) map[string]any {
 	body := map[string]any{"status": status}
 	d := s.dur
-	if d == nil || d.repl == nil {
+	if d == nil {
+		return body
+	}
+	// Degraded storage is not unreadiness: the node still serves reads
+	// and rejects writes with an actionable 503, so /readyz stays 200
+	// and reports the condition for probes that want to route on it.
+	body["storage_degraded"] = d.storageDegraded()
+	if reason := d.degradeReason(); reason != "" {
+		body["storage_reason"] = reason
+	}
+	if d.repl == nil {
 		return body
 	}
 	rs := d.repl

@@ -111,6 +111,7 @@ type Stats struct {
 	DroppedSamples  int64  // samples lost to eviction or attempt exhaustion
 	ExhaustedBatch  int64  // batches dropped after MaxAttempts
 	PoisonedBatches int64  // batches rejected 4xx (never retried)
+	DegradedWaits   int64  // storage-degraded 503s waited out in place
 	BreakerOpens    int64  // closed→open transitions, summed over targets
 	Failovers       int64  // switches away from the current target
 	Failbacks       int64  // returns to the preferred target
@@ -159,6 +160,7 @@ type Shipper struct {
 	enqueued, shippedBatches, shippedSamples   atomic.Int64
 	duplicates, retries, redeliveries          atomic.Int64
 	evicted, droppedSamples, exhausted, poison atomic.Int64
+	degradedWaits                              atomic.Int64
 	failovers, failbacks                       atomic.Int64
 	maxEpoch                                   atomic.Uint64
 }
@@ -275,6 +277,7 @@ func (s *Shipper) Stats() Stats {
 		DroppedSamples:  s.droppedSamples.Load(),
 		ExhaustedBatch:  s.exhausted.Load(),
 		PoisonedBatches: s.poison.Load(),
+		DegradedWaits:   s.degradedWaits.Load(),
 		BreakerOpens:    opens,
 		Failovers:       s.failovers.Load(),
 		Failbacks:       s.failbacks.Load(),
@@ -349,6 +352,7 @@ type postResult struct {
 	dup        bool
 	fenced     bool // 409 + X-Repl-Fenced: a deposed, fenced primary
 	wrongRole  bool // 503 + X-Repl-Role follower: a warm standby
+	degraded   bool // 503 + X-Storage-Degraded: primary's disk is unwritable
 }
 
 // deliver attempts e until acknowledged, poisoned, exhausted, or ctx is
@@ -408,6 +412,28 @@ func (s *Shipper) deliver(ctx context.Context, e *batchEntry) error {
 				if err := s.sleep(ctx, s.backoff(attempt, 0)); err != nil {
 					return err
 				}
+			}
+			continue
+		case err == nil && res.degraded:
+			// Storage-degraded backpressure: the primary is up and
+			// authoritative but its disk cannot take durable writes right
+			// now (ENOSPC, failing device). This is the one 503 the
+			// shipper waits out in place — rotating would be wrong (the
+			// other targets are followers, and a full disk usually heals),
+			// and it is not a breaker failure (the server answered
+			// decisively). Honor Retry-After, keep spilling, re-send the
+			// same seq when the window passes.
+			t.breaker.success()
+			rotations = 0
+			e.redelivery = true
+			s.degradedWaits.Add(1)
+			s.logger.Debug("target storage degraded — waiting in place",
+				slog.String("trace_id", e.trace),
+				slog.Uint64("seq", e.seq),
+				slog.String("target", t.url),
+				slog.Duration("retry_after", res.retryAfter))
+			if err := s.sleep(ctx, s.backoff(attempt, res.retryAfter)); err != nil {
+				return err
 			}
 			continue
 		case err == nil && res.status >= 400 && res.status < 500 &&
@@ -594,6 +620,7 @@ func (s *Shipper) post(ctx context.Context, t *target, e *batchEntry) (res postR
 			res.wrongRole = true
 			return res, nil
 		}
+		res.degraded = resp.Header.Get("X-Storage-Degraded") == "1"
 		if v := resp.Header.Get("Retry-After"); v != "" {
 			if secs, perr := strconv.Atoi(v); perr == nil && secs > 0 {
 				res.retryAfter = time.Duration(secs) * time.Second

@@ -524,3 +524,61 @@ func TestShipperAllFollowersBacksOff(t *testing.T) {
 		t.Fatalf("stats = %+v, want clean delivery after promotion", st)
 	}
 }
+
+func TestShipperWaitsOutStorageDegraded(t *testing.T) {
+	// The primary answers storage-degraded 503s before recovering. The
+	// shipper must wait in place — honoring Retry-After, never rotating
+	// to the second target, never charging the breaker — and deliver the
+	// batch on the same target once the disk heals.
+	var calls atomic.Int64
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("X-Storage-Degraded", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"storage degraded: disk probe failed","code":"storage_degraded"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]int{"accepted": 1})
+	}))
+	defer primary.Close()
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("shipper rotated to the follower on a storage-degraded 503")
+		w.Header().Set("X-Repl-Role", "follower")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer follower.Close()
+
+	s := New(Config{
+		URLs:        []string{primary.URL, follower.URL},
+		AgentID:     "agent-degraded",
+		MaxAttempts: 2, // degraded waits must NOT count toward exhaustion
+	})
+	s.Enqueue(samplesFor(1, 0))
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("Retry-After not honored: delivered after %v, want ≥1s", elapsed)
+	}
+	st := s.Stats()
+	if st.ShippedBatches != 1 {
+		t.Fatalf("shipped %d batches, want 1", st.ShippedBatches)
+	}
+	if st.DegradedWaits < 1 {
+		t.Fatal("degraded wait not counted")
+	}
+	if st.Failovers != 0 {
+		t.Fatalf("counted %d failovers, want 0", st.Failovers)
+	}
+	if st.BreakerOpens != 0 {
+		t.Fatalf("breaker opened %d times on degraded 503s, want 0", st.BreakerOpens)
+	}
+	if st.ExhaustedBatch != 0 || st.DroppedSamples != 0 {
+		t.Fatalf("degraded waits lost data: exhausted=%d dropped=%d", st.ExhaustedBatch, st.DroppedSamples)
+	}
+}

@@ -137,18 +137,22 @@ func floorMod(t, step int64) int64 {
 
 // QueryRange is the merged range read: raw points of the node with
 // from ≤ t ≤ to (to ≤ 0 unbounded), blocks below the frontier, head at
-// or above it, in time order.
-func (s *Store) QueryRange(node int, from, to int64) ([]Point, error) {
+// or above it, in time order. degraded=true means block-side corruption
+// was quarantined mid-read and the result may be missing the damaged
+// window's raw points.
+func (s *Store) QueryRange(node int, from, to int64) ([]Point, bool, error) {
 	f := s.frontier.Load()
 	var out []Point
+	var degraded bool
 	if s.blocks != nil && f > 0 && from < f {
 		bto := f - 1
 		if to > 0 && to < bto {
 			bto = to
 		}
-		pts, err := s.blocks.Querier().Range(node, from, bto)
+		pts, deg, err := s.blocks.Querier().Range(node, from, bto)
+		degraded = deg
 		if err != nil {
-			return nil, err
+			return nil, degraded, err
 		}
 		for _, p := range pts {
 			out = append(out, Point{Unix: p.T, PowerW: p.V})
@@ -167,27 +171,30 @@ func (s *Store) QueryRange(node int, from, to int64) ([]Point, error) {
 		}
 	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].Unix < out[b].Unix })
-	return out, nil
+	return out, degraded, nil
 }
 
 // QueryAgg is the merged aggregate read: step-aligned count/sum/min/max
 // buckets over [from, to], rollup tiers below the frontier, head points
 // bucketed on the fly above it. to must be positive (aggregates need a
-// closed window).
-func (s *Store) QueryAgg(node int, from, to, step int64) ([]block.AggPoint, error) {
+// closed window). degraded=true means block-side corruption was
+// quarantined mid-read; rollup fallback usually keeps the buckets exact.
+func (s *Store) QueryAgg(node int, from, to, step int64) ([]block.AggPoint, bool, error) {
 	if step <= 0 {
 		step = 60
 	}
 	f := s.frontier.Load()
 	var out []block.AggPoint
+	var degraded bool
 	if s.blocks != nil && f > 0 && from < f {
 		bto := f - 1
 		if to > 0 && to < bto {
 			bto = to
 		}
-		aggs, err := s.blocks.Querier().RangeAgg(node, from, bto, step)
+		aggs, deg, err := s.blocks.Querier().RangeAgg(node, from, bto, step)
+		degraded = deg
 		if err != nil {
-			return nil, err
+			return nil, degraded, err
 		}
 		out = aggs
 	}
@@ -207,7 +214,7 @@ func (s *Store) QueryAgg(node int, from, to, step int64) ([]block.AggPoint, erro
 		out = mergeAggs(out, block.Rollup(head, step), step)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].T < out[b].T })
-	return out, nil
+	return out, degraded, nil
 }
 
 // mergeAggs folds extra buckets into base (same step alignment). A
@@ -243,16 +250,23 @@ func mergeAggs(base, extra []block.AggPoint, step int64) []block.AggPoint {
 // [from, to] (nil nodes = all known nodes, to ≤ 0 unbounded) across
 // blocks and head — the substrate for live ECDF/distribution pulls over
 // months of data. Values arrive grouped per source, not globally time
-// sorted; distribution consumers sort or bin anyway.
-func (s *Store) EachValueMerged(nodes []int, from, to int64, fn func(node int, t int64, v float64)) error {
+// sorted; distribution consumers sort or bin anyway. When block-side
+// corruption forces a quarantine-and-retry, restart (if non-nil) is
+// called before the stream re-begins — reset accumulated state there;
+// head values are only emitted after the block side completes, so they
+// are never duplicated. degraded=true reports that a retry happened.
+func (s *Store) EachValueMerged(nodes []int, from, to int64, restart func(), fn func(node int, t int64, v float64)) (bool, error) {
 	f := s.frontier.Load()
+	var degraded bool
 	if s.blocks != nil && f > 0 && from < f {
 		bto := f - 1
 		if to > 0 && to < bto {
 			bto = to
 		}
-		if err := s.blocks.Querier().EachValue(nodes, from, bto, fn); err != nil {
-			return err
+		deg, err := s.blocks.Querier().EachValue(nodes, from, bto, restart, fn)
+		degraded = deg
+		if err != nil {
+			return degraded, err
 		}
 	}
 	hfrom := from
@@ -260,7 +274,7 @@ func (s *Store) EachValueMerged(nodes []int, from, to int64, fn func(node int, t
 		hfrom = f
 	}
 	if to > 0 && to < hfrom {
-		return nil
+		return degraded, nil
 	}
 	if nodes == nil {
 		nodes = s.NodeIDs()
@@ -273,7 +287,7 @@ func (s *Store) EachValueMerged(nodes []int, from, to int64, fn func(node int, t
 			fn(node, p.Unix, p.PowerW)
 		}
 	}
-	return nil
+	return degraded, nil
 }
 
 // NodeIDs returns every node known to head or blocks, ascending.

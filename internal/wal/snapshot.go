@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"hpcpower/internal/vfs"
 )
 
 // Snapshot file layout (snap-<LSN>.snap):
@@ -32,18 +34,26 @@ func snapshotName(lsn uint64) string {
 
 // WriteSnapshot atomically persists a snapshot payload taken at lsn.
 func WriteSnapshot(dir string, lsn uint64, payload []byte) error {
+	return WriteSnapshotFS(vfs.OS, dir, lsn, payload)
+}
+
+// WriteSnapshotFS is WriteSnapshot through an explicit filesystem. Every
+// failure path removes the temp file, so repeated failing attempts (a
+// full or erroring disk) never accumulate .tmp litter, and the previous
+// snapshot is untouched until the final rename.
+func WriteSnapshotFS(fsys vfs.FS, dir string, lsn uint64, payload []byte) error {
 	hdr := make([]byte, snapHeaderSize)
 	copy(hdr, snapMagic)
 	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[24:28], crc32.Checksum(payload, crcTable))
 
-	tmp, err := os.CreateTemp(dir, snapPrefix+"*.tmp")
+	tmp, err := vfs.CreateTemp(fsys, dir, snapPrefix+"*.tmp")
 	if err != nil {
 		return fmt.Errorf("wal: snapshot temp file: %w", err)
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	cleanup := func() { tmp.Close(); fsys.Remove(tmpName) }
 	if _, err := tmp.Write(hdr); err != nil {
 		cleanup()
 		return fmt.Errorf("wal: snapshot header: %w", err)
@@ -57,20 +67,20 @@ func WriteSnapshot(dir string, lsn uint64, payload []byte) error {
 		return fmt.Errorf("wal: snapshot fsync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("wal: snapshot close: %w", err)
 	}
 	final := filepath.Join(dir, snapshotName(lsn))
-	if err := os.Rename(tmpName, final); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, final); err != nil {
+		fsys.Remove(tmpName)
 		return fmt.Errorf("wal: snapshot rename: %w", err)
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // readSnapshot loads and verifies one snapshot file.
-func readSnapshot(path string) (lsn uint64, payload []byte, err error) {
-	data, err := os.ReadFile(path)
+func readSnapshot(fsys vfs.FS, path string) (lsn uint64, payload []byte, err error) {
+	data, err := vfs.ReadFile(fsys, path)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -91,8 +101,8 @@ func readSnapshot(path string) (lsn uint64, payload []byte, err error) {
 }
 
 // listSnapshots returns snapshot file names sorted ascending by LSN.
-func listSnapshots(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func listSnapshots(fsys vfs.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -111,12 +121,17 @@ func listSnapshots(dir string) ([]string, error) {
 // the previous one rather than failing recovery. found is false when no
 // valid snapshot exists.
 func LatestSnapshot(dir string) (lsn uint64, payload []byte, found bool, skippedCorrupt int, err error) {
-	names, err := listSnapshots(dir)
+	return LatestSnapshotFS(vfs.OS, dir)
+}
+
+// LatestSnapshotFS is LatestSnapshot through an explicit filesystem.
+func LatestSnapshotFS(fsys vfs.FS, dir string) (lsn uint64, payload []byte, found bool, skippedCorrupt int, err error) {
+	names, err := listSnapshots(fsys, dir)
 	if err != nil {
 		return 0, nil, false, 0, fmt.Errorf("wal: listing snapshots: %w", err)
 	}
 	for i := len(names) - 1; i >= 0; i-- {
-		l, p, rerr := readSnapshot(filepath.Join(dir, names[i]))
+		l, p, rerr := readSnapshot(fsys, filepath.Join(dir, names[i]))
 		if rerr == nil {
 			return l, p, true, skippedCorrupt, nil
 		}
@@ -131,15 +146,20 @@ func LatestSnapshot(dir string) (lsn uint64, payload []byte, found bool, skipped
 
 // ReapSnapshots removes all but the newest keep snapshots.
 func ReapSnapshots(dir string, keep int) (removed int, err error) {
+	return ReapSnapshotsFS(vfs.OS, dir, keep)
+}
+
+// ReapSnapshotsFS is ReapSnapshots through an explicit filesystem.
+func ReapSnapshotsFS(fsys vfs.FS, dir string, keep int) (removed int, err error) {
 	if keep < 1 {
 		keep = 1
 	}
-	names, err := listSnapshots(dir)
+	names, err := listSnapshots(fsys, dir)
 	if err != nil {
 		return 0, fmt.Errorf("wal: listing snapshots: %w", err)
 	}
 	for i := 0; i < len(names)-keep; i++ {
-		if err := os.Remove(filepath.Join(dir, names[i])); err != nil {
+		if err := fsys.Remove(filepath.Join(dir, names[i])); err != nil {
 			return removed, fmt.Errorf("wal: reaping snapshot %s: %w", names[i], err)
 		}
 		removed++

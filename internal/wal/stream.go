@@ -40,7 +40,7 @@ var errStopScan = errors.New("wal: stop scan")
 // segment yields its would-be first LSN (nothing readable yet, but
 // nothing missing either).
 func (l *Log) FirstLSN() (uint64, error) {
-	names, err := listSegments(l.dir)
+	names, err := listSegments(l.fsys, l.dir)
 	if err != nil {
 		return 0, fmt.Errorf("wal: listing %s: %w", l.dir, err)
 	}
@@ -76,7 +76,7 @@ func (l *Log) ReadRange(from, to uint64, fn func(lsn uint64, typ RecordType, bod
 	if to < from {
 		return nil
 	}
-	names, err := listSegments(l.dir)
+	names, err := listSegments(l.fsys, l.dir)
 	if err != nil {
 		return fmt.Errorf("wal: listing %s: %w", l.dir, err)
 	}

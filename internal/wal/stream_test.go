@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"hpcpower/internal/vfs"
 )
 
 // fillLog appends n small records and syncs, returning the last LSN.
@@ -32,7 +34,7 @@ func TestReadRangeAcrossSegments(t *testing.T) {
 	if last != 50 {
 		t.Fatalf("last lsn = %d, want 50", last)
 	}
-	if segs, _ := listSegments(dir); len(segs) < 3 {
+	if segs, _ := listSegments(vfs.OS, dir); len(segs) < 3 {
 		t.Fatalf("expected multiple segments, got %d", len(segs))
 	}
 

@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hpcpower/internal/vfs"
 )
 
 // SyncPolicy selects when appends become durable.
@@ -98,6 +100,10 @@ type Options struct {
 	// group-commit fsync made durable — the batch size one leader's
 	// fsync amortized over.
 	ObserveGroupCommit func(records int64)
+	// FS is the filesystem the log reads and writes through. Nil means
+	// vfs.OS (the real disk); tests and fault drills inject a
+	// vfs.FaultFS here.
+	FS vfs.FS
 }
 
 // Stats is a point-in-time snapshot of the log's counters.
@@ -111,6 +117,7 @@ type Stats struct {
 	RecoveredRecords int64  // valid records found by Open
 	LastLSN          uint64 // highest assigned LSN (0 = empty log)
 	SyncedLSN        uint64 // highest LSN known durable
+	Poisoned         bool   // a failed write/fsync permanently sealed the log
 }
 
 // Log is an append-only write-ahead log over one directory. All methods
@@ -118,10 +125,11 @@ type Stats struct {
 type Log struct {
 	dir  string
 	opts Options
+	fsys vfs.FS
 
 	// mu guards the active segment (writes, rotation) and LSN assignment.
 	mu       sync.Mutex
-	f        *os.File
+	f        vfs.File
 	fSize    int64
 	segFirst uint64
 	nextLSN  uint64 // next LSN to assign
@@ -162,8 +170,8 @@ func segmentName(firstLSN uint64) string {
 
 // listSegments returns the segment file names in dir, sorted ascending
 // by first LSN (lexicographic over the zero-padded name).
-func listSegments(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys vfs.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -187,14 +195,17 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = 100 * time.Millisecond
 	}
-	st, err := os.Stat(dir)
+	if opts.FS == nil {
+		opts.FS = vfs.OS
+	}
+	st, err := opts.FS.Stat(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: data dir %s: %w", dir, err)
 	}
 	if !st.IsDir() {
 		return nil, fmt.Errorf("wal: data dir %s is not a directory", dir)
 	}
-	l := &Log{dir: dir, opts: opts, stop: make(chan struct{})}
+	l := &Log{dir: dir, opts: opts, fsys: opts.FS, stop: make(chan struct{})}
 	l.scond = sync.NewCond(&l.smu)
 	if err := l.recoverSegments(); err != nil {
 		return nil, err
@@ -210,7 +221,7 @@ func Open(dir string, opts Options) (*Log, error) {
 // the first torn/corrupt frame, and opens (or creates) the active
 // segment for appending.
 func (l *Log) recoverSegments() error {
-	names, err := listSegments(l.dir)
+	names, err := listSegments(l.fsys, l.dir)
 	if err != nil {
 		return fmt.Errorf("wal: listing %s: %w", l.dir, err)
 	}
@@ -238,7 +249,7 @@ func (l *Log) recoverSegments() error {
 			}
 			if valid < segHeaderSize {
 				// Nothing usable: remove the husk entirely.
-				if err := os.Remove(path); err != nil {
+				if err := l.fsys.Remove(path); err != nil {
 					return fmt.Errorf("wal: removing unusable segment %s: %w", name, err)
 				}
 				lastIdx = i - 1
@@ -274,7 +285,7 @@ func (l *Log) recoverSegments() error {
 		return l.newSegment(l.nextLSN)
 	default:
 		path := filepath.Join(l.dir, names[lastIdx])
-		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		f, err := l.fsys.OpenFile(path, os.O_RDWR, 0o644)
 		if err != nil {
 			return fmt.Errorf("wal: reopening active segment: %w", err)
 		}
@@ -294,22 +305,22 @@ func (l *Log) recoverSegments() error {
 // truncateAt truncates path to valid bytes and deletes the later
 // segments, accounting both in the recovery counters.
 func (l *Log) truncateAt(path string, valid int64, later []string) error {
-	st, err := os.Stat(path)
+	st, err := l.fsys.Stat(path)
 	if err != nil {
 		return fmt.Errorf("wal: stat %s: %w", path, err)
 	}
 	if st.Size() > valid {
-		if err := os.Truncate(path, valid); err != nil {
+		if err := l.fsys.Truncate(path, valid); err != nil {
 			return fmt.Errorf("wal: truncating %s: %w", path, err)
 		}
 		l.truncatedBytes += st.Size() - valid
 	}
 	for _, name := range later {
 		p := filepath.Join(l.dir, name)
-		if st, err := os.Stat(p); err == nil {
+		if st, err := l.fsys.Stat(p); err == nil {
 			l.truncatedBytes += st.Size()
 		}
-		if err := os.Remove(p); err != nil {
+		if err := l.fsys.Remove(p); err != nil {
 			return fmt.Errorf("wal: dropping segment %s past corruption: %w", name, err)
 		}
 		l.droppedSegments++
@@ -319,7 +330,7 @@ func (l *Log) truncateAt(path string, valid int64, later []string) error {
 
 // scanFile scans one segment file.
 func (l *Log) scanFile(path string, fn func(typ RecordType, body []byte) error) (first uint64, records int, valid int64, err error) {
-	f, err := os.Open(path)
+	f, err := l.fsys.Open(path)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -337,7 +348,7 @@ func firstLSNFromName(name string) (uint64, bool) {
 // fsyncing the directory so the file itself survives a crash.
 func (l *Log) newSegment(firstLSN uint64) error {
 	path := filepath.Join(l.dir, segmentName(firstLSN))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
 	}
@@ -346,7 +357,7 @@ func (l *Log) newSegment(firstLSN uint64) error {
 		f.Close()
 		return fmt.Errorf("wal: writing segment header: %w", err)
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fsys, l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -354,13 +365,8 @@ func (l *Log) newSegment(firstLSN uint64) error {
 	return nil
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: opening dir for sync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func syncDir(fsys vfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("wal: syncing dir: %w", err)
 	}
 	return nil
@@ -401,10 +407,22 @@ func (l *Log) append(typ RecordType, body []byte) (uint64, error) {
 	start := time.Now()
 	frame := appendFrame(nil, typ, body)
 	if _, err := l.f.Write(frame); err != nil {
-		// A partial frame write poisons the tail; refuse all later
-		// appends so recovery's truncation point is well defined.
-		l.err = fmt.Errorf("wal: append: %w", err)
-		return 0, l.err
+		// Try to roll the (possibly partial) frame back off the tail so a
+		// transient failure — ENOSPC above all — leaves the log exactly as
+		// it was: the caller's batch was never assigned an LSN or acked,
+		// and the next append lands at the same well-defined offset. Only
+		// if the rollback itself fails is the tail state unknown, and then
+		// the log is permanently poisoned.
+		werr := fmt.Errorf("wal: append: %w", err)
+		if terr := l.f.Truncate(l.fSize); terr != nil {
+			l.err = werr
+			return 0, l.err
+		}
+		if _, serr := l.f.Seek(l.fSize, 0); serr != nil {
+			l.err = werr
+			return 0, l.err
+		}
+		return 0, werr
 	}
 	if l.opts.ObserveAppend != nil {
 		l.opts.ObserveAppend(time.Since(start))
@@ -513,6 +531,22 @@ func (l *Log) syncTo(lsn uint64) error {
 					l.opts.ObserveGroupCommit(int64(target - prevSynced))
 				}
 				l.fsyncs.Add(1)
+			} else {
+				// fsyncgate: after a failed fsync the kernel may have
+				// dropped the dirty pages while leaving the file "clean",
+				// so retrying the fsync and acknowledging on success would
+				// ack data that never reached the disk. If the handle we
+				// synced is still the active segment this is a genuine
+				// durability failure: permanently poison the log so no
+				// later append or retried sync can lie. If rotation
+				// replaced the file under us, its own fsync already
+				// covered our LSNs (or poisoned the log itself) and this
+				// error is a benign race on a closed handle.
+				l.mu.Lock()
+				if l.f == f && l.err == nil {
+					l.err = fmt.Errorf("wal: fsync failed, log sealed: %w", err)
+				}
+				l.mu.Unlock()
 			}
 		}
 
@@ -552,7 +586,7 @@ func (l *Log) intervalSyncer() {
 // Replay streams every durable record in LSN order. It reads the
 // segment files directly and must not run concurrently with Append.
 func (l *Log) Replay(fn func(lsn uint64, typ RecordType, body []byte) error) error {
-	names, err := listSegments(l.dir)
+	names, err := listSegments(l.fsys, l.dir)
 	if err != nil {
 		return fmt.Errorf("wal: listing %s: %w", l.dir, err)
 	}
@@ -585,7 +619,7 @@ func (l *Log) Replay(fn func(lsn uint64, typ RecordType, body []byte) error) err
 // not acknowledged stay streamable.
 func (l *Log) Reap(throughLSN uint64) (removed int, err error) {
 	throughLSN = l.reapCeiling(throughLSN)
-	names, err := listSegments(l.dir)
+	names, err := listSegments(l.fsys, l.dir)
 	if err != nil {
 		return 0, fmt.Errorf("wal: listing %s: %w", l.dir, err)
 	}
@@ -603,7 +637,7 @@ func (l *Log) Reap(throughLSN uint64) (removed int, err error) {
 		}
 		// Segment i holds LSNs [first, next): fully covered iff next-1 ≤ through.
 		if next-1 <= throughLSN {
-			if err := os.Remove(filepath.Join(l.dir, names[i])); err != nil {
+			if err := l.fsys.Remove(filepath.Join(l.dir, names[i])); err != nil {
 				return removed, fmt.Errorf("wal: reaping %s: %w", names[i], err)
 			}
 			removed++
@@ -621,9 +655,10 @@ func (l *Log) LastLSN() uint64 {
 
 // Stats returns the log's counters.
 func (l *Log) Stats() Stats {
-	names, _ := listSegments(l.dir)
+	names, _ := listSegments(l.fsys, l.dir)
 	l.mu.Lock()
 	last := l.nextLSN - 1
+	poisoned := l.err != nil
 	l.mu.Unlock()
 	l.smu.Lock()
 	synced := l.synced
@@ -638,7 +673,45 @@ func (l *Log) Stats() Stats {
 		RecoveredRecords: l.recoveredRecords,
 		LastLSN:          last,
 		SyncedLSN:        synced,
+		Poisoned:         poisoned,
 	}
+}
+
+// Err returns the log's sticky failure: non-nil once a write or fsync
+// has permanently sealed the log (fsyncgate semantics — a poisoned log
+// never accepts or acknowledges another record until restart/recovery).
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// ScrubCold re-reads every cold (non-active) segment end to end,
+// re-verifying each frame CRC — the WAL half of the integrity scrubber.
+// It counts corrupt or torn cold segments without modifying them:
+// unlike blocks, a WAL segment cannot be quarantined (removing it would
+// break LSN contiguity for replay and replication); detection surfaces
+// through metrics and the scrub report so the operator can re-snapshot
+// and reap the damaged range.
+func (l *Log) ScrubCold() (scanned, corrupt int, err error) {
+	names, err := listSegments(l.fsys, l.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: listing %s: %w", l.dir, err)
+	}
+	l.mu.Lock()
+	activeFirst := l.segFirst
+	l.mu.Unlock()
+	for _, name := range names {
+		if first, ok := firstLSNFromName(name); ok && first == activeFirst {
+			continue // the active segment legitimately has a volatile tail
+		}
+		scanned++
+		_, _, _, scanErr := l.scanFile(filepath.Join(l.dir, name), nil)
+		if scanErr != nil {
+			corrupt++
+		}
+	}
+	return scanned, corrupt, nil
 }
 
 // Close fsyncs the tail and closes the active segment. Waiters blocked
@@ -654,6 +727,18 @@ func (l *Log) Close() error {
 		if syncErr = l.f.Sync(); syncErr == nil {
 			l.fsyncs.Add(1)
 			l.publishSynced(l.nextLSN - 1)
+		} else {
+			// Poison before closing becomes observable: a concurrent
+			// WaitDurable that wakes on the close broadcast must find the
+			// sync error already sticky, never a clean "closed" state that
+			// could be mistaken for durability (fsyncgate: the records it
+			// was waiting on may be gone from the page cache).
+			l.err = fmt.Errorf("wal: close fsync failed, log sealed: %w", syncErr)
+			l.smu.Lock()
+			if l.syncErr == nil {
+				l.syncErr = syncErr
+			}
+			l.smu.Unlock()
 		}
 	}
 	closeErr := l.f.Close()
@@ -665,9 +750,6 @@ func (l *Log) Close() error {
 
 	// Wake any stragglers so they observe the closed log.
 	l.smu.Lock()
-	if l.syncErr == nil && syncErr != nil {
-		l.syncErr = syncErr
-	}
 	l.scond.Broadcast()
 	l.smu.Unlock()
 

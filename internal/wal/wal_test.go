@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"hpcpower/internal/vfs"
 	"time"
 )
 
@@ -116,7 +118,7 @@ func TestTornTailTruncation(t *testing.T) {
 
 	// Tear the tail: append half a frame of garbage, as a crash
 	// mid-append would leave.
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(vfs.OS, dir)
 	path := filepath.Join(dir, segs[len(segs)-1])
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -158,7 +160,7 @@ func TestCorruptFrameTruncatesAndDropsLaterSegments(t *testing.T) {
 		}
 	}
 	l.Close()
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(vfs.OS, dir)
 	if len(segs) < 3 {
 		t.Fatalf("want ≥3 segments, got %d", len(segs))
 	}
@@ -242,7 +244,7 @@ func TestNextLSNFloorAfterFullReap(t *testing.T) {
 	}
 	l.Close()
 	// Simulate a snapshot at LSN 5 plus loss of every segment.
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(vfs.OS, dir)
 	for _, s := range segs {
 		os.Remove(filepath.Join(dir, s))
 	}
