@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-block smoke chaos-smoke crash-smoke failover-smoke disk-smoke fuzz-wal fuzz-repl fuzz-block fuzz-vfs block-check obs-check ci clean
+.PHONY: all build vet test race bench bench-block smoke chaos-smoke crash-smoke failover-smoke disk-smoke overload-smoke fuzz-wal fuzz-repl fuzz-block fuzz-vfs fuzz-admit block-check obs-check ci clean
 
 all: build
 
@@ -55,6 +55,14 @@ failover-smoke:
 disk-smoke:
 	./scripts/disk_smoke.sh
 
+# Overload smoke: drive the admission layer at 2x measured capacity
+# through a fault-injecting proxy (with a replicating follower) and
+# verify shed-not-crash: zero loss for acked batches, goodput near
+# capacity, bounded accounted memory, drained replication lag, and a
+# memory-watermark degrade/clear cycle with the full 429 surface.
+overload-smoke:
+	./scripts/overload_smoke.sh
+
 # Fuzz the WAL segment reader: arbitrary corruption must yield clean
 # truncation or a typed error, never a panic or a silently wrong record.
 fuzz-wal:
@@ -79,6 +87,11 @@ fuzz-vfs:
 	$(GO) test -run xxx -fuzz FuzzParseFaultSpec -fuzztime 15s ./internal/vfs/
 	$(GO) test -run xxx -fuzz FuzzWALBitFlip -fuzztime 30s ./internal/wal/
 
+# Fuzz the admission-spec parser: arbitrary specs must parse or error —
+# never panic — and every accepted spec must round-trip through String.
+fuzz-admit:
+	$(GO) test -run xxx -fuzz FuzzParseConfig -fuzztime 30s ./internal/admit/
+
 # Block-store gate: vet plus the block and tsdb packages (encode/decode
 # losslessness, rollup exactness, head/block merge, crash frontier)
 # under the race detector.
@@ -94,4 +107,4 @@ obs-check:
 	$(GO) test -race -count=1 ./internal/obs/
 	$(GO) test -count=1 -run 'TestMetrics|TestIngestTrace|TestTracePropagates' ./internal/serve/
 
-ci: vet build race obs-check block-check smoke crash-smoke failover-smoke disk-smoke
+ci: vet build race obs-check block-check smoke crash-smoke failover-smoke disk-smoke overload-smoke

@@ -128,6 +128,9 @@ func main() {
 	// approach this replaces took a mutex per request).
 	latency := obs.NewHistogram(obs.DefaultLatencyBuckets)
 	var next atomic.Int64
+	// Overload accounting: raw 429 answers seen on the wire (the server
+	// shedding), complementing the shippers' shed/degraded wait counters.
+	var resp429 atomic.Int64
 	// Token-bucket pacing shared by all pushers (when -rate > 0).
 	var pace func(n int)
 	if *rate > 0 {
@@ -155,6 +158,9 @@ func main() {
 			Observe: func(d time.Duration, status int, err error) {
 				if err == nil && status == http.StatusAccepted {
 					latency.ObserveDuration(d)
+				}
+				if status == http.StatusTooManyRequests {
+					resp429.Add(1)
 				}
 			},
 		})
@@ -192,6 +198,8 @@ func main() {
 		total.DroppedSamples += st.DroppedSamples
 		total.ExhaustedBatch += st.ExhaustedBatch
 		total.PoisonedBatches += st.PoisonedBatches
+		total.DegradedWaits += st.DegradedWaits
+		total.ShedWaits += st.ShedWaits
 		total.BreakerOpens += st.BreakerOpens
 		total.Failovers += st.Failovers
 		total.Failbacks += st.Failbacks
@@ -204,6 +212,12 @@ func main() {
 		1e3*latency.Quantile(0.50), 1e3*latency.Quantile(0.90), 1e3*latency.Quantile(0.99), 1e3*latency.Max())
 	fmt.Printf("powload: retries %d, redeliveries %d, duplicates absorbed %d, breaker opens %d\n",
 		total.Retries, total.Redeliveries, total.Duplicates, total.BreakerOpens)
+	// Goodput is the acknowledged-sample rate over the whole run,
+	// including time spent waiting out 429/503 windows — the number the
+	// overload smoke compares against measured capacity.
+	fmt.Printf("powload: overload: 429 responses %d, shed waits %d, degraded waits %d; goodput %.0f samples/s\n",
+		resp429.Load(), total.ShedWaits, total.DegradedWaits,
+		float64(total.ShippedSamples)/elapsed.Seconds())
 	if len(baseURLs) > 1 {
 		fmt.Printf("powload: failovers %d, failbacks %d\n", total.Failovers, total.Failbacks)
 	}

@@ -33,6 +33,14 @@
 // -repl-ack sync the primary acknowledges a batch only after every
 // registered follower has applied it.
 //
+// Overload protection is always on: an AIMD concurrency limiter and a
+// CoDel-style ingest queue shed excess load with 429 over_capacity +
+// Retry-After once ack latency degrades, well before the node falls
+// over. -admit tunes the layer (and adds per-agent rate limits);
+// -mem-watermark arms memory-pressure degraded mode, which sheds
+// ingest and forces early block flushes until accounted memory drops
+// back under the resume level.
+//
 // Endpoints: POST /v1/samples, GET /v1/nodes/{id}/series,
 // GET /v1/jobs/{id}/power, POST /v1/predict, GET /v1/summary,
 // GET /metrics, GET /healthz, GET /readyz, POST /v1/promote, and the
@@ -51,6 +59,7 @@ import (
 	"time"
 
 	"hpcpower"
+	"hpcpower/internal/admit"
 	"hpcpower/internal/block"
 	"hpcpower/internal/mlearn"
 	"hpcpower/internal/obs"
@@ -69,6 +78,9 @@ func main() {
 		ring    = flag.Int("ring", 1440, "retained samples per node (1440 = one day of minutes)")
 		queue   = flag.Int("queue", 256, "ingest queue depth in batches (backpressure threshold)")
 		workers = flag.Int("workers", 4, "ingest worker goroutines")
+
+		admitSpec = flag.String("admit", "", `admission-control spec, comma-separated key=value, e.g. "target=50ms,min-inflight=8,agent-rate=100" (keys: target, interval, min-inflight, max-inflight, latency-ratio, backoff, step, agent-rate, agent-burst, query-slots, admin-slots, mem-watermark, mem-resume; empty = defaults)`)
+		memWater  = flag.String("mem-watermark", "", `accounted-memory degraded-mode watermark, e.g. "256MiB" (shorthand for the admit spec's mem-watermark key; empty = disabled)`)
 
 		blocksDir    = flag.String("blocks-dir", "", "directory for the on-disk block store (empty = head-only, rings are the whole store)")
 		blockWindow  = flag.Int64("block-window", 7200, "block file time span in seconds")
@@ -115,6 +127,24 @@ func main() {
 	}
 	if *replAck != "async" && *replAck != "sync" {
 		fatal(fmt.Errorf("-repl-ack %q: want async or sync", *replAck))
+	}
+	admitCfg, err := admit.ParseConfig(*admitSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if *memWater != "" {
+		// -mem-watermark is the ergonomic spelling; an explicit
+		// mem-watermark key inside -admit wins.
+		wm, err := admit.ParseBytes(*memWater)
+		if err != nil {
+			fatal(fmt.Errorf("-mem-watermark: %v", err))
+		}
+		if admitCfg.MemWatermark == 0 {
+			admitCfg.MemWatermark = wm
+		}
+	}
+	if s := admitCfg.String(); s != "" {
+		fmt.Printf("powserved: admission control: %s\n", s)
 	}
 
 	var bdt *mlearn.BDT
@@ -188,6 +218,7 @@ func main() {
 	cfg := serve.Config{
 		QueueDepth:         *queue,
 		IngestWorkers:      *workers,
+		Admit:              admitCfg,
 		Logger:             logger,
 		SlowRequest:        *slowReq,
 		BlockFlushInterval: *flushEvery,

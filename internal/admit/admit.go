@@ -1,0 +1,106 @@
+// Package admit is the overload-protection layer of the serving stack:
+// admission control and prioritized load shedding for a server whose
+// demand can exceed its capacity — a retry storm after a failover, a
+// rebalance doubling one shard's load, or simply more agents than the
+// node was sized for.
+//
+// Faults and demand fail differently. The WAL, replication, and disk
+// machinery defend against *faults*: bytes that do not arrive or do not
+// persist. Overload is *demand*: every byte arrives, every byte would
+// persist, there are just too many of them — and a server that admits
+// them all collapses for everyone. This package keeps the node useful
+// under 2x load by refusing the excess early, cheaply, and in priority
+// order:
+//
+//   - Limiter: an AIMD adaptive concurrency limit on ingest. Observed
+//     ack latency is compared against a moving baseline; sustained
+//     latency inflation shrinks the limit multiplicatively, calm windows
+//     re-probe it additively. The static bounded queue stays as the hard
+//     backstop, but the limiter is the primary control — it reacts to
+//     what the node can actually do right now, not to a number picked at
+//     deploy time.
+//
+//   - Queue: a CoDel-style ingest queue. Once the head's sojourn time
+//     has exceeded the target for a full interval, the queue sheds
+//     oldest-first on dequeue (at the classic interval/sqrt(n) cadence),
+//     so the batches that *are* accepted keep a bounded p99 instead of
+//     every client timing out together.
+//
+//   - Gate: priority classes — replication > ingest > queries >
+//     admin/analytics — with per-class concurrency quotas and a shed
+//     order driven by pressure: admin work sheds first, range queries
+//     shed under memory pressure, replication and prediction are never
+//     shed. A follower must not fall behind because someone is hammering
+//     /v1/query/range.
+//
+//   - Buckets: per-agent token-bucket rate limiting, so one misbehaving
+//     agent cannot starve the fleet even below the global limit.
+//
+// Refusals are 429 over_capacity — distinct from 503 storage_degraded
+// (disk trouble) and 503 not_primary (wrong node) — with an
+// occupancy-scaled Retry-After, which ship.Shipper honors by waiting in
+// place with full jitter (no target rotation, no synchronized retry
+// storm).
+//
+// The package is dependency-free and deliberately knows nothing about
+// HTTP or the TSDB: it hands out admit/refuse decisions and sheds queue
+// entries; the serve layer maps those to status codes and tombstones.
+package admit
+
+import "time"
+
+// Class is a request priority class. Lower values shed later: Repl is
+// never shed, Admin sheds first.
+type Class int
+
+const (
+	// ClassRepl is the replication stream and its control plane. Never
+	// shed: a follower that falls behind turns a node failure into data
+	// loss, so replication outranks the very ingest it replicates.
+	ClassRepl Class = iota
+	// ClassIngest is sample ingest — governed by the Limiter, Queue, and
+	// Buckets rather than the Gate's quotas.
+	ClassIngest
+	// ClassQuery is the read surface (range/node/distribution queries,
+	// summaries). Shed under memory pressure.
+	ClassQuery
+	// ClassAdmin is admin and analytics work (manual flush, scrub). First
+	// to shed: it is always deferrable.
+	ClassAdmin
+)
+
+// String returns the class's shed-matrix label.
+func (c Class) String() string {
+	switch c {
+	case ClassRepl:
+		return "repl"
+	case ClassIngest:
+		return "ingest"
+	case ClassQuery:
+		return "query"
+	case ClassAdmin:
+		return "admin"
+	default:
+		return "unknown"
+	}
+}
+
+// Pressure levels feed the Gate's shed decisions.
+const (
+	// PressureNone: everything admitted within its quota.
+	PressureNone = 0
+	// PressureElevated: ingest is saturated (limiter at its wall or the
+	// queue past half); admin/analytics shed.
+	PressureElevated = 1
+	// PressureCritical: memory watermark crossed; queries shed too. Only
+	// replication, prediction, and (throttled) ingest keep running.
+	PressureCritical = 2
+)
+
+// nowFunc defaults to time.Now; tests inject a deterministic clock.
+func orNow(now func() time.Time) func() time.Time {
+	if now == nil {
+		return time.Now
+	}
+	return now
+}

@@ -1,0 +1,116 @@
+package admit
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultMaxAgents bounds the bucket table, mirroring the dedup
+// window's agent cap: beyond it the least-recently-seen agent's bucket
+// is evicted (it re-forms full on next contact, which only ever errs
+// in the agent's favor).
+const defaultMaxAgents = 1024
+
+// Buckets is a per-agent token-bucket rate limiter: each agent refills
+// at rate batches/s up to burst tokens, and a batch costs one token.
+// One misbehaving agent exhausts its own bucket and gets 429s with a
+// precise Retry-After while the rest of the fleet is untouched.
+type Buckets struct {
+	rate      float64
+	burst     float64
+	maxAgents int
+	now       func() time.Time
+
+	mu      sync.Mutex
+	agents  map[string]*bucket
+	refused uint64
+}
+
+type bucket struct {
+	tokens  float64
+	last    time.Time // last refill
+	touched time.Time // last Allow, for LRU eviction
+}
+
+// NewBuckets builds the rate limiter from cfg. Returns nil when
+// AgentRate is 0 (disabled); a nil *Buckets admits everything.
+func NewBuckets(cfg Config, now func() time.Time) *Buckets {
+	cfg = cfg.WithDefaults()
+	if cfg.AgentRate <= 0 {
+		return nil
+	}
+	return &Buckets{
+		rate:      cfg.AgentRate,
+		burst:     float64(cfg.AgentBurst),
+		maxAgents: defaultMaxAgents,
+		now:       orNow(now),
+		agents:    make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token from agent's bucket. On refusal it returns
+// the wait until a token will be available, for Retry-After.
+func (b *Buckets) Allow(agent string) (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bk := b.agents[agent]
+	if bk == nil {
+		if len(b.agents) >= b.maxAgents {
+			b.evictOldest()
+		}
+		bk = &bucket{tokens: b.burst, last: now}
+		b.agents[agent] = bk
+	}
+	if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens += dt * b.rate
+		if bk.tokens > b.burst {
+			bk.tokens = b.burst
+		}
+		bk.last = now
+	}
+	bk.touched = now
+	if bk.tokens < 1 {
+		b.refused++
+		need := (1 - bk.tokens) / b.rate
+		return false, time.Duration(need * float64(time.Second))
+	}
+	bk.tokens--
+	return true, 0
+}
+
+// evictOldest drops the least-recently-used bucket. Caller holds mu.
+func (b *Buckets) evictOldest() {
+	var oldest string
+	var oldestAt time.Time
+	first := true
+	for agent, bk := range b.agents {
+		if first || bk.touched.Before(oldestAt) {
+			oldest, oldestAt, first = agent, bk.touched, false
+		}
+	}
+	delete(b.agents, oldest)
+}
+
+// Refused returns the cumulative refusal count.
+func (b *Buckets) Refused() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.refused
+}
+
+// Agents returns the tracked-agent count.
+func (b *Buckets) Agents() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.agents)
+}

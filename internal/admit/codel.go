@@ -1,0 +1,251 @@
+package admit
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// Queue errors returned by Push.
+var (
+	// ErrFull means the queue is at its hard capacity bound.
+	ErrFull = errors.New("admit: queue full")
+	// ErrClosed means the queue has been closed; nothing new is admitted.
+	ErrClosed = errors.New("admit: queue closed")
+)
+
+// Queue is a bounded FIFO with CoDel-style shedding. Entries whose
+// head-of-queue sojourn time has exceeded the target for a full
+// interval are shed oldest-first on dequeue, at the classic
+// interval/sqrt(dropCount) cadence, so that under sustained overload
+// the entries that *are* delivered keep a bounded queueing delay.
+//
+// Shedding happens inside Pop, under the queue lock, via the OnShed
+// callback — every pushed entry is therefore handed to exactly one of
+// Pop's caller or OnShed, never both, never neither (Close delivers the
+// leftovers to OnShed too, unless drain is requested).
+type Queue[T any] struct {
+	target   time.Duration // <0: shedding disabled
+	interval time.Duration
+	capacity int
+	now      func() time.Time
+
+	// OnShed receives every shed entry. Called with the queue lock held:
+	// it must be quick and must not call back into the Queue.
+	onShed func(T)
+	// sizeOf accounts entry bytes for the memory watermark; nil means 0.
+	sizeOf func(T) int
+	// observe receives the sojourn time of every delivered entry.
+	observe func(time.Duration)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []entry[T] // ring buffer
+	head   int
+	count  int
+	bytes  int64
+	closed bool
+
+	// CoDel law state
+	aboveSince time.Time // zero: sojourn below target
+	dropping   bool
+	dropNext   time.Time
+	dropCount  int
+
+	shed      uint64
+	delivered uint64
+}
+
+type entry[T any] struct {
+	v  T
+	at time.Time
+}
+
+// QueueConfig configures a Queue.
+type QueueConfig[T any] struct {
+	// Target and Interval follow Config semantics (Target < 0 disables
+	// shedding; zeros get the Config defaults).
+	Target   time.Duration
+	Interval time.Duration
+	// Capacity is the hard entry bound. Must be > 0.
+	Capacity int
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+	// OnShed receives shed entries (under the queue lock; must not block
+	// or re-enter the queue). Nil entries are simply dropped.
+	OnShed func(T)
+	// SizeOf returns an entry's byte footprint for Bytes(). Nil means 0.
+	SizeOf func(T) int
+	// Observe receives each delivered entry's sojourn time.
+	Observe func(time.Duration)
+}
+
+// NewQueue builds a queue. Panics if Capacity <= 0 — a zero-capacity
+// queue is a configuration bug, not a runtime condition.
+func NewQueue[T any](qc QueueConfig[T]) *Queue[T] {
+	if qc.Capacity <= 0 {
+		panic("admit: queue capacity must be > 0")
+	}
+	base := Config{Target: qc.Target, Interval: qc.Interval}.WithDefaults()
+	target := base.Target
+	if qc.Target < 0 {
+		target = -1
+	}
+	q := &Queue[T]{
+		target:   target,
+		interval: base.Interval,
+		capacity: qc.Capacity,
+		now:      orNow(qc.Now),
+		onShed:   qc.OnShed,
+		sizeOf:   qc.SizeOf,
+		observe:  qc.Observe,
+		items:    make([]entry[T], qc.Capacity),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends v. Returns ErrFull at capacity and ErrClosed after
+// Close; it never blocks and never panics, so callers racing Close get
+// an error, not a crash.
+func (q *Queue[T]) Push(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.count == q.capacity {
+		return ErrFull
+	}
+	q.items[(q.head+q.count)%q.capacity] = entry[T]{v: v, at: q.now()}
+	q.count++
+	if q.sizeOf != nil {
+		q.bytes += int64(q.sizeOf(v))
+	}
+	if q.count == 1 {
+		q.cond.Signal()
+	}
+	return nil
+}
+
+// Pop blocks until an entry is deliverable or the queue is closed and
+// empty (ok=false). It runs the CoDel law first: overdue heads are
+// shed to OnShed before a survivor is returned.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for q.count == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.count == 0 {
+			var zero T
+			return zero, false
+		}
+		now := q.now()
+		e := q.takeLocked()
+		sojourn := now.Sub(e.at)
+		if q.shouldShed(sojourn, now) {
+			q.shed++
+			q.dropCount++
+			q.dropNext = now.Add(time.Duration(float64(q.interval) / math.Sqrt(float64(q.dropCount))))
+			if q.onShed != nil {
+				q.onShed(e.v)
+			}
+			continue // try the next (younger) head
+		}
+		q.delivered++
+		if q.observe != nil {
+			q.observe(sojourn)
+		}
+		return e.v, true
+	}
+}
+
+// takeLocked removes and returns the head entry. Caller holds mu.
+func (q *Queue[T]) takeLocked() entry[T] {
+	e := q.items[q.head]
+	q.items[q.head] = entry[T]{} // release for GC
+	q.head = (q.head + 1) % q.capacity
+	q.count--
+	if q.sizeOf != nil {
+		q.bytes -= int64(q.sizeOf(e.v))
+	}
+	return e
+}
+
+// shouldShed applies the CoDel law to the head's sojourn time. Caller
+// holds mu.
+func (q *Queue[T]) shouldShed(sojourn time.Duration, now time.Time) bool {
+	if q.target < 0 {
+		return false
+	}
+	if sojourn < q.target {
+		// Back under target: leave drop state.
+		q.aboveSince = time.Time{}
+		q.dropping = false
+		q.dropCount = 0
+		return false
+	}
+	if q.dropping {
+		return !now.Before(q.dropNext)
+	}
+	if q.aboveSince.IsZero() {
+		q.aboveSince = now
+		return false
+	}
+	if now.Sub(q.aboveSince) >= q.interval {
+		// Sojourn has been above target for a full interval: enter drop
+		// state and shed this head.
+		q.dropping = true
+		return true
+	}
+	return false
+}
+
+// Close stops admission. If drain is true, queued entries remain
+// deliverable via Pop (which returns ok=false once empty); if false,
+// every queued entry is handed to OnShed immediately.
+func (q *Queue[T]) Close(drain bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	if !drain {
+		for q.count > 0 {
+			e := q.takeLocked()
+			q.shed++
+			if q.onShed != nil {
+				q.onShed(e.v)
+			}
+		}
+	}
+	q.cond.Broadcast()
+}
+
+// Len returns the current entry count.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Cap returns the hard capacity bound.
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// Bytes returns the accounted byte footprint of queued entries.
+func (q *Queue[T]) Bytes() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.bytes
+}
+
+// Stats returns cumulative shed and delivered counts.
+func (q *Queue[T]) Stats() (shed, delivered uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.shed, q.delivered
+}

@@ -1,0 +1,338 @@
+package admit
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueueFIFO checks plain ordered delivery with no shedding.
+func TestQueueFIFO(t *testing.T) {
+	clk := &fakeClock{}
+	q := NewQueue(QueueConfig[int]{Target: -1, Capacity: 8, Now: clk.Now})
+	for i := 0; i < 5; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d,true", v, ok, i)
+		}
+	}
+}
+
+// TestQueueFull checks the hard capacity bound.
+func TestQueueFull(t *testing.T) {
+	q := NewQueue(QueueConfig[int]{Capacity: 2})
+	q.Push(1)
+	q.Push(2)
+	if err := q.Push(3); err != ErrFull {
+		t.Fatalf("push at capacity = %v, want ErrFull", err)
+	}
+}
+
+// TestQueueClosed checks Push after Close errors rather than panics,
+// and Pop drains leftovers when drain=true.
+func TestQueueClosed(t *testing.T) {
+	q := NewQueue(QueueConfig[int]{Capacity: 4})
+	q.Push(1)
+	q.Close(true)
+	if err := q.Push(2); err != ErrClosed {
+		t.Fatalf("push after close = %v, want ErrClosed", err)
+	}
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("drain pop = %d,%v want 1,true", v, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on closed empty queue must return ok=false")
+	}
+}
+
+// TestQueueCloseShedsLeftovers checks Close(false) hands queued
+// entries to OnShed.
+func TestQueueCloseShedsLeftovers(t *testing.T) {
+	var shed []int
+	q := NewQueue(QueueConfig[int]{Capacity: 4, OnShed: func(v int) { shed = append(shed, v) }})
+	q.Push(7)
+	q.Push(8)
+	q.Close(false)
+	if len(shed) != 2 || shed[0] != 7 || shed[1] != 8 {
+		t.Fatalf("shed = %v, want [7 8]", shed)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop after shedding close must return ok=false")
+	}
+}
+
+// TestQueueCoDelSheds verifies the CoDel law: entries whose head
+// sojourn exceeds target for a full interval are shed oldest-first,
+// and the queue leaves drop state once sojourn recovers.
+func TestQueueCoDelSheds(t *testing.T) {
+	clk := &fakeClock{}
+	var shed []int
+	q := NewQueue(QueueConfig[int]{
+		Target:   10 * time.Millisecond,
+		Interval: 100 * time.Millisecond,
+		Capacity: 64,
+		Now:      clk.Now,
+		OnShed:   func(v int) { shed = append(shed, v) },
+	})
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	// Everything has now been waiting 200ms > target.
+	clk.Advance(200 * time.Millisecond)
+
+	// First pop: sojourn above target but drop state needs a full
+	// interval of evidence — delivered.
+	if v, ok := q.Pop(); !ok || v != 0 {
+		t.Fatalf("pop = %d,%v want 0,true", v, ok)
+	}
+	// Still above target past a full interval: drop state engages and
+	// sheds the head.
+	clk.Advance(150 * time.Millisecond)
+	v, ok := q.Pop()
+	if !ok {
+		t.Fatal("pop returned !ok")
+	}
+	if len(shed) == 0 {
+		t.Fatalf("no entries shed; got %d", v)
+	}
+	if shed[0] != 1 {
+		t.Fatalf("shed %v, want oldest-first starting at 1", shed)
+	}
+
+	// Drain the backlog, then verify fresh entries (low sojourn) are
+	// delivered without shedding: the queue must leave drop state.
+	for {
+		if q.Len() == 0 {
+			break
+		}
+		q.Pop()
+	}
+	before := len(shed)
+	q.Push(100)
+	if v, ok := q.Pop(); !ok || v != 100 {
+		t.Fatalf("fresh pop = %d,%v want 100,true", v, ok)
+	}
+	if len(shed) != before {
+		t.Fatalf("fresh entry shed; shed=%v", shed)
+	}
+	shedN, delivered := q.Stats()
+	if shedN == 0 || delivered == 0 {
+		t.Fatalf("stats shed=%d delivered=%d, want both > 0", shedN, delivered)
+	}
+}
+
+// TestQueueBytes checks SizeOf accounting through push/pop/shed.
+func TestQueueBytes(t *testing.T) {
+	q := NewQueue(QueueConfig[int]{Capacity: 8, SizeOf: func(v int) int { return v }})
+	q.Push(100)
+	q.Push(28)
+	if got := q.Bytes(); got != 128 {
+		t.Fatalf("bytes = %d, want 128", got)
+	}
+	q.Pop()
+	if got := q.Bytes(); got != 28 {
+		t.Fatalf("bytes after pop = %d, want 28", got)
+	}
+	q.Close(false)
+	if got := q.Bytes(); got != 0 {
+		t.Fatalf("bytes after shedding close = %d, want 0", got)
+	}
+}
+
+// TestQueueConcurrent runs producers, consumers, and a hostile clock
+// concurrently (race detector coverage) and verifies every pushed
+// entry is handed to exactly one of delivery or shed — none lost,
+// none duplicated.
+func TestQueueConcurrent(t *testing.T) {
+	clk := &fakeClock{}
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	record := func(v int) {
+		mu.Lock()
+		seen[v]++
+		mu.Unlock()
+	}
+	q := NewQueue(QueueConfig[int]{
+		Target:   time.Millisecond,
+		Interval: 2 * time.Millisecond,
+		Capacity: 128,
+		Now:      clk.Now,
+		OnShed:   record,
+		SizeOf:   func(int) int { return 8 },
+	})
+
+	const producers, perProducer = 8, 300
+	var pushed atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := base*perProducer + i
+				for q.Push(v) == ErrFull {
+					clk.Advance(100 * time.Microsecond)
+				}
+				pushed.Add(1)
+				if i%17 == 0 {
+					clk.Advance(3 * time.Millisecond) // provoke shedding
+				}
+			}
+		}(p)
+	}
+
+	var consumerWG sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		consumerWG.Add(1)
+		go func() {
+			defer consumerWG.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				record(v)
+			}
+		}()
+	}
+
+	wg.Wait()
+	q.Close(true)
+	consumerWG.Wait()
+
+	if got := pushed.Load(); got != producers*perProducer {
+		t.Fatalf("pushed = %d, want %d", got, producers*perProducer)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("accounted entries = %d, want %d (lost entries)", len(seen), producers*perProducer)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("entry %d handled %d times, want exactly once", v, n)
+		}
+	}
+	if got := q.Bytes(); got != 0 {
+		t.Fatalf("bytes after full drain = %d, want 0", got)
+	}
+}
+
+// TestGateMatrix checks the priority/shed matrix at each pressure
+// level.
+func TestGateMatrix(t *testing.T) {
+	pressure := PressureNone
+	g := NewGate(Config{QuerySlots: 2, AdminSlots: 1}, func() int { return pressure })
+
+	// Repl and ingest always pass.
+	for _, c := range []Class{ClassRepl, ClassIngest} {
+		pressure = PressureCritical
+		rel, ok := g.Acquire(c)
+		if !ok {
+			t.Fatalf("%v refused at critical pressure", c)
+		}
+		rel()
+	}
+
+	pressure = PressureNone
+	// Query quota enforced.
+	r1, ok1 := g.Acquire(ClassQuery)
+	r2, ok2 := g.Acquire(ClassQuery)
+	if !ok1 || !ok2 {
+		t.Fatal("query slots must admit up to quota")
+	}
+	if _, ok := g.Acquire(ClassQuery); ok {
+		t.Fatal("query must refuse beyond quota")
+	}
+	r1()
+	r2()
+
+	// Admin sheds at elevated pressure, query still admitted.
+	pressure = PressureElevated
+	if _, ok := g.Acquire(ClassAdmin); ok {
+		t.Fatal("admin must shed at elevated pressure")
+	}
+	rel, ok := g.Acquire(ClassQuery)
+	if !ok {
+		t.Fatal("query must still be admitted at elevated pressure")
+	}
+	rel()
+
+	// Query sheds at critical pressure.
+	pressure = PressureCritical
+	if _, ok := g.Acquire(ClassQuery); ok {
+		t.Fatal("query must shed at critical pressure")
+	}
+	sq, sa := g.ShedCounts()
+	if sq == 0 || sa == 0 {
+		t.Fatalf("shed counts query=%d admin=%d, want both > 0", sq, sa)
+	}
+}
+
+// TestBuckets checks per-agent isolation, refill, and Retry-After.
+func TestBuckets(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBuckets(Config{AgentRate: 10, AgentBurst: 2}, clk.Now)
+	// Burst of 2 allowed, third refused with a ~100ms retry hint.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow("a"); !ok {
+			t.Fatalf("burst allow %d refused", i)
+		}
+	}
+	ok, retry := b.Allow("a")
+	if ok {
+		t.Fatal("third batch must be refused")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s]", retry)
+	}
+	// Another agent is unaffected.
+	if ok, _ := b.Allow("b"); !ok {
+		t.Fatal("agent b must be unaffected by agent a's bucket")
+	}
+	// After the hinted wait a token is back.
+	clk.Advance(retry + time.Millisecond)
+	if ok, _ := b.Allow("a"); !ok {
+		t.Fatal("token must refill after the hinted wait")
+	}
+	if b.Refused() != 1 {
+		t.Fatalf("refused = %d, want 1", b.Refused())
+	}
+}
+
+// TestBucketsEviction checks the LRU cap on tracked agents.
+func TestBucketsEviction(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBuckets(Config{AgentRate: 1, AgentBurst: 1}, clk.Now)
+	b.maxAgents = 3
+	for _, a := range []string{"a", "b", "c"} {
+		b.Allow(a)
+		clk.Advance(time.Millisecond)
+	}
+	b.Allow("d") // evicts "a", the least recently seen
+	if got := b.Agents(); got != 3 {
+		t.Fatalf("agents = %d, want 3", got)
+	}
+	// "a" re-forms with a full bucket: allowed despite having spent its
+	// token before eviction.
+	if ok, _ := b.Allow("a"); !ok {
+		t.Fatal("evicted agent must re-form with a full bucket")
+	}
+}
+
+// TestBucketsNil verifies the disabled (nil) rate limiter admits all.
+func TestBucketsNil(t *testing.T) {
+	b := NewBuckets(Config{}, nil) // AgentRate 0 → disabled
+	if b != nil {
+		t.Fatal("AgentRate=0 must return nil Buckets")
+	}
+	if ok, _ := b.Allow("anyone"); !ok {
+		t.Fatal("nil Buckets must admit")
+	}
+}

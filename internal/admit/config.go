@@ -1,0 +1,320 @@
+package admit
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Config parameterizes the whole admission layer. The zero value means
+// "defaults": limiter and CoDel on with conservative sizing, per-agent
+// rate limiting and the memory watermark off.
+type Config struct {
+	// Target is the CoDel sojourn-time target for the ingest queue: once
+	// the head entry has waited longer than this for a full Interval, the
+	// queue starts shedding oldest-first. 0 means 100ms; negative
+	// disables queue shedding (the hard capacity bound still applies).
+	Target time.Duration
+	// Interval is the CoDel control interval. 0 means 1s.
+	Interval time.Duration
+
+	// MinInflight is the AIMD limiter's floor. 0 means 16.
+	MinInflight int
+	// MaxInflight is the limiter's ceiling and its optimistic starting
+	// point. 0 means 1024; negative disables the limiter entirely.
+	MaxInflight int
+	// LatencyRatio is the overload threshold: a control window whose mean
+	// ack latency exceeds LatencyRatio × the moving baseline shrinks the
+	// limit. 0 means 1.5.
+	LatencyRatio float64
+	// Backoff is the multiplicative-decrease factor applied to the limit
+	// on an overloaded window. 0 means 0.8 (in (0,1)).
+	Backoff float64
+	// Step is the control-loop cadence: the limiter re-evaluates its
+	// limit and the memory monitor re-checks the watermark this often.
+	// 0 means 100ms.
+	Step time.Duration
+
+	// AgentRate is the per-agent token-bucket refill rate in batches/s.
+	// 0 disables per-agent rate limiting.
+	AgentRate float64
+	// AgentBurst is the bucket depth in batches. 0 means 2×AgentRate
+	// (minimum 8).
+	AgentBurst int
+
+	// QuerySlots bounds concurrent query-class requests. 0 means 64.
+	QuerySlots int
+	// AdminSlots bounds concurrent admin-class requests. 0 means 4.
+	AdminSlots int
+
+	// MemWatermark is the accounted-memory level (head rings + ingest
+	// queue + dedup windows, in bytes) that flips the node into
+	// memory-pressure degraded mode: ingest sheds 429 over_capacity,
+	// queries shed, and a block flush is forced. 0 disables.
+	MemWatermark int64
+	// MemResume is the hysteresis level that clears degraded mode.
+	// 0 means 80% of MemWatermark.
+	MemResume int64
+}
+
+// WithDefaults returns cfg with every zero field replaced by its
+// documented default.
+func (c Config) WithDefaults() Config {
+	if c.Target == 0 {
+		c.Target = 100 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.MinInflight <= 0 {
+		c.MinInflight = 16
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 1024
+	}
+	if c.MaxInflight > 0 && c.MaxInflight < c.MinInflight {
+		c.MaxInflight = c.MinInflight
+	}
+	if c.LatencyRatio <= 0 {
+		c.LatencyRatio = 1.5
+	}
+	if c.Backoff <= 0 || c.Backoff >= 1 {
+		c.Backoff = 0.8
+	}
+	if c.Step <= 0 {
+		c.Step = 100 * time.Millisecond
+	}
+	if c.AgentBurst <= 0 {
+		c.AgentBurst = int(2 * c.AgentRate)
+		if c.AgentBurst < 8 {
+			c.AgentBurst = 8
+		}
+	}
+	if c.QuerySlots <= 0 {
+		c.QuerySlots = 64
+	}
+	if c.AdminSlots <= 0 {
+		c.AdminSlots = 4
+	}
+	if c.MemResume <= 0 || c.MemResume >= c.MemWatermark {
+		c.MemResume = c.MemWatermark * 8 / 10
+	}
+	return c
+}
+
+// specKeys is the canonical key order String renders and ParseConfig
+// accepts; keeping one table makes the round trip mechanical.
+var specKeys = []string{
+	"target", "interval",
+	"min-inflight", "max-inflight", "latency-ratio", "backoff", "step",
+	"agent-rate", "agent-burst",
+	"query-slots", "admin-slots",
+	"mem-watermark", "mem-resume",
+}
+
+// ParseConfig parses a comma-separated key=value admission spec, e.g.
+//
+//	target=50ms,interval=500ms,min-inflight=8,agent-rate=100,mem-watermark=256MiB
+//
+// Keys: target, interval (durations; target may be negative to disable
+// queue shedding), min-inflight, max-inflight (int; max-inflight may be
+// negative to disable the limiter), latency-ratio, backoff, agent-rate
+// (floats), step (duration), agent-burst, query-slots, admin-slots
+// (ints), mem-watermark, mem-resume (bytes, with optional K/M/G or
+// KiB/MiB/GiB suffixes, 1024-based). Unknown keys are an error so typos
+// in smoke scripts fail loudly. The empty spec is the zero Config
+// (defaults). ParseConfig(c.String()) round-trips for every c it
+// accepts.
+func ParseConfig(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("admit: spec %q: missing '='", kv)
+		}
+		var err error
+		switch k {
+		case "target":
+			cfg.Target, err = time.ParseDuration(v)
+		case "interval":
+			cfg.Interval, err = parsePositiveDuration(v)
+		case "min-inflight":
+			cfg.MinInflight, err = parseNonNegInt(v)
+		case "max-inflight":
+			cfg.MaxInflight, err = strconv.Atoi(v)
+		case "latency-ratio":
+			cfg.LatencyRatio, err = parseFiniteNonNeg(v)
+		case "backoff":
+			cfg.Backoff, err = parseFiniteNonNeg(v)
+		case "step":
+			cfg.Step, err = parsePositiveDuration(v)
+		case "agent-rate":
+			cfg.AgentRate, err = parseFiniteNonNeg(v)
+		case "agent-burst":
+			cfg.AgentBurst, err = parseNonNegInt(v)
+		case "query-slots":
+			cfg.QuerySlots, err = parseNonNegInt(v)
+		case "admin-slots":
+			cfg.AdminSlots, err = parseNonNegInt(v)
+		case "mem-watermark":
+			cfg.MemWatermark, err = ParseBytes(v)
+		case "mem-resume":
+			cfg.MemResume, err = ParseBytes(v)
+		default:
+			return Config{}, fmt.Errorf("admit: spec: unknown key %q", k)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("admit: spec %q: %v", kv, err)
+		}
+	}
+	return cfg, nil
+}
+
+// String renders the spec in canonical key order, omitting zero fields —
+// the exact inverse of ParseConfig, so ParseConfig(c.String()) == c.
+func (c Config) String() string {
+	var parts []string
+	add := func(key, val string) { parts = append(parts, key+"="+val) }
+	for _, k := range specKeys {
+		switch k {
+		case "target":
+			if c.Target != 0 {
+				add(k, c.Target.String())
+			}
+		case "interval":
+			if c.Interval != 0 {
+				add(k, c.Interval.String())
+			}
+		case "min-inflight":
+			if c.MinInflight != 0 {
+				add(k, strconv.Itoa(c.MinInflight))
+			}
+		case "max-inflight":
+			if c.MaxInflight != 0 {
+				add(k, strconv.Itoa(c.MaxInflight))
+			}
+		case "latency-ratio":
+			if c.LatencyRatio != 0 {
+				add(k, formatFloat(c.LatencyRatio))
+			}
+		case "backoff":
+			if c.Backoff != 0 {
+				add(k, formatFloat(c.Backoff))
+			}
+		case "step":
+			if c.Step != 0 {
+				add(k, c.Step.String())
+			}
+		case "agent-rate":
+			if c.AgentRate != 0 {
+				add(k, formatFloat(c.AgentRate))
+			}
+		case "agent-burst":
+			if c.AgentBurst != 0 {
+				add(k, strconv.Itoa(c.AgentBurst))
+			}
+		case "query-slots":
+			if c.QuerySlots != 0 {
+				add(k, strconv.Itoa(c.QuerySlots))
+			}
+		case "admin-slots":
+			if c.AdminSlots != 0 {
+				add(k, strconv.Itoa(c.AdminSlots))
+			}
+		case "mem-watermark":
+			if c.MemWatermark != 0 {
+				add(k, strconv.FormatInt(c.MemWatermark, 10))
+			}
+		case "mem-resume":
+			if c.MemResume != 0 {
+				add(k, strconv.FormatInt(c.MemResume, 10))
+			}
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// byteSuffixes is checked longest-first so "MiB" never parses as a
+// trailing "B". All suffixes are 1024-based (K == KiB).
+var byteSuffixes = []struct {
+	suf   string
+	shift int
+}{
+	{"kib", 10}, {"mib", 20}, {"gib", 30},
+	{"kb", 10}, {"mb", 20}, {"gb", 30},
+	{"k", 10}, {"m", 20}, {"g", 30},
+}
+
+// ParseBytes parses a byte count with an optional binary suffix:
+// "1048576", "4K", "256MiB", "2g". Suffixes are 1024-based (K == KiB).
+func ParseBytes(v string) (int64, error) {
+	s := strings.TrimSpace(v)
+	lower := strings.ToLower(s)
+	shift := 0
+	for _, bs := range byteSuffixes {
+		if strings.HasSuffix(lower, bs.suf) && len(lower) > len(bs.suf) {
+			s = strings.TrimSpace(s[:len(s)-len(bs.suf)])
+			shift = bs.shift
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte count %q", v)
+	}
+	if math.IsNaN(n) || math.IsInf(n, 0) || n < 0 {
+		return 0, fmt.Errorf("byte count %q must be finite and non-negative", v)
+	}
+	out := n * float64(int64(1)<<shift)
+	if out >= math.MaxInt64 {
+		return 0, fmt.Errorf("byte count %q overflows", v)
+	}
+	return int64(out), nil
+}
+
+func parsePositiveDuration(v string) (time.Duration, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("must not be negative")
+	}
+	return d, nil
+}
+
+func parseNonNegInt(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("must not be negative")
+	}
+	return n, nil
+}
+
+func parseFiniteNonNeg(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+		return 0, fmt.Errorf("must be finite and non-negative")
+	}
+	return f, nil
+}
+
+// formatFloat renders a float so that ParseFloat round-trips exactly.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

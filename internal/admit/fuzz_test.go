@@ -1,0 +1,52 @@
+package admit
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseConfig is the reject-or-apply contract for the -admit /
+// -mem-watermark spec parser: any input either parses cleanly or
+// returns an error — never a panic — and every accepted config
+// round-trips exactly through String().
+func FuzzParseConfig(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"target=50ms",
+		"target=-1ns,max-inflight=-1",
+		"target=50ms,interval=500ms,min-inflight=8,max-inflight=128,latency-ratio=2,backoff=0.5,step=20ms",
+		"agent-rate=100,agent-burst=16,query-slots=32,admin-slots=2",
+		"mem-watermark=256MiB,mem-resume=200M",
+		"mem-watermark=1e300G",
+		"latency-ratio=NaN",
+		"backoff=-Inf",
+		"target==,,=",
+		"mem-watermark=1.5KiB",
+		" target=1s , interval=2s ,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseConfig(spec) // must never panic
+		if err != nil {
+			return // rejected: nothing else to check
+		}
+		// Accepted: the canonical rendering must re-parse to the same
+		// config (String is a faithful inverse for everything accepted).
+		s := cfg.String()
+		back, err := ParseConfig(s)
+		if err != nil {
+			t.Fatalf("re-parse of String() failed: %q -> %+v -> %q: %v", spec, cfg, s, err)
+		}
+		if !reflect.DeepEqual(back, cfg) {
+			t.Fatalf("round trip drift: %q -> %+v -> %q -> %+v", spec, cfg, s, back)
+		}
+		// Defaults must always be applied without panicking, and produce
+		// a usable configuration.
+		d := cfg.WithDefaults()
+		if d.Interval <= 0 || d.Step <= 0 || d.Backoff <= 0 || d.Backoff >= 1 ||
+			d.MinInflight <= 0 || d.QuerySlots <= 0 || d.AdminSlots <= 0 {
+			t.Fatalf("withDefaults produced unusable config: %+v", d)
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package admit
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Limiter is an AIMD adaptive concurrency limiter. Callers Acquire a
+// slot before starting work and Release it with the observed latency;
+// once per Step the limiter compares the window's mean latency against
+// a moving baseline (an EWMA of per-window minimums) and either shrinks
+// the limit multiplicatively (overload) or re-probes it additively
+// (calm). Acquire/Release are lock-free on the hot path: two atomic
+// adds plus three atomic adds for the latency window.
+type Limiter struct {
+	cfg Config
+	now func() time.Time
+
+	limit    atomic.Int64 // current concurrency limit
+	inflight atomic.Int64
+
+	// latency window, reset each control step
+	winSum   atomic.Int64 // nanoseconds
+	winCount atomic.Int64
+	winMin   atomic.Int64 // nanoseconds; math.MaxInt64 when empty
+
+	// control-loop state, guarded by mu (TryLock: losers skip the step)
+	mu       sync.Mutex
+	nextStep atomic.Int64 // unix nanos of the next control step
+	baseline float64      // EWMA of window-min latency, nanoseconds
+
+	// counters for metrics
+	acquired atomic.Uint64
+	refused  atomic.Uint64
+	shrinks  atomic.Uint64
+	grows    atomic.Uint64
+}
+
+// NewLimiter returns a limiter configured by cfg (zero fields get
+// defaults). A nil now uses time.Now. Returns nil if cfg disables the
+// limiter (MaxInflight < 0); a nil *Limiter is valid — Acquire always
+// admits.
+func NewLimiter(cfg Config, now func() time.Time) *Limiter {
+	cfg = cfg.WithDefaults()
+	if cfg.MaxInflight < 0 {
+		return nil
+	}
+	l := &Limiter{cfg: cfg, now: orNow(now)}
+	l.limit.Store(int64(cfg.MaxInflight)) // start optimistic, back off on evidence
+	l.winMin.Store(math.MaxInt64)
+	l.nextStep.Store(l.now().Add(cfg.Step).UnixNano())
+	return l
+}
+
+// Acquire claims a concurrency slot. It returns false (and claims
+// nothing) when the limiter is at its limit. On true the caller must
+// call Release exactly once with the request's observed latency.
+func (l *Limiter) Acquire() bool {
+	if l == nil {
+		return true
+	}
+	if l.inflight.Add(1) > l.limit.Load() {
+		l.inflight.Add(-1)
+		l.refused.Add(1)
+		return false
+	}
+	l.acquired.Add(1)
+	return true
+}
+
+// Release returns a slot and records the request's latency in the
+// current control window, running the control step if one is due.
+func (l *Limiter) Release(latency time.Duration) {
+	if l == nil {
+		return
+	}
+	l.inflight.Add(-1)
+	ns := int64(latency)
+	if ns < 0 {
+		ns = 0
+	}
+	l.winSum.Add(ns)
+	l.winCount.Add(1)
+	for {
+		cur := l.winMin.Load()
+		if ns >= cur || l.winMin.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	now := l.now().UnixNano()
+	if now >= l.nextStep.Load() && l.mu.TryLock() {
+		if now >= l.nextStep.Load() { // re-check under the lock
+			l.step(now)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// step runs one control-loop iteration. Called with mu held.
+func (l *Limiter) step(now int64) {
+	l.nextStep.Store(now + int64(l.cfg.Step))
+	count := l.winCount.Swap(0)
+	sum := l.winSum.Swap(0)
+	min := l.winMin.Swap(math.MaxInt64)
+	if count == 0 {
+		return // idle window: leave limit and baseline alone
+	}
+	mean := float64(sum) / float64(count)
+	// Baseline tracks the best the node can do: fast to follow
+	// improvements (a new window min below the baseline snaps it down),
+	// slow to absorb degradation (5% EWMA upward), so a sustained
+	// overload cannot drag the baseline up and mask itself.
+	m := float64(min)
+	if l.baseline == 0 || m < l.baseline {
+		l.baseline = m
+	} else {
+		l.baseline += 0.05 * (m - l.baseline)
+	}
+	limit := l.limit.Load()
+	if mean > l.cfg.LatencyRatio*l.baseline {
+		// Overloaded: multiplicative decrease toward the floor.
+		next := int64(float64(limit) * l.cfg.Backoff)
+		if next < int64(l.cfg.MinInflight) {
+			next = int64(l.cfg.MinInflight)
+		}
+		if next != limit {
+			l.limit.Store(next)
+			l.shrinks.Add(1)
+		}
+	} else if limit < int64(l.cfg.MaxInflight) {
+		// Calm: additive re-probe, scaled so large limits recover in a
+		// bounded number of steps instead of one-by-one.
+		next := limit + 1 + limit/16
+		if next > int64(l.cfg.MaxInflight) {
+			next = int64(l.cfg.MaxInflight)
+		}
+		l.limit.Store(next)
+		l.grows.Add(1)
+	}
+}
+
+// Limit returns the current concurrency limit.
+func (l *Limiter) Limit() int {
+	if l == nil {
+		return -1
+	}
+	return int(l.limit.Load())
+}
+
+// Inflight returns the number of currently held slots.
+func (l *Limiter) Inflight() int {
+	if l == nil {
+		return 0
+	}
+	n := int(l.inflight.Load())
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Saturated reports whether the limiter has backed off from its
+// ceiling and is running at (or beyond) the reduced limit — the
+// "ingest is at its wall" input to the pressure gate.
+func (l *Limiter) Saturated() bool {
+	if l == nil {
+		return false
+	}
+	limit := l.limit.Load()
+	return limit < int64(l.cfg.MaxInflight) && l.inflight.Load() >= limit
+}
+
+// Stats returns cumulative counters: slots granted, refusals, limit
+// shrinks, and limit grows.
+func (l *Limiter) Stats() (acquired, refused, shrinks, grows uint64) {
+	if l == nil {
+		return 0, 0, 0, 0
+	}
+	return l.acquired.Load(), l.refused.Load(), l.shrinks.Load(), l.grows.Load()
+}

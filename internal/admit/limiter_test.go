@@ -1,0 +1,174 @@
+package admit
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a monotonic test clock safe for concurrent use.
+type fakeClock struct {
+	ns atomic.Int64
+}
+
+func (c *fakeClock) Now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) Advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// TestLimiterLatencyStep drives the limiter through a latency step:
+// calm traffic at the baseline, then a sustained 10x latency
+// inflation (the limit must shrink multiplicatively), then calm again
+// (the limit must re-probe back up to the ceiling).
+func TestLimiterLatencyStep(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := Config{MinInflight: 4, MaxInflight: 256, Step: 10 * time.Millisecond}
+	l := NewLimiter(cfg, clk.Now)
+	if got := l.Limit(); got != 256 {
+		t.Fatalf("initial limit = %d, want 256", got)
+	}
+
+	// window runs one control step's worth of requests at the given
+	// latency and then advances past the step boundary.
+	window := func(lat time.Duration) {
+		for i := 0; i < 20; i++ {
+			if !l.Acquire() {
+				continue
+			}
+			l.Release(lat)
+		}
+		clk.Advance(11 * time.Millisecond)
+		if l.Acquire() { // trigger the step on the next release
+			l.Release(lat)
+		}
+	}
+
+	// Establish the baseline at ~1ms.
+	for i := 0; i < 5; i++ {
+		window(time.Millisecond)
+	}
+	calm := l.Limit()
+	if calm != 256 {
+		t.Fatalf("calm limit = %d, want 256", calm)
+	}
+
+	// Latency step: 10x the baseline, sustained.
+	for i := 0; i < 10; i++ {
+		window(10 * time.Millisecond)
+	}
+	shrunk := l.Limit()
+	if shrunk >= calm {
+		t.Fatalf("limit did not shrink under latency step: %d >= %d", shrunk, calm)
+	}
+	_, _, shrinks, _ := l.Stats()
+	if shrinks == 0 {
+		t.Fatalf("no shrink events recorded")
+	}
+
+	// Back to calm: the limit must re-probe up to the ceiling.
+	for i := 0; i < 200; i++ {
+		window(time.Millisecond)
+		if l.Limit() == 256 {
+			break
+		}
+	}
+	if got := l.Limit(); got != 256 {
+		t.Fatalf("limit did not re-probe to ceiling: %d", got)
+	}
+	_, _, _, grows := l.Stats()
+	if grows == 0 {
+		t.Fatalf("no grow events recorded")
+	}
+}
+
+// TestLimiterFloor verifies the limit never shrinks below MinInflight
+// no matter how bad latency gets.
+func TestLimiterFloor(t *testing.T) {
+	clk := &fakeClock{}
+	l := NewLimiter(Config{MinInflight: 8, MaxInflight: 64, Step: time.Millisecond}, clk.Now)
+	// One calm window to set a low baseline, then sustained overload.
+	// (Bounded iterations: the baseline's slow upward EWMA eventually
+	// absorbs a sustained plateau and re-probes — the CoDel queue is the
+	// backstop there — so the floor must be reached within ~12 shrinks.)
+	l.Acquire()
+	l.Release(time.Microsecond)
+	for i := 0; i < 15; i++ {
+		clk.Advance(2 * time.Millisecond)
+		if l.Acquire() {
+			l.Release(time.Second)
+		}
+	}
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("limit = %d, want floor 8", got)
+	}
+}
+
+// TestLimiterRefusesAtLimit checks Acquire refuses once inflight hits
+// the limit, and frees up after Release.
+func TestLimiterRefusesAtLimit(t *testing.T) {
+	clk := &fakeClock{}
+	l := NewLimiter(Config{MinInflight: 2, MaxInflight: 2, Step: time.Hour}, clk.Now)
+	if !l.Acquire() || !l.Acquire() {
+		t.Fatal("first two acquires must succeed")
+	}
+	if l.Acquire() {
+		t.Fatal("third acquire must refuse at limit 2")
+	}
+	l.Release(time.Millisecond)
+	if !l.Acquire() {
+		t.Fatal("acquire after release must succeed")
+	}
+	if _, refused, _, _ := l.Stats(); refused != 1 {
+		t.Fatalf("refused = %d, want 1", refused)
+	}
+}
+
+// TestLimiterNil verifies the nil limiter admits everything (the
+// max-inflight<0 "disabled" configuration).
+func TestLimiterNil(t *testing.T) {
+	l := NewLimiter(Config{MaxInflight: -1}, nil)
+	if l != nil {
+		t.Fatalf("MaxInflight<0 must return a nil limiter")
+	}
+	if !l.Acquire() {
+		t.Fatal("nil limiter must admit")
+	}
+	l.Release(time.Second)
+	if l.Saturated() {
+		t.Fatal("nil limiter must never report saturation")
+	}
+}
+
+// TestLimiterConcurrent hammers Acquire/Release from many goroutines
+// with the race detector watching, and checks slot accounting ends at
+// zero with the limit respected throughout.
+func TestLimiterConcurrent(t *testing.T) {
+	clk := &fakeClock{}
+	l := NewLimiter(Config{MinInflight: 4, MaxInflight: 32, Step: time.Millisecond}, clk.Now)
+	var wg sync.WaitGroup
+	var peak atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if !l.Acquire() {
+					continue
+				}
+				if n := int64(l.Inflight()); n > peak.Load() {
+					peak.Store(n)
+				}
+				if i%7 == 0 {
+					clk.Advance(time.Duration(seed+1) * 100 * time.Microsecond)
+				}
+				l.Release(time.Duration(i%5) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.Inflight(); got != 0 {
+		t.Fatalf("inflight after drain = %d, want 0", got)
+	}
+	if p := peak.Load(); p > 32+16 { // peak read races release; allow slack of one per goroutine
+		t.Fatalf("inflight peak %d far exceeds limit", p)
+	}
+}

@@ -319,7 +319,7 @@ func TestReadyzTransitions(t *testing.T) {
 	}
 }
 
-// TestDurableBackpressureTombstones: a batch refused with 503 (queue
+// TestDurableBackpressureTombstones: a batch refused with 429 (queue
 // full) is already in the WAL — the handler must tombstone it so replay
 // never resurrects it, and the agent's re-send of the same sequence must
 // be accepted. Uses a worker-less server so the full queue is
@@ -335,33 +335,53 @@ func TestDurableBackpressureTombstones(t *testing.T) {
 		t.Fatal(err)
 	}
 	dur.log = log
+	cfg := durableConfig()
+	cfg.QueueDepth = 1 // no workers drain it
 	s := &Server{
-		store:   durableStore(),
-		cfg:     durableConfig(),
-		dedup:   tsdb.NewDeduper(tsdb.DedupConfig{}),
-		dur:     dur,
-		ingestQ: make(chan queuedBatch, 1), // no workers drain it
+		store: durableStore(),
+		cfg:   cfg,
+		dedup: tsdb.NewDeduper(tsdb.DedupConfig{}),
+		dur:   dur,
 	}
-	s.metrics = newMetrics(func() int { return len(s.ingestQ) })
+	s.metrics = newMetrics(func() int { return s.ingestQ.Len() })
+	s.initAdmit()
 	s.ready.Store(true)
 
-	s.ingestQ <- queuedBatch{} // occupy the only slot
+	s.ingestQ.Push(queuedBatch{}) // occupy the only slot
 	batch := trace.SampleBatch{
 		AgentID: "a1", Seq: 1,
 		Samples: []trace.PowerSample{{Node: 1, JobID: 7, Unix: 60, PowerW: 123}},
 	}
 	rec := httptest.NewRecorder()
 	s.ingestDurable(rec, httptest.NewRequest(http.MethodPost, "/v1/samples", nil), batch)
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("full queue: got %d, want 503", rec.Code)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("full queue: got %d, want 429", rec.Code)
+	}
+	if rec.Header().Get(HeaderOverCapacity) != "1" {
+		t.Fatal("queue-full 429 must carry the over-capacity marker")
 	}
 
-	<-s.ingestQ // free the slot; the agent retries the same sequence
+	s.ingestQ.Pop() // free the slot; the agent retries the same sequence
+	// Stand in for the missing workers on the retry only: ack the entry
+	// so ingestDurable's applied-wait completes (without markDone, so
+	// recovery still replays the record like a pre-apply crash).
+	go func() {
+		for {
+			qb, ok := s.ingestQ.Pop()
+			if !ok {
+				return
+			}
+			if qb.resc != nil {
+				qb.resc <- true
+			}
+		}
+	}()
 	rec = httptest.NewRecorder()
 	s.ingestDurable(rec, httptest.NewRequest(http.MethodPost, "/v1/samples", nil), batch)
 	if rec.Code != http.StatusAccepted {
-		t.Fatalf("retry after 503: got %d, want 202 (dedup mark not rolled back?)", rec.Code)
+		t.Fatalf("retry after 429: got %d, want 202 (dedup mark not rolled back?)", rec.Code)
 	}
+	s.ingestQ.Close(true)
 
 	// Crash before the (worker-less) apply: only the WAL has the data.
 	log.Close()

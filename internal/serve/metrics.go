@@ -39,6 +39,12 @@ type metrics struct {
 
 	blockFlush *obs.Histogram // powserved_block_flush_seconds per head→block flush pass
 
+	// Admission-control surface: sheds by reason (limiter, queue, codel,
+	// agent_rate, memory, query, admin) and the delivered entries'
+	// queue-sojourn distribution — the signal CoDel acts on.
+	admitShed    *obs.CounterVec // powserved_admit_shed_total{reason}
+	admitSojourn *obs.Histogram  // powserved_admit_queue_sojourn_seconds
+
 	ingestE2E   *obs.Histogram // powserved_ingest_e2e_seconds: accept → durable ack
 	walAppend   *obs.Histogram // powserved_wal_append_seconds
 	walFsync    *obs.Histogram // powserved_wal_fsync_seconds
@@ -84,6 +90,8 @@ func newMetrics(queueDepth func() int) *metrics {
 		requestLatency: reg.HistogramVec("powserved_request_latency_seconds", "endpoint", obs.DefaultLatencyBuckets),
 		requestErrors:  reg.CounterVec("powserved_request_errors_total", "endpoint"),
 		blockFlush:     reg.Histogram("powserved_block_flush_seconds", obs.DefaultLatencyBuckets),
+		admitShed:      reg.CounterVec("powserved_admit_shed_total", "reason"),
+		admitSojourn:   reg.Histogram("powserved_admit_queue_sojourn_seconds", obs.DefaultLatencyBuckets),
 		ingestE2E:      reg.Histogram("powserved_ingest_e2e_seconds", obs.DefaultLatencyBuckets),
 		walAppend:      reg.Histogram("powserved_wal_append_seconds", obs.DefaultLatencyBuckets),
 		walFsync:       reg.Histogram("powserved_wal_fsync_seconds", obs.DefaultLatencyBuckets),

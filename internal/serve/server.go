@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hpcpower/internal/admit"
 	"hpcpower/internal/mlearn"
 	"hpcpower/internal/obs"
 	"hpcpower/internal/trace"
@@ -68,6 +69,12 @@ type Config struct {
 	// BlockFlushGrace holds the flush cut this far behind wall clock so
 	// late samples still land in their window. 0 means 5 m.
 	BlockFlushGrace time.Duration
+	// Admit parameterizes the admission-control layer: the AIMD ingest
+	// limiter, CoDel queue shedding, per-agent rate limiting, priority
+	// quotas, and the memory watermark. The zero value enables the
+	// limiter and CoDel with their defaults and leaves rate limiting and
+	// the watermark off.
+	Admit admit.Config
 }
 
 // DefaultConfig returns the sizing powserved starts with.
@@ -87,25 +94,35 @@ type Server struct {
 	dur     *durability // nil: ingest is memory-only (no WAL)
 	ready   atomic.Bool // false until recovery completes
 
-	ingestQ chan queuedBatch
-	// flushStop terminates the background block-flush loop (see query.go).
+	// ingestQ is the bounded ingest queue with CoDel shedding: Push
+	// races Close safely (errors, never panics), and overdue entries are
+	// shed oldest-first via onIngestShed under sustained overload.
+	ingestQ *admit.Queue[queuedBatch]
+	// adm is the admission-control state: AIMD limiter, priority gate,
+	// per-agent rate buckets, memory watermark. See admit.go.
+	adm *admission
+	// flushStop terminates the background block-flush and memory-monitor
+	// loops (see query.go and admit.go).
 	flushStop chan struct{}
 	flushWG   sync.WaitGroup
-	// ingestMu makes enqueue-vs-Close safe: handlers send under RLock,
-	// Close flips draining and closes the channel under Lock, so a send
-	// can never race a close (send on closed channel panics).
-	ingestMu sync.RWMutex
-	workerWG sync.WaitGroup
-	draining atomic.Bool
+	workerWG  sync.WaitGroup
+	draining  atomic.Bool
 }
 
 // queuedBatch is one ingest-queue entry: the samples plus the WAL
-// sequence number that recorded them (0 when durability is off) and
-// the batch's trace ID for the apply-stage trace event.
+// sequence number that recorded them (0 when durability is off), the
+// batch's trace ID for the apply-stage trace event, the (agent, seq)
+// delivery stamp so a CoDel shed can free the sequence number, and the
+// ack channel the handler waits on — true once the batch is applied,
+// false when it was shed before apply, so a 202 is never written for
+// samples that did not reach the store.
 type queuedBatch struct {
 	lsn     uint64
 	samples []trace.PowerSample
 	trace   string
+	agent   string
+	seq     uint64
+	resc    chan bool // buffered(1); nil in tests that bypass the ack
 }
 
 // New builds a server around a store and an optional prediction model,
@@ -129,11 +146,11 @@ func New(store *tsdb.Store, model *mlearn.BDT, cfg Config) *Server {
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		dedup:     tsdb.NewDeduper(tsdb.DedupConfig{Window: cfg.DedupWindow}),
-		ingestQ:   make(chan queuedBatch, cfg.QueueDepth),
 		flushStop: make(chan struct{}),
 	}
 	s.ready.Store(true) // nothing to recover
-	s.metrics = newMetrics(func() int { return len(s.ingestQ) })
+	s.metrics = newMetrics(func() int { return s.ingestQ.Len() })
+	s.initAdmit()
 	s.metrics.logger = obs.Component(cfg.Logger, "serve")
 	switch {
 	case cfg.SlowRequest > 0:
@@ -147,6 +164,7 @@ func New(store *tsdb.Store, model *mlearn.BDT, cfg Config) *Server {
 	}
 	s.routes()
 	s.startBlockLoop()
+	s.startMemLoop()
 	return s
 }
 
@@ -174,11 +192,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/power", s.metrics.instrument("job_power", s.handleJobPower))
 	s.mux.HandleFunc("POST /v1/predict", s.metrics.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("GET /v1/summary", s.metrics.instrument("summary", s.handleSummary))
-	s.mux.HandleFunc("GET /v1/query/range", s.metrics.instrument("query_range", s.handleQueryRange))
-	s.mux.HandleFunc("GET /v1/query/nodes", s.metrics.instrument("query_nodes", s.handleQueryNodes))
-	s.mux.HandleFunc("GET /v1/query/distribution", s.metrics.instrument("query_distribution", s.handleQueryDistribution))
-	s.mux.HandleFunc("POST /v1/admin/flush", s.metrics.instrument("admin_flush", s.handleAdminFlush))
-	s.mux.HandleFunc("POST /v1/admin/scrub", s.metrics.instrument("admin_scrub", s.handleAdminScrub))
+	s.mux.HandleFunc("GET /v1/query/range", s.metrics.instrument("query_range", s.gated(admit.ClassQuery, "query", s.handleQueryRange)))
+	s.mux.HandleFunc("GET /v1/query/nodes", s.metrics.instrument("query_nodes", s.gated(admit.ClassQuery, "query", s.handleQueryNodes)))
+	s.mux.HandleFunc("GET /v1/query/distribution", s.metrics.instrument("query_distribution", s.gated(admit.ClassQuery, "query", s.handleQueryDistribution)))
+	s.mux.HandleFunc("POST /v1/admin/flush", s.metrics.instrument("admin_flush", s.gated(admit.ClassAdmin, "admin", s.handleAdminFlush)))
+	s.mux.HandleFunc("POST /v1/admin/scrub", s.metrics.instrument("admin_scrub", s.gated(admit.ClassAdmin, "admin", s.handleAdminScrub)))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/traces/recent", s.metrics.traces.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -221,7 +239,11 @@ func timeoutJSON(h http.Handler, d time.Duration) http.Handler {
 
 func (s *Server) ingestWorker() {
 	defer s.workerWG.Done()
-	for qb := range s.ingestQ {
+	for {
+		qb, ok := s.ingestQ.Pop()
+		if !ok {
+			return
+		}
 		// Under durability the apply and its markDone are one unit wrt
 		// the snapshot capture lock, so a snapshot never records an LSN
 		// as applied while its samples are only half-folded.
@@ -241,20 +263,23 @@ func (s *Server) ingestWorker() {
 			// Validated before enqueue; a failure here is a programming
 			// error — count it, don't crash the drain loop.
 			s.metrics.batchesInvalid.Add(1)
-			continue
+		} else {
+			s.metrics.samplesIngested.Add(int64(len(qb.samples)))
+			if qb.trace != "" {
+				d := time.Since(applyStart)
+				s.metrics.traces.Record(obs.TraceEvent{
+					Trace: qb.trace, Stage: "apply", LSN: int64(qb.lsn),
+					Samples: len(qb.samples), DurMS: float64(d) / float64(time.Millisecond),
+					Unix: time.Now().Unix(), Status: "applied",
+				})
+				s.metrics.logger.Debug("batch applied",
+					slog.String("trace_id", qb.trace),
+					slog.Uint64("lsn", qb.lsn),
+					slog.Int("samples", len(qb.samples)))
+			}
 		}
-		s.metrics.samplesIngested.Add(int64(len(qb.samples)))
-		if qb.trace != "" {
-			d := time.Since(applyStart)
-			s.metrics.traces.Record(obs.TraceEvent{
-				Trace: qb.trace, Stage: "apply", LSN: int64(qb.lsn),
-				Samples: len(qb.samples), DurMS: float64(d) / float64(time.Millisecond),
-				Unix: time.Now().Unix(), Status: "applied",
-			})
-			s.metrics.logger.Debug("batch applied",
-				slog.String("trace_id", qb.trace),
-				slog.Uint64("lsn", qb.lsn),
-				slog.Int("samples", len(qb.samples)))
+		if qb.resc != nil {
+			qb.resc <- true
 		}
 	}
 }
@@ -282,17 +307,13 @@ func (s *Server) traceIngest(traceID string, batch trace.SampleBatch, lsn uint64
 }
 
 // Close stops accepting ingest work and drains the queue. Safe against
-// concurrent ingest handlers: the channel is closed under the write
-// lock, and handlers only send under the read lock after re-checking
-// the draining flag.
+// concurrent ingest handlers: a Push racing Close gets ErrClosed (never
+// a panic), and workers apply the remaining backlog before exiting.
 func (s *Server) Close() {
-	s.ingestMu.Lock()
 	if s.draining.Swap(true) {
-		s.ingestMu.Unlock()
 		return
 	}
-	close(s.ingestQ)
-	s.ingestMu.Unlock()
+	s.ingestQ.Close(true)
 	close(s.flushStop)
 	s.flushWG.Wait()
 	s.workerWG.Wait()
@@ -332,7 +353,7 @@ func retryAfterSeconds(depth, capacity int) int {
 }
 
 func (s *Server) retryAfter() int {
-	return retryAfterSeconds(len(s.ingestQ), cap(s.ingestQ))
+	return retryAfterSeconds(s.ingestQ.Len(), s.ingestQ.Cap())
 }
 
 // storageUnavailable answers a write request with the storage-degraded
@@ -373,6 +394,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.storageUnavailable(w, d.degradeReason())
 		return
 	}
+	if s.adm.memDegraded.Load() {
+		// Memory pressure: shed before even decoding the body — the
+		// cheapest possible refusal while the node works its backlog down.
+		s.metrics.batchesRejected.Add(1)
+		s.overCapacity(w, "memory", 0)
+		return
+	}
+	start := time.Now()
 	var batch trace.SampleBatch
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes))
 	if err := dec.Decode(&batch); err != nil {
@@ -403,11 +432,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if traceID != "" {
 		w.Header().Set(obs.HeaderTraceID, traceID)
 	}
+	if batch.AgentID != "" {
+		// Per-agent token bucket: one misbehaving agent exhausts its own
+		// budget and gets a precise Retry-After; the fleet is untouched.
+		if ok, retry := s.adm.buckets.Allow(batch.AgentID); !ok {
+			s.metrics.batchesRejected.Add(1)
+			s.overCapacity(w, "agent_rate", retry)
+			return
+		}
+	}
+	// AIMD limiter: the primary ingest control. Release feeds the ack
+	// latency (accept → applied/durable) back into the control loop.
+	if !s.adm.limiter.Acquire() {
+		s.metrics.batchesRejected.Add(1)
+		s.overCapacity(w, "limiter", 0)
+		return
+	}
+	defer func() { s.adm.limiter.Release(time.Since(start)) }()
 	if s.dur != nil {
 		s.ingestDurable(w, r, batch)
 		return
 	}
-	start := time.Now()
 	if batch.AgentID != "" {
 		// Mark before enqueue so two racing deliveries of the same
 		// (agent, seq) cannot both be counted; rolled back below if the
@@ -421,32 +466,36 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.ingestMu.RLock()
-	if s.draining.Load() {
-		s.ingestMu.RUnlock()
+	resc := make(chan bool, 1)
+	err := s.ingestQ.Push(queuedBatch{
+		samples: batch.Samples, trace: traceID,
+		agent: batch.AgentID, seq: batch.Seq, resc: resc,
+	})
+	switch {
+	case err == nil:
+		if !<-resc {
+			// Shed by CoDel before apply: onIngestShed already counted the
+			// refusal and freed the sequence number — never ack.
+			s.write429(w, "codel", 0)
+			return
+		}
+		s.metrics.batchesAccepted.Add(1)
+		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(batch.Samples)})
+		s.traceIngest(traceID, batch, 0, time.Since(start))
+	case errors.Is(err, admit.ErrClosed):
 		if batch.AgentID != "" {
 			s.dedup.Forget(batch.AgentID, batch.Seq)
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		errJSON(w, http.StatusServiceUnavailable, "server draining")
-		return
-	}
-	select {
-	case s.ingestQ <- queuedBatch{samples: batch.Samples, trace: traceID}:
-		s.ingestMu.RUnlock()
-		s.metrics.batchesAccepted.Add(1)
-		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(batch.Samples)})
-		s.traceIngest(traceID, batch, 0, time.Since(start))
 	default:
-		s.ingestMu.RUnlock()
 		// Backpressure: bounded queue full. The agent owns the retry — and
 		// must be able to re-send this sequence number successfully.
 		if batch.AgentID != "" {
 			s.dedup.Forget(batch.AgentID, batch.Seq)
 		}
 		s.metrics.batchesRejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
-		errJSON(w, http.StatusServiceUnavailable, "ingest queue full")
+		s.overCapacity(w, "queue", 0)
 	}
 }
 
@@ -496,18 +545,16 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, batch tra
 		s.storageUnavailable(w, fmt.Sprintf("wal append: %v", err))
 		return
 	}
-	enqueued := false
-	s.ingestMu.RLock()
+	resc := make(chan bool, 1)
+	pushErr := admit.ErrClosed
 	if !s.draining.Load() {
-		select {
-		case s.ingestQ <- queuedBatch{lsn: lsn, samples: batch.Samples, trace: traceID}:
-			enqueued = true
-		default:
-		}
+		pushErr = s.ingestQ.Push(queuedBatch{
+			lsn: lsn, samples: batch.Samples, trace: traceID,
+			agent: batch.AgentID, seq: batch.Seq, resc: resc,
+		})
 	}
-	s.ingestMu.RUnlock()
 	d.seqMu.Unlock()
-	if !enqueued {
+	if pushErr != nil {
 		// The record is in the WAL but will never be applied: cancel it
 		// with a tombstone so replay skips it, and free the agent to
 		// re-send the same sequence number. The in-memory set must grow
@@ -523,8 +570,12 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, batch tra
 		}
 		d.applyMu.RUnlock()
 		s.metrics.batchesRejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
-		errJSON(w, http.StatusServiceUnavailable, "ingest queue full")
+		if errors.Is(pushErr, admit.ErrFull) {
+			s.overCapacity(w, "queue", 0)
+		} else {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+			errJSON(w, http.StatusServiceUnavailable, "server draining")
+		}
 		return
 	}
 	d.applyMu.RUnlock()
@@ -538,7 +589,16 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, batch tra
 		// the agent re-send; the batch is queued and will be applied, and
 		// the dedup mark turns the retry into a counted-once duplicate
 		// ack once a recovered (restarted) node can make it durable.
+		// (The queued entry stays owned by the worker or the shed
+		// callback — no resc wait here.)
 		s.storageUnavailable(w, fmt.Sprintf("wal sync: %v", err))
+		return
+	}
+	if !<-resc {
+		// CoDel shed the batch after it was WAL'd: onIngestShed has
+		// already tombstoned the record and freed the sequence number —
+		// never ack samples that did not reach the store.
+		s.write429(w, "codel", 0)
 		return
 	}
 	if rs := d.repl; rs != nil && rs.cfg.SyncAck && !rs.isFollower.Load() {
@@ -686,6 +746,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) readyzBody(status string) map[string]any {
 	body := map[string]any{"status": status}
+	// Memory pressure is not unreadiness (reads keep serving, writes shed
+	// with an actionable 429), but probes and drills route on it.
+	body["mem_degraded"] = s.adm.memDegraded.Load()
+	if s.adm.cfg.MemWatermark > 0 {
+		body["mem_bytes"] = s.memBytes()
+		body["mem_watermark_bytes"] = s.adm.cfg.MemWatermark
+	}
 	d := s.dur
 	if d == nil {
 		return body

@@ -607,8 +607,14 @@ func TestCloseMidFloodKeepsAcceptedBatches(t *testing.T) {
 		}(f)
 	}
 	close(start)
-	time.Sleep(5 * time.Millisecond) // let the flood build
-	s.Close()                        // mid-flood: drains the queue, flips handlers to 503
+	// Let the flood build: wait for the first 202 (a fixed sleep flakes
+	// under the race detector, where the first apply-acked round trip can
+	// take arbitrarily long), then a moment more so Close lands mid-flood.
+	for deadline := time.Now().Add(5 * time.Second); accepted.Load() == 0 && time.Now().Before(deadline); {
+		time.Sleep(100 * time.Microsecond)
+	}
+	time.Sleep(2 * time.Millisecond)
+	s.Close() // mid-flood: drains the queue, flips handlers to 503
 	wg.Wait()
 
 	if accepted.Load() == 0 {

@@ -10,7 +10,11 @@
 //     re-sending after an ambiguous failure (the request may or may not
 //     have been counted) is always safe;
 //   - failed deliveries retry with exponential backoff and full jitter,
-//     honoring the server's Retry-After hint on 503/429 backpressure;
+//     honoring (and jittering) the server's Retry-After hint on 503/429
+//     backpressure; a 429 over_capacity admission shed and a 503
+//     storage-degraded answer are waited out in place — the server is
+//     healthy and authoritative, so they neither trip the breaker nor
+//     rotate the target;
 //   - pending batches wait in a bounded spill buffer (FIFO ring) so an
 //     outage shorter than the buffer horizon loses nothing; beyond it the
 //     oldest batches are evicted and counted, never silently dropped;
@@ -112,6 +116,7 @@ type Stats struct {
 	ExhaustedBatch  int64  // batches dropped after MaxAttempts
 	PoisonedBatches int64  // batches rejected 4xx (never retried)
 	DegradedWaits   int64  // storage-degraded 503s waited out in place
+	ShedWaits       int64  // over-capacity 429s waited out in place
 	BreakerOpens    int64  // closed→open transitions, summed over targets
 	Failovers       int64  // switches away from the current target
 	Failbacks       int64  // returns to the preferred target
@@ -160,7 +165,7 @@ type Shipper struct {
 	enqueued, shippedBatches, shippedSamples   atomic.Int64
 	duplicates, retries, redeliveries          atomic.Int64
 	evicted, droppedSamples, exhausted, poison atomic.Int64
-	degradedWaits                              atomic.Int64
+	degradedWaits, shedWaits                   atomic.Int64
 	failovers, failbacks                       atomic.Int64
 	maxEpoch                                   atomic.Uint64
 }
@@ -278,6 +283,7 @@ func (s *Shipper) Stats() Stats {
 		ExhaustedBatch:  s.exhausted.Load(),
 		PoisonedBatches: s.poison.Load(),
 		DegradedWaits:   s.degradedWaits.Load(),
+		ShedWaits:       s.shedWaits.Load(),
 		BreakerOpens:    opens,
 		Failovers:       s.failovers.Load(),
 		Failbacks:       s.failbacks.Load(),
@@ -353,6 +359,7 @@ type postResult struct {
 	fenced     bool // 409 + X-Repl-Fenced: a deposed, fenced primary
 	wrongRole  bool // 503 + X-Repl-Role follower: a warm standby
 	degraded   bool // 503 + X-Storage-Degraded: primary's disk is unwritable
+	overCap    bool // 429 + X-Over-Capacity: primary is load-shedding
 }
 
 // deliver attempts e until acknowledged, poisoned, exhausted, or ctx is
@@ -428,6 +435,26 @@ func (s *Shipper) deliver(ctx context.Context, e *batchEntry) error {
 			e.redelivery = true
 			s.degradedWaits.Add(1)
 			s.logger.Debug("target storage degraded — waiting in place",
+				slog.String("trace_id", e.trace),
+				slog.Uint64("seq", e.seq),
+				slog.String("target", t.url),
+				slog.Duration("retry_after", res.retryAfter))
+			if err := s.sleep(ctx, s.backoff(attempt, res.retryAfter)); err != nil {
+				return err
+			}
+			continue
+		case err == nil && res.overCap:
+			// Admission shed (429 over_capacity): the primary is healthy
+			// and authoritative but actively load-shedding — AIMD limiter,
+			// CoDel queue, per-agent rate limit, or memory pressure. Wait
+			// in place with the hinted (jittered) backoff: rotating would
+			// dogpile the followers, and a decisive answer is not a breaker
+			// failure. Re-send the same seq when the window passes.
+			t.breaker.success()
+			rotations = 0
+			e.redelivery = true
+			s.shedWaits.Add(1)
+			s.logger.Debug("target over capacity — waiting in place",
 				slog.String("trace_id", e.trace),
 				slog.Uint64("seq", e.seq),
 				slog.String("target", t.url),
@@ -621,13 +648,20 @@ func (s *Shipper) post(ctx context.Context, t *target, e *batchEntry) (res postR
 			return res, nil
 		}
 		res.degraded = resp.Header.Get("X-Storage-Degraded") == "1"
-		if v := resp.Header.Get("Retry-After"); v != "" {
+		res.overCap = resp.Header.Get("X-Over-Capacity") == "1"
+		// Prefer the millisecond hint: Retry-After rounds an idle-queue
+		// "come right back" up to a whole second.
+		if v := resp.Header.Get("X-Retry-After-Ms"); v != "" {
+			if ms, perr := strconv.ParseInt(v, 10, 64); perr == nil && ms > 0 {
+				res.retryAfter = time.Duration(ms) * time.Millisecond
+			}
+		} else if v := resp.Header.Get("Retry-After"); v != "" {
 			if secs, perr := strconv.Atoi(v); perr == nil && secs > 0 {
 				res.retryAfter = time.Duration(secs) * time.Second
-				if res.retryAfter > s.cfg.MaxBackoff {
-					res.retryAfter = s.cfg.MaxBackoff
-				}
 			}
+		}
+		if res.retryAfter > s.cfg.MaxBackoff {
+			res.retryAfter = s.cfg.MaxBackoff
 		}
 		return res, nil
 	default:
@@ -645,12 +679,18 @@ func storeMaxEpoch(u *atomic.Uint64, v uint64) {
 	}
 }
 
-// backoff computes the next retry delay: the server's Retry-After hint
-// when present, otherwise full jitter over an exponentially growing
-// ceiling — rand(0, min(MaxBackoff, Base·2^attempt)).
+// backoff computes the next retry delay: jitter over the server's
+// Retry-After hint when present, otherwise full jitter over an
+// exponentially growing ceiling — rand(0, min(MaxBackoff, Base·2^attempt)).
 func (s *Shipper) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	if retryAfter > 0 {
-		return retryAfter
+		// Jitter over [retryAfter/2, retryAfter]: every shipper refused in
+		// the same shed window gets the same hint, and honoring it exactly
+		// would march them all back in one thundering herd.
+		s.rngMu.Lock()
+		d := retryAfter/2 + time.Duration(s.rng.Int63n(int64(retryAfter/2)+1))
+		s.rngMu.Unlock()
+		return d
 	}
 	ceil := s.cfg.BaseBackoff << uint(min(attempt, 30))
 	if ceil > s.cfg.MaxBackoff || ceil <= 0 {

@@ -119,15 +119,16 @@ func TestShipperHonorsRetryAfter(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	// BaseBackoff is tiny: any wait ≥ ~1 s proves the server hint won.
+	// BaseBackoff is tiny: any wait in the jittered [0.5s, 1s] hint
+	// window proves the server hint won over the exponential schedule.
 	s := New(Config{URL: ts.URL, AgentID: "a", BaseBackoff: time.Microsecond, MaxBackoff: 2 * time.Second})
 	s.Enqueue(samplesFor(1, 0))
 	start := time.Now()
 	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
-		t.Errorf("flush took %v, want ≥ ~1s (Retry-After honored)", elapsed)
+	if elapsed := time.Since(start); elapsed < 450*time.Millisecond {
+		t.Errorf("flush took %v, want ≥ ~0.5s (jittered Retry-After honored)", elapsed)
 	}
 	if st := s.Stats(); st.ShippedBatches != 1 || st.Retries != 1 {
 		t.Errorf("stats = %+v", st)
@@ -562,8 +563,8 @@ func TestShipperWaitsOutStorageDegraded(t *testing.T) {
 	if err := s.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed < time.Second {
-		t.Fatalf("Retry-After not honored: delivered after %v, want ≥1s", elapsed)
+	if elapsed := time.Since(start); elapsed < 450*time.Millisecond {
+		t.Fatalf("Retry-After not honored: delivered after %v, want ≥ ~0.5s (jittered hint)", elapsed)
 	}
 	st := s.Stats()
 	if st.ShippedBatches != 1 {
@@ -580,5 +581,171 @@ func TestShipperWaitsOutStorageDegraded(t *testing.T) {
 	}
 	if st.ExhaustedBatch != 0 || st.DroppedSamples != 0 {
 		t.Fatalf("degraded waits lost data: exhausted=%d dropped=%d", st.ExhaustedBatch, st.DroppedSamples)
+	}
+}
+
+func TestShipperWaitsOutOverCapacity(t *testing.T) {
+	// The primary answers an admission-control 429 (X-Over-Capacity)
+	// before accepting. The shipper must wait in place — preferring the
+	// millisecond retry hint over the coarse Retry-After, never rotating
+	// to the follower, never charging the breaker — and re-deliver the
+	// same seq flagged as a redelivery once the window passes.
+	var calls atomic.Int64
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b trace.SampleBatch
+		if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if calls.Add(1) <= 1 {
+			w.Header().Set("Retry-After", "30") // coarse hint; must lose
+			w.Header().Set("X-Retry-After-Ms", "200")
+			w.Header().Set("X-Over-Capacity", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"over capacity: ingest limiter","code":"over_capacity"}`))
+			return
+		}
+		if !b.Redelivery {
+			t.Error("retry after an over-capacity shed not flagged as redelivery")
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]int{"accepted": len(b.Samples)})
+	}))
+	defer primary.Close()
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("shipper rotated to the follower on an over-capacity 429")
+		w.Header().Set("X-Repl-Role", "follower")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer follower.Close()
+
+	s := New(Config{
+		URLs:        []string{primary.URL, follower.URL},
+		AgentID:     "agent-shed",
+		MaxAttempts: 2, // shed waits must NOT count toward exhaustion
+	})
+	s.Enqueue(samplesFor(1, 0))
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 90*time.Millisecond {
+		t.Fatalf("retry hint not honored: delivered after %v, want ≥ ~100ms (jittered 200ms hint)", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("delivered after %v: X-Retry-After-Ms (200ms) should win over Retry-After (30s)", elapsed)
+	}
+	st := s.Stats()
+	if st.ShippedBatches != 1 {
+		t.Fatalf("shipped %d batches, want 1", st.ShippedBatches)
+	}
+	if st.ShedWaits != 1 {
+		t.Fatalf("ShedWaits = %d, want 1", st.ShedWaits)
+	}
+	if st.DegradedWaits != 0 {
+		t.Fatalf("over-capacity shed miscounted as a degraded wait (%d)", st.DegradedWaits)
+	}
+	if st.Redeliveries != 1 {
+		t.Fatalf("Redeliveries = %d, want 1", st.Redeliveries)
+	}
+	if st.Failovers != 0 {
+		t.Fatalf("counted %d failovers, want 0", st.Failovers)
+	}
+	if st.BreakerOpens != 0 {
+		t.Fatalf("breaker opened %d times on over-capacity 429s, want 0", st.BreakerOpens)
+	}
+	if st.ExhaustedBatch != 0 || st.DroppedSamples != 0 {
+		t.Fatalf("shed waits lost data: exhausted=%d dropped=%d", st.ExhaustedBatch, st.DroppedSamples)
+	}
+}
+
+func TestShipperRetryAfterJitterSpreadsHerd(t *testing.T) {
+	// Thundering-herd regression: N shippers all shed in the same
+	// over-capacity window must NOT come back in lockstep. Each jitters
+	// the shared 1 s hint over [0.5s, 1s], so the retry arrivals spread
+	// across the window instead of landing as one synchronized spike.
+	const herd = 8
+	var (
+		mu      sync.Mutex
+		seen    = map[string]int{}       // agent → calls
+		retryAt = map[string]time.Time{} // agent → retry arrival
+	)
+	start := time.Now()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b trace.SampleBatch
+		if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		seen[b.AgentID]++
+		first := seen[b.AgentID] == 1
+		if !first {
+			retryAt[b.AgentID] = time.Now()
+		}
+		mu.Unlock()
+		if first {
+			w.Header().Set("X-Retry-After-Ms", "1000")
+			w.Header().Set("X-Over-Capacity", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"over capacity","code":"over_capacity"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]int{"accepted": len(b.Samples)})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := New(Config{
+				URL:     ts.URL,
+				AgentID: "agent-" + strconv.Itoa(i),
+				Seed:    int64(i + 1), // distinct seeds → distinct jitter
+			})
+			s.Enqueue(samplesFor(1, i*10))
+			errs[i] = s.Flush(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shipper %d: %v", i, err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(retryAt) != herd {
+		t.Fatalf("got retries from %d agents, want %d", len(retryAt), herd)
+	}
+	var min, max time.Duration
+	for _, at := range retryAt {
+		d := at.Sub(start)
+		if min == 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	// Everyone waited at least half the hint...
+	if min < 400*time.Millisecond {
+		t.Errorf("earliest retry after %v, want ≥ ~0.5s (half the hint)", min)
+	}
+	// ...but NOT all at the same instant: the jitter must spread the
+	// herd across a meaningful slice of the [0.5s, 1s] window. A
+	// synchronized (unjittered) herd would land within a few ms.
+	if spread := max - min; spread < 100*time.Millisecond {
+		t.Errorf("herd retries landed within %v of each other — jitter is not spreading the window", spread)
 	}
 }

@@ -1,0 +1,66 @@
+package tsdb
+
+// Memory accounting for the admission layer's watermark. The store does
+// not track every byte the runtime allocates; it tracks the *structural*
+// footprint — what grows without bound as the fleet grows: one fixed-size
+// ring per node and one bounded streaming state per job. Both are
+// accounted once at creation (rings are pre-allocated at full capacity,
+// job state is bounded by the spatial-window cap), so the hot append path
+// pays nothing: no per-sample arithmetic, no extra atomics.
+const (
+	// pointBytes is sizeof(Point): one int64 + one float64.
+	pointBytes = 16
+	// ringOverheadBytes covers the ring struct, slice header, and map
+	// entry that carry each node's buffer.
+	ringOverheadBytes = 64
+	// jobStateBytes is a fixed estimate of one jobState: Welford + two P²
+	// estimators + peak/spread accumulators plus the bounded nodes and
+	// minutes maps. Jobs with thousands of nodes exceed it, but job count
+	// dwarfs node-set variance at fleet scale and the watermark only needs
+	// to be proportional, not exact.
+	jobStateBytes = 2048
+)
+
+// ringBytes is the accounted footprint of one node ring at the
+// configured retention.
+func (s *Store) ringBytes() int64 {
+	return int64(ringOverheadBytes + pointBytes*s.ringLen)
+}
+
+// MemoryBytes returns the accounted structural footprint of the store:
+// node rings plus job streaming state. It is a single atomic load,
+// maintained at ring/job creation and recounted on snapshot restore.
+func (s *Store) MemoryBytes() int64 { return s.memBytes.Load() }
+
+// recountMem rebuilds the memory account from the live maps — used after
+// bulk loads (restore, follower bootstrap) where incremental accounting
+// would be noise.
+func (s *Store) recountMem() {
+	nodes := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		nodes += len(sh.nodes)
+		sh.mu.RUnlock()
+	}
+	jobs := 0
+	for i := range s.jobShards {
+		js := &s.jobShards[i]
+		js.mu.RLock()
+		jobs += len(js.jobs)
+		js.mu.RUnlock()
+	}
+	s.memBytes.Store(int64(nodes)*s.ringBytes() + int64(jobs)*jobStateBytes)
+}
+
+// dedupAgentOverheadBytes covers one agentWindow struct, its slice
+// header, and the map entry, beyond the bitmap itself.
+const dedupAgentOverheadBytes = 112
+
+// MemoryBytes returns the accounted footprint of the dedup index:
+// per-agent bitmap plus fixed overhead, times tracked agents.
+func (d *Deduper) MemoryBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.agents)) * (int64(d.window/8) + dedupAgentOverheadBytes)
+}

@@ -1,0 +1,75 @@
+package tsdb
+
+import (
+	"testing"
+
+	"hpcpower/internal/trace"
+)
+
+// TestMemoryBytesAccounting checks the structural account: zero when
+// empty, grows once per new node/job (not per sample), and is rebuilt
+// by snapshot restore.
+func TestMemoryBytesAccounting(t *testing.T) {
+	s := New(Config{Shards: 4, RingLen: 100})
+	if got := s.MemoryBytes(); got != 0 {
+		t.Fatalf("empty store MemoryBytes = %d, want 0", got)
+	}
+	batch := []trace.PowerSample{
+		{Unix: 60, Node: 1, JobID: 10, PowerW: 100},
+		{Unix: 120, Node: 1, JobID: 10, PowerW: 110},
+		{Unix: 60, Node: 2, JobID: 10, PowerW: 120},
+	}
+	if err := s.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	want := 2*s.ringBytes() + jobStateBytes // 2 nodes, 1 job
+	if got := s.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+	// More samples into existing nodes/jobs must not change the account.
+	if err := s.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes after re-append = %d, want %d", got, want)
+	}
+
+	// Restore rebuilds the account.
+	st := s.ExportState()
+	fresh := New(Config{Shards: 4, RingLen: 100})
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.MemoryBytes(); got != want {
+		t.Fatalf("restored MemoryBytes = %d, want %d", got, want)
+	}
+
+	// InstallState over a live store recounts too.
+	live := New(Config{Shards: 4, RingLen: 100})
+	live.Append([]trace.PowerSample{{Unix: 60, Node: 9, JobID: 99, PowerW: 50}})
+	if err := live.InstallState(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := live.MemoryBytes(); got != want {
+		t.Fatalf("installed MemoryBytes = %d, want %d", got, want)
+	}
+}
+
+// TestDeduperMemoryBytes checks the per-agent dedup account.
+func TestDeduperMemoryBytes(t *testing.T) {
+	d := NewDeduper(DedupConfig{Window: 128})
+	if got := d.MemoryBytes(); got != 0 {
+		t.Fatalf("empty deduper MemoryBytes = %d, want 0", got)
+	}
+	d.Mark("a", 1)
+	d.Mark("b", 1)
+	per := int64(128/8) + dedupAgentOverheadBytes
+	if got := d.MemoryBytes(); got != 2*per {
+		t.Fatalf("MemoryBytes = %d, want %d", got, 2*per)
+	}
+	// Re-marking the same agent does not grow the account.
+	d.Mark("a", 2)
+	if got := d.MemoryBytes(); got != 2*per {
+		t.Fatalf("MemoryBytes after re-mark = %d, want %d", got, 2*per)
+	}
+}

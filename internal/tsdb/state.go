@@ -156,6 +156,7 @@ func (s *Store) RestoreState(st *StoreState) error {
 	}
 	s.ingested.Store(st.Ingested)
 	s.raiseFrontier(st.BlockFrontier)
+	s.recountMem()
 	return nil
 }
 
@@ -215,6 +216,7 @@ func (s *Store) InstallState(st *StoreState) error {
 	}
 	s.ingested.Store(st.Ingested)
 	s.raiseFrontier(st.BlockFrontier)
+	s.recountMem()
 	return nil
 }
 

@@ -51,6 +51,7 @@ type Store struct {
 
 	ringLen  int
 	ingested atomic.Int64 // total samples accepted
+	memBytes atomic.Int64 // accounted structural footprint (see memory.go)
 
 	// Head/block split (see blocks.go): sealed windows flush to blocks,
 	// frontier divides block-served from ring-served time.
@@ -146,6 +147,7 @@ func (s *Store) Append(batch []trace.PowerSample) error {
 			if r == nil {
 				r = newRing(s.ringLen)
 				sh.nodes[smp.Node] = r
+				s.memBytes.Add(s.ringBytes())
 			}
 			r.append(Point{Unix: smp.Unix, PowerW: smp.PowerW})
 			sh.acc.Add(smp.PowerW)
@@ -163,6 +165,7 @@ func (s *Store) Append(batch []trace.PowerSample) error {
 		if st == nil {
 			st = newJobState()
 			js.jobs[smp.JobID] = st
+			s.memBytes.Add(jobStateBytes)
 		}
 		st.add(smp.Node, smp.Unix, smp.PowerW)
 		js.mu.Unlock()
