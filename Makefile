@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-block smoke chaos-smoke crash-smoke failover-smoke disk-smoke overload-smoke fuzz-wal fuzz-repl fuzz-block fuzz-vfs fuzz-admit block-check obs-check ci clean
+.PHONY: all build vet test race bench bench-block smoke chaos-smoke crash-smoke failover-smoke election-smoke disk-smoke overload-smoke fuzz-wal fuzz-repl fuzz-block fuzz-vfs fuzz-admit fuzz-elect block-check obs-check ci clean
 
 all: build
 
@@ -47,6 +47,16 @@ crash-smoke:
 failover-smoke:
 	./scripts/failover_smoke.sh
 
+# Election smoke (jepsen-lite): a 3-node failover group — primary,
+# standby, witness — behind per-link chaos proxies, driven through six
+# rounds of SIGKILLs, symmetric and asymmetric partitions, and link
+# flaps with no operator intervention. Verifies bounded leader
+# recovery, a single lease-holder at every settled point, automatic
+# rejoin of deposed primaries (diverged-WAL truncation), zero acked
+# loss, and analytics byte-identical to a fault-free control.
+election-smoke:
+	./scripts/election_smoke.sh
+
 # Disk-fault smoke: powserved under an injected filesystem (vfs.FaultFS)
 # — an ENOSPC window mid-ingest, probe EIO, and an offline bit flip of a
 # sealed block. Verifies 503 storage_degraded backpressure with zero
@@ -92,6 +102,13 @@ fuzz-vfs:
 fuzz-admit:
 	$(GO) test -run xxx -fuzz FuzzParseConfig -fuzztime 30s ./internal/admit/
 
+# Fuzz the election and frontier wire decoders: arbitrary bytes from an
+# untrusted peer must decode or error — never panic — and every
+# accepted message must survive an encode/decode round trip.
+fuzz-elect:
+	$(GO) test -run xxx -fuzz FuzzElectDecode -fuzztime 30s ./internal/elect/
+	$(GO) test -run xxx -fuzz FuzzFrontierDecode -fuzztime 30s ./internal/repl/
+
 # Block-store gate: vet plus the block and tsdb packages (encode/decode
 # losslessness, rollup exactness, head/block merge, crash frontier)
 # under the race detector.
@@ -107,4 +124,4 @@ obs-check:
 	$(GO) test -race -count=1 ./internal/obs/
 	$(GO) test -count=1 -run 'TestMetrics|TestIngestTrace|TestTracePropagates' ./internal/serve/
 
-ci: vet build race obs-check block-check smoke crash-smoke failover-smoke disk-smoke overload-smoke
+ci: vet build race obs-check block-check smoke crash-smoke failover-smoke election-smoke disk-smoke overload-smoke

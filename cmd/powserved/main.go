@@ -33,6 +33,26 @@
 // -repl-ack sync the primary acknowledges a batch only after every
 // registered follower has applied it.
 //
+// Failover can also drive itself. Give each member an -elect-id, an
+// -advertise URL, and the other members as repeatable -peer flags, and
+// add a vote-only witness so two survivors always form a quorum:
+//
+//	powserved -addr :8080 -data-dir /var/lib/pow-a -elect-id a \
+//	          -advertise http://127.0.0.1:8080 \
+//	          -peer b=http://127.0.0.1:8081 -peer w=http://127.0.0.1:8082,witness
+//	powserved -addr :8081 -data-dir /var/lib/pow-b -role follower \
+//	          -follow http://127.0.0.1:8080 -elect-id b \
+//	          -advertise http://127.0.0.1:8081 \
+//	          -peer a=http://127.0.0.1:8080 -peer w=http://127.0.0.1:8082,witness
+//	powserved -addr :8082 -data-dir /var/lib/pow-w -role witness -elect-id w \
+//	          -advertise http://127.0.0.1:8082 \
+//	          -peer a=http://127.0.0.1:8080 -peer b=http://127.0.0.1:8081
+//
+// The group detects a dead or partitioned primary within the lease
+// TTL, elects the standby with the witness's vote, fences the old
+// epoch, and — when the deposed primary returns — truncates its
+// diverged WAL suffix and rejoins it as a follower automatically.
+//
 // Overload protection is always on: an AIMD concurrency limiter and a
 // CoDel-style ingest queue shed excess load with 429 over_capacity +
 // Retry-After once ack latency degrades, well before the node falls
@@ -103,18 +123,25 @@ func main() {
 		diskResume = flag.Int64("disk-resume-bytes", 0, "clear a space-triggered degrade above this free-space level (0 = 2x -disk-low-bytes)")
 		faultDisk  = flag.String("fault-disk", "", `inject disk faults for drills, e.g. "seed=1,write-eio=0.01,enospc-after=1048576,enospc-for=10s" (keys: seed, read-eio, write-eio, sync-eio, bitflip, torn, enospc-after, enospc-for, latency, path)`)
 
-		role       = flag.String("role", "primary", `replication role: "primary" or "follower" (needs -data-dir)`)
+		role       = flag.String("role", "primary", `replication role: "primary", "follower" (needs -data-dir), or "witness" (vote-only election member, no data plane)`)
 		follow     = flag.String("follow", "", "primary base URL to replicate from (required with -role follower)")
 		followerID = flag.String("follower-id", "", "this follower's ID on the primary (default \"follower\")")
 		epochFile  = flag.String("epoch-file", "", "replication epoch file (default <data-dir>/EPOCH)")
 		replAck    = flag.String("repl-ack", "async", `ack mode: "async", or "sync" to ack ingest only after followers applied`)
 		replAckTO  = flag.Duration("repl-ack-timeout", 5*time.Second, "max wait for follower acks with -repl-ack sync")
 
+		electID   = flag.String("elect-id", "", "this node's election ID (elections are enabled by -peer)")
+		advertise = flag.String("advertise", "", "base URL peers and shippers use to reach this node (required with -peer; behind a chaos proxy, the proxy URL)")
+		hbEvery   = flag.Duration("heartbeat-interval", 250*time.Millisecond, "election heartbeat / failure-detection cadence")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "leader lease TTL (0 = 4x -heartbeat-interval)")
+
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", `structured log format: "text" or "json"`)
 		debugAddr = flag.String("debug-addr", "", "separate listener for /debug/pprof, /debug/traces/recent, and /metrics (empty = disabled)")
 		slowReq   = flag.Duration("slow-request", time.Second, "log a warning for requests at or over this duration (negative disables)")
 	)
+	var peers peerFlag
+	flag.Var(&peers, "peer", `failover-group peer, repeatable: "id=url" or "id=url,witness"`)
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -122,6 +149,21 @@ func main() {
 		fatal(err)
 	}
 	logger := obs.NewLogger(obs.LogConfig{Level: level, Format: *logFormat, Output: os.Stderr})
+	if *role == "witness" {
+		// Vote-only member: no store, no WAL, no model — just the
+		// election state machine behind a minimal HTTP front.
+		ecfg, err := electionConfig(*electID, *advertise, *dataDir, peers, *hbEvery, *leaseTTL, false, true)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runWitness(*addr, ecfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(peers) > 0 && *dataDir == "" {
+		fatal(fmt.Errorf("-peer requires -data-dir (elections ride the durable epoch)"))
+	}
 	if *role == serve.RoleFollower && *dataDir == "" {
 		fatal(fmt.Errorf("-role follower requires -data-dir (replication rides the WAL)"))
 	}
@@ -281,6 +323,25 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if len(peers) > 0 {
+		// Self-driving failover: attach the elector before the listener
+		// binds so /v1/elect/* is routable from the first request. The
+		// configured primary leads (with an expired lease until its
+		// first quorum round); a follower campaigns only after the
+		// lease window passes in silence.
+		ecfg, err := electionConfig(*electID, *advertise, *dataDir, peers, *hbEvery, *leaseTTL, *role == serve.RolePrimary, false)
+		if err != nil {
+			fatal(err)
+		}
+		el, err := srv.StartElection(ctx, ecfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer el.Close()
+		fmt.Printf("powserved: election group: id %s, %d peer(s), heartbeat %s\n",
+			*electID, len(peers), *hbEvery)
+	}
 
 	// SIGUSR1 promotes a follower to primary (same as POST /v1/promote):
 	// bump the epoch, stop following, start accepting writes.

@@ -12,14 +12,17 @@
 //
 // Injection is driven by a seeded PRNG, so a chaos run is reproducible.
 //
-// Beyond probabilistic faults, the proxy models asymmetric network
-// partitions: PartitionToServer drops every eligible request before the
-// backend sees it, PartitionFromServer forwards the request but drops
-// the response (the backend's effects stand, the client learns
-// nothing). The active mode can be flipped at runtime through the
-// /chaosctl/partition endpoint, which the proxy itself serves and never
-// forwards — a failover drill can cut the primary off mid-run without
-// restarting the proxy.
+// Beyond probabilistic faults, the proxy models network partitions:
+// PartitionToServer drops every eligible request before the backend
+// sees it, PartitionFromServer forwards the request but drops the
+// response (the backend's effects stand, the client learns nothing),
+// and PartitionBoth is a symmetric split — nothing crosses in either
+// direction. The active mode can be flipped at runtime through the
+// /chaosctl/partition endpoint, and /chaosctl/flap toggles a partition
+// on and off at a fixed period to model a flapping link. Both control
+// endpoints are served by the proxy itself and never forwarded — a
+// failover drill can cut the primary off mid-run without restarting
+// the proxy.
 package chaos
 
 import (
@@ -89,11 +92,16 @@ const (
 	// response: the backend's effects stand, the client sees a reset —
 	// every retry is a duplicate by construction.
 	PartitionFromServer = "from-server"
+	// PartitionBoth is a symmetric split: nothing crosses in either
+	// direction. Mechanically the same cut point as to-server (the
+	// request never leaves our side), but a drill's intent — total
+	// isolation vs. one-way loss — reads from the mode name.
+	PartitionBoth = "both"
 )
 
 func validPartition(mode string) bool {
 	switch mode {
-	case PartitionNone, PartitionToServer, PartitionFromServer:
+	case PartitionNone, PartitionToServer, PartitionFromServer, PartitionBoth:
 		return true
 	}
 	return false
@@ -111,6 +119,8 @@ type Stats struct {
 	Delayed     int64  `json:"delayed"`
 	Partitioned int64  `json:"partitioned"` // dropped by the active partition
 	Partition   string `json:"partition"`   // active partition mode
+	Flap        string `json:"flap"`        // "mode@period" while flapping, else ""
+	Flaps       int64  `json:"flaps"`       // partition toggles performed by the flap loop
 }
 
 // Proxy is the fault-injecting reverse proxy. It implements
@@ -125,6 +135,15 @@ type Proxy struct {
 
 	partMu    sync.Mutex
 	partition string
+
+	// flap state: while flapping, a goroutine toggles the partition
+	// between flapMode and none every flapPeriod — the link that is
+	// neither up nor down, the failure detector's worst input.
+	flapMu     sync.Mutex
+	flapStop   chan struct{}
+	flapMode   string
+	flapPeriod time.Duration
+	flaps      atomic.Int64
 
 	requests, forwarded, clean                     atomic.Int64
 	dropped, injected5, resets, truncated, delayed atomic.Int64
@@ -187,9 +206,82 @@ func (p *Proxy) SetPartition(mode string) error {
 	return nil
 }
 
+// StartFlap begins toggling the partition between mode and none every
+// period — a flapping link. A second call replaces the running flap.
+func (p *Proxy) StartFlap(mode string, period time.Duration) error {
+	if !validPartition(mode) || mode == PartitionNone {
+		return fmt.Errorf("chaos: flap needs a partition mode (%q, %q, or %q)",
+			PartitionToServer, PartitionFromServer, PartitionBoth)
+	}
+	if period <= 0 {
+		return fmt.Errorf("chaos: flap period must be positive, got %v", period)
+	}
+	p.flapMu.Lock()
+	p.stopFlapLocked()
+	stop := make(chan struct{})
+	p.flapStop, p.flapMode, p.flapPeriod = stop, mode, period
+	p.flapMu.Unlock()
+	p.logger.Info("flap started", slog.String("mode", mode), slog.Duration("period", period))
+	go p.flapLoop(mode, period, stop)
+	return nil
+}
+
+// StopFlap ends the flap loop (if any) and heals the partition.
+func (p *Proxy) StopFlap() {
+	p.flapMu.Lock()
+	stopped := p.stopFlapLocked()
+	p.flapMu.Unlock()
+	if stopped {
+		p.SetPartition(PartitionNone)
+		p.logger.Info("flap stopped")
+	}
+}
+
+// stopFlapLocked signals the flap goroutine; caller holds flapMu.
+func (p *Proxy) stopFlapLocked() bool {
+	if p.flapStop == nil {
+		return false
+	}
+	close(p.flapStop)
+	p.flapStop, p.flapMode, p.flapPeriod = nil, "", 0
+	return true
+}
+
+func (p *Proxy) flapLoop(mode string, period time.Duration, stop chan struct{}) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	cut := false
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			cut = !cut
+			next := PartitionNone
+			if cut {
+				next = mode
+			}
+			p.SetPartition(next)
+			p.flaps.Add(1)
+		}
+	}
+}
+
+// flapDesc returns "mode@period" while flapping, "" otherwise.
+func (p *Proxy) flapDesc() string {
+	p.flapMu.Lock()
+	defer p.flapMu.Unlock()
+	if p.flapStop == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s@%s", p.flapMode, p.flapPeriod)
+}
+
 // Stats returns a snapshot of the injection counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
+		Flap:  p.flapDesc(),
+		Flaps: p.flaps.Load(),
 		Requests:    p.requests.Load(),
 		Forwarded:   p.forwarded.Load(),
 		Clean:       p.clean.Load(),
@@ -226,21 +318,31 @@ func (p *Proxy) jitteredLatency() time.Duration {
 }
 
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/chaosctl/partition" {
+	if strings.HasPrefix(r.URL.Path, "/chaosctl/") {
 		// Proxy control plane: served locally, never forwarded, and
 		// exempt from injection (chaos must not sever its own controls).
-		p.handlePartitionCtl(w, r)
+		switch r.URL.Path {
+		case "/chaosctl/partition":
+			p.handlePartitionCtl(w, r)
+		case "/chaosctl/flap":
+			p.handleFlapCtl(w, r)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			io.WriteString(w, `{"error":"chaos: unknown control endpoint"}`+"\n")
+		}
 		return
 	}
 	p.requests.Add(1)
 	eligible := p.cfg.PathPrefix == "" || strings.HasPrefix(r.URL.Path, p.cfg.PathPrefix)
 	partition := p.Partition()
 
-	if eligible && partition == PartitionToServer {
-		// Asymmetric split, client side: the request never leaves "our"
-		// side of the partition. Deterministic, unlike DropRate.
+	if eligible && (partition == PartitionToServer || partition == PartitionBoth) {
+		// Split on the client side (or a symmetric split): the request
+		// never leaves "our" side of the partition. Deterministic,
+		// unlike DropRate.
 		p.partitioned.Add(1)
-		p.logFault(r, "partition_to_server")
+		p.logFault(r, "partition_"+strings.ReplaceAll(partition, "-", "_"))
 		panic(http.ErrAbortHandler)
 	}
 
@@ -357,6 +459,54 @@ func (p *Proxy) handlePartitionCtl(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleFlapCtl serves the flapping-link control endpoint:
+// GET reports the flap state; POST ?mode=<partition>&period=<dur>
+// starts (or retunes) the flap loop, and POST with period=0 or an
+// empty mode stops it.
+func (p *Proxy) handleFlapCtl(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch r.Method {
+	case http.MethodGet:
+		fmt.Fprintf(w, `{"flap":%q}`+"\n", p.flapDesc())
+	case http.MethodPost:
+		q := r.URL.Query()
+		mode := q.Get("mode")
+		periodStr := q.Get("period")
+		if mode == "" && periodStr == "" {
+			var body struct {
+				Mode   string `json:"mode"`
+				Period string `json:"period"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				fmt.Fprintf(w, `{"error":"chaos: bad flap body: %v"}`+"\n", err)
+				return
+			}
+			mode, periodStr = body.Mode, body.Period
+		}
+		if mode == "" || periodStr == "" || periodStr == "0" {
+			p.StopFlap()
+			fmt.Fprintf(w, `{"flap":""}`+"\n")
+			return
+		}
+		period, err := time.ParseDuration(periodStr)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintf(w, `{"error":"chaos: bad flap period %q: %v"}`+"\n", periodStr, err)
+			return
+		}
+		if err := p.StartFlap(mode, period); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintf(w, `{"error":%q}`+"\n", err.Error())
+			return
+		}
+		fmt.Fprintf(w, `{"flap":%q}`+"\n", p.flapDesc())
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		io.WriteString(w, `{"error":"chaos: GET or POST"}`+"\n")
+	}
+}
+
 // truncate relays the status and headers but only half the body under
 // the original Content-Length, then aborts the connection so the client
 // sees an unexpected EOF. Returns false when the body is too short.
@@ -423,6 +573,7 @@ func (p *Proxy) ListenAndServe(ctx context.Context, addr string) (boundAddr stri
 	go func() {
 		select {
 		case <-ctx.Done():
+			p.StopFlap()
 			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			shutErr := hs.Shutdown(shutCtx)

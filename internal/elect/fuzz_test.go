@@ -1,0 +1,54 @@
+package elect
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzElectDecode feeds arbitrary bytes to every election message
+// decoder: each must return a value or an error — never panic — and an
+// accepted message must survive an encode/decode round trip.
+func FuzzElectDecode(f *testing.F) {
+	f.Add([]byte(`{"from":"a","url":"http://a","epoch":3}`))
+	f.Add([]byte(`{"from":"a","url":"http://a","epoch":3,"frontier_epoch":3,"frontier_lsn":120}`))
+	f.Add([]byte(`{"from":"a","epoch":5,"frontier_lsn":18446744073709551615}`))
+	f.Add([]byte(`{"from":"w","epoch":4,"ok":true,"leader_id":"b","leader_url":"http://b"}`))
+	f.Add([]byte(`{"from":"b","epoch":9,"granted":true}`))
+	f.Add([]byte(`{"from":""}`))
+	f.Add([]byte(`{"epoch":18446744073709551615}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeHeartbeatRequest(data); err == nil {
+			enc, _ := json.Marshal(m)
+			m2, err := DecodeHeartbeatRequest(enc)
+			if err != nil || m2 != m {
+				t.Fatalf("heartbeat request round trip: %+v -> %+v (%v)", m, m2, err)
+			}
+		}
+		if m, err := DecodeHeartbeatResponse(data); err == nil {
+			enc, _ := json.Marshal(m)
+			m2, err := DecodeHeartbeatResponse(enc)
+			if err != nil || m2 != m {
+				t.Fatalf("heartbeat response round trip: %+v -> %+v (%v)", m, m2, err)
+			}
+		}
+		if m, err := DecodeVoteRequest(data); err == nil {
+			if m.Epoch == 0 {
+				t.Fatal("vote request for epoch 0 accepted")
+			}
+			enc, _ := json.Marshal(m)
+			m2, err := DecodeVoteRequest(enc)
+			if err != nil || m2 != m {
+				t.Fatalf("vote request round trip: %+v -> %+v (%v)", m, m2, err)
+			}
+		}
+		if m, err := DecodeVoteResponse(data); err == nil {
+			enc, _ := json.Marshal(m)
+			m2, err := DecodeVoteResponse(enc)
+			if err != nil || m2 != m {
+				t.Fatalf("vote response round trip: %+v -> %+v (%v)", m, m2, err)
+			}
+		}
+	})
+}

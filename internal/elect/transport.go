@@ -1,0 +1,111 @@
+package elect
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Paths for the election RPCs, shared by the handler and transport.
+const (
+	PathHeartbeat = "/v1/elect/heartbeat"
+	PathVote      = "/v1/elect/vote"
+)
+
+// HTTPTransport carries election RPCs as POSTed JSON.
+type HTTPTransport struct {
+	// Client is the HTTP client. Nil means a client with a 2 s timeout.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return &http.Client{Timeout: 2 * time.Second}
+}
+
+func (t *HTTPTransport) post(ctx context.Context, url, path string, msg any) ([]byte, error) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return nil, fmt.Errorf("elect: encode: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("elect: request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxMessageBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("elect: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("elect: %s: http %d", path, resp.StatusCode)
+	}
+	return data, nil
+}
+
+// Heartbeat implements Transport.
+func (t *HTTPTransport) Heartbeat(ctx context.Context, url string, req HeartbeatRequest) (HeartbeatResponse, error) {
+	data, err := t.post(ctx, url, PathHeartbeat, req)
+	if err != nil {
+		return HeartbeatResponse{}, err
+	}
+	return DecodeHeartbeatResponse(data)
+}
+
+// RequestVote implements Transport.
+func (t *HTTPTransport) RequestVote(ctx context.Context, url string, req VoteRequest) (VoteResponse, error) {
+	data, err := t.post(ctx, url, PathVote, req)
+	if err != nil {
+		return VoteResponse{}, err
+	}
+	return DecodeVoteResponse(data)
+}
+
+// Handler serves the election RPC endpoints for e. Mount it on the
+// node's mux; witnesses serve little else.
+func Handler(e *Elector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathHeartbeat, func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxMessageBytes+1))
+		if err != nil {
+			http.Error(w, "read body", http.StatusBadRequest)
+			return
+		}
+		req, err := DecodeHeartbeatRequest(data)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeMsg(w, e.OnHeartbeat(req))
+	})
+	mux.HandleFunc("POST "+PathVote, func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxMessageBytes+1))
+		if err != nil {
+			http.Error(w, "read body", http.StatusBadRequest)
+			return
+		}
+		req, err := DecodeVoteRequest(data)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeMsg(w, e.OnVote(req))
+	})
+	return mux
+}
+
+func writeMsg(w http.ResponseWriter, msg any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(msg)
+}

@@ -36,6 +36,12 @@ type FollowerConfig struct {
 	// state; used when the primary has reaped the records the loop
 	// would otherwise resume from.
 	Bootstrap func(lsn uint64, payload []byte) error
+	// ForceBootstrap makes the loop install a snapshot before its first
+	// stream, regardless of how far behind it is. A deposed primary
+	// rejoining after divergence uses this: records it applied beyond
+	// the new primary's frontier cannot be un-applied from the store,
+	// so only a snapshot install yields a state the stream can extend.
+	ForceBootstrap bool
 
 	// AckEvery is the acknowledgement cadence. 0 means 200 ms.
 	AckEvery time.Duration
@@ -77,6 +83,7 @@ type Follower struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	needBootstrap    atomic.Bool
 	watermark        atomic.Uint64
 	primaryEpoch     atomic.Uint64
 	appliedRecords   atomic.Int64
@@ -105,6 +112,7 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	f := &Follower{cfg: cfg, client: cfg.Client}
+	f.needBootstrap.Store(cfg.ForceBootstrap)
 	if f.client == nil {
 		f.client = http.DefaultClient
 	}
@@ -157,6 +165,15 @@ func (f *Follower) run() {
 			}
 		}
 		first = false
+		if f.needBootstrap.Load() {
+			if err := f.bootstrap(); err != nil {
+				if f.ctx.Err() == nil {
+					f.cfg.Logf("repl: follower %s: forced bootstrap: %v", f.cfg.ID, err)
+				}
+				continue
+			}
+			f.needBootstrap.Store(false)
+		}
 		progressed, err := f.streamOnce()
 		if err != nil && f.ctx.Err() == nil {
 			f.cfg.Logf("repl: follower %s: stream: %v", f.cfg.ID, err)

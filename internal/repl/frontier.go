@@ -1,0 +1,52 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// maxFrontierBytes bounds a frontier response; anything larger is a
+// confused or hostile peer, not a frontier.
+const maxFrontierBytes = 4096
+
+// Frontier is a node's replication frontier, served at
+// /v1/repl/frontier. A deposed primary uses it to negotiate the
+// divergence point with the new primary: every record it wrote beyond
+// UpstreamLSN was never replicated, so the rejoin truncates its WAL to
+// UpstreamLSN and re-syncs via the snapshot/stream path.
+type Frontier struct {
+	// ID names the responding node.
+	ID string `json:"id"`
+	// Epoch is the responder's fencing epoch at capture time.
+	Epoch uint64 `json:"epoch"`
+	// Role is the responder's replication role ("primary"/"follower").
+	Role string `json:"role"`
+	// UpstreamLSN is the highest LSN of its former upstream that the
+	// responder had durably applied when it was promoted — the exact
+	// divergence point in the deposed primary's own LSN space. Zero
+	// when the responder was never a follower.
+	UpstreamLSN uint64 `json:"upstream_lsn"`
+	// LocalLSN is the responder's local apply frontier (its own LSN
+	// space), informational for drills and logs.
+	LocalLSN uint64 `json:"local_lsn"`
+}
+
+// DecodeFrontier parses and validates a frontier response. Arbitrary
+// input yields a value or an error — never a panic.
+func DecodeFrontier(data []byte) (Frontier, error) {
+	var f Frontier
+	if len(data) > maxFrontierBytes {
+		return f, errors.New("repl: frontier response too large")
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("repl: bad frontier response: %w", err)
+	}
+	if f.ID == "" {
+		return Frontier{}, errors.New("repl: frontier response missing id")
+	}
+	if len(f.ID) > 256 || len(f.Role) > 64 {
+		return Frontier{}, errors.New("repl: frontier response field too long")
+	}
+	return f, nil
+}

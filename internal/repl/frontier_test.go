@@ -1,0 +1,46 @@
+package repl
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDecodeFrontier(t *testing.T) {
+	good := []byte(`{"id":"b","epoch":3,"role":"primary","upstream_lsn":120,"local_lsn":140}`)
+	f, err := DecodeFrontier(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "b" || f.Epoch != 3 || f.UpstreamLSN != 120 || f.LocalLSN != 140 {
+		t.Fatalf("bad decode: %+v", f)
+	}
+	for _, bad := range []string{``, `{}`, `{"id":""}`, `not json`, `[1,2]`} {
+		if _, err := DecodeFrontier([]byte(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+// FuzzFrontierDecode: arbitrary bytes must decode or error — never
+// panic — and accepted values must round-trip.
+func FuzzFrontierDecode(f *testing.F) {
+	f.Add([]byte(`{"id":"b","epoch":3,"role":"primary","upstream_lsn":120,"local_lsn":140}`))
+	f.Add([]byte(`{"id":"x"}`))
+	f.Add([]byte(`{"epoch":18446744073709551615}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeFrontier(data)
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted frontier does not re-encode: %v", err)
+		}
+		m2, err := DecodeFrontier(enc)
+		if err != nil || m2 != m {
+			t.Fatalf("round trip: %+v -> %+v (%v)", m, m2, err)
+		}
+	})
+}

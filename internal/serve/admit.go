@@ -148,10 +148,11 @@ func (s *Server) onIngestShed(qb queuedBatch) {
 	s.metrics.admitShed.With("codel").Inc()
 	if d := s.dur; d != nil && qb.lsn != 0 {
 		d.markTombstoned(qb.lsn)
+		tr := d.tracker.Load()
 		if tlsn, terr := d.log.AppendTombstone(qb.lsn); terr == nil {
-			d.tracker.markDone(tlsn)
+			tr.markDone(tlsn)
 		}
-		d.tracker.markDone(qb.lsn)
+		tr.markDone(qb.lsn)
 	}
 	if qb.agent != "" {
 		s.dedup.Forget(qb.agent, qb.seq)

@@ -188,8 +188,11 @@ type durability struct {
 	// order: replay applies records in LSN order, and with one ingest
 	// worker the live apply order must match for the recovered analytics
 	// to be byte-identical.
-	seqMu   sync.Mutex
-	tracker *applyTracker
+	seqMu sync.Mutex
+	// tracker is swapped wholesale when a deposed primary rejoins
+	// (election.go), and the shed path must read it without applyMu
+	// (admit.go) — hence the atomic pointer rather than a plain field.
+	tracker atomic.Pointer[applyTracker]
 
 	// tombstoned is the live set of cancelled LSNs (queue-full batches
 	// whose WAL record must never be applied or streamed). Seeded by the
@@ -238,10 +241,10 @@ func openDurability(cfg DurabilityConfig) (*durability, error) {
 		cfg:        cfg,
 		fsys:       cfg.FS,
 		lock:       lock,
-		tracker:    newApplyTracker(0),
 		tombstoned: map[uint64]struct{}{},
 		stopc:      make(chan struct{}),
 	}
+	d.tracker.Store(newApplyTracker(0))
 	d.repl = newReplState(rcfg, ep, d)
 	return d, nil
 }
@@ -396,7 +399,7 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 	if floor > wm {
 		wm = floor
 	}
-	d.tracker = newApplyTracker(wm)
+	d.tracker.Store(newApplyTracker(wm))
 	d.snapLSN.Store(img.AppliedLSN)
 	d.tombMu.Lock()
 	d.tombstoned = tombstoned
@@ -419,6 +422,12 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 	}
 	storeMax(&rs.replApplied, ra)
 	rs.setBootExtras(img.ReplExtras)
+	if rs.cfg.Role == RolePrimary {
+		// A primary that previously followed (a promoted standby
+		// restarting) serves its old pull frontier as the divergence
+		// point for its deposed predecessor's rejoin.
+		rs.upstreamAtPromote.Store(rs.replApplied.Load())
+	}
 
 	st := log.Stats()
 	rep.TruncatedBytes = st.TruncatedBytes
@@ -473,7 +482,7 @@ func (d *durability) snapshotLoop(s *Server) {
 // segments and snapshots it obsoletes.
 func (d *durability) snapshotOnce(s *Server) error {
 	d.applyMu.Lock()
-	wm, extras := d.tracker.frontier()
+	wm, extras := d.tracker.Load().frontier()
 	img := snapshotImage{
 		Store:      s.store.ExportState(),
 		Dedup:      s.dedup.ExportState(),

@@ -46,6 +46,10 @@ const (
 	HeaderReplRole        = "X-Repl-Role"
 	HeaderReplFenced      = "X-Repl-Fenced"
 	HeaderReplSnapshotLSN = "X-Repl-Snapshot-LSN"
+	// HeaderReplLease marks a 503 from a primary whose election lease
+	// has lapsed ("expired"): it cannot safely ack, and the shipper
+	// should try another node rather than wait in place.
+	HeaderReplLease = "X-Repl-Lease"
 )
 
 // Machine-readable error codes carried in the JSON error body.
@@ -58,6 +62,10 @@ const (
 	// CodeBootstrapRequired: the requested stream position was reaped;
 	// the follower must install a snapshot first (410).
 	CodeBootstrapRequired = "bootstrap_required"
+	// CodeNoLease: this node believes it is primary but its election
+	// lease has lapsed — it cannot prove it has not been superseded, so
+	// it refuses to ack until a quorum round renews the lease (503).
+	CodeNoLease = "no_lease"
 )
 
 // ReplicationConfig configures a durable server's replication role.
@@ -141,6 +149,25 @@ type replState struct {
 	fencedBy   atomic.Uint64 // highest peer epoch that fenced us
 	promotions atomic.Int64
 
+	// upstreamAtPromote is the highest upstream LSN this node had
+	// durably applied when it was (last) promoted — the divergence
+	// point it serves at /v1/repl/frontier so a deposed primary knows
+	// where to truncate its WAL. Seeded at Recover for a node that
+	// boots primary after having followed.
+	upstreamAtPromote atomic.Uint64
+
+	// hintMu guards the primary hint (best-known primary URL, served
+	// in not_primary bodies) and the follower pull loop's live target.
+	hintMu         sync.Mutex
+	primaryHintURL string
+	activeUpstream string
+
+	// rejoining serializes the automatic-rejoin goroutine; rejoins and
+	// divergedRecords feed /metrics.
+	rejoining       atomic.Bool
+	rejoins         atomic.Int64
+	divergedRecords atomic.Int64
+
 	// replApplied is the highest primary LSN durably applied locally
 	// (follower side); reconnects resume just after it.
 	replApplied atomic.Uint64
@@ -169,6 +196,7 @@ func newReplState(cfg ReplicationConfig, ep *repl.EpochFile, d *durability) *rep
 		streamStop: make(chan struct{}),
 	}
 	rs.isFollower.Store(cfg.Role == RoleFollower)
+	rs.primaryHintURL = cfg.PrimaryURL
 	rs.source = repl.NewSource(repl.SourceConfig{
 		Epoch: ep.Epoch,
 		Read:  d.readForRepl,
@@ -192,6 +220,44 @@ func (rs *replState) role() string {
 		return RoleFollower
 	}
 	return RolePrimary
+}
+
+// primaryHint is the best-known primary URL, included in not_primary
+// error bodies so shippers re-route directly instead of probing.
+func (rs *replState) primaryHint() string {
+	rs.hintMu.Lock()
+	defer rs.hintMu.Unlock()
+	return rs.primaryHintURL
+}
+
+func (rs *replState) setPrimaryHint(url string) {
+	if url == "" {
+		return
+	}
+	rs.hintMu.Lock()
+	rs.primaryHintURL = url
+	rs.hintMu.Unlock()
+}
+
+// currentUpstream is the URL the pull loop is streaming from ("" when
+// not following).
+func (rs *replState) currentUpstream() string {
+	rs.hintMu.Lock()
+	defer rs.hintMu.Unlock()
+	return rs.activeUpstream
+}
+
+// notPrimary writes the role header and a not_primary JSON error that
+// carries the primary hint when one is known.
+func (rs *replState) notPrimary(w http.ResponseWriter, msg string) {
+	w.Header().Set(HeaderReplRole, RoleFollower)
+	body := map[string]string{"error": msg, "code": CodeNotPrimary}
+	if hint := rs.primaryHint(); hint != "" {
+		body["primary"] = hint
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(body)
 }
 
 // observeRequestEpoch folds a peer-reported epoch into the fencing
@@ -280,20 +346,29 @@ func (rs *replState) stopStreams() {
 }
 
 // startFollower wires and starts the pull loop against the serving
-// layer's apply path.
+// layer's apply path, targeting the configured primary.
 func (rs *replState) startFollower(s *Server) error {
+	return rs.startFollowerTo(s, rs.cfg.PrimaryURL, false)
+}
+
+// startFollowerTo starts the pull loop against an explicit upstream —
+// the rejoin path retargets a deposed primary at its successor, with
+// forceBootstrap set so the first connect installs a snapshot instead
+// of extending a diverged timeline.
+func (rs *replState) startFollowerTo(s *Server, primaryURL string, forceBootstrap bool) error {
 	f, err := repl.StartFollower(repl.FollowerConfig{
-		PrimaryURL:   rs.cfg.PrimaryURL,
-		ID:           rs.cfg.FollowerID,
-		Epoch:        rs.epoch.Epoch,
-		ObserveEpoch: rs.epoch.Store,
-		Applied:      rs.replApplied.Load,
-		Apply:        s.applyReplicated,
-		Bootstrap:    s.installReplSnapshot,
-		AckEvery:     rs.cfg.AckEvery,
-		StallTimeout: rs.cfg.StallTimeout,
-		Logf:         rs.cfg.Logf,
-		ObserveApply: s.metrics.replApply.ObserveDuration,
+		PrimaryURL:     primaryURL,
+		ID:             rs.cfg.FollowerID,
+		Epoch:          rs.epoch.Epoch,
+		ObserveEpoch:   rs.epoch.Store,
+		Applied:        rs.replApplied.Load,
+		Apply:          s.applyReplicated,
+		Bootstrap:      s.installReplSnapshot,
+		ForceBootstrap: forceBootstrap,
+		AckEvery:       rs.cfg.AckEvery,
+		StallTimeout:   rs.cfg.StallTimeout,
+		Logf:           rs.cfg.Logf,
+		ObserveApply:   s.metrics.replApply.ObserveDuration,
 	})
 	if err != nil {
 		return err
@@ -301,6 +376,10 @@ func (rs *replState) startFollower(s *Server) error {
 	rs.mu.Lock()
 	rs.follower = f
 	rs.mu.Unlock()
+	rs.hintMu.Lock()
+	rs.activeUpstream = primaryURL
+	rs.primaryHintURL = primaryURL
+	rs.hintMu.Unlock()
 	return nil
 }
 
@@ -317,14 +396,38 @@ func (rs *replState) stopFollower() {
 	if f != nil {
 		f.Stop()
 	}
+	rs.hintMu.Lock()
+	rs.activeUpstream = ""
+	rs.hintMu.Unlock()
 }
 
 // Promote turns a follower into the primary: stop the pull loop, bump
 // the fsynced epoch past every epoch the old primary ever reported,
 // and start taking writes. Idempotent — promoting a primary returns
 // its current epoch. The bumped epoch fences the old primary the
-// moment a shipper carries it there.
+// moment a shipper carries it there. This is the operator path; it
+// informs an attached elector so the election state tracks the manual
+// promotion instead of campaigning against it.
 func (s *Server) Promote() (epoch uint64, err error) {
+	epoch, err = s.promoteTo(0)
+	if err != nil {
+		return 0, err
+	}
+	if el := s.elector.Load(); el != nil {
+		el.NoteLocalPromotion(epoch)
+	}
+	return epoch, nil
+}
+
+// PromoteTo promotes to exactly epoch — the election path: the elector
+// won a quorum of votes for this precise epoch, so the data epoch must
+// land on it (not one past it). Must NOT call back into the elector
+// (it is invoked under the elector's lock).
+func (s *Server) PromoteTo(epoch uint64) (uint64, error) {
+	return s.promoteTo(epoch)
+}
+
+func (s *Server) promoteTo(target uint64) (epoch uint64, err error) {
 	d := s.dur
 	if d == nil || d.repl == nil {
 		return 0, fmt.Errorf("serve: promotion requires a durable server")
@@ -334,14 +437,38 @@ func (s *Server) Promote() (epoch uint64, err error) {
 	}
 	rs := d.repl
 	if !rs.isFollower.Load() {
-		return rs.epoch.Epoch(), nil
+		cur := rs.epoch.Epoch()
+		if target <= cur {
+			return cur, nil
+		}
+		// Already primary, promoted to a higher epoch (an elector
+		// re-winning leadership after a lease lapse).
+		if err := rs.epoch.Store(target); err != nil {
+			return 0, fmt.Errorf("serve: persisting promotion epoch %d: %w", target, err)
+		}
+		if target > rs.fencedBy.Load() {
+			rs.fenced.Store(false)
+		}
+		rs.cfg.Logf("repl: primary advanced to epoch %d", target)
+		return target, nil
 	}
 	rs.stopFollower()
 	next := rs.epoch.Epoch() + 1
+	if target > next {
+		next = target
+	}
 	if err := rs.epoch.Store(next); err != nil {
 		return 0, fmt.Errorf("serve: persisting promotion epoch %d: %w", next, err)
 	}
+	// The upstream frontier freezes at promotion: everything this node
+	// applied from its old primary up to here is shared history; its own
+	// writes beyond are a new timeline. The deposed primary reads this
+	// back via /v1/repl/frontier to find its truncation point.
+	rs.upstreamAtPromote.Store(rs.replApplied.Load())
 	rs.isFollower.Store(false)
+	if next > rs.fencedBy.Load() {
+		rs.fenced.Store(false)
+	}
 	rs.promotions.Add(1)
 	d.advanceRepl()
 	rs.cfg.Logf("repl: promoted to primary at epoch %d (applied primary lsn %d)", next, rs.replApplied.Load())
@@ -359,9 +486,7 @@ func (s *Server) replGateIngest(w http.ResponseWriter, r *http.Request) bool {
 	rs.observeRequestEpoch(r)
 	w.Header().Set(HeaderReplEpoch, strconv.FormatUint(rs.epoch.Epoch(), 10))
 	if rs.isFollower.Load() {
-		w.Header().Set(HeaderReplRole, RoleFollower)
-		errJSONCode(w, http.StatusServiceUnavailable, CodeNotPrimary,
-			"this node is a read-only follower — send writes to the primary")
+		rs.notPrimary(w, "this node is a read-only follower — send writes to the primary")
 		return false
 	}
 	if rs.fenced.Load() {
@@ -369,6 +494,15 @@ func (s *Server) replGateIngest(w http.ResponseWriter, r *http.Request) bool {
 		errJSONCode(w, http.StatusConflict, CodeStaleEpoch,
 			"write fenced: epoch %d is stale, a peer was promoted at epoch %d",
 			rs.epoch.Epoch(), rs.fencedBy.Load())
+		return false
+	}
+	// With an elector attached, a primary only acks while it holds the
+	// leader lease: a partitioned primary that cannot reach a quorum
+	// goes silent instead of acking writes its successor will not have.
+	if el := s.elector.Load(); el != nil && !el.HasLease() {
+		w.Header().Set(HeaderReplLease, "expired")
+		errJSONCode(w, http.StatusServiceUnavailable, CodeNoLease,
+			"leader lease expired: cannot reach an election quorum — writes may be lost, try another node")
 		return false
 	}
 	return true
@@ -401,9 +535,7 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if rs.isFollower.Load() {
-		w.Header().Set(HeaderReplRole, RoleFollower)
-		errJSONCode(w, http.StatusServiceUnavailable, CodeNotPrimary,
-			"cascading replication is not supported — stream from the primary")
+		rs.notPrimary(w, "cascading replication is not supported — stream from the primary")
 		return
 	}
 	id := r.URL.Query().Get("follower")
@@ -465,9 +597,7 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if rs.isFollower.Load() {
-		w.Header().Set(HeaderReplRole, RoleFollower)
-		errJSONCode(w, http.StatusServiceUnavailable, CodeNotPrimary,
-			"cascading replication is not supported — bootstrap from the primary")
+		rs.notPrimary(w, "cascading replication is not supported — bootstrap from the primary")
 		return
 	}
 	d := s.dur
@@ -554,7 +684,7 @@ func (s *Server) applyReplicated(plsn uint64, body []byte) error {
 		return fmt.Errorf("wal append: %w", err)
 	}
 	appendErr := s.store.Append(wb.Samples)
-	d.tracker.markDone(lsn)
+	d.tracker.Load().markDone(lsn)
 	storeMax(&rs.replApplied, plsn)
 	d.applyMu.RUnlock()
 	if appendErr != nil {
@@ -661,7 +791,7 @@ func (d *durability) advanceRepl() {
 	if rs == nil || d.log == nil || !d.recovered.Load() {
 		return
 	}
-	wm := d.tracker.frontierLSN()
+	wm := d.tracker.Load().frontierLSN()
 	var durable uint64
 	if d.cfg.Policy == wal.SyncNone {
 		durable = d.log.LastLSN()
@@ -714,6 +844,8 @@ func (rs *replState) collect(e *obs.Exposition) {
 	e.Gauge("powserved_repl_watermark", float64(rs.source.Watermark()))
 	e.Counter("powserved_repl_promotions_total", float64(rs.promotions.Load()))
 	e.Counter("powserved_repl_streamed_records_total", float64(rs.source.Streamed()))
+	e.Counter("powserved_repl_rejoins_total", float64(rs.rejoins.Load()))
+	e.Counter("powserved_elect_diverged_records", float64(rs.divergedRecords.Load()))
 
 	fs := rs.followerStats()
 	e.Gauge("powserved_repl_applied_lsn", float64(fs.AppliedLSN))

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"hpcpower/internal/admit"
+	"hpcpower/internal/elect"
 	"hpcpower/internal/mlearn"
 	"hpcpower/internal/obs"
 	"hpcpower/internal/trace"
@@ -93,6 +94,12 @@ type Server struct {
 	dedup   *tsdb.Deduper
 	dur     *durability // nil: ingest is memory-only (no WAL)
 	ready   atomic.Bool // false until recovery completes
+
+	// elector is the optional leader-election state machine (see
+	// election.go); nil unless StartElection wired one. With it set, a
+	// primary only acks while it holds the leader lease, and a deposed
+	// primary automatically rejoins its successor as a follower.
+	elector atomic.Pointer[elect.Elector]
 
 	// ingestQ is the bounded ingest queue with CoDel shedding: Push
 	// races Close safely (errors, never panics), and overdue entries are
@@ -204,6 +211,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/repl/stream", s.handleReplStream)
 	s.mux.HandleFunc("GET /v1/repl/snapshot", s.metrics.instrument("repl_snapshot", s.handleReplSnapshot))
 	s.mux.HandleFunc("POST /v1/repl/ack", s.metrics.instrument("repl_ack", s.handleReplAck))
+	s.mux.HandleFunc("GET /v1/repl/frontier", s.metrics.instrument("repl_frontier", s.handleReplFrontier))
 	s.mux.HandleFunc("POST /v1/promote", s.metrics.instrument("promote", s.handlePromote))
 }
 
@@ -253,7 +261,7 @@ func (s *Server) ingestWorker() {
 		applyStart := time.Now()
 		err := s.store.Append(qb.samples)
 		if s.dur != nil {
-			s.dur.tracker.markDone(qb.lsn)
+			s.dur.tracker.Load().markDone(qb.lsn)
 			s.dur.applyMu.RUnlock()
 			// The record is applied; if it is also fsynced this makes it
 			// streamable to followers right away.
@@ -561,10 +569,11 @@ func (s *Server) ingestDurable(w http.ResponseWriter, r *http.Request, batch tra
 		// before markDone — once the LSN is inside the done watermark the
 		// replication stream may read it.
 		d.markTombstoned(lsn)
+		tr := d.tracker.Load()
 		if tlsn, terr := d.log.AppendTombstone(lsn); terr == nil {
-			d.tracker.markDone(tlsn)
+			tr.markDone(tlsn)
 		}
-		d.tracker.markDone(lsn)
+		tr.markDone(lsn)
 		if batch.AgentID != "" {
 			s.dedup.Forget(batch.AgentID, batch.Seq)
 		}
@@ -773,11 +782,26 @@ func (s *Server) readyzBody(status string) map[string]any {
 	body["fenced"] = rs.fenced.Load()
 	var applied uint64
 	if d.recovered.Load() {
-		applied = d.tracker.frontierLSN()
+		applied = d.tracker.Load().frontierLSN()
 	}
 	body["applied_lsn"] = applied
 	body["repl_applied_lsn"] = rs.replApplied.Load()
 	body["repl_lag_records"] = rs.lagRecords()
+	body["rejoins"] = rs.rejoins.Load()
+	body["diverged_records"] = rs.divergedRecords.Load()
+	if el := s.elector.Load(); el != nil {
+		st := el.Status()
+		body["election"] = map[string]any{
+			"role":               st.Role,
+			"leader_id":          st.LeaderID,
+			"leader_url":         st.LeaderURL,
+			"epoch":              st.Epoch,
+			"has_lease":          st.HasLease,
+			"lease_remaining_ms": st.LeaseRemaining.Milliseconds(),
+			"witness_ok":         st.WitnessOK,
+			"last_transition":    st.LastTransition,
+		}
+	}
 	return body
 }
 

@@ -45,10 +45,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -118,6 +120,7 @@ type Stats struct {
 	DegradedWaits   int64  // storage-degraded 503s waited out in place
 	ShedWaits       int64  // over-capacity 429s waited out in place
 	BreakerOpens    int64  // closed→open transitions, summed over targets
+	HintRoutes      int64  // rotations routed directly by a primary hint
 	Failovers       int64  // switches away from the current target
 	Failbacks       int64  // returns to the preferred target
 	Pending         int    // batches currently in the spill buffer
@@ -166,8 +169,26 @@ type Shipper struct {
 	duplicates, retries, redeliveries          atomic.Int64
 	evicted, droppedSamples, exhausted, poison atomic.Int64
 	degradedWaits, shedWaits                   atomic.Int64
-	failovers, failbacks                       atomic.Int64
+	failovers, failbacks, hintRoutes           atomic.Int64
 	maxEpoch                                   atomic.Uint64
+}
+
+// findTarget maps a primary-hint base URL to a configured target: the
+// hint names the node, the target URL is its ingest endpoint, so the
+// target must extend the hint (e.g. hint http://10.0.0.2:8080 matches
+// target http://10.0.0.2:8080/v1/samples). -1 when no target matches —
+// the hint may name a node this shipper was never configured with.
+func (s *Shipper) findTarget(hint string) int {
+	if hint == "" {
+		return -1
+	}
+	base := strings.TrimRight(hint, "/")
+	for _, t := range s.targets {
+		if t.url == base || strings.HasPrefix(t.url, base+"/") {
+			return t.idx
+		}
+	}
+	return -1
 }
 
 // target is one ingest endpoint in the failover list. Each target gets
@@ -285,6 +306,7 @@ func (s *Shipper) Stats() Stats {
 		DegradedWaits:   s.degradedWaits.Load(),
 		ShedWaits:       s.shedWaits.Load(),
 		BreakerOpens:    opens,
+		HintRoutes:      s.hintRoutes.Load(),
 		Failovers:       s.failovers.Load(),
 		Failbacks:       s.failbacks.Load(),
 		Pending:         s.Pending(),
@@ -360,6 +382,10 @@ type postResult struct {
 	wrongRole  bool // 503 + X-Repl-Role follower: a warm standby
 	degraded   bool // 503 + X-Storage-Degraded: primary's disk is unwritable
 	overCap    bool // 429 + X-Over-Capacity: primary is load-shedding
+	// primaryHint is the "primary" URL from a not_primary error body:
+	// the follower tells the shipper where the primary is, so rotation
+	// jumps straight to it instead of probing targets in order.
+	primaryHint string
 }
 
 // deliver attempts e until acknowledged, poisoned, exhausted, or ctx is
@@ -409,9 +435,16 @@ func (s *Shipper) deliver(ctx context.Context, e *batchEntry) error {
 				slog.String("trace_id", e.trace),
 				slog.Uint64("seq", e.seq),
 				slog.String("target", t.url),
-				slog.Bool("fenced", res.fenced))
+				slog.Bool("fenced", res.fenced),
+				slog.String("primary_hint", res.primaryHint))
 			if !probe {
-				s.switchTo((t.idx + 1) % len(s.targets))
+				next := (t.idx + 1) % len(s.targets)
+				if idx := s.findTarget(res.primaryHint); idx >= 0 && idx != t.idx {
+					// The follower named the primary: route straight to it.
+					next = idx
+					s.hintRoutes.Add(1)
+				}
+				s.switchTo(next)
 			}
 			if rotations++; rotations%len(s.targets) == 0 {
 				// A full lap found no primary (mid-promotion window):
@@ -644,6 +677,22 @@ func (s *Shipper) post(ctx context.Context, t *target, e *batchEntry) (res postR
 		return res, nil
 	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
 		if resp.Header.Get("X-Repl-Role") == "follower" {
+			res.wrongRole = true
+			// The not_primary body may carry the primary's URL.
+			var hint struct {
+				Code    string `json:"code"`
+				Primary string `json:"primary"`
+			}
+			if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&hint) == nil && hint.Code == "not_primary" {
+				res.primaryHint = hint.Primary
+			}
+			return res, nil
+		}
+		if resp.Header.Get("X-Repl-Lease") == "expired" {
+			// A primary without its election lease cannot safely ack;
+			// treat it like a wrong-role answer — another node may hold
+			// (or be about to win) the lease. Unlike storage degradation,
+			// waiting here risks pinning on a partitioned node.
 			res.wrongRole = true
 			return res, nil
 		}

@@ -749,3 +749,74 @@ func TestShipperRetryAfterJitterSpreadsHerd(t *testing.T) {
 		t.Errorf("herd retries landed within %v of each other — jitter is not spreading the window", spread)
 	}
 }
+
+// TestShipperRoutesByPrimaryHint: a follower's not_primary body names
+// the primary; the shipper must jump straight to it, skipping targets
+// in between.
+func TestShipperRoutesByPrimaryHint(t *testing.T) {
+	var srv ackServer
+	tsP := httptest.NewServer(srv.handler())
+	defer tsP.Close()
+	var midHits atomic.Int64
+	tsMid := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		midHits.Add(1)
+		w.Header().Set("X-Repl-Role", "follower")
+		http.Error(w, `{"error":"not primary","code":"not_primary"}`, http.StatusServiceUnavailable)
+	}))
+	defer tsMid.Close()
+	tsF := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Repl-Role", "follower")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error": "not primary", "code": "not_primary", "primary": tsP.URL,
+		})
+	}))
+	defer tsF.Close()
+
+	s := New(Config{URLs: []string{tsF.URL, tsMid.URL, tsP.URL}, AgentID: "a",
+		BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	s.Enqueue(samplesFor(2, 0))
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ShippedBatches != 1 || st.Target != tsP.URL {
+		t.Fatalf("stats = %+v, want delivery on hinted target %q", st, tsP.URL)
+	}
+	if st.HintRoutes != 1 {
+		t.Errorf("hint routes = %d, want 1", st.HintRoutes)
+	}
+	if n := midHits.Load(); n != 0 {
+		t.Errorf("middle target contacted %d times, want 0 (hint should skip it)", n)
+	}
+}
+
+// TestShipperRotatesOnExpiredLease: a primary that lost its election
+// lease answers 503 + X-Repl-Lease: expired. The shipper must treat it
+// like a wrong-role answer — rotate, don't wait in place — because a
+// leaseless primary may stay leaseless for the whole partition.
+func TestShipperRotatesOnExpiredLease(t *testing.T) {
+	leaseless := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Repl-Lease", "expired")
+		http.Error(w, `{"error":"lease expired","code":"no_lease"}`, http.StatusServiceUnavailable)
+	}))
+	defer leaseless.Close()
+	var srv ackServer
+	tsP := httptest.NewServer(srv.handler())
+	defer tsP.Close()
+
+	s := New(Config{URLs: []string{leaseless.URL, tsP.URL}, AgentID: "a",
+		BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	s.Enqueue(samplesFor(2, 0))
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ShippedBatches != 1 || st.Failovers != 1 || st.Target != tsP.URL {
+		t.Fatalf("stats = %+v, want rotation off the leaseless primary onto %q", st, tsP.URL)
+	}
+	if st.DegradedWaits != 0 {
+		t.Errorf("degraded waits = %d, want 0 (no_lease must not wait in place)", st.DegradedWaits)
+	}
+}

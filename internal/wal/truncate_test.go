@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTruncateToMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Policy: SyncBatch})
+	for i := 1; i <= 10; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := l.TruncateTo(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 4 {
+		t.Fatalf("dropped %d data records, want 4", dropped)
+	}
+	lsns, _, bodies := collect(t, l)
+	if len(lsns) != 6 || lsns[5] != 6 || string(bodies[5]) != "rec-6" {
+		t.Fatalf("surviving prefix wrong: lsns=%v", lsns)
+	}
+	// The next append reuses the first dropped LSN.
+	lsn, err := l.Append([]byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 7 {
+		t.Fatalf("next append at %d, want 7", lsn)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the truncation must be what recovery sees.
+	l.Close()
+	l2 := openTest(t, dir, Options{Policy: SyncBatch})
+	lsns, _, bodies = collect(t, l2)
+	if len(lsns) != 7 || string(bodies[6]) != "after" {
+		t.Fatalf("post-restart log wrong: %d records", len(lsns))
+	}
+}
+
+func TestTruncateToDropsWholeSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force several rotations.
+	l := openTest(t, dir, Options{Policy: SyncBatch, SegmentBytes: 64})
+	for i := 1; i <= 20; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := l.TruncateTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 17 {
+		t.Fatalf("dropped %d, want 17", dropped)
+	}
+	lsns, _, _ := collect(t, l)
+	if len(lsns) != 3 {
+		t.Fatalf("kept %d records, want 3", len(lsns))
+	}
+	if lsn, err := l.Append([]byte("next")); err != nil || lsn != 4 {
+		t.Fatalf("append after truncate: lsn=%d err=%v", lsn, err)
+	}
+	st := l.Stats()
+	if st.DroppedSegments == 0 {
+		t.Fatal("expected dropped-segment accounting")
+	}
+}
+
+func TestTruncateToCountsOnlyDataRecords(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Policy: SyncBatch})
+	for i := 1; i <= 4; i++ {
+		if _, err := l.Append([]byte("d")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.AppendTombstone(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := l.TruncateTo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LSNs 3..6 dropped: three data records + one tombstone.
+	if dropped != 3 {
+		t.Fatalf("dropped %d data records, want 3", dropped)
+	}
+}
+
+func TestTruncateToNoopAndBelowLog(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Policy: SyncBatch})
+	for i := 1; i <= 5; i++ {
+		if _, err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dropped, err := l.TruncateTo(5); err != nil || dropped != 0 {
+		t.Fatalf("noop truncate: dropped=%d err=%v", dropped, err)
+	}
+	if dropped, err := l.TruncateTo(99); err != nil || dropped != 0 {
+		t.Fatalf("above-tail truncate: dropped=%d err=%v", dropped, err)
+	}
+	// Truncating below the whole log empties it; the next LSN is lsn+1.
+	dropped, err := l.TruncateTo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 5 {
+		t.Fatalf("dropped %d, want 5", dropped)
+	}
+	if lsn, err := l.Append([]byte("fresh")); err != nil || lsn != 1 {
+		t.Fatalf("append into emptied log: lsn=%d err=%v", lsn, err)
+	}
+	if err := l.WaitDurable(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateToSegmentBoundary(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Policy: SyncBatch, SegmentBytes: 64})
+	for i := 1; i <= 12; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Find a segment boundary: truncate to the last LSN of some
+	// non-final segment so the boundary segment survives intact and
+	// later segments are removed whole.
+	l.mu.Lock()
+	segFirst := l.segFirst
+	l.mu.Unlock()
+	if segFirst < 3 {
+		t.Skipf("segments did not rotate as expected (segFirst=%d)", segFirst)
+	}
+	target := segFirst - 1 // last record of the previous segment
+	dropped, err := l.TruncateTo(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 12 - int(target); dropped != want {
+		t.Fatalf("dropped %d, want %d", dropped, want)
+	}
+	lsns, _, _ := collect(t, l)
+	if uint64(len(lsns)) != target {
+		t.Fatalf("kept %d records, want %d", len(lsns), target)
+	}
+	if lsn, err := l.Append([]byte("resume")); err != nil || lsn != target+1 {
+		t.Fatalf("append after boundary truncate: lsn=%d err=%v", lsn, err)
+	}
+}
