@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-block smoke chaos-smoke crash-smoke failover-smoke election-smoke disk-smoke overload-smoke fuzz-wal fuzz-repl fuzz-block fuzz-vfs fuzz-admit fuzz-elect block-check obs-check ci clean
+.PHONY: all build vet test race bench bench-block smoke chaos-smoke crash-smoke failover-smoke election-smoke disk-smoke overload-smoke anomaly-smoke fuzz-wal fuzz-repl fuzz-block fuzz-vfs fuzz-admit fuzz-elect fuzz-anomaly block-check obs-check ci clean
 
 all: build
 
@@ -73,6 +73,13 @@ disk-smoke:
 overload-smoke:
 	./scripts/overload_smoke.sh
 
+# Anomaly smoke: the fault-free paper workload must fire zero alerts;
+# labeled anomalous jobs injected through the chaos proxy must be
+# detected with precision >= 0.9 and recall >= 0.9; and one trace ID
+# must grep from the shipper log through the WAL to the fired alert.
+anomaly-smoke:
+	./scripts/anomaly_smoke.sh
+
 # Fuzz the WAL segment reader: arbitrary corruption must yield clean
 # truncation or a typed error, never a panic or a silently wrong record.
 fuzz-wal:
@@ -109,6 +116,15 @@ fuzz-elect:
 	$(GO) test -run xxx -fuzz FuzzElectDecode -fuzztime 30s ./internal/elect/
 	$(GO) test -run xxx -fuzz FuzzFrontierDecode -fuzztime 30s ./internal/repl/
 
+# Fuzz the anomaly layer: the rule-spec parser must parse or error
+# (and every accepted spec must round-trip through String), and
+# fingerprint / engine-state JSON from a snapshot or peer must restore
+# or error — never panic, never poison the engine.
+fuzz-anomaly:
+	$(GO) test -run xxx -fuzz FuzzParseRules -fuzztime 30s ./internal/anomaly/
+	$(GO) test -run xxx -fuzz FuzzFingerprintDecode -fuzztime 15s ./internal/anomaly/
+	$(GO) test -run xxx -fuzz FuzzEngineStateDecode -fuzztime 15s ./internal/anomaly/
+
 # Block-store gate: vet plus the block and tsdb packages (encode/decode
 # losslessness, rollup exactness, head/block merge, crash frontier)
 # under the race detector.
@@ -124,4 +140,4 @@ obs-check:
 	$(GO) test -race -count=1 ./internal/obs/
 	$(GO) test -count=1 -run 'TestMetrics|TestIngestTrace|TestTracePropagates' ./internal/serve/
 
-ci: vet build race obs-check block-check smoke crash-smoke failover-smoke election-smoke disk-smoke overload-smoke
+ci: vet build race obs-check block-check smoke crash-smoke failover-smoke election-smoke disk-smoke overload-smoke anomaly-smoke

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"hpcpower"
+	"hpcpower/internal/anomaly"
 	"hpcpower/internal/apps"
 	"hpcpower/internal/cluster"
 	"hpcpower/internal/core"
@@ -453,6 +454,15 @@ func BenchmarkProvisioningStrategies(b *testing.B) {
 // incremental analytics), reporting sustained samples/s.
 func BenchmarkIngestBatch(b *testing.B) {
 	store := tsdb.New(tsdb.Config{Shards: 16, RingLen: 1440})
+	ingestBatchLoop(b, store, nil)
+}
+
+// ingestBatchLoop is the shared body of the ingest benchmarks: b.N
+// 512-sample batches appended to a fresh sharded store, with observe
+// (nil to disable) called on each batch after the append — exactly the
+// serving layer's ingest-worker sequence.
+func ingestBatchLoop(b *testing.B, store *tsdb.Store, observe func([]trace.PowerSample)) {
+	b.Helper()
 	const batchSize = 512
 	batch := make([]trace.PowerSample, batchSize)
 	for i := range batch {
@@ -473,12 +483,71 @@ func BenchmarkIngestBatch(b *testing.B) {
 		if err := store.Append(batch); err != nil {
 			b.Fatal(err)
 		}
+		if observe != nil {
+			observe(batch)
+		}
 	}
 	b.StopTimer()
 	elapsed := b.Elapsed().Seconds()
 	if elapsed > 0 {
 		b.ReportMetric(float64(b.N)*batchSize/elapsed, "samples/s")
 	}
+}
+
+// BenchmarkIngestBatchDetectors is BenchmarkIngestBatch with the
+// anomaly engine evaluating the default rule set against every job in
+// every batch — the full detection hot path riding the write path.
+// Compare with BenchmarkIngestBatch to see the detection overhead;
+// TestDetectorOverheadBound pins it at ≤5%.
+func BenchmarkIngestBatchDetectors(b *testing.B) {
+	store := tsdb.New(tsdb.Config{Shards: 16, RingLen: 1440})
+	eng := anomaly.NewEngine(anomaly.Config{Lookup: store.JobFingerprint})
+	defer eng.Close()
+	ingestBatchLoop(b, store, func(batch []trace.PowerSample) {
+		eng.ObserveBatch(batch, "")
+	})
+}
+
+// TestDetectorOverheadBound asserts the detection hot path costs at
+// most 5% of ingest throughput: the per-sample fingerprint fold is
+// already part of the store's append (and allocation-free, see
+// anomaly.TestFingerprintUpdateAllocFree), so the engine only adds
+// per-batch job grouping and rule evaluation. Timing comparisons are
+// noisy, so the bound takes the best of a few trials and only then
+// fails.
+func TestDetectorOverheadBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	measure := func(withDetectors bool) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			store := tsdb.New(tsdb.Config{Shards: 16, RingLen: 1440})
+			var observe func([]trace.PowerSample)
+			if withDetectors {
+				eng := anomaly.NewEngine(anomaly.Config{Lookup: store.JobFingerprint})
+				defer eng.Close()
+				observe = func(batch []trace.PowerSample) { eng.ObserveBatch(batch, "") }
+			}
+			ingestBatchLoop(b, store, observe)
+		})
+		return float64(res.NsPerOp())
+	}
+	const trials = 5
+	best := 0.0
+	for i := 0; i < trials; i++ {
+		base := measure(false)
+		det := measure(true)
+		overhead := (det - base) / base
+		if overhead <= 0.05 {
+			t.Logf("trial %d: detection overhead %.2f%% (base %.0fns/op, detectors %.0fns/op)",
+				i+1, 100*overhead, base, det)
+			return
+		}
+		if i == 0 || overhead < best {
+			best = overhead
+		}
+	}
+	t.Fatalf("detection overhead %.2f%% > 5%% across %d trials", 100*best, trials)
 }
 
 // BenchmarkPredictEndpoint measures the in-process POST /v1/predict

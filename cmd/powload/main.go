@@ -28,6 +28,14 @@
 // follower-answering target rotates to the next, and verification
 // polls every listed server, accepting the highest ingested count —
 // after a mid-run promotion the surviving primary holds the total.
+//
+// -anomaly injects synthetic jobs with known anomaly classes
+// (flatline, zombie, overshoot, drift, plus "normal" controls) after
+// the main load, and -anomaly-verify scores the server's fired alerts
+// against that ground truth, failing the run when precision or recall
+// drops below the -anomaly-precision / -anomaly-recall thresholds.
+// -expect-no-alerts inverts the check for clean-control runs: any
+// alert fire is a failure.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -43,6 +52,7 @@ import (
 	"time"
 
 	"hpcpower"
+	"hpcpower/internal/anomaly"
 	"hpcpower/internal/obs"
 	"hpcpower/internal/ship"
 	"hpcpower/internal/trace"
@@ -62,23 +72,38 @@ func main() {
 		agentPrefix  = flag.String("agent", "powload", "agent ID prefix (one agent per pusher)")
 		verify       = flag.Bool("verify", true, "verify the server's ingested count via /healthz afterwards")
 		failover     = flag.String("failover", "", "comma-separated standby base URLs to fail over to")
+
+		anomalySpec   = flag.String("anomaly", "", `inject synthetic anomaly jobs after the main load, e.g. "flatline=2,zombie=1,normal=4" (profile=count; "normal" jobs are healthy controls)`)
+		anomalyMin    = flag.Int("anomaly-minutes", 120, "minutes of telemetry per injected job")
+		anomalyBase   = flag.Float64("anomaly-base-watts", 220, "healthy working power level for injected jobs")
+		anomalyVerify = flag.Bool("anomaly-verify", false, "score the server's fired alerts against the injected ground truth (needs -anomaly)")
+		anomalyPrec   = flag.Float64("anomaly-precision", 0.9, "minimum precision with -anomaly-verify")
+		anomalyRec    = flag.Float64("anomaly-recall", 0.9, "minimum recall with -anomaly-verify")
+		expectNoAlert = flag.Bool("expect-no-alerts", false, "fail if the server fired any alert (clean-control verification)")
+		shipLog       = flag.Bool("ship-log", false, "log every shipper delivery with its trace ID to stderr (links a batch to its WAL record and any alert it fired)")
 	)
 	flag.Parse()
-	if *dataset == "" {
-		fmt.Fprintln(os.Stderr, "usage: powload -dataset <dir> [-addr url] [-batch n] [-concurrency n] [-rate s/s] [-fault]")
+	if *dataset == "" && *anomalySpec == "" {
+		fmt.Fprintln(os.Stderr, "usage: powload -dataset <dir> [-addr url] [-batch n] [-concurrency n] [-rate s/s] [-fault] [-anomaly spec]")
 		os.Exit(2)
 	}
+	if *anomalyVerify && *anomalySpec == "" {
+		fatal(fmt.Errorf("-anomaly-verify needs -anomaly"))
+	}
 
-	ds, err := hpcpower.Load(*dataset)
-	if err != nil {
-		fatal(err)
-	}
-	samples := trace.FlattenSeries(ds)
-	if len(samples) == 0 {
-		fatal(fmt.Errorf("dataset %s has no time-resolved series", *dataset))
-	}
-	if *maxSamples > 0 && len(samples) > *maxSamples {
-		samples = samples[:*maxSamples]
+	var samples []trace.PowerSample
+	if *dataset != "" {
+		ds, err := hpcpower.Load(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		samples = trace.FlattenSeries(ds)
+		if len(samples) == 0 {
+			fatal(fmt.Errorf("dataset %s has no time-resolved series", *dataset))
+		}
+		if *maxSamples > 0 && len(samples) > *maxSamples {
+			samples = samples[:*maxSamples]
+		}
 	}
 
 	// Pre-slice the batches; each shipper stamps and marshals on delivery
@@ -123,6 +148,14 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
+	var shipLogger *slog.Logger
+	if *shipLog {
+		lvl, err := obs.ParseLevel("debug")
+		if err != nil {
+			fatal(err)
+		}
+		shipLogger = obs.NewLogger(obs.LogConfig{Level: lvl, Format: "text", Output: os.Stderr})
+	}
 	// One histogram shared by every pusher: Observe is lock-free, so the
 	// shippers never serialize on latency accounting (the sorted-slice
 	// approach this replaces took a mutex per request).
@@ -155,6 +188,7 @@ func main() {
 			Client:      client,
 			MaxAttempts: maxAttempts,
 			Seed:        int64(w + 1),
+			Logger:      shipLogger,
 			Observe: func(d time.Duration, status int, err error) {
 				if err == nil && status == http.StatusAccepted {
 					latency.ObserveDuration(d)
@@ -245,6 +279,175 @@ func main() {
 	if total.DroppedSamples > 0 {
 		fatal(fmt.Errorf("%d samples lost in delivery", total.DroppedSamples))
 	}
+
+	// Anomaly injection runs after the main load so its sample-time
+	// ordering is not interleaved with dataset traffic, and after the
+	// main verification so the ingested-count checks stay exact.
+	if *anomalySpec != "" {
+		labels, injected, err := injectAnomalies(ctx, client, shipLogger, ingestURLs, *agentPrefix, *anomalySpec, *anomalyMin, *anomalyBase)
+		if err != nil {
+			fatal(err)
+		}
+		anomalous := 0
+		for _, p := range labels {
+			if p != anomaly.ProfileNormal {
+				anomalous++
+			}
+		}
+		fmt.Printf("powload: injected %d anomaly job(s) (%d anomalous, %d control) — %d samples\n",
+			len(labels), anomalous, len(labels)-anomalous, injected)
+		// Wait for the ingest queue to drain the injected batches: the
+		// engine evaluates inside the ingest workers, so once the count
+		// lands every fire the injection should cause has fired.
+		if _, err := pollIngested(client, baseURLs, total.ShippedSamples+injected); err != nil {
+			fatal(err)
+		}
+		if *anomalyVerify {
+			if err := verifyAnomalies(client, baseURLs, labels, *anomalyPrec, *anomalyRec); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *expectNoAlert {
+		fires, err := fetchFires(client, baseURLs)
+		if err != nil {
+			fatal(err)
+		}
+		if len(fires) > 0 {
+			for _, ev := range fires {
+				fmt.Fprintf(os.Stderr, "powload: unexpected alert: rule %s job %d node %d value %.3f (threshold %.3f)\n",
+					ev.Rule, ev.Job, ev.Node, ev.Value, ev.Threshold)
+			}
+			fatal(fmt.Errorf("%d alert fire(s) on a workload expected to stay clean", len(fires)))
+		}
+		fmt.Println("powload: clean control verified: zero alert fires")
+	}
+}
+
+// Injected jobs live in their own ID space so verification can tell
+// them apart from dataset jobs, and their series start at a fixed
+// epoch so runs are reproducible.
+const (
+	anomalyJobBase  = 9_000_000
+	anomalyNodeBase = 90_000
+	anomalyStartSec = 1_700_000_000
+	// anomalyChunkMin is the injected batch granularity. Rules measure
+	// min-duration in sample time, so batches must slice it finer than
+	// the rule windows for the engine to observe conditions crossing
+	// their thresholds.
+	anomalyChunkMin = 5
+)
+
+// injectAnomalies synthesizes the labeled jobs from the inject spec
+// and ships them through one dedicated shipper, time-ordered across
+// all jobs in anomalyChunkMin-minute batches.
+func injectAnomalies(ctx context.Context, client *http.Client, logger *slog.Logger, ingestURLs []string, agent, spec string, minutes int, baseW float64) (anomaly.Labels, int64, error) {
+	counts, err := anomaly.ParseInjectSpec(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	labels := anomaly.Labels{}
+	var series [][]trace.PowerSample
+	// Stable profile order keeps job IDs deterministic across runs.
+	profiles := append(anomaly.Profiles(), anomaly.ProfileNormal)
+	i := 0
+	for _, p := range profiles {
+		for k := 0; k < counts[p]; k++ {
+			job := uint64(anomalyJobBase + i)
+			s, err := anomaly.GenProfile(p, job, anomalyNodeBase+i, anomalyStartSec, minutes, baseW, int64(1000+i))
+			if err != nil {
+				return nil, 0, err
+			}
+			labels[job] = p
+			series = append(series, s)
+			i++
+		}
+	}
+	sh := ship.New(ship.Config{
+		URLs:        ingestURLs,
+		AgentID:     agent + "-anomaly",
+		Client:      client,
+		MaxAttempts: 9,
+		Seed:        4242,
+		Logger:      logger,
+	})
+	var shipped int64
+	for off := 0; off < minutes; off += anomalyChunkMin {
+		for _, s := range series {
+			if off >= len(s) {
+				continue
+			}
+			end := min(off+anomalyChunkMin, len(s))
+			sh.Enqueue(s[off:end])
+			if err := sh.Flush(ctx); err != nil {
+				return nil, 0, err
+			}
+			shipped += int64(end - off)
+		}
+	}
+	return labels, shipped, nil
+}
+
+// fetchFires reads the fire events from the first server that answers
+// GET /v1/anomalies (after a failover, follower state tracking means
+// any member holds the same alert history).
+func fetchFires(client *http.Client, addrs []string) ([]anomaly.Event, error) {
+	var lastErr error
+	for _, addr := range addrs {
+		resp, err := client.Get(strings.TrimSuffix(addr, "/") + "/v1/anomalies?type=fire&limit=256")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var body struct {
+			Events []anomaly.Event `json:"events"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("%s/v1/anomalies: %s", addr, resp.Status)
+			continue
+		}
+		if derr != nil {
+			lastErr = derr
+			continue
+		}
+		return body.Events, nil
+	}
+	return nil, fmt.Errorf("no server answered /v1/anomalies: %v", lastErr)
+}
+
+// verifyAnomalies polls the fired alerts and scores them against the
+// injection ground truth until both thresholds hold or the deadline
+// passes. Only fires on injected jobs are scored — the main dataset
+// may carry its own (legitimately alertable) behavior; clean-workload
+// silence is asserted separately by -expect-no-alerts.
+func verifyAnomalies(client *http.Client, addrs []string, labels anomaly.Labels, minPrec, minRec float64) error {
+	deadline := time.Now().Add(30 * time.Second)
+	var v anomaly.Verdict
+	for {
+		fires, err := fetchFires(client, addrs)
+		if err == nil {
+			labeled := fires[:0:0]
+			for _, ev := range fires {
+				if _, ok := labels[ev.Job]; ok {
+					labeled = append(labeled, ev)
+				}
+			}
+			v = anomaly.Score(labels, labeled)
+			if v.Precision >= minPrec && v.Recall >= minRec {
+				fmt.Printf("powload: anomaly verification passed: %d/%d detected, precision %.2f, recall %.2f\n",
+					v.Detected, v.Injected, v.Precision, v.Recall)
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("anomaly verification failed: precision %.2f (min %.2f), recall %.2f (min %.2f), detected %d/%d, missed %v, false fires on %v",
+		v.Precision, minPrec, v.Recall, minRec, v.Detected, v.Injected, v.Missed, v.FalseJobs)
 }
 
 // pollIngested reads /healthz until some server has absorbed want

@@ -61,12 +61,23 @@
 // ingest and forces early block flushes until accounted memory drops
 // back under the resume level.
 //
+// With -anomaly (or -anomaly-rules / -alert-webhook, which imply it)
+// the daemon fingerprints every job's power behavior as samples
+// stream in and runs a rule-driven alert pipeline over the
+// fingerprints: flatline, zombie, overshoot, and drift detectors with
+// per-(job,rule) dedup and hysteresis. Alerts go to the structured
+// log and, with -alert-webhook, to an HTTP endpoint with retries and
+// backoff; GET /v1/anomalies serves the event ring, active alerts,
+// per-job fingerprints, and a live NDJSON stream (stream=1). Detector
+// state rides snapshots and the replication stream, so a promoted
+// standby neither re-fires nor misses alerts.
+//
 // Endpoints: POST /v1/samples, GET /v1/nodes/{id}/series,
 // GET /v1/jobs/{id}/power, POST /v1/predict, GET /v1/summary,
-// GET /metrics, GET /healthz, GET /readyz, POST /v1/promote, and the
-// replication plane GET /v1/repl/stream, GET /v1/repl/snapshot,
-// POST /v1/repl/ack. SIGINT/SIGTERM shut down gracefully, draining
-// the ingest queue first.
+// GET /v1/anomalies, GET /metrics, GET /healthz, GET /readyz,
+// POST /v1/promote, and the replication plane GET /v1/repl/stream,
+// GET /v1/repl/snapshot, POST /v1/repl/ack. SIGINT/SIGTERM shut down
+// gracefully, draining the ingest queue first.
 package main
 
 import (
@@ -80,6 +91,7 @@ import (
 
 	"hpcpower"
 	"hpcpower/internal/admit"
+	"hpcpower/internal/anomaly"
 	"hpcpower/internal/block"
 	"hpcpower/internal/mlearn"
 	"hpcpower/internal/obs"
@@ -134,6 +146,11 @@ func main() {
 		advertise = flag.String("advertise", "", "base URL peers and shippers use to reach this node (required with -peer; behind a chaos proxy, the proxy URL)")
 		hbEvery   = flag.Duration("heartbeat-interval", 250*time.Millisecond, "election heartbeat / failure-detection cadence")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "leader lease TTL (0 = 4x -heartbeat-interval)")
+
+		anomalyOn    = flag.Bool("anomaly", false, "enable streaming power-fingerprint anomaly detection and alerting (GET /v1/anomalies)")
+		anomalyRules = flag.String("anomaly-rules", "", `detector rule spec, semicolon-separated, e.g. "flatline:min-duration=10m,min-watts=100;zombie:severity=critical" (implies -anomaly; empty = built-in defaults)`)
+		alertWebhook = flag.String("alert-webhook", "", "POST fired/resolved alert events to this URL with retries and backoff (implies -anomaly)")
+		alertRing    = flag.Int("alert-ring", 4096, "retained alert events served by GET /v1/anomalies")
 
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", `structured log format: "text" or "json"`)
@@ -229,6 +246,41 @@ func main() {
 	}
 
 	store := tsdb.New(tsdb.Config{Shards: *shards, RingLen: *ring})
+
+	// Streaming anomaly detection: the engine evaluates the store's
+	// per-job fingerprints once per ingested batch and runs the alert
+	// pipeline (dedup, hysteresis, sinks). The server owns the engine
+	// and shuts it down on Close.
+	var anom *anomaly.Engine
+	if *anomalyOn || *anomalyRules != "" || *alertWebhook != "" {
+		rules := anomaly.DefaultRules()
+		if *anomalyRules != "" {
+			rules, err = anomaly.ParseRules(*anomalyRules)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		sinks := []anomaly.Sink{anomaly.NewLogSink(logger)}
+		if *alertWebhook != "" {
+			ws, err := anomaly.NewWebhookSink(anomaly.WebhookConfig{
+				URL:    *alertWebhook,
+				Logger: obs.Component(logger, "alert-webhook"),
+			})
+			if err != nil {
+				fatal(err)
+			}
+			sinks = append(sinks, ws)
+		}
+		anom = anomaly.NewEngine(anomaly.Config{
+			Rules:    rules,
+			RingSize: *alertRing,
+			Sinks:    sinks,
+			Lookup:   store.JobFingerprint,
+			Logger:   obs.Component(logger, "anomaly"),
+		})
+		fmt.Printf("powserved: anomaly detection: %s\n", anomaly.FormatRules(rules))
+	}
+
 	var blocks *block.Store
 	if *blocksDir != "" {
 		if err := os.MkdirAll(*blocksDir, 0o755); err != nil {
@@ -261,6 +313,7 @@ func main() {
 		QueueDepth:         *queue,
 		IngestWorkers:      *workers,
 		Admit:              admitCfg,
+		Anomaly:            anom,
 		Logger:             logger,
 		SlowRequest:        *slowReq,
 		BlockFlushInterval: *flushEvery,

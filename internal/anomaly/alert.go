@@ -1,0 +1,221 @@
+package anomaly
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Event types.
+const (
+	EventFire    = "fire"
+	EventResolve = "resolve"
+)
+
+// Event is one alert transition: a rule started firing for a job, or
+// stopped. Events are what the ring stores, /v1/anomalies serves, and
+// sinks deliver.
+type Event struct {
+	Seq      uint64 `json:"seq"`
+	Type     string `json:"type"`
+	Rule     string `json:"rule"`
+	Detector string `json:"detector"`
+	Severity string `json:"severity"`
+	Job      uint64 `json:"job"`
+	// Node is the node whose batch triggered the transition (a job
+	// spans many nodes; this is the reporting one).
+	Node int `json:"node"`
+	// Unix is the sample time of the transition — detector time is
+	// sample-driven, so replay and restore reproduce it exactly.
+	Unix      int64   `json:"unix"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	// FiredUnix on a resolve event is when the alert originally fired.
+	FiredUnix int64 `json:"fired_unix,omitempty"`
+	// Trace is the trace ID of the ingest batch that triggered the
+	// transition: one grep follows shipper → WAL → alert.
+	Trace   string `json:"trace,omitempty"`
+	Message string `json:"message"`
+}
+
+// Alert is one currently-firing (job, rule) pair, served by
+// GET /v1/anomalies?active=1.
+type Alert struct {
+	Rule      string  `json:"rule"`
+	Detector  string  `json:"detector"`
+	Severity  string  `json:"severity"`
+	Job       uint64  `json:"job"`
+	Node      int     `json:"node"`
+	FiredUnix int64   `json:"fired_unix"`
+	LastUnix  int64   `json:"last_unix"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Trace     string  `json:"trace,omitempty"`
+	Count     int64   `json:"count"` // times this pair has fired over its lifetime
+}
+
+// Filter selects events from the ring. Zero values mean "any" (job 0
+// is never a real job; Node -1 means any node).
+type Filter struct {
+	Job         uint64
+	Node        int // -1 = any
+	Rule        string
+	Type        string
+	MinSeverity int // SeverityLevel rank; 0 admits everything
+	SinceUnix   int64
+	SinceSeq    uint64
+	Limit       int // 0 = no cap
+}
+
+// Match reports whether an event passes the filter.
+func (f *Filter) Match(ev *Event) bool {
+	if f.Job != 0 && ev.Job != f.Job {
+		return false
+	}
+	if f.Node >= 0 && ev.Node != f.Node {
+		return false
+	}
+	if f.Rule != "" && ev.Rule != f.Rule {
+		return false
+	}
+	if f.Type != "" && ev.Type != f.Type {
+		return false
+	}
+	if SeverityLevel(ev.Severity) < f.MinSeverity {
+		return false
+	}
+	if f.SinceUnix != 0 && ev.Unix < f.SinceUnix {
+		return false
+	}
+	if f.SinceSeq != 0 && ev.Seq <= f.SinceSeq {
+		return false
+	}
+	return true
+}
+
+// ring is the bounded event store: a fixed circular buffer with
+// monotonically increasing sequence numbers, oldest events evicted,
+// plus fan-out to streaming subscribers (non-blocking: a slow consumer
+// drops events rather than stalling the ingest path).
+type ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest stored event
+	count   int
+	seq     uint64
+	evicted uint64
+
+	subs    map[uint64]chan Event
+	nextSub uint64
+}
+
+func newRing(size int) *ring {
+	if size <= 0 {
+		size = 4096
+	}
+	return &ring{buf: make([]Event, size), subs: map[uint64]chan Event{}}
+}
+
+// append stamps the next sequence number on ev, stores it, and fans it
+// out to subscribers. Returns the stamped event.
+func (r *ring) append(ev Event) Event {
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	if r.count == len(r.buf) {
+		r.start = (r.start + 1) % len(r.buf)
+		r.count--
+		r.evicted++
+	}
+	r.buf[(r.start+r.count)%len(r.buf)] = ev
+	r.count++
+	for _, ch := range r.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop, never block ingest
+		}
+	}
+	r.mu.Unlock()
+	return ev
+}
+
+// events returns matching events newest-first, up to f.Limit.
+func (r *ring) events(f Filter) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := []Event{}
+	for i := r.count - 1; i >= 0; i-- {
+		ev := r.buf[(r.start+i)%len(r.buf)]
+		if !f.Match(&ev) {
+			continue
+		}
+		out = append(out, ev)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// subscribe registers a streaming consumer; cancel with unsubscribe.
+func (r *ring) subscribe(depth int) (uint64, <-chan Event) {
+	if depth <= 0 {
+		depth = 64
+	}
+	ch := make(chan Event, depth)
+	r.mu.Lock()
+	r.nextSub++
+	id := r.nextSub
+	r.subs[id] = ch
+	r.mu.Unlock()
+	return id, ch
+}
+
+func (r *ring) unsubscribe(id uint64) {
+	r.mu.Lock()
+	delete(r.subs, id)
+	r.mu.Unlock()
+}
+
+// snapshot returns the stored events oldest-first plus the current
+// sequence number — the export path.
+func (r *ring) snapshot() ([]Event, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.count)
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out, r.seq
+}
+
+// restore replaces the ring contents (oldest-first) and sequence
+// counter — the import path. Events beyond capacity keep the newest.
+func (r *ring) restore(events []Event, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.start, r.count = 0, 0
+	if n := len(events) - len(r.buf); n > 0 {
+		events = events[n:]
+	}
+	copy(r.buf, events)
+	r.count = len(events)
+	r.seq = seq
+}
+
+// stats returns appended-total and evicted counts.
+func (r *ring) stats() (appended, evicted uint64, stored int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq, r.evicted, r.count
+}
+
+// message renders the human-readable alert line.
+func message(ev *Event) string {
+	switch ev.Type {
+	case EventFire:
+		return fmt.Sprintf("%s: job %d on node %d: %s value %.3f vs threshold %.3f",
+			ev.Severity, ev.Job, ev.Node, ev.Detector, ev.Value, ev.Threshold)
+	default:
+		return fmt.Sprintf("resolved: job %d %s (fired at %d)", ev.Job, ev.Rule, ev.FiredUnix)
+	}
+}

@@ -1,0 +1,50 @@
+package anomaly
+
+// driftStaleSec clears the drift condition when no phase shift has
+// extended the run for this long (sample time): a ramp that plateaued
+// is no longer drifting, so the alert can resolve.
+const driftStaleSec = 30 * 60
+
+// Eval evaluates the rule's condition against a fingerprint. It
+// returns whether the raw condition holds right now (hysteresis and
+// min-duration live in the engine, not here), plus the measured value
+// and the threshold it was compared against — the numbers an alert
+// event carries so an operator can see how far out of band the job is.
+func (r *Rule) Eval(f *Fingerprint) (active bool, value, threshold float64) {
+	if f.N < int64(r.MinSamples) {
+		return false, 0, 0
+	}
+	switch r.Detector {
+	case DetectFlatline:
+		// Variance collapse at sustained high power: windowed relative
+		// std below RelStd while the fast EWMA is both above the
+		// absolute floor and near the job's own sustained peak. Real
+		// jobs hold ~11% power std (paper §4); synthetic flatlines sit
+		// under 1%.
+		value, threshold = f.RelStdFast(), r.RelStd
+		active = f.EWFast >= r.MinW &&
+			f.EWFast >= r.HighFrac*f.FastPeak &&
+			value < threshold
+	case DetectZombie:
+		// Power floor after real activity: the job demonstrably ran hot
+		// (sustained peak above MinW) but now idles at a fraction of it.
+		value, threshold = f.EWFast, r.LowFrac*f.FastPeak
+		active = f.FastPeak >= r.MinW && value <= threshold
+	case DetectOvershoot:
+		// Lifetime peak overshoot beyond the configured envelope. The
+		// fingerprint's Max and Sum/N are exact, so this matches a
+		// brute-force (max−mean)/mean over every sample bit-for-bit.
+		value, threshold = f.OvershootPct(), r.OvershootPct
+		active = value > threshold
+	case DetectDrift:
+		// A run of same-direction phase shifts that moved the baseline
+		// by DriftFrac: a step change is one shift and never qualifies;
+		// a plateaued ramp goes stale and resolves.
+		value, threshold = 100*f.DriftFrac(), 100*r.DriftFrac
+		active = int(f.RunLen) >= r.Runs &&
+			f.RunBase >= r.MinW &&
+			value >= threshold &&
+			f.Last-f.LastPhase <= driftStaleSec
+	}
+	return active, value, threshold
+}

@@ -1,0 +1,303 @@
+// Package anomaly is the streaming power-fingerprint anomaly detector
+// behind powserved's alerting pipeline. It turns the paper's central
+// observation — HPC job power behavior is highly structured (stable
+// per-job means, a tight 10–12% peak-overshoot envelope, recognizable
+// temporal phases) — into an online detector: deviations from that
+// structure are signal, not noise.
+//
+// The package has three layers:
+//
+//   - Fingerprint: an O(1), allocation-free per-job sketch updated once
+//     per sample on the ingest hot path (inside the tsdb job-shard lock,
+//     next to the existing Welford/P²/overshoot state): running moments,
+//     fast/slow EWMA baselines, an EWMA variance proxy, CUSUM
+//     phase-change detection, and a small FFT-free shape histogram.
+//   - Rules + detectors: a pluggable rule set (cryptomining-like
+//     flatline, zombie job, runaway overshoot, baseline drift) evaluated
+//     against fingerprints once per ingested batch, off the per-sample
+//     path.
+//   - Engine: per-(job,rule) hysteresis state machines (min-duration
+//     fire, clear-duration resolve, dedup while firing), a ring-buffered
+//     event store, and pluggable delivery sinks.
+//
+// All detector timing is driven by sample timestamps, never wall clock,
+// so WAL replay, snapshot restore, and failover reproduce the exact
+// alert decisions of the original run.
+package anomaly
+
+import "math"
+
+// EWMA smoothing factors, per telemetry sample (one per job-minute in
+// the paper's setting). Fast tracks the current phase; slow is the
+// baseline the detectors compare against.
+const (
+	alphaFast = 0.25
+	alphaSlow = 0.05
+	alphaVar  = 0.10
+
+	// CUSUM slack and reset thresholds as fractions of the slow
+	// baseline: residuals under 10% of baseline are "in phase" noise
+	// (the paper's jobs hold ~11% overall power std); an accumulated
+	// one-sided excursion worth 50% of baseline is a phase change.
+	cusumSlackFrac = 0.10
+	cusumResetFrac = 0.50
+	cusumSlackMinW = 1.0
+	cusumResetMinW = 5.0
+
+	// phaseMergeSec merges CUSUM re-triggers into one phase shift: after
+	// a genuine step change the EWMAs take a few samples to converge and
+	// the CUSUM fires again in the same direction within minutes. Those
+	// are echoes of a single transition — folding them keeps a step at
+	// run length one, so only a sustained ramp (shifts spaced further
+	// apart) can build the drift detector's run.
+	phaseMergeSec = 5 * 60
+)
+
+// ShapeBuckets is the size of the fingerprint's occupancy histogram:
+// each sample lands in a bucket by its ratio to the slow baseline. The
+// histogram is the FFT-free shape sketch — a flat job occupies one
+// bucket, a phased job spreads across several — and doubles as a cheap
+// power signature for "what is this cluster running" style analysis.
+const ShapeBuckets = 8
+
+// Fingerprint is the streaming power sketch of one job. It is a plain
+// value struct — fixed size, no pointers — so updating it allocates
+// nothing and exporting it is a copy. The struct doubles as its own
+// serialized state: every field is exported with a JSON tag, and a
+// restored fingerprint continues the stream bit-for-bit.
+type Fingerprint struct {
+	N     int64   `json:"n"`
+	Sum   float64 `json:"sum"`
+	SumSq float64 `json:"sum_sq"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+
+	First int64   `json:"first_unix"`
+	Last  int64   `json:"last_unix"`
+	LastW float64 `json:"last_w"`
+
+	// EWFast/EWSlow are the phase-tracking and baseline EWMAs; EWVar is
+	// an EWMA of the squared fast-residual (a windowed variance proxy);
+	// FastPeak is the highest sustained (fast-EWMA) power seen.
+	EWFast   float64 `json:"ew_fast"`
+	EWSlow   float64 `json:"ew_slow"`
+	EWVar    float64 `json:"ew_var"`
+	FastPeak float64 `json:"fast_peak"`
+
+	// One-sided CUSUM accumulators over the raw residual vs. the slow
+	// baseline. When either exceeds the reset threshold the fingerprint
+	// records a phase change, adopts the fast EWMA as the new baseline,
+	// and zeroes both sides.
+	CUSUMPos float64 `json:"cusum_pos"`
+	CUSUMNeg float64 `json:"cusum_neg"`
+
+	// Phases counts baseline adoptions (phase changes); LastPhase is the
+	// sample time of the latest one. RunDir/RunLen/RunBase track the
+	// current run of same-direction phase shifts: a genuine step change
+	// is one shift, a slow ramp is a run of them — the drift detector's
+	// signal. RunBase is the baseline power when the run started.
+	Phases    int64   `json:"phases"`
+	LastPhase int64   `json:"last_phase_unix,omitempty"`
+	RunDir    int8    `json:"run_dir,omitempty"`
+	RunLen    int32   `json:"run_len,omitempty"`
+	RunBase   float64 `json:"run_base,omitempty"`
+
+	// Shape is the occupancy histogram of sample power relative to the
+	// slow baseline (see ShapeBuckets).
+	Shape [ShapeBuckets]int64 `json:"shape"`
+}
+
+// Update folds one sample into the fingerprint. It is the per-sample
+// hot path — branch-light float arithmetic, no divisions, no
+// allocations — budgeted at a few percent of the tsdb append cost.
+func (f *Fingerprint) Update(unix int64, w float64) {
+	if f.N == 0 {
+		f.N = 1
+		f.Sum, f.SumSq = w, w*w
+		f.Min, f.Max = w, w
+		f.First, f.Last = unix, unix
+		f.LastW = w
+		f.EWFast, f.EWSlow, f.FastPeak = w, w, w
+		f.Shape[shapeBucket(w, w)]++
+		return
+	}
+	f.N++
+	f.Sum += w
+	f.SumSq += w * w
+	if w < f.Min {
+		f.Min = w
+	}
+	if w > f.Max {
+		f.Max = w
+	}
+	if unix > f.Last {
+		f.Last = unix
+	}
+	f.LastW = w
+
+	f.EWFast += alphaFast * (w - f.EWFast)
+	r := w - f.EWFast
+	f.EWVar += alphaVar * (r*r - f.EWVar)
+	f.EWSlow += alphaSlow * (w - f.EWSlow)
+	if f.EWFast > f.FastPeak {
+		f.FastPeak = f.EWFast
+	}
+	f.Shape[shapeBucket(w, f.EWSlow)]++
+
+	d := w - f.EWSlow
+	k := cusumSlackFrac * f.EWSlow
+	if k < cusumSlackMinW {
+		k = cusumSlackMinW
+	}
+	if p := f.CUSUMPos + d - k; p > 0 {
+		f.CUSUMPos = p
+	} else {
+		f.CUSUMPos = 0
+	}
+	if n := f.CUSUMNeg - d - k; n > 0 {
+		f.CUSUMNeg = n
+	} else {
+		f.CUSUMNeg = 0
+	}
+	h := cusumResetFrac * f.EWSlow
+	if h < cusumResetMinW {
+		h = cusumResetMinW
+	}
+	if f.CUSUMPos > h || f.CUSUMNeg > h {
+		dir := int8(1)
+		if f.CUSUMNeg > f.CUSUMPos {
+			dir = -1
+		}
+		f.phaseShift(dir, unix)
+	}
+}
+
+// phaseShift records a detected phase change and adopts the fast EWMA
+// as the new baseline so the CUSUM re-arms against the new level.
+func (f *Fingerprint) phaseShift(dir int8, unix int64) {
+	if dir == f.RunDir && f.LastPhase != 0 && unix-f.LastPhase <= phaseMergeSec {
+		// Convergence echo of the previous shift (see phaseMergeSec):
+		// re-adopt the baseline but do not extend the run.
+		f.LastPhase = unix
+		f.EWSlow = f.EWFast
+		f.CUSUMPos, f.CUSUMNeg = 0, 0
+		return
+	}
+	f.Phases++
+	f.LastPhase = unix
+	if dir == f.RunDir {
+		f.RunLen++
+	} else {
+		f.RunDir = dir
+		f.RunLen = 1
+		f.RunBase = f.EWSlow
+	}
+	f.EWSlow = f.EWFast
+	f.CUSUMPos, f.CUSUMNeg = 0, 0
+}
+
+// shapeBucket maps a sample to its occupancy bucket by ratio to the
+// baseline, without a division: thresholds are baseline multiples.
+func shapeBucket(w, base float64) int {
+	if base <= 0 {
+		return ShapeBuckets - 1
+	}
+	switch {
+	case w < 0.25*base:
+		return 0
+	case w < 0.50*base:
+		return 1
+	case w < 0.75*base:
+		return 2
+	case w < 0.95*base:
+		return 3
+	case w < 1.05*base:
+		return 4
+	case w < 1.25*base:
+		return 5
+	case w < 1.50*base:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// Mean returns the lifetime mean power.
+func (f *Fingerprint) Mean() float64 {
+	if f.N == 0 {
+		return 0
+	}
+	return f.Sum / float64(f.N)
+}
+
+// Std returns the lifetime population standard deviation.
+func (f *Fingerprint) Std() float64 {
+	if f.N == 0 {
+		return 0
+	}
+	m := f.Mean()
+	v := f.SumSq/float64(f.N) - m*m
+	if v < 0 {
+		v = 0 // floating-point cancellation guard
+	}
+	return math.Sqrt(v)
+}
+
+// RelStdFast returns the windowed relative standard deviation — the
+// EWMA variance proxy over the fast baseline — the flatline detector's
+// variance-collapse signal.
+func (f *Fingerprint) RelStdFast() float64 {
+	if f.EWFast <= 0 || f.EWVar <= 0 {
+		return 0
+	}
+	return math.Sqrt(f.EWVar) / f.EWFast
+}
+
+// OvershootPct returns the lifetime peak overshoot (max − mean)/mean in
+// percent — identical by construction to the brute-force check over all
+// samples, because Max and Sum/N are exact.
+func (f *Fingerprint) OvershootPct() float64 {
+	m := f.Mean()
+	if m <= 0 {
+		return 0
+	}
+	return 100 * (f.Max - m) / m
+}
+
+// DriftFrac returns the fractional baseline movement of the current
+// same-direction phase-shift run (0 when no run is in progress).
+func (f *Fingerprint) DriftFrac() float64 {
+	if f.RunLen == 0 || f.RunBase <= 0 {
+		return 0
+	}
+	return math.Abs(f.EWSlow-f.RunBase) / f.RunBase
+}
+
+// Valid reports whether a decoded fingerprint is internally coherent —
+// the gate the snapshot-restore path uses so a corrupt or adversarial
+// payload is rejected instead of poisoning detector math with NaNs.
+func (f *Fingerprint) Valid() bool {
+	if f.N < 0 {
+		return false
+	}
+	if f.N == 0 {
+		return *f == Fingerprint{}
+	}
+	for _, v := range [...]float64{f.Sum, f.SumSq, f.Min, f.Max, f.LastW, f.EWFast, f.EWSlow, f.EWVar, f.FastPeak, f.CUSUMPos, f.CUSUMNeg, f.RunBase} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	if f.Min > f.Max || f.SumSq < 0 || f.EWVar < 0 {
+		return false
+	}
+	if f.First > f.Last {
+		return false
+	}
+	for _, c := range f.Shape {
+		if c < 0 {
+			return false
+		}
+	}
+	return true
+}

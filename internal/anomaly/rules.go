@@ -1,0 +1,354 @@
+package anomaly
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Detector names. Each detector reads a different face of the
+// fingerprint; rule thresholds parameterize them.
+const (
+	DetectFlatline  = "flatline"  // variance collapse at sustained high power (cryptomining-like)
+	DetectZombie    = "zombie"    // power floor after real activity (job lost its work)
+	DetectOvershoot = "overshoot" // lifetime peak overshoot beyond the paper's envelope
+	DetectDrift     = "drift"     // sustained same-direction baseline movement
+)
+
+// Severity levels, ordered. SeverityLevel maps them for filtering.
+const (
+	SeverityInfo     = "info"
+	SeverityWarning  = "warning"
+	SeverityCritical = "critical"
+)
+
+// SeverityLevel returns the rank of a severity (info 0 < warning 1 <
+// critical 2); unknown strings rank below info.
+func SeverityLevel(s string) int {
+	switch s {
+	case SeverityInfo:
+		return 0
+	case SeverityWarning:
+		return 1
+	case SeverityCritical:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// Rule is one detector instance with its thresholds and hysteresis
+// parameters. Durations are in sample time: a condition must hold for
+// MinDuration of sample timestamps before the alert fires, and must
+// stay clear for ResolveAfter before it resolves — so replaying the
+// same WAL reproduces the same fire/resolve decisions.
+type Rule struct {
+	Detector string `json:"detector"`
+	// Name identifies the rule in events, metrics labels, and exported
+	// alert state. Defaults to the detector name; two rules of the same
+	// detector need distinct names.
+	Name     string `json:"name"`
+	Severity string `json:"severity"`
+
+	MinDuration  time.Duration `json:"min_duration"`
+	ResolveAfter time.Duration `json:"resolve_after"`
+	// MinSamples gates every detector until the fingerprint has seen
+	// enough samples to mean anything (warmup).
+	MinSamples int `json:"min_samples"`
+	// MinW is an absolute watts floor: flatline requires the sustained
+	// level above it, zombie requires the job's peak above it, drift
+	// requires the run's starting baseline above it.
+	MinW float64 `json:"min_w,omitempty"`
+
+	// RelStd (flatline): fire when the windowed relative std falls
+	// below this fraction while power is high.
+	RelStd float64 `json:"rel_std,omitempty"`
+	// HighFrac (flatline): "high power" means the fast EWMA is at least
+	// this fraction of the job's sustained peak.
+	HighFrac float64 `json:"high_frac,omitempty"`
+	// LowFrac (zombie): "power floor" means the fast EWMA is at most
+	// this fraction of the job's sustained peak.
+	LowFrac float64 `json:"low_frac,omitempty"`
+	// OvershootPct (overshoot): fire when lifetime (max−mean)/mean
+	// exceeds this many percent.
+	OvershootPct float64 `json:"overshoot_pct,omitempty"`
+	// DriftFrac (drift): fire when a same-direction phase-shift run has
+	// moved the baseline by at least this fraction.
+	DriftFrac float64 `json:"drift_frac,omitempty"`
+	// Runs (drift): minimum number of same-direction phase shifts in
+	// the run (a genuine step change is one shift, never a drift).
+	Runs int `json:"runs,omitempty"`
+}
+
+// DefaultRule returns the tuned default rule for a detector. The
+// thresholds are set so the fault-free synthetic paper workload fires
+// nothing (pinned by TestDefaultRulesZeroFalsePositives) while the
+// injector's anomaly profiles are caught well inside the smoke's
+// precision/recall bounds.
+func DefaultRule(detector string) (Rule, error) {
+	switch detector {
+	case DetectFlatline:
+		return Rule{
+			Detector: DetectFlatline, Name: DetectFlatline, Severity: SeverityCritical,
+			MinDuration: 15 * time.Minute, ResolveAfter: 10 * time.Minute,
+			MinSamples: 15, MinW: 80, RelStd: 0.01, HighFrac: 0.60,
+		}, nil
+	case DetectZombie:
+		return Rule{
+			Detector: DetectZombie, Name: DetectZombie, Severity: SeverityWarning,
+			MinDuration: 10 * time.Minute, ResolveAfter: 10 * time.Minute,
+			MinSamples: 10, MinW: 80, LowFrac: 0.35,
+		}, nil
+	case DetectOvershoot:
+		// The paper's healthy envelope is 10-12% mean overshoot, but
+		// individual fault-free jobs reach the high 30s over a lifetime;
+		// 50% is comfortably past anything the clean workload produces
+		// while spiky runaways land well above it.
+		return Rule{
+			Detector: DetectOvershoot, Name: DetectOvershoot, Severity: SeverityCritical,
+			MinDuration: 2 * time.Minute, ResolveAfter: 10 * time.Minute,
+			MinSamples: 20, OvershootPct: 50,
+		}, nil
+	case DetectDrift:
+		return Rule{
+			Detector: DetectDrift, Name: DetectDrift, Severity: SeverityWarning,
+			MinDuration: 10 * time.Minute, ResolveAfter: 20 * time.Minute,
+			MinSamples: 15, MinW: 40, DriftFrac: 0.20, Runs: 3,
+		}, nil
+	default:
+		return Rule{}, fmt.Errorf("anomaly: unknown detector %q", detector)
+	}
+}
+
+// DefaultRules returns the full default rule set, one rule per
+// detector, in a fixed order.
+func DefaultRules() []Rule {
+	out := make([]Rule, 0, 4)
+	for _, d := range []string{DetectFlatline, DetectZombie, DetectOvershoot, DetectDrift} {
+		r, _ := DefaultRule(d)
+		out = append(out, r)
+	}
+	return out
+}
+
+// ParseRules parses a rule-set spec: semicolon-separated rules, each
+// "detector" or "detector:key=value,key=value". Keys override the
+// detector's defaults; unknown detectors, unknown keys, keys that do
+// not apply to the detector, and out-of-range values are errors. The
+// spec "default" (or "") yields DefaultRules. Examples:
+//
+//	flatline:rel-std=0.02,min-duration=20m;overshoot:overshoot-pct=30
+//	zombie:severity=critical,low-frac=0.3
+//
+// Every accepted spec round-trips through FormatRules.
+func ParseRules(spec string) ([]Rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "default" {
+		return DefaultRules(), nil
+	}
+	var rules []Rule
+	names := map[string]struct{}{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		det, args, _ := strings.Cut(part, ":")
+		det = strings.TrimSpace(det)
+		r, err := DefaultRule(det)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(args) != "" {
+			for _, kv := range strings.Split(args, ",") {
+				kv = strings.TrimSpace(kv)
+				if kv == "" {
+					continue
+				}
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("anomaly: rule %q: %q is not key=value", det, kv)
+				}
+				if err := r.set(strings.TrimSpace(k), strings.TrimSpace(v)); err != nil {
+					return nil, fmt.Errorf("anomaly: rule %q: %w", det, err)
+				}
+			}
+		}
+		if err := r.validate(); err != nil {
+			return nil, fmt.Errorf("anomaly: rule %q: %w", det, err)
+		}
+		if _, dup := names[r.Name]; dup {
+			return nil, fmt.Errorf("anomaly: duplicate rule name %q (use name= to distinguish)", r.Name)
+		}
+		names[r.Name] = struct{}{}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("anomaly: empty rule spec")
+	}
+	return rules, nil
+}
+
+// set applies one key=value override, enforcing detector applicability.
+func (r *Rule) set(key, val string) error {
+	parseFrac := func() (float64, error) {
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %v", key, err)
+		}
+		if !(f > 0 && f <= 1) { // flipped comparison also rejects NaN
+			return 0, fmt.Errorf("%s must be in (0, 1], got %v", key, f)
+		}
+		return f, nil
+	}
+	switch key {
+	case "name":
+		if val == "" {
+			return fmt.Errorf("name must not be empty")
+		}
+		r.Name = val
+	case "severity":
+		if SeverityLevel(val) < 0 {
+			return fmt.Errorf("severity must be info, warning, or critical, got %q", val)
+		}
+		r.Severity = val
+	case "min-duration", "resolve-after":
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return fmt.Errorf("%s: %v", key, err)
+		}
+		if d < 0 || d > 365*24*time.Hour {
+			return fmt.Errorf("%s out of range: %v", key, d)
+		}
+		if key == "min-duration" {
+			r.MinDuration = d
+		} else {
+			r.ResolveAfter = d
+		}
+	case "min-samples":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 || n > 1<<30 {
+			return fmt.Errorf("min-samples must be a positive integer, got %q", val)
+		}
+		r.MinSamples = n
+	case "min-w":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || !(f >= 0 && f <= 1e9) {
+			return fmt.Errorf("min-w must be a non-negative number of watts, got %q", val)
+		}
+		r.MinW = f
+	case "rel-std":
+		if r.Detector != DetectFlatline {
+			return fmt.Errorf("rel-std only applies to flatline")
+		}
+		f, err := parseFrac()
+		if err != nil {
+			return err
+		}
+		r.RelStd = f
+	case "high-frac":
+		if r.Detector != DetectFlatline {
+			return fmt.Errorf("high-frac only applies to flatline")
+		}
+		f, err := parseFrac()
+		if err != nil {
+			return err
+		}
+		r.HighFrac = f
+	case "low-frac":
+		if r.Detector != DetectZombie {
+			return fmt.Errorf("low-frac only applies to zombie")
+		}
+		f, err := parseFrac()
+		if err != nil {
+			return err
+		}
+		r.LowFrac = f
+	case "overshoot-pct":
+		if r.Detector != DetectOvershoot {
+			return fmt.Errorf("overshoot-pct only applies to overshoot")
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || !(f > 0 && f <= 1e6) {
+			return fmt.Errorf("overshoot-pct must be a positive percentage, got %q", val)
+		}
+		r.OvershootPct = f
+	case "drift-frac":
+		if r.Detector != DetectDrift {
+			return fmt.Errorf("drift-frac only applies to drift")
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || !(f > 0 && f <= 100) {
+			return fmt.Errorf("drift-frac must be a positive fraction, got %q", val)
+		}
+		r.DriftFrac = f
+	case "runs":
+		if r.Detector != DetectDrift {
+			return fmt.Errorf("runs only applies to drift")
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 || n > 1<<20 {
+			return fmt.Errorf("runs must be a positive integer, got %q", val)
+		}
+		r.Runs = n
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+// validate checks cross-field coherence after overrides.
+func (r *Rule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("rule has no name")
+	}
+	if strings.ContainsAny(r.Name, ";:,= \t\n\"") {
+		return fmt.Errorf("name %q contains reserved characters", r.Name)
+	}
+	if SeverityLevel(r.Severity) < 0 {
+		return fmt.Errorf("bad severity %q", r.Severity)
+	}
+	return nil
+}
+
+// String renders the rule in spec syntax, emitting every applicable
+// key so the output is self-describing and parses back to the same
+// rule (round-trip pinned by TestParseRulesRoundTrip and the fuzzer).
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Detector)
+	b.WriteString(":name=")
+	b.WriteString(r.Name)
+	fmt.Fprintf(&b, ",severity=%s,min-duration=%s,resolve-after=%s,min-samples=%d",
+		r.Severity, r.MinDuration, r.ResolveAfter, r.MinSamples)
+	switch r.Detector {
+	case DetectFlatline:
+		fmt.Fprintf(&b, ",min-w=%g,rel-std=%g,high-frac=%g", r.MinW, r.RelStd, r.HighFrac)
+	case DetectZombie:
+		fmt.Fprintf(&b, ",min-w=%g,low-frac=%g", r.MinW, r.LowFrac)
+	case DetectOvershoot:
+		fmt.Fprintf(&b, ",overshoot-pct=%g", r.OvershootPct)
+	case DetectDrift:
+		fmt.Fprintf(&b, ",min-w=%g,drift-frac=%g,runs=%d", r.MinW, r.DriftFrac, r.Runs)
+	}
+	return b.String()
+}
+
+// FormatRules renders a rule set in spec syntax (see ParseRules).
+func FormatRules(rules []Rule) string {
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// RuleNames returns the rule names in evaluation order.
+func RuleNames(rules []Rule) []string {
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.Name
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EngineState is the serializable alert-dedup state of an Engine: every
+// (job, rule) hysteresis machine plus the event ring. It rides the
+// serving layer's snapshot image (next to the tsdb StoreState that
+// carries the fingerprints), so a crash restart or a promoted standby
+// continues the alert timeline instead of re-firing alerts that
+// already fired or dropping ones that were mid-countdown.
+type EngineState struct {
+	// Rules is the canonical spec of the rule set the state was
+	// exported under. Restore matches states to rules by name, so a
+	// restart with an edited rule set keeps what still applies and
+	// drops the rest.
+	Rules string `json:"rules"`
+	// Seq is the event ring's sequence counter.
+	Seq uint64 `json:"seq"`
+	// Counters carried across restarts so rates stay monotonic.
+	Fired      int64 `json:"fired"`
+	Resolved   int64 `json:"resolved"`
+	Suppressed int64 `json:"suppressed"`
+
+	Jobs   []JobAlertState `json:"jobs,omitempty"`
+	Events []Event         `json:"events,omitempty"`
+}
+
+// JobAlertState is one job's per-rule machines.
+type JobAlertState struct {
+	Job    uint64           `json:"job"`
+	States []RuleAlertState `json:"states"`
+}
+
+// RuleAlertState is one (job, rule) machine, keyed by rule name.
+type RuleAlertState struct {
+	Rule       string  `json:"rule"`
+	CondSince  int64   `json:"cond_since,omitempty"`
+	ClearSince int64   `json:"clear_since,omitempty"`
+	Firing     bool    `json:"firing,omitempty"`
+	FiredUnix  int64   `json:"fired_unix,omitempty"`
+	Node       int     `json:"node,omitempty"`
+	Value      float64 `json:"value,omitempty"`
+	Threshold  float64 `json:"threshold,omitempty"`
+	Trace      string  `json:"trace,omitempty"`
+	Count      int64   `json:"count,omitempty"`
+}
+
+// ExportState captures the engine's alert state in canonical (sorted)
+// order. The serving layer calls it under its apply lock, so the cut
+// is consistent with the store snapshot taken alongside.
+func (e *Engine) ExportState() *EngineState {
+	st := &EngineState{
+		Rules:      FormatRules(e.rules),
+		Fired:      e.fired.Load(),
+		Resolved:   e.resolved.Load(),
+		Suppressed: e.suppressed.Load(),
+	}
+	for si := range e.shards {
+		sh := &e.shards[si]
+		sh.mu.Lock()
+		for job, ja := range sh.jobs {
+			js := JobAlertState{Job: job, States: make([]RuleAlertState, 0, len(ja.states))}
+			idle := true
+			for i := range ja.states {
+				s := &ja.states[i]
+				if s.condSince == 0 && s.clearSince == 0 && !s.firing && s.count == 0 {
+					continue // zero machine — no need to serialize it
+				}
+				idle = false
+				js.States = append(js.States, RuleAlertState{
+					Rule: e.rules[i].Name, CondSince: s.condSince, ClearSince: s.clearSince,
+					Firing: s.firing, FiredUnix: s.firedUnix, Node: s.node,
+					Value: s.value, Threshold: s.threshold, Trace: s.trace, Count: s.count,
+				})
+			}
+			if !idle {
+				st.Jobs = append(st.Jobs, js)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(st.Jobs, func(a, b int) bool { return st.Jobs[a].Job < st.Jobs[b].Job })
+	st.Events, st.Seq = e.ring.snapshot()
+	return st
+}
+
+// RestoreState installs a captured alert state, replacing whatever the
+// engine holds. States for rule names not in the current rule set are
+// dropped (with a count returned); a nil state resets the engine.
+// Restoring never re-delivers the carried events to sinks — they were
+// delivered by the instance that recorded them.
+func (e *Engine) RestoreState(st *EngineState) (dropped int, err error) {
+	byName := map[string]int{}
+	for i, r := range e.rules {
+		byName[r.Name] = i
+	}
+	fresh := make([]map[uint64]*jobAlerts, alertShards)
+	for i := range fresh {
+		fresh[i] = map[uint64]*jobAlerts{}
+	}
+	var active int64
+	if st != nil {
+		seen := map[uint64]struct{}{}
+		for _, js := range st.Jobs {
+			if js.Job == 0 {
+				return 0, fmt.Errorf("anomaly: state carries job 0")
+			}
+			if _, dup := seen[js.Job]; dup {
+				return 0, fmt.Errorf("anomaly: state carries job %d twice", js.Job)
+			}
+			seen[js.Job] = struct{}{}
+			ja := &jobAlerts{states: make([]ruleState, len(e.rules))}
+			for _, rs := range js.States {
+				i, ok := byName[rs.Rule]
+				if !ok {
+					dropped++
+					continue
+				}
+				if rs.FiredUnix < 0 || rs.CondSince < 0 || rs.ClearSince < 0 || rs.Count < 0 {
+					return 0, fmt.Errorf("anomaly: job %d rule %q: negative timestamps", js.Job, rs.Rule)
+				}
+				ja.states[i] = ruleState{
+					condSince: rs.CondSince, clearSince: rs.ClearSince,
+					firing: rs.Firing, firedUnix: rs.FiredUnix, node: rs.Node,
+					value: rs.Value, threshold: rs.Threshold, trace: rs.Trace, count: rs.Count,
+				}
+				if rs.Firing {
+					active++
+				}
+			}
+			fresh[mix(js.Job)&(alertShards-1)][js.Job] = ja
+		}
+	}
+	// Validation passed: swap everything in.
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		sh.jobs = fresh[i]
+		sh.mu.Unlock()
+	}
+	e.active.Store(active)
+	if st != nil {
+		e.ring.restore(st.Events, st.Seq)
+		e.fired.Store(st.Fired)
+		e.resolved.Store(st.Resolved)
+		e.suppressed.Store(st.Suppressed)
+		if n := len(st.Events); n > 0 {
+			if last := st.Events[n-1].Unix; last > e.lastUnix.Load() {
+				e.lastUnix.Store(last)
+			}
+		}
+	} else {
+		e.ring.restore(nil, 0)
+		e.fired.Store(0)
+		e.resolved.Store(0)
+		e.suppressed.Store(0)
+	}
+	return dropped, nil
+}

@@ -1,0 +1,199 @@
+package anomaly
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hpcpower/internal/trace"
+)
+
+// TestStateRoundTripNoDuplicateFire is the failover contract: fire an
+// alert, export the engine (and fingerprint) state, restore both into a
+// fresh engine — the promoted instance — and keep observing. The alert
+// must stay active without re-firing, and later resolve exactly once.
+func TestStateRoundTripNoDuplicateFire(t *testing.T) {
+	h := newHarness(t, Config{})
+	const job, node = 77, 3
+	start := int64(1_700_000_000)
+	h.feed(flatSeries(job, node, start, 60, 180), 10, "trace-a")
+	if got := len(fires(h.eng)); got != 1 {
+		t.Fatalf("setup: %d fires, want 1", got)
+	}
+
+	// Snapshot both layers the way the serving layer does, through JSON
+	// (the snapshot file format).
+	blob, err := json.Marshal(h.eng.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st EngineState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promoted standby: same rules, same fingerprints (they ride the
+	// tsdb snapshot), restored alert state.
+	h2 := newHarness(t, Config{})
+	h2.store.mu.Lock()
+	h.store.mu.Lock()
+	for id, fp := range h.store.fps {
+		cp := *fp
+		h2.store.fps[id] = &cp
+	}
+	h.store.mu.Unlock()
+	h2.store.mu.Unlock()
+	dropped, err := h2.eng.RestoreState(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("restore dropped %d states, want 0", dropped)
+	}
+
+	// The restored engine already shows the alert as active and the
+	// ring carries the original event.
+	active := h2.eng.Active()
+	if len(active) != 1 || active[0].Job != job || h2.eng.Snapshot().Active != 1 {
+		t.Fatalf("restored active alerts = %+v", active)
+	}
+	if got := len(fires(h2.eng)); got != 1 {
+		t.Fatalf("restored ring has %d fires, want 1", got)
+	}
+
+	// Keep the condition holding: no duplicate fire.
+	h2.feed(flatSeries(job, node, start+60*60, 30, 180), 10, "trace-b")
+	if got := len(fires(h2.eng)); got != 1 {
+		t.Fatalf("promoted engine re-fired: %d fire events", got)
+	}
+	if h2.eng.Snapshot().Fired != 1 {
+		t.Fatalf("fired counter = %d after restore+continue, want 1", h2.eng.Snapshot().Fired)
+	}
+
+	// And the cycle completes: clear the condition (mild alternation so
+	// no other rule trips), resolve exactly once.
+	h2.feed(alternating(job, node, start+90*60, 25, 165, 200), 10, "trace-c")
+	if got := len(resolves(h2.eng)); got != 1 {
+		t.Fatalf("promoted engine resolved %d times, want 1", got)
+	}
+}
+
+// TestStateRestoreMidCountdown: a condition that was mid-MinDuration at
+// snapshot time still fires on the restored engine — no lost alerts.
+func TestStateRestoreMidCountdown(t *testing.T) {
+	h := newHarness(t, Config{})
+	const job = 55
+	start := int64(1_700_000_000)
+	// Enough for the flatline condition to activate, not enough to fire.
+	h.feed(flatSeries(job, 1, start, 33, 180), 10, "t")
+	if got := len(fires(h.eng)); got != 0 {
+		t.Fatalf("setup: fired too early (%d)", got)
+	}
+	st := h.eng.ExportState()
+
+	h2 := newHarness(t, Config{})
+	h.store.mu.Lock()
+	for id, fp := range h.store.fps {
+		cp := *fp
+		h2.store.fps[id] = &cp
+	}
+	h.store.mu.Unlock()
+	if _, err := h2.eng.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	h2.feed(flatSeries(job, 1, start+33*60, 30, 180), 10, "t")
+	if got := len(fires(h2.eng)); got != 1 {
+		t.Fatalf("mid-countdown alert lost across restore: %d fires", got)
+	}
+}
+
+// TestStateRestoreDropsUnknownRules: state exported under a wider rule
+// set restores cleanly under a narrower one.
+func TestStateRestoreDropsUnknownRules(t *testing.T) {
+	h := newHarness(t, Config{})
+	start := int64(1_700_000_000)
+	h.feed(flatSeries(61, 1, start, 60, 180), 10, "t")
+	st := h.eng.ExportState()
+
+	only, err := ParseRules("overshoot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := newHarness(t, Config{Rules: only})
+	dropped, err := h2.eng.RestoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("expected the flatline machine to be dropped")
+	}
+	if len(h2.eng.Active()) != 0 {
+		t.Fatalf("dropped rule left an active alert: %+v", h2.eng.Active())
+	}
+}
+
+// TestStateRestoreRejectsBadState: validation failures leave a clear
+// error instead of poisoned machines.
+func TestStateRestoreRejectsBadState(t *testing.T) {
+	h := newHarness(t, Config{})
+	bad := []*EngineState{
+		{Jobs: []JobAlertState{{Job: 0}}},
+		{Jobs: []JobAlertState{{Job: 5}, {Job: 5}}},
+		{Jobs: []JobAlertState{{Job: 5, States: []RuleAlertState{{Rule: "flatline", FiredUnix: -3}}}}},
+	}
+	for i, st := range bad {
+		if _, err := h.eng.RestoreState(st); err == nil {
+			t.Errorf("bad state %d accepted", i)
+		}
+	}
+	// Nil resets.
+	start := int64(1_700_000_000)
+	h.feed(flatSeries(81, 1, start, 60, 180), 10, "t")
+	if _, err := h.eng.RestoreState(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.eng.Active()) != 0 || len(fires(h.eng)) != 0 || h.eng.Snapshot().Fired != 0 {
+		t.Fatal("nil restore did not reset the engine")
+	}
+}
+
+// TestStateExportCanonical: two exports of the same state are
+// byte-identical (snapshot determinism).
+func TestStateExportCanonical(t *testing.T) {
+	h := newHarness(t, Config{})
+	start := int64(1_700_000_000)
+	var all []trace.PowerSample
+	for j := uint64(1); j <= 9; j++ {
+		all = append(all, flatSeries(j, int(j), start, 60, 150+float64(j))...)
+	}
+	sortByUnix(all)
+	h.feed(all, 128, "t")
+	a, err := json.Marshal(h.eng.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(h.eng.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("ExportState is not canonical")
+	}
+}
+
+// TestStateEventsSurviveRingOverflowRestore: restoring more events than
+// the ring holds keeps the newest.
+func TestStateEventsSurviveRingOverflowRestore(t *testing.T) {
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = Event{Seq: uint64(i + 1), Type: EventFire, Severity: SeverityInfo, Job: uint64(i + 1)}
+	}
+	e := NewEngine(Config{RingSize: 4, Lookup: func(uint64) (Fingerprint, bool) { return Fingerprint{}, false }})
+	defer e.Close()
+	if _, err := e.RestoreState(&EngineState{Seq: 10, Events: evs}); err != nil {
+		t.Fatal(err)
+	}
+	got := e.Events(Filter{Node: -1})
+	if len(got) != 4 || got[0].Job != 10 {
+		t.Fatalf("overflow restore kept %+v", got)
+	}
+}

@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hpcpower/internal/anomaly"
+	"hpcpower/internal/obs"
+	"hpcpower/internal/trace"
+	"hpcpower/internal/tsdb"
+)
+
+// newAnomalyServer builds a memory-only server with a detector engine
+// wired to its store.
+func newAnomalyServer(t testing.TB) (*Server, *httptest.Server) {
+	t.Helper()
+	store := tsdb.New(tsdb.Config{Shards: 4, RingLen: 256})
+	eng := anomaly.NewEngine(anomaly.Config{Lookup: store.JobFingerprint})
+	cfg := DefaultConfig()
+	cfg.IngestWorkers = 1
+	cfg.Anomaly = eng
+	s := New(store, nil, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// flatBatches slices a constant-power single-job series into 5-sample
+// batches — small time-slices, so the engine's batch-granular hysteresis
+// advances at sample resolution (matching what powload ships).
+func flatBatches(agent string, job uint64, node int, start int64, minutes int, w float64) []trace.SampleBatch {
+	var out []trace.SampleBatch
+	seq := uint64(1)
+	for m := 0; m < minutes; m += 5 {
+		b := trace.SampleBatch{AgentID: agent, Seq: seq}
+		seq++
+		for i := m; i < m+5 && i < minutes; i++ {
+			b.Samples = append(b.Samples, trace.PowerSample{
+				Node: node, JobID: job, Unix: start + int64(i)*60, PowerW: w,
+			})
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// anomalyEvents GETs /v1/anomalies with the given query string and
+// decodes the event list.
+func anomalyEvents(t testing.TB, url, query string) []anomaly.Event {
+	t.Helper()
+	resp, body := get(t, url+"/v1/anomalies"+query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/anomalies%s status %d: %s", query, resp.StatusCode, body)
+	}
+	var out struct {
+		Events []anomaly.Event `json:"events"`
+		Count  int             `json:"count"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	return out.Events
+}
+
+// waitAnomalyFires polls until the server reports want fire events for
+// the job.
+func waitAnomalyFires(t testing.TB, url string, job uint64, want int) []anomaly.Event {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evs := anomalyEvents(t, url, "?type=fire&job="+fmtUint(job))
+		if len(evs) >= want {
+			return evs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d has %d fire events, want %d", job, len(evs), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func fmtUint(u uint64) string { return strconv.FormatUint(u, 10) }
+
+// TestAnomalyHTTPFireActiveFingerprint: a flatlining job shipped over
+// HTTP fires through GET /v1/anomalies, shows as active, serves its
+// fingerprint, carries its batch's trace ID, and surfaces in /readyz.
+func TestAnomalyHTTPFireActiveFingerprint(t *testing.T) {
+	s, ts := newAnomalyServer(t)
+	const job, node = 42, 3
+	start := int64(1_700_000_000)
+	total := int64(0)
+	for _, b := range flatBatches("fl", job, node, start, 45, 200) {
+		resp := postTraced(t, ts.URL, "trace-flat", b)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+		total += int64(len(b.Samples))
+	}
+	waitIngested(t, s, total)
+	fires := waitAnomalyFires(t, ts.URL, job, 1)
+	ev := fires[0]
+	if ev.Detector != "flatline" || ev.Job != job || ev.Node != node {
+		t.Fatalf("fire event = %+v", ev)
+	}
+	if ev.Trace != "trace-flat" {
+		t.Fatalf("fire event trace = %q, want the ingest batch's trace ID", ev.Trace)
+	}
+
+	// Active list.
+	resp, body := get(t, ts.URL+"/v1/anomalies?active=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("active status %d: %s", resp.StatusCode, body)
+	}
+	var act struct {
+		Active []anomaly.Alert `json:"active"`
+	}
+	if err := json.Unmarshal(body, &act); err != nil {
+		t.Fatal(err)
+	}
+	if len(act.Active) != 1 || act.Active[0].Job != job || act.Active[0].Detector != "flatline" {
+		t.Fatalf("active = %+v", act.Active)
+	}
+
+	// Fingerprint.
+	resp, body = get(t, ts.URL+"/v1/anomalies?fingerprint=1&job="+fmtUint(job))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fingerprint status %d: %s", resp.StatusCode, body)
+	}
+	var fpOut struct {
+		Job         uint64              `json:"job"`
+		Fingerprint anomaly.Fingerprint `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(body, &fpOut); err != nil {
+		t.Fatal(err)
+	}
+	if fpOut.Fingerprint.N != 45 || fpOut.Fingerprint.Max != 200 {
+		t.Fatalf("fingerprint = %+v", fpOut.Fingerprint)
+	}
+
+	// Unknown job is a 404; missing job param a 400.
+	if resp, _ := get(t, ts.URL+"/v1/anomalies?fingerprint=1&job=9999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown fingerprint status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/anomalies?fingerprint=1"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing job status %d, want 400", resp.StatusCode)
+	}
+
+	// /readyz carries the detector block.
+	resp, body = get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d: %s", resp.StatusCode, body)
+	}
+	var rb struct {
+		Anomaly struct {
+			Enabled      bool `json:"enabled"`
+			Rules        int  `json:"rules"`
+			ActiveAlerts int  `json:"active_alerts"`
+			Delivering   bool `json:"delivering"`
+		} `json:"anomaly"`
+	}
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if !rb.Anomaly.Enabled || rb.Anomaly.Rules != 4 || rb.Anomaly.ActiveAlerts != 1 || !rb.Anomaly.Delivering {
+		t.Fatalf("readyz anomaly block = %+v (body %s)", rb.Anomaly, body)
+	}
+}
+
+// TestAnomalyDisabled: without an engine the endpoint answers 501.
+func TestAnomalyDisabled(t *testing.T) {
+	_, ts := newTestServer(t, DefaultConfig())
+	resp, _ := get(t, ts.URL+"/v1/anomalies")
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestAnomalyStreamServesBacklog: stream=1 replays the matching ring
+// backlog as NDJSON.
+func TestAnomalyStreamServesBacklog(t *testing.T) {
+	s, ts := newAnomalyServer(t)
+	const job = 7
+	start := int64(1_700_000_000)
+	total := int64(0)
+	for _, b := range flatBatches("st", job, 1, start, 45, 190) {
+		resp, _ := postJSON(t, ts.URL+"/v1/samples", b)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatal("ingest refused")
+		}
+		total += int64(len(b.Samples))
+	}
+	waitIngested(t, s, total)
+	waitAnomalyFires(t, ts.URL, job, 1)
+
+	resp, err := http.Get(ts.URL + "/v1/anomalies?stream=1&type=fire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var ev anomaly.Event
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("stream ended before the backlog event")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		t.Fatalf("stream line %q: %v", sc.Text(), err)
+	}
+	if ev.Type != anomaly.EventFire || ev.Job != job {
+		t.Fatalf("streamed event = %+v", ev)
+	}
+}
+
+// newAnomalyDurableServer is newDurableServer with a detector engine.
+func newAnomalyDurableServer(t testing.TB, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	store := durableStore()
+	eng := anomaly.NewEngine(anomaly.Config{Lookup: store.JobFingerprint})
+	cfg := durableConfig()
+	cfg.Anomaly = eng
+	s, err := NewDurable(store, nil, cfg, DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(); err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	return s, httptest.NewServer(s.Handler())
+}
+
+// TestAnomalyStateRidesSnapshots is the failover/restart contract at
+// the serving layer: an alert fired before a restart stays active and
+// does not re-fire after recovery, because both the fingerprints (tsdb
+// snapshot) and the alert machines (engine state) ride the snapshot.
+func TestAnomalyStateRidesSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	const job = 61
+	start := int64(1_700_000_000)
+
+	s1, ts1 := newAnomalyDurableServer(t, dir)
+	total := int64(0)
+	for _, b := range flatBatches("snap", job, 2, start, 45, 210) {
+		resp := postTraced(t, ts1.URL, "trace-snap", b)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatal("ingest refused")
+		}
+		total += int64(len(b.Samples))
+	}
+	waitIngested(t, s1, total)
+	waitAnomalyFires(t, ts1.URL, job, 1)
+	ts1.Close()
+	s1.Close() // takes the final snapshot
+
+	s2, ts2 := newAnomalyDurableServer(t, dir)
+	defer func() { ts2.Close(); s2.Close() }()
+	st := s2.anom.Snapshot()
+	if st.Fired != 1 || st.Active != 1 {
+		t.Fatalf("restored engine: fired %d active %d, want 1/1", st.Fired, st.Active)
+	}
+	if evs := anomalyEvents(t, ts2.URL, "?type=fire&job="+fmtUint(job)); len(evs) != 1 {
+		t.Fatalf("restored ring has %d fire events, want 1", len(evs))
+	}
+
+	// Keep the condition holding on the restarted node: no duplicate
+	// fire (the restored machine knows it is already firing).
+	more := flatBatches("snap2", job, 2, start+45*60, 30, 210)
+	total2 := int64(0)
+	for _, b := range more {
+		resp, _ := postJSON(t, ts2.URL+"/v1/samples", b)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatal("ingest refused after restart")
+		}
+		total2 += int64(len(b.Samples))
+	}
+	// Throughput counters are not part of the carried state, so the
+	// restarted engine counts only post-restart samples.
+	deadline := time.Now().Add(5 * time.Second)
+	for s2.anom.Snapshot().Samples < total2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("engine observed %d of %d samples", s2.anom.Snapshot().Samples, total2)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s2.anom.Snapshot().Fired; got != 1 {
+		t.Fatalf("restarted node re-fired: fired counter %d, want 1", got)
+	}
+	if evs := anomalyEvents(t, ts2.URL, "?type=fire&job="+fmtUint(job)); len(evs) != 1 {
+		t.Fatalf("restarted ring has %d fire events, want 1", len(evs))
+	}
+}
+
+// TestAnomalyFollowerDeliveryGating: a follower's engine tracks state
+// silently; promotion flips delivery on.
+func TestAnomalyFollowerDeliveryGating(t *testing.T) {
+	primary, tsP := newDurableServer(t, t.TempDir(), DurabilityConfig{})
+	defer func() { tsP.Close(); primary.Close() }()
+
+	dir := t.TempDir()
+	store := durableStore()
+	eng := anomaly.NewEngine(anomaly.Config{Lookup: store.JobFingerprint})
+	cfg := durableConfig()
+	cfg.Anomaly = eng
+	s, err := NewDurable(store, nil, cfg, DurabilityConfig{
+		Dir:         dir,
+		Replication: followerCfg(tsP.URL),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(); err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if eng.Delivering() {
+		t.Fatal("follower engine delivers alerts before promotion")
+	}
+	if _, err := s.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Delivering() {
+		t.Fatal("promoted engine still gagged")
+	}
+}
+
+// TestAnomalyMetricsLint: with the engine enabled (and a fired alert),
+// every legacy family survives and the full exposition still lints.
+func TestAnomalyMetricsLint(t *testing.T) {
+	s, ts := newAnomalyServer(t)
+	const job = 9
+	start := int64(1_700_000_000)
+	total := int64(0)
+	for _, b := range flatBatches("m", job, 0, start, 45, 150) {
+		resp, _ := postJSON(t, ts.URL+"/v1/samples", b)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatal("ingest refused")
+		}
+		total += int64(len(b.Samples))
+	}
+	waitIngested(t, s, total)
+	waitAnomalyFires(t, ts.URL, job, 1)
+
+	_, body := get(t, ts.URL+"/metrics")
+	exp := string(body)
+	for _, name := range []string{
+		"powserved_anomaly_enabled",
+		"powserved_anomaly_rules",
+		"powserved_anomaly_jobs",
+		"powserved_anomaly_samples_total",
+		"powserved_anomaly_batches_total",
+		"powserved_anomaly_evals_total",
+		"powserved_anomaly_last_sample_unix",
+		"powserved_alert_fired_total",
+		"powserved_alert_resolved_total",
+		"powserved_alert_active",
+		"powserved_alert_suppressed_total",
+		"powserved_alert_events_total",
+		"powserved_alert_events_evicted_total",
+		"powserved_alert_delivering",
+	} {
+		if !strings.Contains(exp, "\n"+name+"{") && !strings.Contains(exp, "\n"+name+" ") {
+			t.Errorf("/metrics lacks %s", name)
+		}
+	}
+	if !strings.Contains(exp, `powserved_alert_fired_total{rule="flatline"} 1`) {
+		t.Error("/metrics does not count the flatline fire")
+	}
+	if err := obs.LintExposition(strings.NewReader(exp)); err != nil {
+		t.Fatalf("/metrics with anomaly engine violates the exposition format: %v", err)
+	}
+}

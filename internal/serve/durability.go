@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hpcpower/internal/anomaly"
 	"hpcpower/internal/obs"
 	"hpcpower/internal/repl"
 	"hpcpower/internal/trace"
@@ -100,6 +101,11 @@ type snapshotImage struct {
 	// follower crash after a bootstrap cannot double-apply them.
 	ReplLSN    uint64   `json:"repl_lsn,omitempty"`
 	ReplExtras []uint64 `json:"repl_extras,omitempty"`
+	// Anomaly is the alert-engine state (hysteresis machines + event
+	// ring), captured at the same batch boundary as Store — the job
+	// fingerprints themselves ride inside Store. Absent when the server
+	// runs without an engine.
+	Anomaly *anomaly.EngineState `json:"anomaly,omitempty"`
 }
 
 // RecoveryReport summarizes one Recover call, for logs and /metrics.
@@ -304,6 +310,11 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 				return nil, fmt.Errorf("serve: restoring snapshot %d dedup: %w", snapLSN, err)
 			}
 		}
+		if img.Anomaly != nil && s.anom != nil {
+			if _, err := s.anom.RestoreState(img.Anomaly); err != nil {
+				return nil, fmt.Errorf("serve: restoring snapshot %d anomaly state: %w", snapLSN, err)
+			}
+		}
 		rep.SnapshotFound, rep.SnapshotLSN = true, img.AppliedLSN
 	}
 
@@ -384,6 +395,12 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 		if err := s.store.Append(wb.Samples); err != nil {
 			rep.DecodeErrors++
 			return nil
+		}
+		if s.anom != nil {
+			// Detector time is sample-driven, so replay reproduces the
+			// live run's alert decisions exactly (and replayed batches
+			// keep their trace IDs on any transitions they trigger).
+			s.anom.ObserveBatch(wb.Samples, wb.Trace)
 		}
 		rep.RecordsReplayed++
 		rep.SamplesReplayed += int64(len(wb.Samples))
@@ -492,6 +509,9 @@ func (d *durability) snapshotOnce(s *Server) error {
 	if rs := d.repl; rs != nil {
 		img.ReplLSN = rs.replApplied.Load()
 		img.ReplExtras = rs.bootExtraList(img.ReplLSN)
+	}
+	if s.anom != nil {
+		img.Anomaly = s.anom.ExportState()
 	}
 	pending := d.appendsSinceSnap.Load()
 	d.applyMu.Unlock()

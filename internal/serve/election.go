@@ -171,6 +171,10 @@ func (s *Server) rejoin(epoch uint64, leaderID, leaderURL string) error {
 	d := s.dur
 	rs := d.repl
 	wasPrimary := !rs.isFollower.Swap(true)
+	if s.anom != nil {
+		// Back to silent tracking: the new leader owns alert delivery.
+		s.anom.SetDeliver(false)
+	}
 	rs.stopFollower()
 	if wasPrimary {
 		rs.cfg.Logf("repl: deposed by %q (epoch %d) — negotiating rejoin", leaderID, epoch)

@@ -470,6 +470,12 @@ func (s *Server) promoteTo(target uint64) (epoch uint64, err error) {
 		rs.fenced.Store(false)
 	}
 	rs.promotions.Add(1)
+	if s.anom != nil {
+		// The promoted standby starts delivering alerts from exactly the
+		// state the primary's snapshots left it in: firing alerts stay
+		// deduplicated, mid-countdown conditions keep counting.
+		s.anom.SetDeliver(true)
+	}
 	d.advanceRepl()
 	rs.cfg.Logf("repl: promoted to primary at epoch %d (applied primary lsn %d)", next, rs.replApplied.Load())
 	return next, nil
@@ -684,6 +690,11 @@ func (s *Server) applyReplicated(plsn uint64, body []byte) error {
 		return fmt.Errorf("wal append: %w", err)
 	}
 	appendErr := s.store.Append(wb.Samples)
+	if appendErr == nil && s.anom != nil {
+		// The follower's engine tracks alert state in lockstep with the
+		// primary (delivery stays gated off until promotion).
+		s.anom.ObserveBatch(wb.Samples, wb.Trace)
+	}
 	d.tracker.Load().markDone(lsn)
 	storeMax(&rs.replApplied, plsn)
 	d.applyMu.RUnlock()
@@ -744,6 +755,15 @@ func (s *Server) installReplSnapshot(plsn uint64, payload []byte) error {
 	if err := s.dedup.InstallState(img.Dedup); err != nil {
 		d.applyMu.Unlock()
 		return err
+	}
+	if s.anom != nil {
+		// Adopt the primary's alert timeline wholesale (a nil state — a
+		// primary running without an engine — resets ours). Restore never
+		// re-delivers the carried events.
+		if _, err := s.anom.RestoreState(img.Anomaly); err != nil {
+			d.applyMu.Unlock()
+			return fmt.Errorf("restoring anomaly state: %w", err)
+		}
 	}
 	rs.setBootExtras(img.Extras)
 	storeMax(&rs.replApplied, img.AppliedLSN)

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"hpcpower/internal/admit"
+	"hpcpower/internal/anomaly"
 	"hpcpower/internal/elect"
 	"hpcpower/internal/mlearn"
 	"hpcpower/internal/obs"
@@ -76,6 +77,13 @@ type Config struct {
 	// limiter and CoDel with their defaults and leaves rate limiting and
 	// the watermark off.
 	Admit admit.Config
+	// Anomaly is the optional streaming anomaly-detection engine. Its
+	// Lookup must be the store's JobFingerprint. With it set the apply
+	// path (live ingest, WAL replay, replicated apply) feeds every batch
+	// to the engine, GET /v1/anomalies serves its events, alert state
+	// rides snapshots, and a follower's engine stays silent until
+	// promotion. The server owns the engine: Close shuts it down.
+	Anomaly *anomaly.Engine
 }
 
 // DefaultConfig returns the sizing powserved starts with.
@@ -92,8 +100,9 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *metrics
 	dedup   *tsdb.Deduper
-	dur     *durability // nil: ingest is memory-only (no WAL)
-	ready   atomic.Bool // false until recovery completes
+	dur     *durability     // nil: ingest is memory-only (no WAL)
+	anom    *anomaly.Engine // nil: anomaly detection disabled
+	ready   atomic.Bool     // false until recovery completes
 
 	// elector is the optional leader-election state machine (see
 	// election.go); nil unless StartElection wired one. With it set, a
@@ -153,10 +162,14 @@ func New(store *tsdb.Store, model *mlearn.BDT, cfg Config) *Server {
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		dedup:     tsdb.NewDeduper(tsdb.DedupConfig{Window: cfg.DedupWindow}),
+		anom:      cfg.Anomaly,
 		flushStop: make(chan struct{}),
 	}
 	s.ready.Store(true) // nothing to recover
 	s.metrics = newMetrics(func() int { return s.ingestQ.Len() })
+	if s.anom != nil {
+		s.metrics.reg.AddCollector(s.collectAnomaly)
+	}
 	s.initAdmit()
 	s.metrics.logger = obs.Component(cfg.Logger, "serve")
 	switch {
@@ -186,6 +199,11 @@ func NewDurable(store *tsdb.Store, model *mlearn.BDT, cfg Config, dcfg Durabilit
 	}
 	s := New(store, model, cfg)
 	s.dur = dur
+	if s.anom != nil && dur.repl != nil && dur.repl.isFollower.Load() {
+		// A follower tracks alert state silently so a failover never
+		// double-pages; promotion re-enables sink delivery.
+		s.anom.SetDeliver(false)
+	}
 	s.metrics.reg.AddCollector(dur.collect)
 	dur.repl.onSend = func(records int64) { s.metrics.replSend.Observe(float64(records)) }
 	s.ready.Store(false) // Recover flips it
@@ -199,6 +217,17 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/power", s.metrics.instrument("job_power", s.handleJobPower))
 	s.mux.HandleFunc("POST /v1/predict", s.metrics.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("GET /v1/summary", s.metrics.instrument("summary", s.handleSummary))
+	anomalies := s.metrics.instrument("anomalies", s.handleAnomalies)
+	s.mux.HandleFunc("GET /v1/anomalies", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("stream") == "1" {
+			// The NDJSON stream is long-lived and needs the raw
+			// http.Flusher; latency accounting would only measure the
+			// client's disconnect time.
+			s.handleAnomalies(w, r)
+			return
+		}
+		anomalies(w, r)
+	})
 	s.mux.HandleFunc("GET /v1/query/range", s.metrics.instrument("query_range", s.gated(admit.ClassQuery, "query", s.handleQueryRange)))
 	s.mux.HandleFunc("GET /v1/query/nodes", s.metrics.instrument("query_nodes", s.gated(admit.ClassQuery, "query", s.handleQueryNodes)))
 	s.mux.HandleFunc("GET /v1/query/distribution", s.metrics.instrument("query_distribution", s.gated(admit.ClassQuery, "query", s.handleQueryDistribution)))
@@ -223,8 +252,10 @@ func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// The replication stream is long-lived by design and needs
 		// http.Flusher — http.TimeoutHandler provides neither, so it is
-		// routed around the timeout wrapper.
-		if r.URL.Path == "/v1/repl/stream" {
+		// routed around the timeout wrapper. The anomaly event stream
+		// (stream=1) is the same kind of connection.
+		if r.URL.Path == "/v1/repl/stream" ||
+			(r.URL.Path == "/v1/anomalies" && r.URL.Query().Get("stream") == "1") {
 			s.mux.ServeHTTP(w, r)
 			return
 		}
@@ -260,6 +291,12 @@ func (s *Server) ingestWorker() {
 		}
 		applyStart := time.Now()
 		err := s.store.Append(qb.samples)
+		if err == nil && s.anom != nil {
+			// Inside the applyMu read lock (when durable): a snapshot's
+			// engine-state cut lands on the same batch boundary as its
+			// store state, so restore never re-fires or loses an alert.
+			s.anom.ObserveBatch(qb.samples, qb.trace)
+		}
 		if s.dur != nil {
 			s.dur.tracker.Load().markDone(qb.lsn)
 			s.dur.applyMu.RUnlock()
@@ -327,6 +364,9 @@ func (s *Server) Close() {
 	s.workerWG.Wait()
 	if s.dur != nil {
 		s.dur.close(s)
+	}
+	if s.anom != nil {
+		s.anom.Close()
 	}
 }
 
@@ -761,6 +801,9 @@ func (s *Server) readyzBody(status string) map[string]any {
 	if s.adm.cfg.MemWatermark > 0 {
 		body["mem_bytes"] = s.memBytes()
 		body["mem_watermark_bytes"] = s.adm.cfg.MemWatermark
+	}
+	if s.anom != nil {
+		body["anomaly"] = s.anomalyReadyz()
 	}
 	d := s.dur
 	if d == nil {

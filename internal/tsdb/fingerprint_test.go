@@ -1,0 +1,135 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"hpcpower/internal/anomaly"
+	"hpcpower/internal/trace"
+)
+
+// TestJobFingerprintTracksAppend: the fingerprint the store hands the
+// detector engine is exactly what folding the job's samples in append
+// order into a bare anomaly.Fingerprint produces.
+func TestJobFingerprintTracksAppend(t *testing.T) {
+	s := New(Config{Shards: 2, RingLen: 32})
+	var want anomaly.Fingerprint
+	var batch []trace.PowerSample
+	for i := 0; i < 120; i++ {
+		w := 150 + 40*math.Sin(float64(i)/9)
+		batch = append(batch, trace.PowerSample{
+			Node: i % 3, JobID: 7, Unix: 1_700_000_000 + int64(i)*60, PowerW: w,
+		})
+		want.Update(1_700_000_000+int64(i)*60, w)
+	}
+	// Idle samples (job 0) must not touch any fingerprint.
+	batch = append(batch, trace.PowerSample{Node: 9, JobID: 0, Unix: 1_700_000_000, PowerW: 40})
+	if err := s.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.JobFingerprint(7)
+	if !ok {
+		t.Fatal("job 7 has no fingerprint")
+	}
+	if got != want {
+		t.Fatalf("fingerprint diverged from direct fold:\n got %+v\nwant %+v", got, want)
+	}
+	if _, ok := s.JobFingerprint(999); ok {
+		t.Fatal("unknown job reported a fingerprint")
+	}
+}
+
+// TestFingerprintSurvivesStateRoundTrip: fingerprints ride ExportState/
+// RestoreState/InstallState bit-for-bit, and a restored store continues
+// the stream identically to one that never snapshotted.
+func TestFingerprintSurvivesStateRoundTrip(t *testing.T) {
+	cfg := Config{Shards: 4, RingLen: 64}
+	s := New(cfg)
+	first := mkJobBatch(3, 0, 80)
+	if err := s.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(s.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StoreState
+	if err := json.Unmarshal(buf, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(cfg)
+	if err := restored.RestoreState(&st); err != nil {
+		t.Fatal(err)
+	}
+	installed := New(cfg)
+	if err := installed.InstallState(&st); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Store{restored, installed} {
+		got, ok := r.JobFingerprint(3)
+		want, _ := s.JobFingerprint(3)
+		if !ok || got != want {
+			t.Fatalf("fingerprint did not survive the round trip:\n got %+v\nwant %+v", got, want)
+		}
+	}
+
+	// Continuation equivalence: appending the rest of the stream to the
+	// restored store matches the never-snapshotted store.
+	rest := mkJobBatch(3, 80, 60)
+	if err := s.Append(rest); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Append(rest); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.JobFingerprint(3)
+	b, _ := restored.JobFingerprint(3)
+	if a != b {
+		t.Fatalf("restored fingerprint diverged after continuation:\n got %+v\nwant %+v", b, a)
+	}
+}
+
+func mkJobBatch(job uint64, from, n int) []trace.PowerSample {
+	out := make([]trace.PowerSample, n)
+	for i := range out {
+		k := from + i
+		out[i] = trace.PowerSample{
+			Node: k % 4, JobID: job,
+			Unix:   1_700_000_000 + int64(k)*60,
+			PowerW: 120 + 50*math.Sin(float64(k)/7) + float64(k%5),
+		}
+	}
+	return out
+}
+
+// TestRestoreRejectsInvalidFingerprint: a corrupt fingerprint in a
+// snapshot fails both restore paths instead of poisoning detector math.
+func TestRestoreRejectsInvalidFingerprint(t *testing.T) {
+	cfg := Config{Shards: 2, RingLen: 16}
+	s := New(cfg)
+	if err := s.Append(mkJobBatch(5, 0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.ExportState()
+	st.Jobs[0].FP.Sum = math.NaN()
+	if err := New(cfg).RestoreState(st); err == nil {
+		t.Fatal("RestoreState accepted a NaN fingerprint")
+	}
+	if err := New(cfg).InstallState(st); err == nil {
+		t.Fatal("InstallState accepted a NaN fingerprint")
+	}
+
+	// A pre-detection snapshot (zero fingerprint) restores fine: the
+	// detectors just restart their warmup.
+	st2 := s.ExportState()
+	st2.Jobs[0].FP = anomaly.Fingerprint{}
+	r := New(cfg)
+	if err := r.RestoreState(st2); err != nil {
+		t.Fatalf("zero fingerprint rejected: %v", err)
+	}
+	if fp, ok := r.JobFingerprint(5); !ok || fp.N != 0 {
+		t.Fatalf("zero fingerprint not preserved: %+v", fp)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"hpcpower/internal/anomaly"
 	"hpcpower/internal/stats"
 )
 
@@ -17,6 +18,13 @@ type jobState struct {
 	acc      stats.Accumulator // all samples of the job, all nodes
 	med, p95 *stats.P2Quantile
 	nodes    map[int]struct{} // distinct nodes seen
+
+	// fp is the job's anomaly-detection fingerprint (EWMA baselines,
+	// CUSUM phase tracking, shape sketch), updated in the same locked
+	// pass as the analytics above so detector reads are always
+	// consistent with the store — and so the update costs no extra
+	// lock acquisition or map lookup on the ingest hot path.
+	fp anomaly.Fingerprint
 
 	firstUnix, lastUnix int64
 
@@ -52,6 +60,7 @@ func (j *jobState) add(node int, unix int64, w float64) {
 	j.acc.Add(w)
 	j.med.Add(w)
 	j.p95.Add(w)
+	j.fp.Update(unix, w)
 	j.nodes[node] = struct{}{}
 	if j.firstUnix == 0 || unix < j.firstUnix {
 		j.firstUnix = unix

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hpcpower/internal/anomaly"
 	"hpcpower/internal/stats"
 )
 
@@ -57,6 +58,10 @@ type JobStateExport struct {
 	LastUnix  int64            `json:"last_unix"`
 	Minutes   []MinuteState    `json:"minutes"`
 	Spread    stats.AccumState `json:"spread"`
+	// FP is the job's anomaly-detection fingerprint. Snapshots from
+	// before detection existed decode to a zero fingerprint: detectors
+	// simply restart their warmup for that job.
+	FP anomaly.Fingerprint `json:"fp"`
 }
 
 // ExportState captures the whole store. It takes each stripe lock in
@@ -105,6 +110,7 @@ func exportJob(id uint64, j *jobState) JobStateExport {
 		FirstUnix: j.firstUnix,
 		LastUnix:  j.lastUnix,
 		Spread:    j.spreadAcc.State(),
+		FP:        j.fp,
 	}
 	e.Nodes = make([]int, 0, len(j.nodes))
 	for n := range j.nodes {
@@ -229,10 +235,14 @@ func restoreJob(e JobStateExport) (*jobState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("p95 estimator: %w", err)
 	}
+	if !e.FP.Valid() {
+		return nil, fmt.Errorf("fingerprint state is incoherent")
+	}
 	j := &jobState{
 		acc:       stats.AccumFromState(e.Acc),
 		med:       med,
 		p95:       p95,
+		fp:        e.FP,
 		nodes:     make(map[int]struct{}, len(e.Nodes)),
 		firstUnix: e.FirstUnix,
 		lastUnix:  e.LastUnix,

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hpcpower/internal/anomaly"
 	"hpcpower/internal/block"
 	"hpcpower/internal/stats"
 	"hpcpower/internal/trace"
@@ -199,6 +200,21 @@ func (s *Store) JobPower(id uint64) (JobStats, bool) {
 		return JobStats{}, false
 	}
 	return st.snapshot(id), true
+}
+
+// JobFingerprint returns a copy of a job's anomaly-detection
+// fingerprint — the detector engine's read path. The copy is taken
+// under the job-shard read lock, so it is a consistent point-in-time
+// sketch even while appends continue.
+func (s *Store) JobFingerprint(id uint64) (anomaly.Fingerprint, bool) {
+	js := s.jobShard(id)
+	js.mu.RLock()
+	defer js.mu.RUnlock()
+	st := js.jobs[id]
+	if st == nil {
+		return anomaly.Fingerprint{}, false
+	}
+	return st.fp, true
 }
 
 // Jobs returns the IDs of all jobs with ingested samples, ascending.
